@@ -1,0 +1,145 @@
+// Command experiments regenerates every table and figure of the paper's
+// evaluation (Table 3, Figures 5a/5b/6a/6b, Table 4, Table 5). Each
+// experiment prints the same rows the paper reports; EXPERIMENTS.md records
+// a captured run and compares it with the published numbers.
+//
+// The -scale flag shrinks genome counts for quick runs (default 0.1); pass
+// -scale 1 for the paper's full sizes.
+//
+// Usage:
+//
+//	experiments                 # everything at scale 0.1
+//	experiments -only table4    # one experiment
+//	experiments -scale 1 -only fig6b
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+	"time"
+
+	"gendpr/internal/bench"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
+	var (
+		scale = fs.Float64("scale", 0.1, "genome-count scale factor (1 = paper sizes)")
+		only  = fs.String("only", "", "run a single experiment: table3, fig5a, fig5b, fig6a, fig6b, table4, table5, bandwidth")
+		gdos  = fs.Int("gdos", 3, "federation size for table4")
+		gGrid = fs.String("table5-g", "3,4,5", "federation sizes for table5")
+		reps  = fs.Int("reps", 5, "repetitions averaged per running-time figure (the paper uses 5)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	experiments := map[string]func() error{
+		"table3":    func() error { return runTable3(*scale) },
+		"table4":    func() error { return runTable4(*scale, *gdos) },
+		"table5":    func() error { return runTable5(*scale, *gGrid) },
+		"bandwidth": func() error { return runBandwidth(*scale) },
+	}
+	for name, w := range bench.FigureWorkloads(*scale) {
+		workload := w
+		figure := name
+		experiments[figure] = func() error { return runFigure(figure, workload, *reps) }
+	}
+
+	if *only != "" {
+		exp, ok := experiments[*only]
+		if !ok {
+			return fmt.Errorf("unknown experiment %q", *only)
+		}
+		return exp()
+	}
+
+	names := make([]string, 0, len(experiments))
+	for name := range experiments {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		if err := experiments[name](); err != nil {
+			return fmt.Errorf("%s: %w", name, err)
+		}
+	}
+	return nil
+}
+
+func header(title string) {
+	fmt.Println()
+	fmt.Println(strings.Repeat("=", len(title)))
+	fmt.Println(title)
+	fmt.Println(strings.Repeat("=", len(title)))
+}
+
+func runFigure(name string, w bench.Workload, reps int) error {
+	header(fmt.Sprintf("Figure %s — running time breakdown", strings.TrimPrefix(name, "fig")))
+	start := time.Now()
+	table, err := bench.FigureTable(w, reps)
+	if err != nil {
+		return err
+	}
+	fmt.Print(table)
+	fmt.Printf("(experiment wall time %v)\n", time.Since(start).Round(time.Millisecond))
+	return nil
+}
+
+func runTable3(scale float64) error {
+	header("Table 3 — GenDPR average resource utilization")
+	out, err := bench.Table3(scale)
+	if err != nil {
+		return err
+	}
+	fmt.Print(out)
+	return nil
+}
+
+func runTable4(scale float64, gdos int) error {
+	header("Table 4 — retained SNPs after each verification phase")
+	out, err := bench.Table4(scale, gdos)
+	if err != nil {
+		return err
+	}
+	fmt.Print(out)
+	return nil
+}
+
+func runBandwidth(scale float64) error {
+	header("Section 7.1 — bandwidth: protocol traffic vs shipping genomes")
+	rows, err := bench.Bandwidth(scale)
+	if err != nil {
+		return err
+	}
+	fmt.Print(bench.FormatBandwidth(rows))
+	return nil
+}
+
+func runTable5(scale float64, gGridSpec string) error {
+	header("Table 5 — collusion-tolerant GenDPR (10,000 SNPs, 14,860-genome workload)")
+	var gGrid []int
+	for _, part := range strings.Split(gGridSpec, ",") {
+		var g int
+		if _, err := fmt.Sscanf(strings.TrimSpace(part), "%d", &g); err != nil {
+			return fmt.Errorf("bad -table5-g entry %q", part)
+		}
+		gGrid = append(gGrid, g)
+	}
+	rows, err := bench.Table5(scale, gGrid)
+	if err != nil {
+		return err
+	}
+	fmt.Print(bench.FormatTable5(rows))
+	return nil
+}

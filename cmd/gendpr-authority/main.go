@@ -1,0 +1,43 @@
+// Command gendpr-authority generates the shared attestation-authority seed
+// of a multi-process deployment. Every gendpr-node and gendpr-leader process
+// of one federation must load the same seed so their enclaves' quotes verify
+// against the same pinned key (in a real SGX deployment this role is played
+// by Intel's attestation infrastructure).
+//
+// Usage:
+//
+//	gendpr-authority -out authority.seed
+package main
+
+import (
+	"crypto/rand"
+	"encoding/hex"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "gendpr-authority:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("gendpr-authority", flag.ContinueOnError)
+	out := fs.String("out", "authority.seed", "output file for the 32-byte hex seed")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	seed := make([]byte, 32)
+	if _, err := io.ReadFull(rand.Reader, seed); err != nil {
+		return err
+	}
+	if err := os.WriteFile(*out, []byte(hex.EncodeToString(seed)+"\n"), 0o600); err != nil {
+		return err
+	}
+	fmt.Println("wrote", *out)
+	return nil
+}

@@ -1,0 +1,123 @@
+// Command gendpr-node runs one genome data owner as a standalone process:
+// it loads the member's private shard, listens for the leader's connection,
+// performs mutual remote attestation, and serves encrypted intermediate
+// results for one assessment.
+//
+// All processes of a deployment must share the attestation authority seed
+// (see cmd/gendpr-authority).
+//
+// Usage:
+//
+//	gendpr-authority -out authority.seed
+//	gendpr-node -listen 127.0.0.1:7001 -case shard1.vcf -authority authority.seed
+//	gendpr-node -listen 127.0.0.1:7002 -case shard2.vcf -authority authority.seed
+//	gendpr-leader -members 127.0.0.1:7001,127.0.0.1:7002 \
+//	    -case shard0.vcf -reference ref.vcf -authority authority.seed
+package main
+
+import (
+	"encoding/hex"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"gendpr/internal/enclave"
+	"gendpr/internal/enclave/attest"
+	"gendpr/internal/federation"
+	"gendpr/internal/genome"
+	"gendpr/internal/transport"
+	"gendpr/internal/vcf"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "gendpr-node:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("gendpr-node", flag.ContinueOnError)
+	var (
+		listen    = fs.String("listen", "127.0.0.1:0", "address to accept the leader connection on")
+		caseFile  = fs.String("case", "", "private case-shard VCF file (required)")
+		authority = fs.String("authority", "", "attestation-authority seed file (required)")
+		id        = fs.String("id", "gdo", "member identifier for logs")
+		serves    = fs.Int("serves", 1, "number of assessments to serve before exiting")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *caseFile == "" || *authority == "" {
+		return fmt.Errorf("-case and -authority are required")
+	}
+
+	shard, err := readVCF(*caseFile)
+	if err != nil {
+		return err
+	}
+	auth, err := loadAuthority(*authority)
+	if err != nil {
+		return err
+	}
+	platform, err := enclave.NewPlatform()
+	if err != nil {
+		return err
+	}
+	member, err := federation.NewMember(*id, shard, platform, auth)
+	if err != nil {
+		return err
+	}
+
+	listener, err := transport.Listen(*listen)
+	if err != nil {
+		return err
+	}
+	defer listener.Close()
+	fmt.Printf("%s: holding %d genomes x %d SNPs, listening on %s\n",
+		*id, shard.N(), shard.L(), listener.Addr())
+
+	for i := 0; i < *serves; i++ {
+		conn, err := listener.Accept()
+		if err != nil {
+			return err
+		}
+		err = member.Serve(conn)
+		_ = conn.Close()
+		if err != nil {
+			return err
+		}
+		if sel := member.LastResult(); sel != nil {
+			fmt.Printf("%s: assessment complete, broadcast selection %s\n", *id, sel)
+		} else {
+			fmt.Printf("%s: assessment complete\n", *id)
+		}
+	}
+	return nil
+}
+
+func readVCF(path string) (*genome.Matrix, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	m, err := vcf.Read(f)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return m, nil
+}
+
+func loadAuthority(path string) (*attest.Authority, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	seed, err := hex.DecodeString(strings.TrimSpace(string(raw)))
+	if err != nil {
+		return nil, fmt.Errorf("%s: undecodable authority seed: %w", path, err)
+	}
+	return attest.NewAuthorityFromSeed(seed)
+}

@@ -1,0 +1,79 @@
+// Command gendpr-verify checks a published GWAS statistics release: the
+// publisher's signature, structural sanity of every row, and prints the top
+// associations. Downstream consumers run it before trusting a release.
+//
+// Usage:
+//
+//	gendpr-verify -release release.json -key release.json.pub
+package main
+
+import (
+	"encoding/hex"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"gendpr/internal/release"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "gendpr-verify:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("gendpr-verify", flag.ContinueOnError)
+	var (
+		releasePath = fs.String("release", "", "release JSON file (required)")
+		keyPath     = fs.String("key", "", "hex Ed25519 verification key file (required)")
+		top         = fs.Int("top", 5, "show this many top associations")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *releasePath == "" || *keyPath == "" {
+		return fmt.Errorf("-release and -key are required")
+	}
+
+	raw, err := os.ReadFile(*releasePath)
+	if err != nil {
+		return err
+	}
+	doc, err := release.Decode(raw)
+	if err != nil {
+		return err
+	}
+	keyHex, err := os.ReadFile(*keyPath)
+	if err != nil {
+		return err
+	}
+	pub, err := hex.DecodeString(strings.TrimSpace(string(keyHex)))
+	if err != nil {
+		return fmt.Errorf("%s: undecodable key: %w", *keyPath, err)
+	}
+	if err := doc.Verify(pub); err != nil {
+		return err
+	}
+	fmt.Printf("signature: OK (study %q, %d case genomes, %d reference genomes)\n",
+		doc.StudyID, doc.CaseCount, doc.ReferenceCount)
+	fmt.Printf("assessment: MAF>=%.2f, LD<%.0e, alpha=%.2f, power<%.2f, colluders %s\n",
+		doc.Parameters.MAFCutoff, doc.Parameters.LDCutoff,
+		doc.Parameters.Alpha, doc.Parameters.PowerThreshold, doc.Parameters.Colluders)
+	fmt.Printf("released SNPs: %d\n", len(doc.Statistics))
+
+	for i, s := range doc.Statistics {
+		if s.PValue < 0 || s.PValue > 1 || s.CaseFrequency < 0 || s.CaseFrequency > 1 {
+			return fmt.Errorf("row %d (SNP %d) fails sanity checks", i, s.SNP)
+		}
+	}
+	fmt.Printf("\ntop %d associations:\n", *top)
+	fmt.Printf("%-10s %12s %12s %12s %12s\n", "SNP", "case MAF", "ref MAF", "p-value", "odds ratio")
+	for _, s := range doc.TopAssociations(*top) {
+		fmt.Printf("%-10s %12.4f %12.4f %12.3e %12.3f\n",
+			s.ID, s.CaseFrequency, s.ReferenceFrequency, s.PValue, s.OddsRatio)
+	}
+	return nil
+}

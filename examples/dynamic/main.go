@@ -1,0 +1,77 @@
+// Dynamic releases: a long-running study where genomes keep arriving.
+//
+// Biocenters recruit continuously, and funders expect updated statistics as
+// the cohort grows (the DyPS setting GenDPR builds on). The risk: a SNP that
+// was safe to publish over 500 genomes may become identifying over 1,500 —
+// but its old statistics are already public. The dynamic manager re-assesses
+// each epoch, publishes only currently safe SNPs, and freezes any published
+// SNP that later turns unsafe so its statistics are never refreshed (the
+// residual exposure is reported, not hidden).
+//
+// Run with: go run ./examples/dynamic
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"gendpr"
+)
+
+func main() {
+	const (
+		snps    = 600
+		centers = 3
+		total   = 1800
+	)
+	cohort, err := gendpr.GenerateCohort(gendpr.DefaultGeneratorConfig(snps, total, 21))
+	if err != nil {
+		log.Fatal(err)
+	}
+	mgr, err := gendpr.NewDynamicManager(centers, cohort.Reference, gendpr.DefaultConfig(), gendpr.CollusionPolicy{})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Recruitment schedule: batches of genomes land at different centers
+	// across four epochs.
+	type arrival struct {
+		center   int
+		from, to int
+	}
+	schedule := [][]arrival{
+		{{0, 0, 300}},                       // epoch 1: one center online
+		{{1, 300, 700}, {2, 700, 900}},      // epoch 2: the others join
+		{{0, 900, 1300}},                    // epoch 3: more recruitment
+		{{1, 1300, 1600}, {2, 1600, total}}, // epoch 4: final wave
+	}
+
+	for _, wave := range schedule {
+		for _, a := range wave {
+			batch := cohort.Case.SelectRows(a.from, a.to)
+			if err := mgr.AddBatch(a.center, batch); err != nil {
+				log.Fatal(err)
+			}
+		}
+		report, err := mgr.Assess()
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("epoch %d: %5d genomes | safe now %4d | published %4d (+%d new) | frozen %d\n",
+			report.Epoch, report.Genomes,
+			len(report.Selection.Safe), len(report.Released),
+			len(report.NewlyReleased), len(report.Frozen))
+	}
+
+	// State survives restarts — sealed with rollback protection.
+	blob, err := mgr.ExportState()
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := mgr.ImportState(blob); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nsealed release state: %d bytes, restored at epoch %d\n", len(blob), mgr.Epoch())
+	fmt.Println("frozen SNPs keep their stale public statistics but are never updated;")
+	fmt.Println("a rolled-back (stale) state blob is rejected by the enclave's monotonic counter.")
+}

@@ -1,0 +1,74 @@
+// Hybrid DP release: publish the full desired SNP set by combining GenDPR's
+// noise-free safe subset with Laplace-perturbed statistics over the rest
+// (the paper's Section 5.5 extension).
+//
+// Funding agencies often require statistics for every studied SNP. GenDPR
+// alone can only release the safe subset; the hybrid scheme covers the
+// complement with differential privacy, trading accuracy for coverage only
+// where the exact values would leak membership.
+//
+// Run with: go run ./examples/hybriddp
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+	"math/rand"
+
+	"gendpr"
+)
+
+func main() {
+	cohort, err := gendpr.GenerateCohort(gendpr.DefaultGeneratorConfig(800, 1600, 5))
+	if err != nil {
+		log.Fatal(err)
+	}
+	shards, err := cohort.Partition(3)
+	if err != nil {
+		log.Fatal(err)
+	}
+	report, err := gendpr.AssessDistributed(shards, cohort.Reference, gendpr.DefaultConfig(), gendpr.CollusionPolicy{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	safe := report.Selection.Safe
+	fmt.Printf("desired SNPs: %d, safe for exact release: %d, needing DP: %d\n",
+		cohort.SNPs(), len(safe), cohort.SNPs()-len(safe))
+
+	caseCounts := cohort.Case.AlleleCounts()
+	caseN := int64(cohort.Case.N())
+
+	for _, eps := range []float64{0.1, 1, 10} {
+		release, err := gendpr.BuildHybridRelease(caseCounts, caseN, safe,
+			gendpr.DPParams{Epsilon: eps}, rand.New(rand.NewSource(99)))
+		if err != nil {
+			log.Fatal(err)
+		}
+		var exactErr, noisedErr float64
+		var exactN, noisedN int
+		for _, s := range release.SNPs {
+			truth := float64(caseCounts[s.SNP]) / float64(caseN)
+			gap := math.Abs(s.Frequency - truth)
+			if s.Noised {
+				noisedErr += gap
+				noisedN++
+			} else {
+				exactErr += gap
+				exactN++
+			}
+		}
+		fmt.Printf("epsilon=%5.1f: %4d exact SNPs (mean abs error %.5f), %4d noised SNPs (mean abs error %.5f)\n",
+			eps, exactN, exactErr/float64(max(exactN, 1)),
+			noisedN, noisedErr/float64(max(noisedN, 1)))
+	}
+	fmt.Println("\nexact error is always zero; noised error shrinks as epsilon grows —")
+	fmt.Println("the analyst picks the budget, the safe subset costs nothing.")
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,97 @@
+// SMC aggregation: GenDPR's Phase 1 with additive secret sharing instead of
+// a TEE or homomorphic encryption.
+//
+// The paper's related work surveys SMC-based federated GWAS. In this model
+// there are two (or more) aggregation servers assumed not to collude — say,
+// one run by a university consortium and one by a public-health agency.
+// Every biocenter splits its allele-count vector into additive shares over
+// Z_(2^61−1) and sends one share vector to each server. A single share (or
+// any proper subset of the servers' views) is a uniformly random vector:
+// nothing about a center's counts leaks. Each server sums the share vectors
+// it holds — pure local arithmetic — and the recombined server outputs equal
+// the federation-wide counts, which feed the MAF phase exactly like the TEE
+// path.
+//
+// Run with: go run ./examples/smcaggregation
+package main
+
+import (
+	"crypto/rand"
+	"fmt"
+	"log"
+
+	"gendpr"
+	"gendpr/internal/secshare"
+	"gendpr/internal/stats"
+)
+
+func main() {
+	cohort, err := gendpr.GenerateCohort(gendpr.DefaultGeneratorConfig(500, 900, 35))
+	if err != nil {
+		log.Fatal(err)
+	}
+	shards, err := cohort.Partition(3)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	const servers = 2
+	perServer := make([][]secshare.SharedVector, servers)
+	var (
+		caseN int64
+		plain [][]int64
+	)
+	for i, s := range shards {
+		counts := s.AlleleCounts()
+		plain = append(plain, counts)
+		caseN += int64(s.N())
+		views, err := secshare.ShareVector(counts, servers, rand.Reader)
+		if err != nil {
+			log.Fatal(err)
+		}
+		for j, view := range views {
+			perServer[j] = append(perServer[j], view)
+		}
+		fmt.Printf("center %d: split %d counts into %d share vectors (each one uniformly random)\n",
+			i, len(counts), servers)
+	}
+
+	// Each non-colluding server sums the shares it received.
+	serverSums := make([]secshare.SharedVector, servers)
+	for j, views := range perServer {
+		serverSums[j], err = secshare.AddVectors(views...)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("server %d: locally summed %d share vectors\n", j, len(views))
+	}
+
+	// Recombination reveals only the aggregate.
+	sums, err := secshare.CombineVectors(serverSums)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Sanity against plaintext aggregation.
+	want, err := stats.SumCounts(plain...)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for l := range want {
+		if sums[l] != want[l] {
+			log.Fatalf("SNP %d: SMC aggregate %d != plaintext %d", l, sums[l], want[l])
+		}
+	}
+
+	refCounts := cohort.Reference.AlleleCounts()
+	total := caseN + int64(cohort.Reference.N())
+	kept := 0
+	for l := range sums {
+		if stats.MAF(sums[l]+refCounts[l], total) >= 0.05 {
+			kept++
+		}
+	}
+	fmt.Printf("\nrecombined aggregate: %d SNPs; Phase 1 retains %d — identical to the TEE path\n",
+		len(sums), kept)
+	fmt.Println("neither server alone (nor the network) ever saw a per-center count.")
+}

@@ -1,0 +1,3 @@
+module gendpr
+
+go 1.22

@@ -1,0 +1,99 @@
+// Package combin enumerates k-combinations, the primitive behind GenDPR's
+// collusion tolerance: with G federation members of which up to f may
+// collude, every phase is re-evaluated over each of the C(G, G−f) subsets of
+// presumed-honest members (Section 5.6).
+package combin
+
+import "fmt"
+
+// Binomial returns C(n, k). It returns an error on invalid input or overflow
+// of int64 arithmetic.
+func Binomial(n, k int) (int64, error) {
+	if n < 0 || k < 0 || k > n {
+		return 0, fmt.Errorf("combin: C(%d,%d) undefined", n, k)
+	}
+	if k > n-k {
+		k = n - k
+	}
+	var c int64 = 1
+	for i := 0; i < k; i++ {
+		next := c * int64(n-i)
+		if next/int64(n-i) != c {
+			return 0, fmt.Errorf("combin: C(%d,%d) overflows int64", n, k)
+		}
+		c = next / int64(i+1)
+	}
+	return c, nil
+}
+
+// Combinations returns every k-subset of {0,…,n−1} in lexicographic order.
+// The result shares no memory between subsets. It returns an error for
+// invalid sizes or when the enumeration would be unreasonably large
+// (> 1<<20 subsets), which a caller misconfiguring f would otherwise turn
+// into an out-of-memory condition inside the enclave.
+func Combinations(n, k int) ([][]int, error) {
+	count, err := Binomial(n, k)
+	if err != nil {
+		return nil, err
+	}
+	if count > 1<<20 {
+		return nil, fmt.Errorf("combin: C(%d,%d)=%d subsets exceed the enumeration bound", n, k, count)
+	}
+	if k == 0 {
+		return [][]int{{}}, nil
+	}
+	out := make([][]int, 0, count)
+	idx := make([]int, k)
+	for i := range idx {
+		idx[i] = i
+	}
+	for {
+		sub := make([]int, k)
+		copy(sub, idx)
+		out = append(out, sub)
+		// Advance to the next combination.
+		i := k - 1
+		for i >= 0 && idx[i] == n-k+i {
+			i--
+		}
+		if i < 0 {
+			break
+		}
+		idx[i]++
+		for j := i + 1; j < k; j++ {
+			idx[j] = idx[j-1] + 1
+		}
+	}
+	return out, nil
+}
+
+// HonestSubsets returns the subsets of presumed-honest members for a
+// federation of g members tolerating exactly f colluders: all (g−f)-subsets
+// of {0,…,g−1}.
+func HonestSubsets(g, f int) ([][]int, error) {
+	if g <= 0 {
+		return nil, fmt.Errorf("combin: federation size %d invalid", g)
+	}
+	if f < 0 || f >= g {
+		return nil, fmt.Errorf("combin: colluder count %d outside [0,%d]", f, g-1)
+	}
+	return Combinations(g, g-f)
+}
+
+// ConservativeSubsets returns the union of HonestSubsets(g, f) for every
+// f in 1..g−1 — the paper's "most conservative" mode evaluating
+// Σ_{f=1}^{G−1} C(G, G−f) combinations.
+func ConservativeSubsets(g int) ([][]int, error) {
+	if g <= 1 {
+		return nil, fmt.Errorf("combin: conservative mode needs g > 1, got %d", g)
+	}
+	var out [][]int
+	for f := 1; f < g; f++ {
+		subs, err := HonestSubsets(g, f)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, subs...)
+	}
+	return out, nil
+}

@@ -1,0 +1,161 @@
+package combin
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestBinomialKnownValues(t *testing.T) {
+	cases := []struct {
+		n, k int
+		want int64
+	}{
+		{0, 0, 1}, {5, 0, 1}, {5, 5, 1}, {5, 2, 10}, {7, 3, 35},
+		{10, 5, 252}, {30, 15, 155117520}, {5, 1, 5},
+	}
+	for _, tc := range cases {
+		got, err := Binomial(tc.n, tc.k)
+		if err != nil {
+			t.Fatalf("C(%d,%d): %v", tc.n, tc.k, err)
+		}
+		if got != tc.want {
+			t.Errorf("C(%d,%d)=%d, want %d", tc.n, tc.k, got, tc.want)
+		}
+	}
+}
+
+func TestBinomialErrors(t *testing.T) {
+	for _, tc := range [][2]int{{-1, 0}, {3, -1}, {3, 4}} {
+		if _, err := Binomial(tc[0], tc[1]); err == nil {
+			t.Errorf("C(%d,%d) must fail", tc[0], tc[1])
+		}
+	}
+}
+
+func TestBinomialPascalIdentity(t *testing.T) {
+	f := func(rawN, rawK uint8) bool {
+		n := int(rawN%25) + 2
+		k := int(rawK) % n
+		if k == 0 {
+			return true
+		}
+		a, err1 := Binomial(n-1, k-1)
+		b, err2 := Binomial(n-1, k)
+		c, err3 := Binomial(n, k)
+		return err1 == nil && err2 == nil && err3 == nil && a+b == c
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCombinationsExhaustive(t *testing.T) {
+	got, err := Combinations(4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := [][]int{{0, 1}, {0, 2}, {0, 3}, {1, 2}, {1, 3}, {2, 3}}
+	if len(got) != len(want) {
+		t.Fatalf("got %d combinations, want %d", len(got), len(want))
+	}
+	for i := range want {
+		for j := range want[i] {
+			if got[i][j] != want[i][j] {
+				t.Fatalf("combination %d = %v, want %v", i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestCombinationsCounts(t *testing.T) {
+	for n := 0; n <= 8; n++ {
+		for k := 0; k <= n; k++ {
+			subs, err := Combinations(n, k)
+			if err != nil {
+				t.Fatalf("Combinations(%d,%d): %v", n, k, err)
+			}
+			want, _ := Binomial(n, k)
+			if int64(len(subs)) != want {
+				t.Errorf("Combinations(%d,%d) yielded %d, want %d", n, k, len(subs), want)
+			}
+			seen := map[string]bool{}
+			for _, s := range subs {
+				if len(s) != k {
+					t.Fatalf("subset %v has size %d, want %d", s, len(s), k)
+				}
+				key := ""
+				prev := -1
+				for _, v := range s {
+					if v <= prev || v < 0 || v >= n {
+						t.Fatalf("subset %v not strictly increasing in range", s)
+					}
+					prev = v
+					key += string(rune('a' + v))
+				}
+				if seen[key] {
+					t.Fatalf("duplicate subset %v", s)
+				}
+				seen[key] = true
+			}
+		}
+	}
+}
+
+func TestCombinationsBound(t *testing.T) {
+	if _, err := Combinations(60, 30); err == nil {
+		t.Fatal("oversized enumeration must fail")
+	}
+}
+
+func TestCombinationsNoAliasing(t *testing.T) {
+	subs, err := Combinations(3, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	subs[0][0] = 99
+	if subs[1][0] == 99 {
+		t.Fatal("subsets share backing memory")
+	}
+}
+
+func TestHonestSubsets(t *testing.T) {
+	subs, err := HonestSubsets(5, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, _ := Binomial(5, 3)
+	if int64(len(subs)) != want {
+		t.Errorf("got %d subsets, want %d", len(subs), want)
+	}
+	if _, err := HonestSubsets(3, 3); err == nil {
+		t.Error("f=g must fail")
+	}
+	if _, err := HonestSubsets(3, -1); err == nil {
+		t.Error("negative f must fail")
+	}
+	if _, err := HonestSubsets(0, 0); err == nil {
+		t.Error("empty federation must fail")
+	}
+	// f = 0 is the no-collusion case: one subset containing everyone.
+	all, err := HonestSubsets(4, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(all) != 1 || len(all[0]) != 4 {
+		t.Errorf("f=0 subsets = %v", all)
+	}
+}
+
+func TestConservativeSubsets(t *testing.T) {
+	subs, err := ConservativeSubsets(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Σ_{f=1}^{3} C(4, 4−f) = C(4,3)+C(4,2)+C(4,1) = 4+6+4 = 14.
+	if len(subs) != 14 {
+		t.Errorf("got %d subsets, want 14", len(subs))
+	}
+	if _, err := ConservativeSubsets(1); err == nil {
+		t.Error("g=1 must fail")
+	}
+}

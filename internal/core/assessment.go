@@ -1,0 +1,515 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"gendpr/internal/combin"
+	"gendpr/internal/enclave"
+	"gendpr/internal/genome"
+	"gendpr/internal/lrtest"
+)
+
+// ErrNoMembers is returned when an assessment is started without members.
+var ErrNoMembers = errors.New("core: assessment needs at least one member")
+
+const (
+	bytesPerCount    = 8
+	bytesPerPairStat = 48
+	lrMatrixOverhead = 16
+)
+
+// RunAssessment executes the GenDPR verification pipeline: Phase 1 (MAF),
+// Phase 2 (LD), Phase 3 (LR-test), with per-phase intersection across the
+// collusion combinations the policy demands. It is the single protocol
+// implementation behind both the in-process runner and the networked
+// middleware: the members parameter abstracts where intermediate results
+// come from.
+//
+// Member-side computations (count vectors, pair statistics, LR-matrices) are
+// requested concurrently, mirroring the real deployment where each GDO works
+// on its own machine — the reason the paper's running time drops as the
+// federation grows.
+//
+// When the policy tolerates colluders, the full-membership evaluation is
+// always included alongside the C(G, G−f) honest subsets, so the released
+// set is safe both for the actual all-member release and for every residual
+// view colluders could isolate.
+//
+// leaderEnclave, when non-nil, accounts the leader-side protected memory the
+// protocol intermediates occupy (count vectors, pair statistics, LR-matrices)
+// and is the source of Table 3's memory column.
+func RunAssessment(members []Provider, reference *genome.Matrix, cfg Config, policy CollusionPolicy, leaderEnclave *enclave.Enclave) (*Report, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	g := len(members)
+	if g == 0 {
+		return nil, ErrNoMembers
+	}
+	if reference == nil || reference.N() == 0 {
+		return nil, errors.New("core: assessment needs a non-empty reference panel")
+	}
+	if err := policy.Validate(g); err != nil {
+		return nil, err
+	}
+	subsets, err := evaluationSubsets(g, policy)
+	if err != nil {
+		return nil, err
+	}
+
+	run := &assessmentRun{
+		cfg:     cfg,
+		ref:     reference,
+		acct:    leaderEnclave,
+		members: make([]*cachedProvider, g),
+		report:  &Report{Combinations: len(subsets)},
+	}
+	for i, m := range members {
+		run.members[i] = newCachedProvider(m)
+	}
+
+	if err := run.collectSummaries(); err != nil {
+		return nil, err
+	}
+	lPrime, perMAF, err := run.phase1MAF(subsets)
+	if err != nil {
+		return nil, err
+	}
+	lDouble, perLD, err := run.phase2LD(subsets, lPrime)
+	if err != nil {
+		return nil, err
+	}
+	safe, perSafe, power, err := run.phase3LR(subsets, lDouble)
+	if err != nil {
+		return nil, err
+	}
+
+	run.report.Selection = Selection{AfterMAF: lPrime, AfterLD: lDouble, Safe: safe, Power: power}
+	run.report.PerCombination = make([]Selection, len(subsets))
+	for c := range subsets {
+		run.report.PerCombination[c] = Selection{AfterMAF: perMAF[c], AfterLD: perLD[c], Safe: perSafe[c]}
+	}
+	if run.acct != nil {
+		run.report.PeakEnclaveBytes = run.acct.MemoryPeak()
+	}
+	return run.report, nil
+}
+
+// evaluationSubsets enumerates the member subsets to evaluate: always the
+// full membership first, then every honest combination the policy requires.
+func evaluationSubsets(g int, policy CollusionPolicy) ([][]int, error) {
+	full := make([]int, g)
+	for i := range full {
+		full[i] = i
+	}
+	subsets := [][]int{full}
+	switch {
+	case policy.Conservative:
+		more, err := combin.ConservativeSubsets(g)
+		if err != nil {
+			return nil, fmt.Errorf("core: %w", err)
+		}
+		subsets = append(subsets, more...)
+	case policy.F > 0:
+		more, err := combin.HonestSubsets(g, policy.F)
+		if err != nil {
+			return nil, fmt.Errorf("core: %w", err)
+		}
+		subsets = append(subsets, more...)
+	}
+	return subsets, nil
+}
+
+// assessmentRun carries the leader-side state across phases.
+type assessmentRun struct {
+	cfg     Config
+	ref     *genome.Matrix
+	acct    *enclave.Enclave
+	members []*cachedProvider
+	report  *Report
+
+	counts    [][]int64
+	caseNs    []int64
+	refCounts []int64
+	refN      int64
+
+	timingMu  sync.Mutex
+	pairMu    sync.Mutex
+	pairsSeen map[[2]int]bool
+}
+
+// addTiming accumulates wall time into one breakdown bucket; the accessor is
+// locked because parallel-combination mode updates buckets concurrently.
+func (r *assessmentRun) addTiming(bucket *time.Duration, start time.Time) {
+	elapsed := time.Since(start)
+	r.timingMu.Lock()
+	*bucket += elapsed
+	r.timingMu.Unlock()
+}
+
+func (r *assessmentRun) alloc(n int64) error {
+	if r.acct == nil {
+		return nil
+	}
+	return r.acct.Alloc(n)
+}
+
+func (r *assessmentRun) free(n int64) {
+	if r.acct != nil {
+		r.acct.Free(n)
+	}
+}
+
+// forEachSubset runs one evaluation per combination, sequentially by
+// default or concurrently when the configuration enables the paper's
+// parallel-combination optimization.
+func (r *assessmentRun) forEachSubset(subsets [][]int, eval func(c int, subset []int) error) error {
+	if !r.cfg.ParallelCombinations || len(subsets) == 1 {
+		for c, subset := range subsets {
+			if err := eval(c, subset); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	errs := make([]error, len(subsets))
+	var wg sync.WaitGroup
+	for c, subset := range subsets {
+		wg.Add(1)
+		go func(c int, subset []int) {
+			defer wg.Done()
+			errs[c] = eval(c, subset)
+		}(c, subset)
+	}
+	wg.Wait()
+	return errors.Join(errs...)
+}
+
+// collectSummaries gathers each member's count vector and population size —
+// the pre-processing summary-statistics step of Section 5.2. Members compute
+// in parallel on their own premises.
+func (r *assessmentRun) collectSummaries() error {
+	start := time.Now()
+	defer r.addTiming(&r.report.Timings.DataAggregation, start)
+
+	l := r.ref.L()
+	g := len(r.members)
+	r.counts = make([][]int64, g)
+	r.caseNs = make([]int64, g)
+	errs := make([]error, g)
+
+	var wg sync.WaitGroup
+	for i, m := range r.members {
+		wg.Add(1)
+		go func(i int, m *cachedProvider) {
+			defer wg.Done()
+			counts, err := m.Counts()
+			if err != nil {
+				errs[i] = fmt.Errorf("core: member %d counts: %w", i, err)
+				return
+			}
+			n, err := m.CaseN()
+			if err != nil {
+				errs[i] = fmt.Errorf("core: member %d population size: %w", i, err)
+				return
+			}
+			r.counts[i] = counts
+			r.caseNs[i] = n
+		}(i, m)
+	}
+	wg.Wait()
+	if err := errors.Join(errs...); err != nil {
+		return err
+	}
+
+	// Leader-side validation: malformed or impossible contributions are the
+	// tampering the trusted module must detect.
+	for i := range r.members {
+		if len(r.counts[i]) != l {
+			return fmt.Errorf("core: member %d sent %d counts, want %d", i, len(r.counts[i]), l)
+		}
+		if r.caseNs[i] < 0 {
+			return fmt.Errorf("core: member %d reported negative population %d", i, r.caseNs[i])
+		}
+		for snp, c := range r.counts[i] {
+			if c < 0 || c > r.caseNs[i] {
+				return fmt.Errorf("core: member %d count %d at SNP %d inconsistent with population %d", i, c, snp, r.caseNs[i])
+			}
+		}
+		if err := r.alloc(int64(l) * bytesPerCount); err != nil {
+			return err
+		}
+	}
+	r.refCounts = r.ref.AlleleCounts()
+	r.refN = int64(r.ref.N())
+	r.pairsSeen = make(map[[2]int]bool)
+	return nil
+}
+
+// subsetCounts aggregates case counts and population size over one
+// combination of members (leader-enclave aggregation, lines 11–19).
+func (r *assessmentRun) subsetCounts(subset []int) ([]int64, int64) {
+	start := time.Now()
+	defer r.addTiming(&r.report.Timings.DataAggregation, start)
+
+	sum := make([]int64, len(r.refCounts))
+	var n int64
+	for _, i := range subset {
+		for l, c := range r.counts[i] {
+			sum[l] += c
+		}
+		n += r.caseNs[i]
+	}
+	return sum, n
+}
+
+func (r *assessmentRun) phase1MAF(subsets [][]int) ([]int, [][]int, error) {
+	per := make([][]int, len(subsets))
+	err := r.forEachSubset(subsets, func(c int, subset []int) error {
+		counts, n := r.subsetCounts(subset)
+		start := time.Now()
+		lPrime, err := MAFPhase(counts, n, r.refCounts, r.refN, r.cfg.MAFCutoff)
+		r.addTiming(&r.report.Timings.Indexing, start)
+		if err != nil {
+			return err
+		}
+		per[c] = lPrime
+		return nil
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	start := time.Now()
+	intersected := IntersectSorted(per...)
+	r.addTiming(&r.report.Timings.Indexing, start)
+	return intersected, per, nil
+}
+
+// subsetPairStats returns the pooled pair-statistics function for one
+// combination: member contributions (fetched in parallel) plus the reference
+// panel.
+func (r *assessmentRun) subsetPairStats(subset []int) PairStatsFunc {
+	return func(a, b int) (genome.PairStats, error) {
+		key := [2]int{a, b}
+		r.pairMu.Lock()
+		fresh := !r.pairsSeen[key]
+		if fresh {
+			r.pairsSeen[key] = true
+		}
+		r.pairMu.Unlock()
+		if fresh {
+			if err := r.alloc(bytesPerPairStat * int64(len(r.members))); err != nil {
+				return genome.PairStats{}, err
+			}
+		}
+
+		parts := make([]genome.PairStats, len(subset))
+		errs := make([]error, len(subset))
+		var wg sync.WaitGroup
+		for slot, i := range subset {
+			wg.Add(1)
+			go func(slot, i int) {
+				defer wg.Done()
+				s, err := r.members[i].PairStats(a, b)
+				if err != nil {
+					errs[slot] = fmt.Errorf("core: member %d pair stats: %w", i, err)
+					return
+				}
+				parts[slot] = s
+			}(slot, i)
+		}
+		pooled := r.ref.PairStats(a, b)
+		wg.Wait()
+		if err := errors.Join(errs...); err != nil {
+			return genome.PairStats{}, err
+		}
+		for _, s := range parts {
+			pooled = pooled.Add(s)
+		}
+		return pooled, nil
+	}
+}
+
+// prefetchAdjacentPairs warms every member's pair cache with the adjacent
+// pairs of L' in one batched request per member. The greedy LD scan examines
+// exactly these pairs when no SNP is removed; removals trigger lazy
+// single-pair fetches for the survivor chains.
+func (r *assessmentRun) prefetchAdjacentPairs(lPrime []int) error {
+	if len(lPrime) < 2 {
+		return nil
+	}
+	start := time.Now()
+	defer r.addTiming(&r.report.Timings.DataAggregation, start)
+
+	pairs := make([][2]int, 0, len(lPrime)-1)
+	for i := 0; i+1 < len(lPrime); i++ {
+		key := [2]int{lPrime[i], lPrime[i+1]}
+		pairs = append(pairs, key)
+		r.pairMu.Lock()
+		fresh := !r.pairsSeen[key]
+		if fresh {
+			r.pairsSeen[key] = true
+		}
+		r.pairMu.Unlock()
+		if fresh {
+			if err := r.alloc(bytesPerPairStat * int64(len(r.members))); err != nil {
+				return err
+			}
+		}
+	}
+	errs := make([]error, len(r.members))
+	var wg sync.WaitGroup
+	for i, m := range r.members {
+		wg.Add(1)
+		go func(i int, m *cachedProvider) {
+			defer wg.Done()
+			if err := m.Prefetch(pairs); err != nil {
+				errs[i] = fmt.Errorf("core: member %d pair prefetch: %w", i, err)
+			}
+		}(i, m)
+	}
+	wg.Wait()
+	return errors.Join(errs...)
+}
+
+func (r *assessmentRun) phase2LD(subsets [][]int, lPrime []int) ([]int, [][]int, error) {
+	if err := r.prefetchAdjacentPairs(lPrime); err != nil {
+		return nil, nil, err
+	}
+
+	// The association ranking used by getMostRanked is study-wide: the
+	// paper's Algorithm 1 ranks by "p-value on chi^2 of study s", not per
+	// combination. Combinations still test dependence on their own pooled
+	// pair statistics; only the tie-break between two dependent SNPs uses
+	// the canonical ranking, which keeps the per-combination survivor
+	// chains aligned.
+	fullCounts, fullN := r.subsetCounts(subsets[0])
+	start := time.Now()
+	pvals, err := AssociationPValues(fullCounts, fullN, r.refCounts, r.refN, r.cfg.PaperChiSquare)
+	r.addTiming(&r.report.Timings.Indexing, start)
+	if err != nil {
+		return nil, nil, err
+	}
+
+	per := make([][]int, len(subsets))
+	err = r.forEachSubset(subsets, func(c int, subset []int) error {
+		start := time.Now()
+		lDouble, err := LDPhase(lPrime, r.subsetPairStats(subset), pvals, r.cfg.LDCutoff)
+		r.addTiming(&r.report.Timings.LD, start)
+		if err != nil {
+			return err
+		}
+		per[c] = lDouble
+		return nil
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	start = time.Now()
+	intersected := IntersectSorted(per...)
+	r.addTiming(&r.report.Timings.LD, start)
+	return intersected, per, nil
+}
+
+func (r *assessmentRun) phase3LR(subsets [][]int, lDouble []int) ([]int, [][]int, float64, error) {
+	per := make([][]int, len(subsets))
+	var fullPower float64
+	// The admission order is derived once, from the full-membership
+	// evaluation (subsets[0]), and shared with every collusion combination;
+	// see LRPhaseOrdered.
+	var order []int
+
+	evalSubset := func(c int, subset []int) error {
+		counts, n := r.subsetCounts(subset)
+
+		start := time.Now()
+		caseFreq := Frequencies(counts, n, lDouble)
+		refFreq := Frequencies(r.refCounts, r.refN, lDouble)
+		r.addTiming(&r.report.Timings.Indexing, start)
+
+		var rows int64
+		for _, i := range subset {
+			rows += r.caseNs[i]
+		}
+		caseBytes := lrMatrixOverhead + 8*rows*int64(len(lDouble))
+		refBytes := lrMatrixOverhead + 8*r.refN*int64(len(lDouble))
+		if err := r.alloc(caseBytes + refBytes); err != nil {
+			return err
+		}
+		defer r.free(caseBytes + refBytes)
+
+		// Collect the members' local LR-matrices: each member builds its
+		// own matrix on its own machine, concurrently.
+		start = time.Now()
+		parts := make([]*lrtest.Matrix, len(subset))
+		errs := make([]error, len(subset))
+		var wg sync.WaitGroup
+		for slot, i := range subset {
+			wg.Add(1)
+			go func(slot, i int) {
+				defer wg.Done()
+				lr, err := r.members[i].LRMatrix(lDouble, caseFreq, refFreq)
+				if err != nil {
+					errs[slot] = fmt.Errorf("core: member %d LR-matrix: %w", i, err)
+					return
+				}
+				if lr.Cols() != len(lDouble) {
+					errs[slot] = fmt.Errorf("core: member %d LR-matrix has %d columns, want %d", i, lr.Cols(), len(lDouble))
+					return
+				}
+				parts[slot] = lr
+			}(slot, i)
+		}
+		wg.Wait()
+		if err := errors.Join(errs...); err != nil {
+			return err
+		}
+		merged, err := lrtest.Merge(parts...)
+		r.addTiming(&r.report.Timings.DataAggregation, start)
+		if err != nil {
+			return fmt.Errorf("core: merge LR-matrices: %w", err)
+		}
+
+		// Build the reference matrix and run the empirical search.
+		start = time.Now()
+		refLR, err := BuildLRMatrix(r.ref, lDouble, caseFreq, refFreq)
+		if err != nil {
+			return err
+		}
+		if c == 0 {
+			order = lrtest.DiscriminabilityOrder(merged, refLR)
+		}
+		safe, power, err := LRPhaseOrdered(lDouble, merged, refLR, r.cfg.LR, order)
+		r.addTiming(&r.report.Timings.LRTest, start)
+		if err != nil {
+			return err
+		}
+		per[c] = safe
+		if c == 0 {
+			fullPower = power
+		}
+		return nil
+	}
+
+	// The full-membership subset runs first (it defines the canonical
+	// order); the combinations may then run sequentially or in parallel.
+	if err := evalSubset(0, subsets[0]); err != nil {
+		return nil, nil, 0, err
+	}
+	if len(subsets) > 1 {
+		err := r.forEachSubset(subsets[1:], func(c int, subset []int) error {
+			return evalSubset(c+1, subset)
+		})
+		if err != nil {
+			return nil, nil, 0, err
+		}
+	}
+
+	start := time.Now()
+	intersected := IntersectSorted(per...)
+	r.addTiming(&r.report.Timings.LRTest, start)
+	return intersected, per, fullPower, nil
+}

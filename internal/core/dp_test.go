@@ -1,0 +1,100 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestHybridReleaseSafeExactOthersNoised(t *testing.T) {
+	counts := []int64{10, 20, 30, 40, 50}
+	safe := []int{1, 3}
+	rel, err := BuildHybridRelease(counts, 100, safe, DPParams{Epsilon: 1}, rand.New(rand.NewSource(1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rel.SNPs) != 5 {
+		t.Fatalf("released %d SNPs, want 5", len(rel.SNPs))
+	}
+	for _, s := range rel.SNPs {
+		exact := float64(counts[s.SNP]) / 100
+		switch s.SNP {
+		case 1, 3:
+			if s.Noised {
+				t.Errorf("safe SNP %d marked noised", s.SNP)
+			}
+			if s.Frequency != exact {
+				t.Errorf("safe SNP %d frequency %v, want exact %v", s.SNP, s.Frequency, exact)
+			}
+		default:
+			if !s.Noised {
+				t.Errorf("unsafe SNP %d not noised", s.SNP)
+			}
+			if s.Frequency == exact {
+				t.Errorf("unsafe SNP %d released exactly", s.SNP)
+			}
+			if s.Frequency < 0 || s.Frequency > 1 {
+				t.Errorf("unsafe SNP %d frequency %v outside [0,1]", s.SNP, s.Frequency)
+			}
+		}
+	}
+}
+
+func TestHybridReleaseDeterministicWithSeed(t *testing.T) {
+	counts := []int64{5, 10, 15}
+	a, err := BuildHybridRelease(counts, 50, []int{0}, DPParams{Epsilon: 0.5}, rand.New(rand.NewSource(9)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := BuildHybridRelease(counts, 50, []int{0}, DPParams{Epsilon: 0.5}, rand.New(rand.NewSource(9)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.SNPs {
+		if a.SNPs[i] != b.SNPs[i] {
+			t.Fatal("same seed produced different releases")
+		}
+	}
+}
+
+func TestHybridReleaseNoiseScalesWithEpsilon(t *testing.T) {
+	counts := make([]int64, 400)
+	for i := range counts {
+		counts[i] = 50
+	}
+	meanAbsErr := func(eps float64) float64 {
+		rel, err := BuildHybridRelease(counts, 100, nil, DPParams{Epsilon: eps}, rand.New(rand.NewSource(3)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var sum float64
+		for _, s := range rel.SNPs {
+			sum += math.Abs(s.Frequency - 0.5)
+		}
+		return sum / float64(len(rel.SNPs))
+	}
+	loose := meanAbsErr(0.1)
+	tight := meanAbsErr(10)
+	if tight >= loose {
+		t.Errorf("higher epsilon must mean less noise: eps=10 err %v vs eps=0.1 err %v", tight, loose)
+	}
+}
+
+func TestHybridReleaseValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	if _, err := BuildHybridRelease([]int64{1}, 10, nil, DPParams{Epsilon: 0}, rng); err == nil {
+		t.Error("epsilon 0 must fail")
+	}
+	if _, err := BuildHybridRelease([]int64{1}, 0, nil, DPParams{Epsilon: 1}, rng); err == nil {
+		t.Error("zero population must fail")
+	}
+	if _, err := BuildHybridRelease([]int64{1}, 10, []int{5}, DPParams{Epsilon: 1}, rng); err == nil {
+		t.Error("out-of-range safe SNP must fail")
+	}
+	if _, err := BuildHybridRelease([]int64{1}, 10, nil, DPParams{Epsilon: 1}, nil); err == nil {
+		t.Error("nil rng must fail")
+	}
+	if _, err := BuildHybridRelease([]int64{1}, 10, nil, DPParams{Epsilon: math.Inf(1)}, rng); err == nil {
+		t.Error("infinite epsilon must fail")
+	}
+}

@@ -1,0 +1,136 @@
+package core
+
+import (
+	"crypto/rand"
+	"math/big"
+	"testing"
+
+	"gendpr/internal/paillier"
+	"gendpr/internal/secshare"
+	"gendpr/internal/stats"
+)
+
+// TestMAFPhaseOverHEAggregation demonstrates the paper's Section 5.1 remark
+// that GenDPR works with other privacy-preserving aggregation schemes:
+// Phase 1 runs over Paillier-encrypted count vectors summed by an untrusted
+// aggregator, and selects exactly the SNPs the TEE path selects.
+func TestMAFPhaseOverHEAggregation(t *testing.T) {
+	cohort := testCohort(t, 60, 120, 71)
+	shards := shardsOf(t, cohort, 3)
+	cfg := DefaultConfig()
+
+	// TEE path: plaintext aggregation inside the leader enclave.
+	vectors := make([][]int64, len(shards))
+	var caseN int64
+	for i, s := range shards {
+		vectors[i] = s.AlleleCounts()
+		caseN += int64(s.N())
+	}
+	plainSum, err := stats.SumCounts(vectors...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	refCounts := cohort.Reference.AlleleCounts()
+	refN := int64(cohort.Reference.N())
+	wantLPrime, err := MAFPhase(plainSum, caseN, refCounts, refN, cfg.MAFCutoff)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// HE path: members encrypt, the aggregator sums ciphertexts without
+	// ever seeing a plaintext, and only the key holder decrypts the
+	// aggregate.
+	key, err := paillier.GenerateKey(rand.Reader, 512)
+	if err != nil {
+		t.Fatal(err)
+	}
+	encVectors := make([][]*big.Int, len(vectors))
+	for i, v := range vectors {
+		encVectors[i], err = key.EncryptVector(rand.Reader, v)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	encSum, err := key.AggregateVectors(encVectors...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	heSum, err := key.DecryptVector(encSum)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for l := range plainSum {
+		if heSum[l] != plainSum[l] {
+			t.Fatalf("SNP %d: HE aggregate %d != plaintext aggregate %d", l, heSum[l], plainSum[l])
+		}
+	}
+	gotLPrime, err := MAFPhase(heSum, caseN, refCounts, refN, cfg.MAFCutoff)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !equalInts(gotLPrime, wantLPrime) {
+		t.Fatalf("HE-backed Phase 1 selected %v, TEE path %v", gotLPrime, wantLPrime)
+	}
+}
+
+// TestMAFPhaseOverSecretSharing does the same with the SMC-style additive
+// secret-sharing substrate: members split count vectors across two
+// non-colluding aggregators, each aggregator sums shares locally, and only
+// the recombined aggregate feeds Phase 1.
+func TestMAFPhaseOverSecretSharing(t *testing.T) {
+	cohort := testCohort(t, 60, 120, 73)
+	shards := shardsOf(t, cohort, 3)
+	cfg := DefaultConfig()
+
+	vectors := make([][]int64, len(shards))
+	var caseN int64
+	for i, s := range shards {
+		vectors[i] = s.AlleleCounts()
+		caseN += int64(s.N())
+	}
+	plainSum, err := stats.SumCounts(vectors...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	refCounts := cohort.Reference.AlleleCounts()
+	refN := int64(cohort.Reference.N())
+	wantLPrime, err := MAFPhase(plainSum, caseN, refCounts, refN, cfg.MAFCutoff)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const aggregators = 2
+	perAggregator := make([][]secshare.SharedVector, aggregators)
+	for _, counts := range vectors {
+		views, err := secshare.ShareVector(counts, aggregators, rand.Reader)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, view := range views {
+			perAggregator[i] = append(perAggregator[i], view)
+		}
+	}
+	sums := make([]secshare.SharedVector, aggregators)
+	for i, views := range perAggregator {
+		sums[i], err = secshare.AddVectors(views...)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	smcSum, err := secshare.CombineVectors(sums)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for l := range plainSum {
+		if smcSum[l] != plainSum[l] {
+			t.Fatalf("SNP %d: SMC aggregate %d != plaintext %d", l, smcSum[l], plainSum[l])
+		}
+	}
+	gotLPrime, err := MAFPhase(smcSum, caseN, refCounts, refN, cfg.MAFCutoff)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !equalInts(gotLPrime, wantLPrime) {
+		t.Fatalf("SMC-backed Phase 1 selected %v, TEE path %v", gotLPrime, wantLPrime)
+	}
+}

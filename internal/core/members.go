@@ -1,0 +1,227 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+
+	"gendpr/internal/genome"
+	"gendpr/internal/lrtest"
+)
+
+// Provider supplies one federation member's intermediate results to the
+// leader. The in-memory LocalMember backs it directly with a genotype shard;
+// the federation middleware backs it with encrypted requests to the member's
+// enclave. The leader never sees raw genotypes through this interface — only
+// the aggregable intermediates the paper allows to leave a GDO.
+type Provider interface {
+	// Counts returns the member's local minor-allele count vector over the
+	// original SNP set (Phase 1's caseLocalCounts).
+	Counts() ([]int64, error)
+	// CaseN returns the member's local case-population size.
+	CaseN() (int64, error)
+	// PairStats returns the member's local correlation sufficient
+	// statistics for a SNP pair (Phase 2).
+	PairStats(a, b int) (genome.PairStats, error)
+	// LRMatrix builds the member's local LR-matrix over the given columns
+	// (original SNP indices) using the pooled frequencies broadcast by the
+	// leader (Phase 3).
+	LRMatrix(cols []int, caseFreq, refFreq []float64) (*lrtest.Matrix, error)
+}
+
+// BatchPairProvider is an optional Provider extension: the leader prefetches
+// many pair statistics in one round trip (one request per member per LD
+// sweep instead of one per pair), which cuts the protocol's message count by
+// orders of magnitude over wide-area links.
+type BatchPairProvider interface {
+	// PairStatsBatch returns one statistics entry per requested pair, in
+	// order.
+	PairStatsBatch(pairs [][2]int) ([]genome.PairStats, error)
+}
+
+// LocalMember is an in-process Provider over a private genotype shard.
+type LocalMember struct {
+	shard *genome.Matrix
+}
+
+var (
+	_ Provider          = (*LocalMember)(nil)
+	_ BatchPairProvider = (*LocalMember)(nil)
+)
+
+// NewLocalMember wraps a genotype shard.
+func NewLocalMember(shard *genome.Matrix) *LocalMember {
+	return &LocalMember{shard: shard}
+}
+
+// Counts implements Provider.
+func (m *LocalMember) Counts() ([]int64, error) {
+	return m.shard.AlleleCounts(), nil
+}
+
+// CaseN implements Provider.
+func (m *LocalMember) CaseN() (int64, error) {
+	return int64(m.shard.N()), nil
+}
+
+// PairStats implements Provider.
+func (m *LocalMember) PairStats(a, b int) (genome.PairStats, error) {
+	if a < 0 || a >= m.shard.L() || b < 0 || b >= m.shard.L() {
+		return genome.PairStats{}, fmt.Errorf("core: pair (%d,%d) out of range for %d SNPs", a, b, m.shard.L())
+	}
+	return m.shard.PairStats(a, b), nil
+}
+
+// PairStatsBatch implements BatchPairProvider.
+func (m *LocalMember) PairStatsBatch(pairs [][2]int) ([]genome.PairStats, error) {
+	out := make([]genome.PairStats, len(pairs))
+	for i, p := range pairs {
+		s, err := m.PairStats(p[0], p[1])
+		if err != nil {
+			return nil, err
+		}
+		out[i] = s
+	}
+	return out, nil
+}
+
+// LRMatrix implements Provider.
+func (m *LocalMember) LRMatrix(cols []int, caseFreq, refFreq []float64) (*lrtest.Matrix, error) {
+	return BuildLRMatrix(m.shard, cols, caseFreq, refFreq)
+}
+
+// BuildLRMatrix is the member-side Phase 3 computation: restrict the local
+// genotypes to the broadcast SNP columns and fill in Equation 1 contributions
+// using the pooled frequency vectors.
+func BuildLRMatrix(g *genome.Matrix, cols []int, caseFreq, refFreq []float64) (*lrtest.Matrix, error) {
+	if len(cols) != len(caseFreq) || len(cols) != len(refFreq) {
+		return nil, fmt.Errorf("core: %d columns vs %d/%d frequencies", len(cols), len(caseFreq), len(refFreq))
+	}
+	for _, l := range cols {
+		if l < 0 || l >= g.L() {
+			return nil, fmt.Errorf("core: column %d out of range for %d SNPs", l, g.L())
+		}
+	}
+	ratios, err := lrtest.NewLogRatios(caseFreq, refFreq)
+	if err != nil {
+		return nil, fmt.Errorf("core: log ratios: %w", err)
+	}
+	sub := g.SelectColumns(cols)
+	m, err := lrtest.Build(sub, ratios)
+	if err != nil {
+		return nil, fmt.Errorf("core: build LR matrix: %w", err)
+	}
+	return m, nil
+}
+
+// cachedProvider memoizes member responses so that, as the paper describes,
+// each GDO computes and transmits each intermediate result once even when
+// the leader evaluates many collusion combinations over it. It is safe for
+// concurrent use: the assessment driver queries members (and, in parallel-
+// combination mode, combinations) concurrently.
+type cachedProvider struct {
+	inner Provider
+
+	mu     sync.Mutex
+	counts []int64
+	caseN  int64
+	loaded bool
+	pairs  map[[2]int]genome.PairStats
+}
+
+func newCachedProvider(p Provider) *cachedProvider {
+	return &cachedProvider{inner: p, pairs: make(map[[2]int]genome.PairStats)}
+}
+
+// load fetches the summary statistics once; callers must hold c.mu.
+func (c *cachedProvider) load() error {
+	if c.loaded {
+		return nil
+	}
+	counts, err := c.inner.Counts()
+	if err != nil {
+		return err
+	}
+	n, err := c.inner.CaseN()
+	if err != nil {
+		return err
+	}
+	c.counts, c.caseN, c.loaded = counts, n, true
+	return nil
+}
+
+func (c *cachedProvider) Counts() ([]int64, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if err := c.load(); err != nil {
+		return nil, err
+	}
+	return c.counts, nil
+}
+
+func (c *cachedProvider) CaseN() (int64, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if err := c.load(); err != nil {
+		return 0, err
+	}
+	return c.caseN, nil
+}
+
+func (c *cachedProvider) PairStats(a, b int) (genome.PairStats, error) {
+	key := [2]int{a, b}
+	c.mu.Lock()
+	if s, ok := c.pairs[key]; ok {
+		c.mu.Unlock()
+		return s, nil
+	}
+	c.mu.Unlock()
+	s, err := c.inner.PairStats(a, b)
+	if err != nil {
+		return genome.PairStats{}, err
+	}
+	c.mu.Lock()
+	c.pairs[key] = s
+	c.mu.Unlock()
+	return s, nil
+}
+
+// Prefetch warms the pair cache with one batched request when the member
+// supports batching, and falls back to nothing otherwise (single-pair
+// fetches will fill the cache lazily).
+func (c *cachedProvider) Prefetch(pairs [][2]int) error {
+	batcher, ok := c.inner.(BatchPairProvider)
+	if !ok {
+		return nil
+	}
+	c.mu.Lock()
+	missing := make([][2]int, 0, len(pairs))
+	for _, p := range pairs {
+		if _, ok := c.pairs[p]; !ok {
+			missing = append(missing, p)
+		}
+	}
+	c.mu.Unlock()
+	if len(missing) == 0 {
+		return nil
+	}
+	stats, err := batcher.PairStatsBatch(missing)
+	if err != nil {
+		return err
+	}
+	if len(stats) != len(missing) {
+		return fmt.Errorf("core: batch returned %d entries for %d pairs", len(stats), len(missing))
+	}
+	c.mu.Lock()
+	for i, p := range missing {
+		c.pairs[p] = stats[i]
+	}
+	c.mu.Unlock()
+	return nil
+}
+
+func (c *cachedProvider) LRMatrix(cols []int, caseFreq, refFreq []float64) (*lrtest.Matrix, error) {
+	// LR matrices are combination-specific (the frequency vectors differ),
+	// so they are not cached; each is requested exactly once per
+	// combination anyway.
+	return c.inner.LRMatrix(cols, caseFreq, refFreq)
+}

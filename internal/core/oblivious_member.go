@@ -1,0 +1,153 @@
+package core
+
+import (
+	"fmt"
+	"math/bits"
+	"math/rand"
+
+	"gendpr/internal/genome"
+	"gendpr/internal/lrtest"
+	"gendpr/internal/oram"
+)
+
+// ObliviousMember is a Provider whose genotype columns live in a Path ORAM:
+// when the protocol asks for a specific SNP's counts, a pair's statistics,
+// or an LR-matrix over the retained subset, the member enclave's physical
+// memory trace shows only random root-to-leaf tree paths — an observer of
+// the untrusted host cannot tell which SNPs survived each phase. This is the
+// data-oblivious member-side processing the paper defers to future work.
+type ObliviousMember struct {
+	n, l      int
+	rowBytes  int
+	store     *oram.Store
+	caseCount int64
+}
+
+var _ Provider = (*ObliviousMember)(nil)
+
+// NewObliviousMember loads a genotype shard into an ORAM store, one block
+// per SNP column. The rng drives ORAM leaf remapping; use a crypto-seeded
+// source in production.
+func NewObliviousMember(shard *genome.Matrix, rng *rand.Rand) (*ObliviousMember, error) {
+	if shard == nil {
+		return nil, fmt.Errorf("core: oblivious member needs a genotype shard")
+	}
+	if shard.L() == 0 {
+		return nil, fmt.Errorf("core: oblivious member needs at least one SNP column")
+	}
+	rowBytes := (shard.N() + 7) / 8
+	if rowBytes == 0 {
+		rowBytes = 1
+	}
+	store, err := oram.NewStore(shard.L(), rowBytes, rng)
+	if err != nil {
+		return nil, fmt.Errorf("core: oblivious member: %w", err)
+	}
+	buf := make([]byte, rowBytes)
+	for l := 0; l < shard.L(); l++ {
+		for i := range buf {
+			buf[i] = 0
+		}
+		for i := 0; i < shard.N(); i++ {
+			if shard.Get(i, l) {
+				buf[i/8] |= 1 << (uint(i) % 8)
+			}
+		}
+		if err := store.Put(l, buf); err != nil {
+			return nil, fmt.Errorf("core: oblivious member column %d: %w", l, err)
+		}
+	}
+	return &ObliviousMember{
+		n:         shard.N(),
+		l:         shard.L(),
+		rowBytes:  rowBytes,
+		store:     store,
+		caseCount: int64(shard.N()),
+	}, nil
+}
+
+// column fetches one SNP column's bitset through the ORAM.
+func (m *ObliviousMember) column(l int) ([]byte, error) {
+	if l < 0 || l >= m.l {
+		return nil, fmt.Errorf("core: SNP %d out of range for %d columns", l, m.l)
+	}
+	return m.store.Get(l)
+}
+
+func popcount(bs []byte) int64 {
+	var c int64
+	for _, b := range bs {
+		c += int64(bits.OnesCount8(b))
+	}
+	return c
+}
+
+// Counts implements Provider: every column is touched exactly once, so the
+// scan itself is uniform.
+func (m *ObliviousMember) Counts() ([]int64, error) {
+	out := make([]int64, m.l)
+	for l := 0; l < m.l; l++ {
+		col, err := m.column(l)
+		if err != nil {
+			return nil, err
+		}
+		out[l] = popcount(col)
+	}
+	return out, nil
+}
+
+// CaseN implements Provider.
+func (m *ObliviousMember) CaseN() (int64, error) { return m.caseCount, nil }
+
+// PairStats implements Provider via two ORAM accesses.
+func (m *ObliviousMember) PairStats(a, b int) (genome.PairStats, error) {
+	colA, err := m.column(a)
+	if err != nil {
+		return genome.PairStats{}, err
+	}
+	colB, err := m.column(b)
+	if err != nil {
+		return genome.PairStats{}, err
+	}
+	var both int64
+	for i := range colA {
+		both += int64(bits.OnesCount8(colA[i] & colB[i]))
+	}
+	x := popcount(colA)
+	y := popcount(colB)
+	return genome.PairStats{
+		N:     m.caseCount,
+		SumX:  x,
+		SumY:  y,
+		SumXY: both,
+		SumXX: x,
+		SumYY: y,
+	}, nil
+}
+
+// LRMatrix implements Provider: the retained columns are fetched through the
+// ORAM, so which SNPs survived to Phase 3 stays hidden from the host.
+func (m *ObliviousMember) LRMatrix(cols []int, caseFreq, refFreq []float64) (*lrtest.Matrix, error) {
+	if len(cols) != len(caseFreq) || len(cols) != len(refFreq) {
+		return nil, fmt.Errorf("core: %d columns vs %d/%d frequencies", len(cols), len(caseFreq), len(refFreq))
+	}
+	ratios, err := lrtest.NewLogRatios(caseFreq, refFreq)
+	if err != nil {
+		return nil, fmt.Errorf("core: log ratios: %w", err)
+	}
+	out := lrtest.NewMatrix(m.n, len(cols))
+	for j, l := range cols {
+		col, err := m.column(l)
+		if err != nil {
+			return nil, err
+		}
+		for i := 0; i < m.n; i++ {
+			if col[i/8]&(1<<(uint(i)%8)) != 0 {
+				out.Set(i, j, ratios.Minor[j])
+			} else {
+				out.Set(i, j, ratios.Major[j])
+			}
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,189 @@
+package core
+
+import (
+	"fmt"
+
+	"gendpr/internal/genome"
+	"gendpr/internal/lrtest"
+	"gendpr/internal/stats"
+)
+
+// PairStatsFunc returns the pooled correlation sufficient statistics for a
+// SNP pair (original indices), aggregated over every individual the current
+// evaluation considers: the case genomes of the participating GDOs plus the
+// reference panel. The distributed pipeline backs it with leader-side
+// aggregation of member contributions; the centralized baseline with direct
+// computation over the pooled matrices.
+type PairStatsFunc func(a, b int) (genome.PairStats, error)
+
+// MAFPhase is Phase 1: it pools case counts with the reference panel and
+// retains the SNPs whose global minor-allele frequency reaches the cutoff,
+// returning L' as original SNP indices (Algorithm 1, lines 10–25).
+func MAFPhase(caseCounts []int64, caseN int64, refCounts []int64, refN int64, cutoff float64) ([]int, error) {
+	if len(caseCounts) != len(refCounts) {
+		return nil, fmt.Errorf("core: %d case counts vs %d reference counts", len(caseCounts), len(refCounts))
+	}
+	total := caseN + refN
+	retained := make([]int, 0, len(caseCounts))
+	for l := range caseCounts {
+		if stats.MAF(caseCounts[l]+refCounts[l], total) >= cutoff {
+			retained = append(retained, l)
+		}
+	}
+	return retained, nil
+}
+
+// AssociationPValues ranks every SNP by its case/reference association: the
+// chi-square p-value used by the LD phase's getMostRanked (smaller p-value =
+// higher rank). The paperForm flag selects the paper's simplified statistic.
+func AssociationPValues(caseCounts []int64, caseN int64, refCounts []int64, refN int64, paperForm bool) ([]float64, error) {
+	if len(caseCounts) != len(refCounts) {
+		return nil, fmt.Errorf("core: %d case counts vs %d reference counts", len(caseCounts), len(refCounts))
+	}
+	pvals := make([]float64, len(caseCounts))
+	for l := range caseCounts {
+		tab, err := stats.NewSingleTable(caseN, caseCounts[l], refN, refCounts[l])
+		if err != nil {
+			return nil, fmt.Errorf("core: SNP %d: %w", l, err)
+		}
+		p, err := tab.AssocPValue(paperForm)
+		if err != nil {
+			return nil, fmt.Errorf("core: SNP %d: %w", l, err)
+		}
+		pvals[l] = p
+	}
+	return pvals, nil
+}
+
+// LDPhase is Phase 2: a greedy scan over the retained SNPs in positional
+// order. The current survivor is tested against the next SNP using pooled
+// correlation statistics; when the pair's independence p-value falls below
+// the cutoff the pair is dependent and only the higher-ranked SNP (smaller
+// association p-value, ties to the lower index) survives. The result L”
+// contains pairwise-independent SNPs in ascending order.
+func LDPhase(retained []int, pool PairStatsFunc, assocPValues []float64, cutoff float64) ([]int, error) {
+	switch len(retained) {
+	case 0:
+		return []int{}, nil
+	case 1:
+		return []int{retained[0]}, nil
+	}
+	out := make([]int, 0, len(retained))
+	current := retained[0]
+	for _, next := range retained[1:] {
+		ps, err := pool(current, next)
+		if err != nil {
+			return nil, fmt.Errorf("core: pair stats (%d,%d): %w", current, next, err)
+		}
+		p, err := stats.LDPValue(ps)
+		if err != nil {
+			return nil, fmt.Errorf("core: LD p-value (%d,%d): %w", current, next, err)
+		}
+		if p < cutoff {
+			// Dependent: keep the most-ranked SNP and continue scanning
+			// with it as the survivor.
+			current = mostRanked(current, next, assocPValues)
+		} else {
+			out = append(out, current)
+			current = next
+		}
+	}
+	return append(out, current), nil
+}
+
+// mostRanked picks the SNP with the smaller association p-value; ties go to
+// the lower index so the choice is deterministic.
+func mostRanked(a, b int, pvals []float64) int {
+	switch {
+	case pvals[a] < pvals[b]:
+		return a
+	case pvals[b] < pvals[a]:
+		return b
+	case a <= b:
+		return a
+	default:
+		return b
+	}
+}
+
+// LRPhase is Phase 3: it runs the SecureGenome empirical safe-subset search
+// over merged case and reference LR-matrices whose columns correspond to the
+// SNPs in cols (original indices), and maps the selected columns back to
+// original SNP indices.
+func LRPhase(cols []int, caseLR, refLR *lrtest.Matrix, params lrtest.Params) ([]int, float64, error) {
+	return LRPhaseOrdered(cols, caseLR, refLR, params, nil)
+}
+
+// LRPhaseOrdered is LRPhase with a caller-supplied admission order (a
+// permutation of the column indices); nil derives the order from the given
+// matrices. Collusion-tolerant evaluation passes the canonical full-
+// federation order to every combination, so per-combination selections
+// differ only where the combination's data genuinely fails the power test.
+func LRPhaseOrdered(cols []int, caseLR, refLR *lrtest.Matrix, params lrtest.Params, order []int) ([]int, float64, error) {
+	if caseLR.Cols() != len(cols) || refLR.Cols() != len(cols) {
+		return nil, 0, fmt.Errorf("core: LR matrices have %d/%d columns, want %d",
+			caseLR.Cols(), refLR.Cols(), len(cols))
+	}
+	if order == nil {
+		order = lrtest.DiscriminabilityOrder(caseLR, refLR)
+	}
+	res, err := lrtest.SelectSafeWithOrder(caseLR, refLR, params, order)
+	if err != nil {
+		return nil, 0, fmt.Errorf("core: LR-test: %w", err)
+	}
+	safe := make([]int, len(res.Safe))
+	for i, j := range res.Safe {
+		safe[i] = cols[j]
+	}
+	return safe, res.Power, nil
+}
+
+// IntersectSorted intersects ascending integer slices — the per-phase
+// combination intersection of collusion-tolerant GenDPR (getIntersection in
+// Section 6.1). With no input it returns nil; with one, a copy.
+func IntersectSorted(lists ...[]int) []int {
+	if len(lists) == 0 {
+		return nil
+	}
+	out := make([]int, len(lists[0]))
+	copy(out, lists[0])
+	for _, l := range lists[1:] {
+		out = intersectTwo(out, l)
+		if len(out) == 0 {
+			break
+		}
+	}
+	return out
+}
+
+func intersectTwo(a, b []int) []int {
+	out := a[:0]
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] < b[j]:
+			i++
+		case a[i] > b[j]:
+			j++
+		default:
+			out = append(out, a[i])
+			i++
+			j++
+		}
+	}
+	return out
+}
+
+// Frequencies converts counts over original SNP indices into frequency
+// vectors restricted to the given columns (Phase 3's casesAlleleFreq[L”] and
+// refAlleleFreq[L”] broadcast vectors).
+func Frequencies(counts []int64, n int64, cols []int) []float64 {
+	out := make([]float64, len(cols))
+	if n == 0 {
+		return out
+	}
+	for i, l := range cols {
+		out[i] = float64(counts[l]) / float64(n)
+	}
+	return out
+}

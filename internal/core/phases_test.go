@@ -1,0 +1,318 @@
+package core
+
+import (
+	"errors"
+	"math"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"gendpr/internal/genome"
+	"gendpr/internal/lrtest"
+)
+
+func TestMAFPhase(t *testing.T) {
+	// 100 case + 100 reference individuals; cutoff 0.05 → needs >= 10
+	// pooled carriers.
+	caseCounts := []int64{0, 4, 9, 10, 50}
+	refCounts := []int64{0, 5, 0, 0, 50}
+	got, err := MAFPhase(caseCounts, 100, refCounts, 100, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int{3, 4} // pooled counts 0,9,9,10,100 → freq 0,.045,.045,.05,.5
+	if !equalInts(got, want) {
+		t.Fatalf("got %v, want %v", got, want)
+	}
+}
+
+func TestMAFPhaseLengthMismatch(t *testing.T) {
+	if _, err := MAFPhase([]int64{1}, 1, []int64{1, 2}, 2, 0.05); err == nil {
+		t.Fatal("length mismatch must fail")
+	}
+}
+
+func TestMAFPhaseZeroCutoffKeepsAll(t *testing.T) {
+	got, err := MAFPhase([]int64{0, 1}, 10, []int64{0, 0}, 10, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !equalInts(got, []int{0, 1}) {
+		t.Fatalf("got %v", got)
+	}
+}
+
+func TestAssociationPValues(t *testing.T) {
+	pvals, err := AssociationPValues([]int64{50, 10}, 100, []int64{10, 10}, 100, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pvals[0] >= pvals[1] {
+		t.Errorf("strong association must have smaller p-value: %v", pvals)
+	}
+	if pvals[1] < 0.9 {
+		t.Errorf("identical counts should be insignificant: %v", pvals[1])
+	}
+	// Inconsistent counts are rejected.
+	if _, err := AssociationPValues([]int64{101}, 100, []int64{1}, 100, true); err == nil {
+		t.Error("count > N must fail")
+	}
+	if _, err := AssociationPValues([]int64{1, 2}, 10, []int64{1}, 10, true); err == nil {
+		t.Error("length mismatch must fail")
+	}
+}
+
+// scriptedPairs builds a PairStatsFunc from a table of dependent pairs. The
+// returned stats give the LD phase either a clearly dependent pair
+// (perfectly correlated) or a clearly independent one.
+func scriptedPairs(n int64, dependent map[[2]int]bool) PairStatsFunc {
+	return func(a, b int) (genome.PairStats, error) {
+		if dependent[[2]int{a, b}] || dependent[[2]int{b, a}] {
+			half := n / 2
+			return genome.PairStats{N: n, SumX: half, SumY: half, SumXY: half, SumXX: half, SumYY: half}, nil
+		}
+		half := n / 2
+		quarter := n / 4
+		return genome.PairStats{N: n, SumX: half, SumY: half, SumXY: quarter, SumXX: half, SumYY: half}, nil
+	}
+}
+
+func TestLDPhaseAllIndependent(t *testing.T) {
+	retained := []int{2, 5, 9}
+	pvals := []float64{0, 0, 0.5, 0, 0, 0.1, 0, 0, 0, 0.9}
+	got, err := LDPhase(retained, scriptedPairs(1000, nil), pvals, 1e-5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !equalInts(got, retained) {
+		t.Fatalf("got %v, want all retained %v", got, retained)
+	}
+}
+
+func TestLDPhaseDependentPairKeepsMostRanked(t *testing.T) {
+	retained := []int{1, 2}
+	dep := map[[2]int]bool{{1, 2}: true}
+	// SNP 2 has the smaller association p-value → higher ranked.
+	pvals := []float64{0, 0.9, 0.1}
+	got, err := LDPhase(retained, scriptedPairs(1000, dep), pvals, 1e-5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !equalInts(got, []int{2}) {
+		t.Fatalf("got %v, want [2]", got)
+	}
+	// Flip the ranking.
+	pvals = []float64{0, 0.1, 0.9}
+	got, err = LDPhase(retained, scriptedPairs(1000, dep), pvals, 1e-5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !equalInts(got, []int{1}) {
+		t.Fatalf("got %v, want [1]", got)
+	}
+}
+
+func TestLDPhaseChainOfDependents(t *testing.T) {
+	// 1-2 dependent, survivor vs 3 dependent, survivor vs 4 independent.
+	retained := []int{1, 2, 3, 4}
+	dep := map[[2]int]bool{{1, 2}: true, {1, 3}: true}
+	pvals := []float64{0, 0.01, 0.5, 0.6, 0.7}
+	got, err := LDPhase(retained, scriptedPairs(1000, dep), pvals, 1e-5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !equalInts(got, []int{1, 4}) {
+		t.Fatalf("got %v, want [1 4]", got)
+	}
+}
+
+func TestLDPhaseTieBreaksDeterministically(t *testing.T) {
+	retained := []int{3, 7}
+	dep := map[[2]int]bool{{3, 7}: true}
+	pvals := make([]float64, 8)
+	for i := range pvals {
+		pvals[i] = 0.5
+	}
+	got, err := LDPhase(retained, scriptedPairs(1000, dep), pvals, 1e-5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !equalInts(got, []int{3}) {
+		t.Fatalf("tie must keep the lower index: got %v", got)
+	}
+}
+
+func TestLDPhaseSmallInputs(t *testing.T) {
+	got, err := LDPhase(nil, scriptedPairs(10, nil), nil, 1e-5)
+	if err != nil || len(got) != 0 {
+		t.Fatalf("empty: %v, %v", got, err)
+	}
+	got, err = LDPhase([]int{4}, scriptedPairs(10, nil), []float64{0, 0, 0, 0, 0.5}, 1e-5)
+	if err != nil || !equalInts(got, []int{4}) {
+		t.Fatalf("singleton: %v, %v", got, err)
+	}
+}
+
+func TestLDPhasePropagatesPairErrors(t *testing.T) {
+	wantErr := errors.New("member offline")
+	pool := func(a, b int) (genome.PairStats, error) { return genome.PairStats{}, wantErr }
+	if _, err := LDPhase([]int{0, 1}, pool, []float64{0.5, 0.5}, 1e-5); !errors.Is(err, wantErr) {
+		t.Fatalf("got %v", err)
+	}
+}
+
+func TestLRPhaseMapsBackToOriginalIndices(t *testing.T) {
+	cols := []int{10, 20, 30}
+	caseLR := lrtest.NewMatrix(4, 3)
+	refLR := lrtest.NewMatrix(4, 3)
+	// All-zero matrices: no identification power, everything is safe.
+	safe, power, err := LRPhase(cols, caseLR, refLR, lrtest.DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if power != 0 {
+		t.Errorf("power %v, want 0", power)
+	}
+	if !equalInts(safe, cols) {
+		t.Fatalf("safe %v, want %v", safe, cols)
+	}
+	if _, _, err := LRPhase([]int{1, 2}, caseLR, refLR, lrtest.DefaultParams()); err == nil {
+		t.Error("column-count mismatch must fail")
+	}
+}
+
+func TestIntersectSorted(t *testing.T) {
+	cases := []struct {
+		in   [][]int
+		want []int
+	}{
+		{nil, nil},
+		{[][]int{{1, 2, 3}}, []int{1, 2, 3}},
+		{[][]int{{1, 2, 3}, {2, 3, 4}}, []int{2, 3}},
+		{[][]int{{1, 2, 3}, {2, 3, 4}, {3}}, []int{3}},
+		{[][]int{{1}, {2}}, []int{}},
+		{[][]int{{}, {1, 2}}, []int{}},
+	}
+	for i, tc := range cases {
+		got := IntersectSorted(tc.in...)
+		if len(got) != len(tc.want) {
+			t.Fatalf("case %d: got %v, want %v", i, got, tc.want)
+		}
+		for j := range tc.want {
+			if got[j] != tc.want[j] {
+				t.Fatalf("case %d: got %v, want %v", i, got, tc.want)
+			}
+		}
+	}
+}
+
+// Property: intersection is commutative, idempotent, and bounded by its
+// smallest operand — the algebra the collusion-tolerance correctness rests on.
+func TestQuickIntersectSortedProperties(t *testing.T) {
+	normalize := func(raw []uint8) []int {
+		seen := map[int]bool{}
+		for _, v := range raw {
+			seen[int(v%50)] = true
+		}
+		out := make([]int, 0, len(seen))
+		for v := range seen {
+			out = append(out, v)
+		}
+		sort.Ints(out)
+		return out
+	}
+	f := func(rawA, rawB []uint8) bool {
+		a := normalize(rawA)
+		b := normalize(rawB)
+		ab := IntersectSorted(a, b)
+		ba := IntersectSorted(b, a)
+		if !equalInts(ab, ba) {
+			return false
+		}
+		if !equalInts(IntersectSorted(a, a), a) {
+			return false
+		}
+		if len(ab) > len(a) || len(ab) > len(b) {
+			return false
+		}
+		inB := map[int]bool{}
+		for _, v := range b {
+			inB[v] = true
+		}
+		for _, v := range ab {
+			if !inB[v] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIntersectSortedDoesNotMutateInput(t *testing.T) {
+	a := []int{1, 2, 3}
+	b := []int{2, 3}
+	_ = IntersectSorted(a, b)
+	if !equalInts(a, []int{1, 2, 3}) {
+		t.Fatal("input mutated")
+	}
+}
+
+func TestFrequenciesSubset(t *testing.T) {
+	counts := []int64{10, 20, 30, 40}
+	got := Frequencies(counts, 100, []int{3, 0})
+	if got[0] != 0.4 || got[1] != 0.1 {
+		t.Fatalf("got %v", got)
+	}
+	zero := Frequencies(counts, 0, []int{1})
+	if zero[0] != 0 || math.IsNaN(zero[0]) {
+		t.Fatalf("zero population: %v", zero)
+	}
+}
+
+func TestConfigValidate(t *testing.T) {
+	if err := DefaultConfig().Validate(); err != nil {
+		t.Fatalf("default config invalid: %v", err)
+	}
+	bad := DefaultConfig()
+	bad.MAFCutoff = 1.2
+	if err := bad.Validate(); err == nil {
+		t.Error("MAF cutoff > 1 must fail")
+	}
+	bad = DefaultConfig()
+	bad.LDCutoff = 0
+	if err := bad.Validate(); err == nil {
+		t.Error("LD cutoff 0 must fail")
+	}
+	bad = DefaultConfig()
+	bad.LR.Alpha = 2
+	if err := bad.Validate(); err == nil {
+		t.Error("bad LR params must fail")
+	}
+}
+
+func TestCollusionPolicyValidate(t *testing.T) {
+	if err := (CollusionPolicy{F: 0}).Validate(3); err != nil {
+		t.Errorf("f=0: %v", err)
+	}
+	if err := (CollusionPolicy{F: 2}).Validate(3); err != nil {
+		t.Errorf("f=2,g=3: %v", err)
+	}
+	if err := (CollusionPolicy{F: 3}).Validate(3); err == nil {
+		t.Error("f=g must fail")
+	}
+	if err := (CollusionPolicy{F: -1}).Validate(3); err == nil {
+		t.Error("negative f must fail")
+	}
+	if err := (CollusionPolicy{Conservative: true}).Validate(1); err == nil {
+		t.Error("conservative with g=1 must fail")
+	}
+	if err := (CollusionPolicy{Conservative: true}).Validate(2); err != nil {
+		t.Errorf("conservative g=2: %v", err)
+	}
+	if err := (CollusionPolicy{}).Validate(0); err == nil {
+		t.Error("empty federation must fail")
+	}
+}

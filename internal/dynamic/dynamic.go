@@ -1,0 +1,256 @@
+// Package dynamic adds DyPS-style dynamic release management on top of the
+// GenDPR assessment. The paper builds on DyPS (Section 2.2), where GWAS
+// statistics are re-released "as soon as new genomes become available"; the
+// danger is that a SNP deemed safe at epoch t can become unsafe at epoch
+// t+1, after its statistics are already public and cannot be retracted.
+//
+// The Manager accumulates per-GDO genome batches, re-runs the federated
+// assessment at every epoch, and enforces a conservative release policy:
+// statistics for a SNP are only (re-)published while the SNP stays safe; a
+// previously published SNP that turns unsafe is frozen (its stale statistics
+// remain public — that exposure is reported, not hidden) and never updated
+// again. Manager state is sealed with a rollback-protected monotonic counter
+// so a malicious operator cannot rewind the federation to a more permissive
+// epoch.
+package dynamic
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"gendpr/internal/core"
+	"gendpr/internal/enclave"
+	"gendpr/internal/genome"
+	"gendpr/internal/wire"
+)
+
+// stateCounter names the enclave monotonic counter guarding sealed state.
+const stateCounter = "gendpr-dynamic-state"
+
+var (
+	// ErrNoData is returned when an epoch is assessed before any genomes
+	// arrived.
+	ErrNoData = errors.New("dynamic: no genomes accumulated")
+
+	// ErrShape is returned when a batch disagrees with the study's SNP set.
+	ErrShape = errors.New("dynamic: batch SNP dimension mismatch")
+)
+
+// EpochReport describes one assessment epoch.
+type EpochReport struct {
+	// Epoch is the 1-based epoch number.
+	Epoch int
+	// Selection is the full assessment outcome over the cumulative cohort.
+	Selection core.Selection
+	// Released lists every SNP whose statistics are published and current
+	// as of this epoch.
+	Released []int
+	// NewlyReleased lists SNPs first published this epoch.
+	NewlyReleased []int
+	// Frozen lists SNPs that were published in an earlier epoch but are no
+	// longer safe: their stale statistics stay public but are not updated.
+	Frozen []int
+	// Genomes is the cumulative case-population size.
+	Genomes int
+}
+
+// Manager coordinates dynamic releases for one study.
+type Manager struct {
+	cfg     core.Config
+	policy  core.CollusionPolicy
+	enclave *enclave.Enclave
+	ref     *genome.Matrix
+
+	shards []*genome.Matrix // cumulative per-GDO data; nil until first batch
+
+	epoch        int
+	everReleased map[int]bool
+	frozen       map[int]bool
+}
+
+// NewManager creates a release manager for a federation of g GDOs sharing a
+// reference panel. The enclave seals the manager's state between epochs.
+func NewManager(g int, reference *genome.Matrix, cfg core.Config, policy core.CollusionPolicy, enc *enclave.Enclave) (*Manager, error) {
+	if g <= 0 {
+		return nil, fmt.Errorf("dynamic: federation size %d invalid", g)
+	}
+	if reference == nil || reference.N() == 0 {
+		return nil, errors.New("dynamic: missing reference panel")
+	}
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if err := policy.Validate(g); err != nil {
+		return nil, err
+	}
+	if enc == nil {
+		return nil, errors.New("dynamic: missing state enclave")
+	}
+	return &Manager{
+		cfg:          cfg,
+		policy:       policy,
+		enclave:      enc,
+		ref:          reference,
+		shards:       make([]*genome.Matrix, g),
+		everReleased: make(map[int]bool),
+		frozen:       make(map[int]bool),
+	}, nil
+}
+
+// Epoch returns the number of completed assessment epochs.
+func (m *Manager) Epoch() int { return m.epoch }
+
+// AddBatch appends newly collected genomes to one GDO's cumulative dataset
+// (the genomes never leave that GDO; the manager models its local growth).
+func (m *Manager) AddBatch(gdo int, batch *genome.Matrix) error {
+	if gdo < 0 || gdo >= len(m.shards) {
+		return fmt.Errorf("dynamic: GDO %d out of range for federation of %d", gdo, len(m.shards))
+	}
+	if batch == nil || batch.N() == 0 {
+		return errors.New("dynamic: empty batch")
+	}
+	if batch.L() != m.ref.L() {
+		return fmt.Errorf("%w: batch has %d SNPs, study has %d", ErrShape, batch.L(), m.ref.L())
+	}
+	if m.shards[gdo] == nil {
+		m.shards[gdo] = batch.Clone()
+		return nil
+	}
+	merged, err := genome.Concat(m.shards[gdo], batch)
+	if err != nil {
+		return err
+	}
+	m.shards[gdo] = merged
+	return nil
+}
+
+// Assess runs one epoch: a full federated assessment over the cumulative
+// cohort, followed by the dynamic release-policy update. GDOs without data
+// yet simply do not participate in this epoch.
+func (m *Manager) Assess() (*EpochReport, error) {
+	shards := make([]*genome.Matrix, 0, len(m.shards))
+	var genomes int
+	for _, s := range m.shards {
+		if s != nil && s.N() > 0 {
+			shards = append(shards, s)
+			genomes += s.N()
+		}
+	}
+	if len(shards) == 0 {
+		return nil, ErrNoData
+	}
+	policy := m.policy
+	if maxF := len(shards) - 1; !policy.Conservative && policy.F > maxF {
+		// Fewer GDOs have data than the configured tolerance; clamp.
+		policy.F = maxF
+	}
+	if policy.Conservative && len(shards) < 2 {
+		policy = core.CollusionPolicy{}
+	}
+	report, err := core.RunDistributed(shards, m.ref, m.cfg, policy)
+	if err != nil {
+		return nil, err
+	}
+	m.epoch++
+
+	safeNow := make(map[int]bool, len(report.Selection.Safe))
+	for _, l := range report.Selection.Safe {
+		safeNow[l] = true
+	}
+
+	epochReport := &EpochReport{
+		Epoch:     m.epoch,
+		Selection: report.Selection,
+		Genomes:   genomes,
+	}
+	// Previously published SNPs that are no longer safe freeze forever.
+	for l := range m.everReleased {
+		if !safeNow[l] && !m.frozen[l] {
+			m.frozen[l] = true
+		}
+	}
+	for _, l := range report.Selection.Safe {
+		if m.frozen[l] {
+			continue // frozen SNPs are never re-released
+		}
+		if !m.everReleased[l] {
+			m.everReleased[l] = true
+			epochReport.NewlyReleased = append(epochReport.NewlyReleased, l)
+		}
+		epochReport.Released = append(epochReport.Released, l)
+	}
+	for l := range m.frozen {
+		epochReport.Frozen = append(epochReport.Frozen, l)
+	}
+	sort.Ints(epochReport.Released)
+	sort.Ints(epochReport.NewlyReleased)
+	sort.Ints(epochReport.Frozen)
+
+	if err := m.sealState(); err != nil {
+		return nil, err
+	}
+	return epochReport, nil
+}
+
+// sealState persists the release bookkeeping under the enclave's
+// rollback-protected counter.
+func (m *Manager) sealState() error {
+	e := wire.NewEncoder(64)
+	e.Int(m.epoch)
+	e.Ints(sortedKeys(m.everReleased))
+	e.Ints(sortedKeys(m.frozen))
+	if _, err := m.enclave.SealVersioned(stateCounter, e.Bytes()); err != nil {
+		return fmt.Errorf("dynamic: seal state: %w", err)
+	}
+	return nil
+}
+
+// ExportState seals and returns the current state blob for external storage.
+func (m *Manager) ExportState() ([]byte, error) {
+	e := wire.NewEncoder(64)
+	e.Int(m.epoch)
+	e.Ints(sortedKeys(m.everReleased))
+	e.Ints(sortedKeys(m.frozen))
+	blob, err := m.enclave.SealVersioned(stateCounter, e.Bytes())
+	if err != nil {
+		return nil, fmt.Errorf("dynamic: export state: %w", err)
+	}
+	return blob, nil
+}
+
+// ImportState restores release bookkeeping from a sealed blob. Stale blobs
+// (sealed before the counter's current epoch) are rejected, preventing
+// rollback to a more permissive release history.
+func (m *Manager) ImportState(blob []byte) error {
+	plain, err := m.enclave.UnsealVersioned(stateCounter, blob)
+	if err != nil {
+		return fmt.Errorf("dynamic: import state: %w", err)
+	}
+	d := wire.NewDecoder(plain)
+	epoch := d.Int()
+	released := d.Ints()
+	frozen := d.Ints()
+	if err := d.Finish(); err != nil {
+		return fmt.Errorf("dynamic: state decode: %w", err)
+	}
+	m.epoch = epoch
+	m.everReleased = make(map[int]bool, len(released))
+	for _, l := range released {
+		m.everReleased[l] = true
+	}
+	m.frozen = make(map[int]bool, len(frozen))
+	for _, l := range frozen {
+		m.frozen[l] = true
+	}
+	return nil
+}
+
+func sortedKeys(set map[int]bool) []int {
+	out := make([]int, 0, len(set))
+	for k := range set {
+		out = append(out, k)
+	}
+	sort.Ints(out)
+	return out
+}

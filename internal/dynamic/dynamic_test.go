@@ -1,0 +1,242 @@
+package dynamic
+
+import (
+	"errors"
+	"testing"
+
+	"gendpr/internal/core"
+	"gendpr/internal/enclave"
+	"gendpr/internal/genome"
+)
+
+func testSetup(t *testing.T, snps, caseN int, seed int64) (*Manager, *genome.Cohort) {
+	t.Helper()
+	cohort, err := genome.Generate(genome.DefaultGeneratorConfig(snps, caseN, seed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	platform, err := enclave.NewPlatform()
+	if err != nil {
+		t.Fatal(err)
+	}
+	enc, err := platform.Load([]byte("dynamic-test"), enclave.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mgr, err := NewManager(3, cohort.Reference, core.DefaultConfig(), core.CollusionPolicy{}, enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return mgr, cohort
+}
+
+func TestNewManagerValidation(t *testing.T) {
+	cohort, err := genome.Generate(genome.DefaultGeneratorConfig(20, 30, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	platform, _ := enclave.NewPlatform()
+	enc, _ := platform.Load([]byte("x"), enclave.Config{})
+
+	if _, err := NewManager(0, cohort.Reference, core.DefaultConfig(), core.CollusionPolicy{}, enc); err == nil {
+		t.Error("g=0 accepted")
+	}
+	if _, err := NewManager(2, nil, core.DefaultConfig(), core.CollusionPolicy{}, enc); err == nil {
+		t.Error("nil reference accepted")
+	}
+	if _, err := NewManager(2, cohort.Reference, core.Config{}, core.CollusionPolicy{}, enc); err == nil {
+		t.Error("invalid config accepted")
+	}
+	if _, err := NewManager(2, cohort.Reference, core.DefaultConfig(), core.CollusionPolicy{F: 5}, enc); err == nil {
+		t.Error("invalid policy accepted")
+	}
+	if _, err := NewManager(2, cohort.Reference, core.DefaultConfig(), core.CollusionPolicy{}, nil); err == nil {
+		t.Error("nil enclave accepted")
+	}
+}
+
+func TestAddBatchValidation(t *testing.T) {
+	mgr, cohort := testSetup(t, 40, 90, 2)
+	batch := cohort.Case.SelectRows(0, 10)
+	if err := mgr.AddBatch(-1, batch); err == nil {
+		t.Error("negative GDO accepted")
+	}
+	if err := mgr.AddBatch(3, batch); err == nil {
+		t.Error("GDO out of range accepted")
+	}
+	if err := mgr.AddBatch(0, nil); err == nil {
+		t.Error("nil batch accepted")
+	}
+	if err := mgr.AddBatch(0, genome.NewMatrix(5, 39)); !errors.Is(err, ErrShape) {
+		t.Errorf("wrong-shape batch: %v", err)
+	}
+	if err := mgr.AddBatch(0, batch); err != nil {
+		t.Fatalf("valid batch rejected: %v", err)
+	}
+}
+
+func TestAssessWithoutDataFails(t *testing.T) {
+	mgr, _ := testSetup(t, 40, 90, 3)
+	if _, err := mgr.Assess(); !errors.Is(err, ErrNoData) {
+		t.Fatalf("got %v, want ErrNoData", err)
+	}
+}
+
+func TestEpochProgression(t *testing.T) {
+	mgr, cohort := testSetup(t, 100, 300, 5)
+
+	// Epoch 1: only GDO 0 has data.
+	if err := mgr.AddBatch(0, cohort.Case.SelectRows(0, 100)); err != nil {
+		t.Fatal(err)
+	}
+	r1, err := mgr.Assess()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.Epoch != 1 || mgr.Epoch() != 1 {
+		t.Errorf("epoch=%d/%d, want 1", r1.Epoch, mgr.Epoch())
+	}
+	if r1.Genomes != 100 {
+		t.Errorf("genomes=%d, want 100", r1.Genomes)
+	}
+	if len(r1.Released) == 0 {
+		t.Fatal("first epoch released nothing; test data degenerate")
+	}
+	if len(r1.NewlyReleased) != len(r1.Released) {
+		t.Error("every first-epoch release is new")
+	}
+
+	// Epoch 2: the other GDOs come online.
+	if err := mgr.AddBatch(1, cohort.Case.SelectRows(100, 200)); err != nil {
+		t.Fatal(err)
+	}
+	if err := mgr.AddBatch(2, cohort.Case.SelectRows(200, 300)); err != nil {
+		t.Fatal(err)
+	}
+	r2, err := mgr.Assess()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r2.Epoch != 2 {
+		t.Errorf("epoch=%d, want 2", r2.Epoch)
+	}
+	if r2.Genomes != 300 {
+		t.Errorf("genomes=%d, want 300", r2.Genomes)
+	}
+
+	// Dynamic-release invariants.
+	released1 := toSet(r1.Released)
+	newly2 := toSet(r2.NewlyReleased)
+	for l := range newly2 {
+		if released1[l] {
+			t.Errorf("SNP %d reported newly released twice", l)
+		}
+	}
+	frozen2 := toSet(r2.Frozen)
+	for _, l := range r2.Released {
+		if frozen2[l] {
+			t.Errorf("frozen SNP %d still released", l)
+		}
+	}
+	// Frozen SNPs must have been released before and be unsafe now.
+	safe2 := toSet(r2.Selection.Safe)
+	for _, l := range r2.Frozen {
+		if !released1[l] {
+			t.Errorf("frozen SNP %d was never released", l)
+		}
+		if safe2[l] {
+			t.Errorf("frozen SNP %d is still safe", l)
+		}
+	}
+}
+
+func TestFrozenSNPNeverReturns(t *testing.T) {
+	mgr, cohort := testSetup(t, 80, 240, 7)
+	if err := mgr.AddBatch(0, cohort.Case.SelectRows(0, 80)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := mgr.Assess(); err != nil {
+		t.Fatal(err)
+	}
+	if err := mgr.AddBatch(1, cohort.Case.SelectRows(80, 160)); err != nil {
+		t.Fatal(err)
+	}
+	r2, err := mgr.Assess()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r2.Frozen) == 0 {
+		t.Skip("no SNP froze for this seed; invariant exercised elsewhere")
+	}
+	if err := mgr.AddBatch(2, cohort.Case.SelectRows(160, 240)); err != nil {
+		t.Fatal(err)
+	}
+	r3, err := mgr.Assess()
+	if err != nil {
+		t.Fatal(err)
+	}
+	frozen2 := toSet(r2.Frozen)
+	for _, l := range r3.Released {
+		if frozen2[l] {
+			t.Errorf("SNP %d was frozen at epoch 2 but released at epoch 3", l)
+		}
+	}
+	for _, l := range r2.Frozen {
+		if !toSet(r3.Frozen)[l] {
+			t.Errorf("SNP %d left the frozen set", l)
+		}
+	}
+}
+
+func TestStateExportImportRoundTrip(t *testing.T) {
+	mgr, cohort := testSetup(t, 60, 180, 9)
+	if err := mgr.AddBatch(0, cohort.Case.SelectRows(0, 90)); err != nil {
+		t.Fatal(err)
+	}
+	r1, err := mgr.Assess()
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob, err := mgr.ExportState()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := mgr.ImportState(blob); err != nil {
+		t.Fatalf("ImportState: %v", err)
+	}
+	if mgr.Epoch() != r1.Epoch {
+		t.Errorf("epoch after import %d, want %d", mgr.Epoch(), r1.Epoch)
+	}
+}
+
+func TestStateRollbackRejected(t *testing.T) {
+	mgr, cohort := testSetup(t, 60, 180, 11)
+	if err := mgr.AddBatch(0, cohort.Case.SelectRows(0, 90)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := mgr.Assess(); err != nil {
+		t.Fatal(err)
+	}
+	stale, err := mgr.ExportState()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Progress one epoch; the stale blob must then be rejected.
+	if err := mgr.AddBatch(1, cohort.Case.SelectRows(90, 180)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := mgr.Assess(); err != nil {
+		t.Fatal(err)
+	}
+	if err := mgr.ImportState(stale); !errors.Is(err, enclave.ErrRollback) {
+		t.Fatalf("stale state import: %v, want rollback rejection", err)
+	}
+}
+
+func toSet(v []int) map[int]bool {
+	out := make(map[int]bool, len(v))
+	for _, l := range v {
+		out[l] = true
+	}
+	return out
+}

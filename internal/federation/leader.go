@@ -1,0 +1,166 @@
+package federation
+
+import (
+	"fmt"
+	"sync"
+
+	"gendpr/internal/core"
+	"gendpr/internal/enclave"
+	"gendpr/internal/enclave/attest"
+	"gendpr/internal/genome"
+	"gendpr/internal/lrtest"
+	"gendpr/internal/transport"
+)
+
+// Leader is the randomly elected coordinator GDO. Like every member it holds
+// a private local shard; additionally its trusted coordination module
+// aggregates the other members' encrypted intermediate results and runs the
+// assessment pipeline.
+type Leader struct {
+	id        string
+	shard     *genome.Matrix
+	enclave   *enclave.Enclave
+	authority *attest.Authority
+}
+
+// NewLeader creates the coordinator node.
+func NewLeader(id string, shard *genome.Matrix, platform *enclave.Platform, authority *attest.Authority) (*Leader, error) {
+	if shard == nil {
+		return nil, fmt.Errorf("federation: leader %s needs a genotype shard", id)
+	}
+	enc, err := platform.Load(CodeIdentity, enclave.Config{})
+	if err != nil {
+		return nil, fmt.Errorf("federation: leader %s: %w", id, err)
+	}
+	return &Leader{id: id, shard: shard, enclave: enc, authority: authority}, nil
+}
+
+// ID returns the leader identifier.
+func (l *Leader) ID() string { return l.id }
+
+// Run attests every member connection, executes the assessment over the
+// federation (leader shard plus remote members), broadcasts the final
+// selection, and shuts the members down. The raw connections are owned by
+// the caller and are not closed.
+func (l *Leader) Run(memberConns []transport.Conn, reference *genome.Matrix, cfg core.Config, policy core.CollusionPolicy) (*core.Report, error) {
+	secure := make([]transport.Conn, len(memberConns))
+	for i, raw := range memberConns {
+		conn, err := attestConn(raw, l.authority, l.enclave, true)
+		if err != nil {
+			return nil, fmt.Errorf("federation: leader attesting member %d: %w", i, err)
+		}
+		secure[i] = conn
+	}
+
+	providers := make([]core.Provider, 0, len(secure)+1)
+	providers = append(providers, core.NewLocalMember(l.shard))
+	for i, conn := range secure {
+		providers = append(providers, &remoteProvider{conn: conn, index: i})
+	}
+
+	report, err := core.RunAssessment(providers, reference, cfg, policy, l.enclave)
+	if err != nil {
+		return nil, err
+	}
+
+	payload := encodeResult(report.Selection.AfterMAF, report.Selection.AfterLD, report.Selection.Safe)
+	for i, conn := range secure {
+		if err := conn.Send(transport.Message{Kind: KindResult, Payload: payload}); err != nil {
+			return nil, fmt.Errorf("federation: broadcasting result to member %d: %w", i, err)
+		}
+		if err := conn.Send(transport.Message{Kind: KindShutdown}); err != nil {
+			return nil, fmt.Errorf("federation: shutting down member %d: %w", i, err)
+		}
+	}
+	return report, nil
+}
+
+// remoteProvider adapts one attested member connection to the core.Provider
+// interface the assessment pipeline consumes. Calls are synchronous
+// request/response exchanges; the mutex keeps concurrent callers (the
+// driver's parallel fetches and parallel-combination mode) from interleaving
+// requests on the shared connection.
+type remoteProvider struct {
+	mu    sync.Mutex
+	conn  transport.Conn
+	index int
+}
+
+var _ core.Provider = (*remoteProvider)(nil)
+
+func (r *remoteProvider) roundTrip(req transport.Message, wantKind uint16) ([]byte, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if err := r.conn.Send(req); err != nil {
+		return nil, fmt.Errorf("federation: member %d send: %w", r.index, err)
+	}
+	reply, err := r.conn.Recv()
+	if err != nil {
+		return nil, fmt.Errorf("federation: member %d recv: %w", r.index, err)
+	}
+	if reply.Kind == KindError {
+		return nil, fmt.Errorf("federation: member %d reported: %s", r.index, reply.Payload)
+	}
+	if reply.Kind != wantKind {
+		return nil, fmt.Errorf("%w: member %d replied kind %d, want %d", ErrProtocol, r.index, reply.Kind, wantKind)
+	}
+	return reply.Payload, nil
+}
+
+func (r *remoteProvider) Counts() ([]int64, error) {
+	payload, err := r.roundTrip(transport.Message{Kind: KindCountsRequest}, KindCountsReply)
+	if err != nil {
+		return nil, err
+	}
+	counts, _, err := decodeCounts(payload)
+	return counts, err
+}
+
+func (r *remoteProvider) CaseN() (int64, error) {
+	payload, err := r.roundTrip(transport.Message{Kind: KindCountsRequest}, KindCountsReply)
+	if err != nil {
+		return 0, err
+	}
+	_, n, err := decodeCounts(payload)
+	return n, err
+}
+
+func (r *remoteProvider) PairStats(a, b int) (genome.PairStats, error) {
+	payload, err := r.roundTrip(transport.Message{Kind: KindPairRequest, Payload: encodePairRequest(a, b)}, KindPairReply)
+	if err != nil {
+		return genome.PairStats{}, err
+	}
+	return decodePairStats(payload)
+}
+
+// PairStatsBatch implements core.BatchPairProvider: one round trip for a
+// whole LD sweep's worth of pairs.
+func (r *remoteProvider) PairStatsBatch(pairs [][2]int) ([]genome.PairStats, error) {
+	payload, err := r.roundTrip(transport.Message{
+		Kind:    KindPairBatchRequest,
+		Payload: encodePairBatchRequest(pairs),
+	}, KindPairBatchReply)
+	if err != nil {
+		return nil, err
+	}
+	stats, err := decodePairBatchReply(payload)
+	if err != nil {
+		return nil, err
+	}
+	if len(stats) != len(pairs) {
+		return nil, fmt.Errorf("%w: member %d returned %d stats for %d pairs", ErrProtocol, r.index, len(stats), len(pairs))
+	}
+	return stats, nil
+}
+
+func (r *remoteProvider) LRMatrix(cols []int, caseFreq, refFreq []float64) (*lrtest.Matrix, error) {
+	payload, err := r.roundTrip(transport.Message{Kind: KindLRRequest, Payload: encodeLRRequest(cols, caseFreq, refFreq)}, KindLRReply)
+	if err != nil {
+		return nil, err
+	}
+	m, err := lrtest.DecodeWire(payload)
+	if err != nil {
+		return nil, fmt.Errorf("federation: member %d LR-matrix: %w", r.index, err)
+	}
+	return m, nil
+}

@@ -1,0 +1,152 @@
+package federation
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"gendpr/internal/core"
+	"gendpr/internal/enclave"
+	"gendpr/internal/enclave/attest"
+	"gendpr/internal/genome"
+	"gendpr/internal/lrtest"
+	"gendpr/internal/transport"
+)
+
+// Member is one non-leader genome data owner: its private shard stays on its
+// premises, and its trusted module answers the leader's requests with
+// encrypted intermediate results.
+type Member struct {
+	id        string
+	shard     *genome.Matrix
+	enclave   *enclave.Enclave
+	authority *attest.Authority
+
+	mu     sync.Mutex
+	result *core.Selection
+}
+
+// NewMember creates a member node. The enclave is loaded on the member's
+// platform from the federation code identity; the authority stands in for
+// the attestation infrastructure both sides trust.
+func NewMember(id string, shard *genome.Matrix, platform *enclave.Platform, authority *attest.Authority) (*Member, error) {
+	if shard == nil {
+		return nil, fmt.Errorf("federation: member %s needs a genotype shard", id)
+	}
+	enc, err := platform.Load(CodeIdentity, enclave.Config{})
+	if err != nil {
+		return nil, fmt.Errorf("federation: member %s: %w", id, err)
+	}
+	return &Member{id: id, shard: shard, enclave: enc, authority: authority}, nil
+}
+
+// ID returns the member identifier.
+func (m *Member) ID() string { return m.id }
+
+// LastResult returns the final selection broadcast by the leader, if the
+// protocol completed.
+func (m *Member) LastResult() *core.Selection {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.result
+}
+
+// Serve attests the connection to the leader and answers requests until the
+// leader sends a shutdown or the connection closes. It returns nil on a
+// clean shutdown.
+func (m *Member) Serve(raw transport.Conn) error {
+	conn, err := attestConn(raw, m.authority, m.enclave, false)
+	if err != nil {
+		return fmt.Errorf("federation: member %s: %w", m.id, err)
+	}
+	local := core.NewLocalMember(m.shard)
+	for {
+		msg, err := conn.Recv()
+		if err != nil {
+			if errors.Is(err, transport.ErrClosed) {
+				return fmt.Errorf("federation: member %s: leader disconnected", m.id)
+			}
+			return fmt.Errorf("federation: member %s recv: %w", m.id, err)
+		}
+		reply, done, err := m.handle(local, msg)
+		if err != nil {
+			// Report the failure to the leader, then stop serving.
+			_ = conn.Send(transport.Message{Kind: KindError, Payload: []byte(err.Error())})
+			return fmt.Errorf("federation: member %s: %w", m.id, err)
+		}
+		if reply != nil {
+			if err := conn.Send(*reply); err != nil {
+				return fmt.Errorf("federation: member %s send: %w", m.id, err)
+			}
+		}
+		if done {
+			return nil
+		}
+	}
+}
+
+// handle dispatches one leader request. It returns the reply (nil when the
+// message needs none) and whether the serving loop should end.
+func (m *Member) handle(local *core.LocalMember, msg transport.Message) (*transport.Message, bool, error) {
+	switch msg.Kind {
+	case KindCountsRequest:
+		counts, err := local.Counts()
+		if err != nil {
+			return nil, false, err
+		}
+		n, err := local.CaseN()
+		if err != nil {
+			return nil, false, err
+		}
+		return &transport.Message{Kind: KindCountsReply, Payload: encodeCounts(counts, n)}, false, nil
+
+	case KindPairRequest:
+		a, b, err := decodePairRequest(msg.Payload)
+		if err != nil {
+			return nil, false, err
+		}
+		s, err := local.PairStats(a, b)
+		if err != nil {
+			return nil, false, err
+		}
+		return &transport.Message{Kind: KindPairReply, Payload: encodePairStats(s)}, false, nil
+
+	case KindPairBatchRequest:
+		pairs, err := decodePairBatchRequest(msg.Payload)
+		if err != nil {
+			return nil, false, err
+		}
+		stats, err := local.PairStatsBatch(pairs)
+		if err != nil {
+			return nil, false, err
+		}
+		return &transport.Message{Kind: KindPairBatchReply, Payload: encodePairBatchReply(stats)}, false, nil
+
+	case KindLRRequest:
+		cols, caseFreq, refFreq, err := decodeLRRequest(msg.Payload)
+		if err != nil {
+			return nil, false, err
+		}
+		lr, err := local.LRMatrix(cols, caseFreq, refFreq)
+		if err != nil {
+			return nil, false, err
+		}
+		return &transport.Message{Kind: KindLRReply, Payload: lrtest.EncodeWire(lr)}, false, nil
+
+	case KindResult:
+		afterMAF, afterLD, safe, err := decodeResult(msg.Payload)
+		if err != nil {
+			return nil, false, err
+		}
+		m.mu.Lock()
+		m.result = &core.Selection{AfterMAF: afterMAF, AfterLD: afterLD, Safe: safe}
+		m.mu.Unlock()
+		return nil, false, nil
+
+	case KindShutdown:
+		return nil, true, nil
+
+	default:
+		return nil, false, fmt.Errorf("%w: unexpected message kind %d", ErrProtocol, msg.Kind)
+	}
+}

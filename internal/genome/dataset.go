@@ -1,0 +1,97 @@
+package genome
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Population identifies which GWAS population a genome belongs to.
+type Population int
+
+const (
+	// Case is the population exhibiting the phenotype under study.
+	Case Population = iota + 1
+	// Control is the population without the phenotype; the paper uses it as
+	// the public reference panel for the LR-test.
+	Control
+)
+
+// String returns the population name.
+func (p Population) String() string {
+	switch p {
+	case Case:
+		return "case"
+	case Control:
+		return "control"
+	default:
+		return fmt.Sprintf("Population(%d)", int(p))
+	}
+}
+
+// Cohort is the full data of one study: the private case genomes held by the
+// federation and the public reference (control) genomes available to every
+// member.
+type Cohort struct {
+	// Case holds the case-population genotypes (private, federation-held).
+	Case *Matrix
+	// Reference holds the public reference-panel genotypes.
+	Reference *Matrix
+	// TrueAssociated lists the SNP positions the generator made genuinely
+	// associated with the phenotype. Empty for real data; used by tests and
+	// accuracy reporting only — the protocol never reads it.
+	TrueAssociated []int
+}
+
+// Validate checks the structural invariants of the cohort.
+func (c *Cohort) Validate() error {
+	if c.Case == nil || c.Reference == nil {
+		return errors.New("genome: cohort missing case or reference matrix")
+	}
+	if c.Case.L() != c.Reference.L() {
+		return fmt.Errorf("%w: case has %d SNPs, reference %d", ErrDimensionMismatch, c.Case.L(), c.Reference.L())
+	}
+	return nil
+}
+
+// SNPs returns the number of SNP positions in the cohort.
+func (c *Cohort) SNPs() int { return c.Case.L() }
+
+// Partition splits the case genomes horizontally into g near-equal shards,
+// one per genome data owner, mirroring the paper's "divided genomes equally
+// among federation members". The reference panel is public and shared, so it
+// is not partitioned. Row order is preserved: shard i receives a contiguous
+// row range, and concatenating all shards restores the original matrix.
+func (c *Cohort) Partition(g int) ([]*Matrix, error) {
+	if g <= 0 {
+		return nil, fmt.Errorf("genome: cannot partition into %d shards", g)
+	}
+	n := c.Case.N()
+	if g > n {
+		return nil, fmt.Errorf("genome: %d shards exceed %d case genomes", g, n)
+	}
+	shards := make([]*Matrix, 0, g)
+	base, extra := n/g, n%g
+	at := 0
+	for i := 0; i < g; i++ {
+		size := base
+		if i < extra {
+			size++
+		}
+		shards = append(shards, c.Case.SelectRows(at, at+size))
+		at += size
+	}
+	return shards, nil
+}
+
+// Frequencies converts per-SNP allele counts into frequencies given the
+// number of individuals the counts were computed over.
+func Frequencies(counts []int64, n int64) []float64 {
+	freqs := make([]float64, len(counts))
+	if n == 0 {
+		return freqs
+	}
+	for i, c := range counts {
+		freqs[i] = float64(c) / float64(n)
+	}
+	return freqs
+}

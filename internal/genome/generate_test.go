@@ -1,0 +1,258 @@
+package genome
+
+import (
+	"math"
+	"testing"
+)
+
+func TestGenerateDeterministic(t *testing.T) {
+	cfg := DefaultGeneratorConfig(200, 300, 42)
+	a, err := Generate(cfg)
+	if err != nil {
+		t.Fatalf("Generate: %v", err)
+	}
+	b, err := Generate(cfg)
+	if err != nil {
+		t.Fatalf("Generate: %v", err)
+	}
+	if !a.Case.Equal(b.Case) || !a.Reference.Equal(b.Reference) {
+		t.Fatal("same seed must produce identical cohorts")
+	}
+	c, err := Generate(DefaultGeneratorConfig(200, 300, 43))
+	if err != nil {
+		t.Fatalf("Generate: %v", err)
+	}
+	if a.Case.Equal(c.Case) {
+		t.Fatal("different seeds should produce different cohorts")
+	}
+}
+
+func TestGenerateShape(t *testing.T) {
+	cfg := DefaultGeneratorConfig(150, 220, 1)
+	cohort, err := Generate(cfg)
+	if err != nil {
+		t.Fatalf("Generate: %v", err)
+	}
+	if err := cohort.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	if cohort.Case.N() != 220 || cohort.Case.L() != 150 {
+		t.Errorf("case shape %dx%d, want 220x150", cohort.Case.N(), cohort.Case.L())
+	}
+	if cohort.Reference.L() != 150 {
+		t.Errorf("reference has %d SNPs, want 150", cohort.Reference.L())
+	}
+	if cohort.Reference.N() != cfg.ReferenceN {
+		t.Errorf("reference has %d genomes, want %d", cohort.Reference.N(), cfg.ReferenceN)
+	}
+	if len(cohort.TrueAssociated) == 0 {
+		t.Error("default config should plant associated SNPs")
+	}
+	for _, l := range cohort.TrueAssociated {
+		if l < 0 || l >= 150 {
+			t.Errorf("associated SNP %d out of range", l)
+		}
+	}
+}
+
+func TestGenerateRareTailExists(t *testing.T) {
+	cfg := DefaultGeneratorConfig(600, 400, 7)
+	cohort, err := Generate(cfg)
+	if err != nil {
+		t.Fatalf("Generate: %v", err)
+	}
+	freqs := Frequencies(cohort.Reference.AlleleCounts(), int64(cohort.Reference.N()))
+	rare := 0
+	for _, p := range freqs {
+		if p < 0.05 {
+			rare++
+		}
+	}
+	frac := float64(rare) / float64(len(freqs))
+	// RareFraction 0.58 with block structure and sampling noise: most SNPs
+	// should fall below the 0.05 cutoff, but far from all.
+	if frac < 0.35 || frac > 0.85 {
+		t.Errorf("rare fraction %.2f outside plausible [0.35, 0.85]", frac)
+	}
+}
+
+func TestGenerateLDStructure(t *testing.T) {
+	cfg := DefaultGeneratorConfig(400, 800, 11)
+	cohort, err := Generate(cfg)
+	if err != nil {
+		t.Fatalf("Generate: %v", err)
+	}
+	// Average adjacent-pair correlation must clearly exceed zero: the LD
+	// phase has something to find.
+	var sum float64
+	pairs := 0
+	for l := 0; l+1 < cohort.SNPs(); l++ {
+		s := cohort.Reference.PairStats(l, l+1)
+		r2 := sampleR2(s)
+		if math.IsNaN(r2) {
+			continue
+		}
+		sum += r2
+		pairs++
+	}
+	mean := sum / float64(pairs)
+	if mean < 0.2 {
+		t.Errorf("mean adjacent r^2 = %.3f; generator produced no LD structure", mean)
+	}
+}
+
+// sampleR2 computes r^2 from sufficient statistics for the test's own use.
+func sampleR2(s PairStats) float64 {
+	n := float64(s.N)
+	num := n*float64(s.SumXY) - float64(s.SumX)*float64(s.SumY)
+	vx := n*float64(s.SumXX) - float64(s.SumX)*float64(s.SumX)
+	vy := n*float64(s.SumYY) - float64(s.SumY)*float64(s.SumY)
+	if vx <= 0 || vy <= 0 {
+		return math.NaN()
+	}
+	r := num / math.Sqrt(vx*vy)
+	return r * r
+}
+
+func TestGenerateAssociationSignal(t *testing.T) {
+	cfg := DefaultGeneratorConfig(500, 2000, 13)
+	cfg.ReferenceN = 2000
+	cohort, err := Generate(cfg)
+	if err != nil {
+		t.Fatalf("Generate: %v", err)
+	}
+	caseFreq := Frequencies(cohort.Case.AlleleCounts(), int64(cohort.Case.N()))
+	refFreq := Frequencies(cohort.Reference.AlleleCounts(), int64(cohort.Reference.N()))
+
+	assoc := make(map[int]bool, len(cohort.TrueAssociated))
+	for _, l := range cohort.TrueAssociated {
+		assoc[l] = true
+	}
+	var assocGap, nullGap float64
+	var nAssoc, nNull int
+	for l := range caseFreq {
+		gap := math.Abs(caseFreq[l] - refFreq[l])
+		if assoc[l] {
+			assocGap += gap
+			nAssoc++
+		} else {
+			nullGap += gap
+			nNull++
+		}
+	}
+	if nAssoc == 0 {
+		t.Fatal("no associated SNPs generated")
+	}
+	if assocGap/float64(nAssoc) <= nullGap/float64(nNull) {
+		t.Errorf("associated SNPs show no stronger case/reference divergence: assoc %.4f vs null %.4f",
+			assocGap/float64(nAssoc), nullGap/float64(nNull))
+	}
+}
+
+func TestGeneratorConfigValidate(t *testing.T) {
+	base := DefaultGeneratorConfig(10, 10, 1)
+	cases := []struct {
+		name   string
+		mutate func(*GeneratorConfig)
+	}{
+		{"zero snps", func(c *GeneratorConfig) { c.SNPs = 0 }},
+		{"neg case", func(c *GeneratorConfig) { c.CaseN = -1 }},
+		{"zero ref", func(c *GeneratorConfig) { c.ReferenceN = 0 }},
+		{"rare frac", func(c *GeneratorConfig) { c.RareFraction = 1.5 }},
+		{"assoc frac", func(c *GeneratorConfig) { c.AssociatedFraction = -0.1 }},
+		{"corr one", func(c *GeneratorConfig) { c.WithinBlockCorr = 1.0 }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			cfg := base
+			tc.mutate(&cfg)
+			if err := cfg.Validate(); err == nil {
+				t.Fatal("expected validation error")
+			}
+			if _, err := Generate(cfg); err == nil {
+				t.Fatal("Generate must reject invalid config")
+			}
+		})
+	}
+	if err := base.Validate(); err != nil {
+		t.Fatalf("default config must validate: %v", err)
+	}
+}
+
+func TestPartition(t *testing.T) {
+	cohort, err := Generate(DefaultGeneratorConfig(50, 103, 3))
+	if err != nil {
+		t.Fatalf("Generate: %v", err)
+	}
+	shards, err := cohort.Partition(5)
+	if err != nil {
+		t.Fatalf("Partition: %v", err)
+	}
+	if len(shards) != 5 {
+		t.Fatalf("got %d shards, want 5", len(shards))
+	}
+	total := 0
+	for _, s := range shards {
+		total += s.N()
+		if s.L() != 50 {
+			t.Errorf("shard has %d SNPs, want 50", s.L())
+		}
+	}
+	if total != 103 {
+		t.Errorf("shards cover %d genomes, want 103", total)
+	}
+	// Near-equal: sizes differ by at most one.
+	min, max := shards[0].N(), shards[0].N()
+	for _, s := range shards {
+		if s.N() < min {
+			min = s.N()
+		}
+		if s.N() > max {
+			max = s.N()
+		}
+	}
+	if max-min > 1 {
+		t.Errorf("unbalanced shards: min %d max %d", min, max)
+	}
+	back, err := Concat(shards...)
+	if err != nil {
+		t.Fatalf("Concat: %v", err)
+	}
+	if !back.Equal(cohort.Case) {
+		t.Error("partition must preserve row order")
+	}
+}
+
+func TestPartitionErrors(t *testing.T) {
+	cohort := &Cohort{Case: NewMatrix(3, 5), Reference: NewMatrix(1, 5)}
+	if _, err := cohort.Partition(0); err == nil {
+		t.Error("g=0 must fail")
+	}
+	if _, err := cohort.Partition(4); err == nil {
+		t.Error("more shards than genomes must fail")
+	}
+}
+
+func TestFrequencies(t *testing.T) {
+	got := Frequencies([]int64{0, 5, 10}, 10)
+	want := []float64{0, 0.5, 1}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("freq[%d]=%v, want %v", i, got[i], want[i])
+		}
+	}
+	zero := Frequencies([]int64{3}, 0)
+	if zero[0] != 0 {
+		t.Error("n=0 must yield zero frequencies, not NaN/Inf")
+	}
+}
+
+func TestCohortValidate(t *testing.T) {
+	if err := (&Cohort{}).Validate(); err == nil {
+		t.Error("nil matrices must fail validation")
+	}
+	c := &Cohort{Case: NewMatrix(2, 5), Reference: NewMatrix(2, 6)}
+	if err := c.Validate(); err == nil {
+		t.Error("SNP mismatch must fail validation")
+	}
+}

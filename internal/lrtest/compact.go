@@ -1,0 +1,138 @@
+package lrtest
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Wire-format tags for serialized LR-matrices.
+const (
+	wireDense   = 1
+	wireCompact = 2
+)
+
+// ErrNotCompactable is returned when a matrix has more than two distinct
+// values in some column and cannot use the compact encoding.
+var ErrNotCompactable = errors.New("lrtest: matrix column has more than two distinct values")
+
+// CompactBytes encodes the matrix exploiting the structure of Equation 1:
+// every column holds at most two distinct values (the minor- and
+// major-allele contributions), so the matrix serializes as two float64s per
+// column plus one bit per cell — roughly 50x smaller than the dense form for
+// the paper's cohort sizes. The encoding is exact: decoding reproduces the
+// dense matrix bit for bit.
+func (m *Matrix) CompactBytes() ([]byte, error) {
+	lo := make([]float64, m.cols)
+	hi := make([]float64, m.cols)
+	for j := 0; j < m.cols; j++ {
+		seen := 0
+		for i := 0; i < m.rows; i++ {
+			v := m.data[i*m.cols+j]
+			if v != v {
+				// NaN breaks the equality-based bit assignment; Equation 1
+				// never produces it, so fall back to the dense encoding.
+				return nil, fmt.Errorf("%w: column %d contains NaN", ErrNotCompactable, j)
+			}
+			switch {
+			case seen == 0:
+				lo[j] = v
+				seen = 1
+			case seen >= 1 && v == lo[j]:
+			case seen == 1:
+				hi[j] = v
+				seen = 2
+			case v != hi[j]:
+				return nil, fmt.Errorf("%w: column %d", ErrNotCompactable, j)
+			}
+		}
+		if seen < 2 {
+			hi[j] = lo[j]
+		}
+	}
+
+	bitBytes := (m.rows*m.cols + 7) / 8
+	buf := make([]byte, 0, 17+16*m.cols+bitBytes)
+	buf = append(buf, wireCompact)
+	var tmp [8]byte
+	appendU64 := func(v uint64) {
+		putUint64(tmp[:], v)
+		buf = append(buf, tmp[:]...)
+	}
+	appendU64(uint64(m.rows))
+	appendU64(uint64(m.cols))
+	for j := 0; j < m.cols; j++ {
+		appendU64(math.Float64bits(lo[j]))
+		appendU64(math.Float64bits(hi[j]))
+	}
+	bits := make([]byte, bitBytes)
+	for i := 0; i < m.rows; i++ {
+		for j := 0; j < m.cols; j++ {
+			if m.data[i*m.cols+j] == hi[j] && hi[j] != lo[j] {
+				idx := i*m.cols + j
+				bits[idx/8] |= 1 << (uint(idx) % 8)
+			}
+		}
+	}
+	return append(buf, bits...), nil
+}
+
+// EncodeWire serializes a matrix for transmission, preferring the compact
+// form and falling back to the dense encoding when a column is not
+// two-valued (e.g. hand-constructed matrices in tests).
+func EncodeWire(m *Matrix) []byte {
+	if compact, err := m.CompactBytes(); err == nil {
+		return compact
+	}
+	return append([]byte{wireDense}, m.Bytes()...)
+}
+
+// DecodeWire reverses EncodeWire.
+func DecodeWire(b []byte) (*Matrix, error) {
+	if len(b) == 0 {
+		return nil, errors.New("lrtest: empty wire encoding")
+	}
+	switch b[0] {
+	case wireDense:
+		return FromBytes(b[1:])
+	case wireCompact:
+		return fromCompactBytes(b[1:])
+	default:
+		return nil, fmt.Errorf("lrtest: unknown wire tag %d", b[0])
+	}
+}
+
+func fromCompactBytes(b []byte) (*Matrix, error) {
+	if len(b) < 16 {
+		return nil, errors.New("lrtest: compact encoding too short")
+	}
+	rows := int(getUint64(b[0:8]))
+	cols := int(getUint64(b[8:16]))
+	if rows < 0 || cols < 0 || rows > 1<<30 || cols > 1<<30 {
+		return nil, errors.New("lrtest: compact encoding has implausible shape")
+	}
+	bitBytes := (rows*cols + 7) / 8
+	want := 16 + 16*cols + bitBytes
+	if len(b) != want {
+		return nil, fmt.Errorf("lrtest: compact encoding has %d bytes, want %d", len(b), want)
+	}
+	lo := make([]float64, cols)
+	hi := make([]float64, cols)
+	for j := 0; j < cols; j++ {
+		lo[j] = math.Float64frombits(getUint64(b[16+16*j : 24+16*j]))
+		hi[j] = math.Float64frombits(getUint64(b[24+16*j : 32+16*j]))
+	}
+	bits := b[16+16*cols:]
+	m := NewMatrix(rows, cols)
+	for i := 0; i < rows; i++ {
+		for j := 0; j < cols; j++ {
+			idx := i*cols + j
+			if bits[idx/8]&(1<<(uint(idx)%8)) != 0 {
+				m.data[idx] = hi[j]
+			} else {
+				m.data[idx] = lo[j]
+			}
+		}
+	}
+	return m, nil
+}

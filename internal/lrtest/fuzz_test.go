@@ -1,0 +1,50 @@
+package lrtest
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzDecodeWire checks that hostile LR-matrix encodings never panic and
+// that accepted inputs re-encode consistently.
+func FuzzDecodeWire(f *testing.F) {
+	m := NewMatrix(3, 2)
+	m.Set(0, 0, 1.5)
+	m.Set(2, 1, -0.25)
+	f.Add(EncodeWire(m))
+	if compact, err := m.CompactBytes(); err == nil {
+		f.Add(compact)
+	}
+	f.Add([]byte{wireDense})
+	f.Add([]byte{wireCompact, 0, 0})
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		decoded, err := DecodeWire(data)
+		if err != nil {
+			return
+		}
+		again, err := DecodeWire(EncodeWire(decoded))
+		if err != nil {
+			t.Fatalf("re-encode of accepted matrix failed: %v", err)
+		}
+		// Compare IEEE-754 bit patterns (NaN-safe): the round trip must be
+		// exact at the representation level.
+		if !bytes.Equal(again.Bytes(), decoded.Bytes()) {
+			t.Fatal("decode/encode round trip changed the matrix")
+		}
+	})
+}
+
+// FuzzFromBytes covers the dense decoder separately.
+func FuzzFromBytes(f *testing.F) {
+	m := NewMatrix(2, 2)
+	f.Add(m.Bytes())
+	f.Add([]byte{0, 0, 0, 0, 0, 0, 0, 2, 0, 0, 0, 0, 0, 0, 0, 2})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if decoded, err := FromBytes(data); err == nil {
+			if decoded.Rows() < 0 || decoded.Cols() < 0 {
+				t.Fatal("negative shape accepted")
+			}
+		}
+	})
+}

@@ -1,0 +1,251 @@
+// Package lrtest implements the SecureGenome-style likelihood-ratio test the
+// paper uses to bound membership-inference power (Section 3.2.3 and Phase 3).
+//
+// The central object is the LR-matrix: for each individual n and SNP l it
+// stores the per-SNP log-likelihood-ratio contribution of Equation 1,
+//
+//	LR(n,l) = x(n,l)·log(p̂_l/p_l) + (1−x(n,l))·log((1−p̂_l)/(1−p_l)),
+//
+// where p̂ is the pooled case frequency and p the reference frequency. An
+// individual's LR statistic over a SNP subset is the sum of the subset's
+// contributions. GDOs build LR-matrices over their local genomes using the
+// *pooled* frequencies broadcast by the leader, which makes the concatenated
+// federation matrix identical to the one a centralized holder of all genomes
+// would build — the exactness property behind Table 4.
+package lrtest
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// freqClamp bounds frequencies away from 0 and 1 so log-ratios stay finite.
+// Both the case and reference frequency are clamped identically on every
+// code path, so centralized and distributed evaluations agree bit-for-bit.
+const freqClamp = 1e-6
+
+// ErrShapeMismatch is returned when matrices that must agree on their SNP
+// dimension do not.
+var ErrShapeMismatch = errors.New("lrtest: matrix shape mismatch")
+
+// Matrix is a dense individuals-by-SNPs matrix of LR contributions.
+type Matrix struct {
+	rows, cols int
+	data       []float64
+}
+
+// NewMatrix allocates a rows-by-cols LR-matrix of zeros.
+func NewMatrix(rows, cols int) *Matrix {
+	if rows < 0 || cols < 0 {
+		return &Matrix{}
+	}
+	return &Matrix{rows: rows, cols: cols, data: make([]float64, rows*cols)}
+}
+
+// Rows returns the number of individuals.
+func (m *Matrix) Rows() int { return m.rows }
+
+// Cols returns the number of SNPs.
+func (m *Matrix) Cols() int { return m.cols }
+
+// At returns the contribution of individual i at SNP column j.
+func (m *Matrix) At(i, j int) float64 {
+	m.mustBound(i, j)
+	return m.data[i*m.cols+j]
+}
+
+// Set stores a contribution.
+func (m *Matrix) Set(i, j int, v float64) {
+	m.mustBound(i, j)
+	m.data[i*m.cols+j] = v
+}
+
+func (m *Matrix) mustBound(i, j int) {
+	if i < 0 || i >= m.rows || j < 0 || j >= m.cols {
+		panic(fmt.Sprintf("lrtest: index (%d,%d) out of range for %dx%d matrix", i, j, m.rows, m.cols))
+	}
+}
+
+// Genotypes is the minimal genotype access the LR computation needs; the
+// genome.Matrix type satisfies it.
+type Genotypes interface {
+	N() int
+	L() int
+	Get(i, l int) bool
+}
+
+// LogRatios precomputes, for each SNP, the two possible contributions:
+// carrying the minor allele (x=1) and not (x=0).
+type LogRatios struct {
+	Minor []float64 // log(p̂/p)
+	Major []float64 // log((1−p̂)/(1−p))
+}
+
+// NewLogRatios derives the per-SNP log ratios from pooled case frequencies
+// and reference frequencies. The slices must have equal length.
+func NewLogRatios(caseFreq, refFreq []float64) (LogRatios, error) {
+	if len(caseFreq) != len(refFreq) {
+		return LogRatios{}, fmt.Errorf("%w: %d case vs %d reference frequencies",
+			ErrShapeMismatch, len(caseFreq), len(refFreq))
+	}
+	lr := LogRatios{
+		Minor: make([]float64, len(caseFreq)),
+		Major: make([]float64, len(caseFreq)),
+	}
+	for l := range caseFreq {
+		ph := clamp(caseFreq[l])
+		p := clamp(refFreq[l])
+		lr.Minor[l] = math.Log(ph / p)
+		lr.Major[l] = math.Log((1 - ph) / (1 - p))
+	}
+	return lr, nil
+}
+
+func clamp(p float64) float64 {
+	if p < freqClamp {
+		return freqClamp
+	}
+	if p > 1-freqClamp {
+		return 1 - freqClamp
+	}
+	return p
+}
+
+// Build computes the LR-matrix for a genotype matrix given pooled
+// frequencies. This is the per-GDO local computation of Phase 3 Step 2.
+func Build(g Genotypes, ratios LogRatios) (*Matrix, error) {
+	if g.L() != len(ratios.Minor) {
+		return nil, fmt.Errorf("%w: %d genotype columns vs %d frequency entries",
+			ErrShapeMismatch, g.L(), len(ratios.Minor))
+	}
+	m := NewMatrix(g.N(), g.L())
+	for i := 0; i < g.N(); i++ {
+		base := i * m.cols
+		for l := 0; l < g.L(); l++ {
+			if g.Get(i, l) {
+				m.data[base+l] = ratios.Minor[l]
+			} else {
+				m.data[base+l] = ratios.Major[l]
+			}
+		}
+	}
+	return m, nil
+}
+
+// Merge concatenates LR-matrices row-wise — the leader-enclave merge of
+// Phase 3 Step 3. All matrices must share the SNP dimension.
+func Merge(ms ...*Matrix) (*Matrix, error) {
+	if len(ms) == 0 {
+		return NewMatrix(0, 0), nil
+	}
+	cols := ms[0].cols
+	rows := 0
+	for _, m := range ms {
+		if m.cols != cols {
+			return nil, fmt.Errorf("%w: %d vs %d columns", ErrShapeMismatch, m.cols, cols)
+		}
+		rows += m.rows
+	}
+	out := NewMatrix(rows, cols)
+	at := 0
+	for _, m := range ms {
+		copy(out.data[at:], m.data)
+		at += len(m.data)
+	}
+	return out, nil
+}
+
+// ScoreSubset sums each row's contributions over the given column subset,
+// producing per-individual LR statistics.
+func (m *Matrix) ScoreSubset(cols []int) []float64 {
+	scores := make([]float64, m.rows)
+	for _, j := range cols {
+		if j < 0 || j >= m.cols {
+			panic(fmt.Sprintf("lrtest: column %d out of range for %d columns", j, m.cols))
+		}
+		for i := 0; i < m.rows; i++ {
+			scores[i] += m.data[i*m.cols+j]
+		}
+	}
+	return scores
+}
+
+// Column returns a copy of column j.
+func (m *Matrix) Column(j int) []float64 {
+	if j < 0 || j >= m.cols {
+		panic(fmt.Sprintf("lrtest: column %d out of range for %d columns", j, m.cols))
+	}
+	col := make([]float64, m.rows)
+	for i := range col {
+		col[i] = m.data[i*m.cols+j]
+	}
+	return col
+}
+
+// Equal reports whether two matrices are identical in shape and content.
+func (m *Matrix) Equal(o *Matrix) bool {
+	if m.rows != o.rows || m.cols != o.cols {
+		return false
+	}
+	for i := range m.data {
+		if m.data[i] != o.data[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Bytes serializes the matrix: rows, cols as 8-byte big-endian integers
+// followed by IEEE-754 bit patterns in row order. This is the encrypted
+// payload GDOs send to the leader in Phase 3.
+func (m *Matrix) Bytes() []byte {
+	buf := make([]byte, 16+len(m.data)*8)
+	putUint64(buf[0:8], uint64(m.rows))
+	putUint64(buf[8:16], uint64(m.cols))
+	for i, v := range m.data {
+		putUint64(buf[16+i*8:24+i*8], math.Float64bits(v))
+	}
+	return buf
+}
+
+// FromBytes reverses Matrix.Bytes.
+func FromBytes(b []byte) (*Matrix, error) {
+	if len(b) < 16 {
+		return nil, errors.New("lrtest: matrix encoding too short")
+	}
+	rows := int(getUint64(b[0:8]))
+	cols := int(getUint64(b[8:16]))
+	if rows < 0 || cols < 0 || rows > 1<<30 || cols > 1<<30 {
+		return nil, errors.New("lrtest: matrix encoding has implausible shape")
+	}
+	// Validate the payload length before allocating: a hostile header must
+	// not drive a huge allocation.
+	want := 16 + int64(rows)*int64(cols)*8
+	if int64(len(b)) != want {
+		return nil, fmt.Errorf("lrtest: matrix encoding has %d bytes, want %d", len(b), want)
+	}
+	m := NewMatrix(rows, cols)
+	for i := range m.data {
+		m.data[i] = math.Float64frombits(getUint64(b[16+i*8 : 24+i*8]))
+	}
+	return m, nil
+}
+
+func putUint64(b []byte, v uint64) {
+	_ = b[7]
+	b[0] = byte(v >> 56)
+	b[1] = byte(v >> 48)
+	b[2] = byte(v >> 40)
+	b[3] = byte(v >> 32)
+	b[4] = byte(v >> 24)
+	b[5] = byte(v >> 16)
+	b[6] = byte(v >> 8)
+	b[7] = byte(v)
+}
+
+func getUint64(b []byte) uint64 {
+	_ = b[7]
+	return uint64(b[0])<<56 | uint64(b[1])<<48 | uint64(b[2])<<40 | uint64(b[3])<<32 |
+		uint64(b[4])<<24 | uint64(b[5])<<16 | uint64(b[6])<<8 | uint64(b[7])
+}

@@ -1,0 +1,211 @@
+package oram
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"math/rand"
+	"testing"
+)
+
+func newTestORAM(t *testing.T, capacity, blockSize int, seed int64) *ORAM {
+	t.Helper()
+	o, err := New(capacity, blockSize, rand.New(rand.NewSource(seed)))
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	return o
+}
+
+func TestNewValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	if _, err := New(0, 8, rng); err == nil {
+		t.Error("capacity 0 must fail")
+	}
+	if _, err := New(8, 0, rng); err == nil {
+		t.Error("block size 0 must fail")
+	}
+	if _, err := New(8, 8, nil); err == nil {
+		t.Error("nil rng must fail")
+	}
+}
+
+func TestReadUnwrittenReturnsNil(t *testing.T) {
+	o := newTestORAM(t, 16, 8, 2)
+	data, err := o.Read(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if data != nil {
+		t.Fatalf("unwritten block returned %v", data)
+	}
+}
+
+func TestReadYourWrites(t *testing.T) {
+	o := newTestORAM(t, 16, 8, 3)
+	want := []byte("8-bytes!")
+	if err := o.Write(5, want); err != nil {
+		t.Fatal(err)
+	}
+	got, err := o.Read(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("got %q, want %q", got, want)
+	}
+	// Repeated reads keep returning the value (the block survives path
+	// rewrites and remapping).
+	for i := 0; i < 50; i++ {
+		got, err := o.Read(5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Fatalf("read %d: got %q", i, got)
+		}
+	}
+}
+
+func TestWriteErrors(t *testing.T) {
+	o := newTestORAM(t, 8, 8, 4)
+	if err := o.Write(0, []byte("short")); !errors.Is(err, ErrBlockSize) {
+		t.Errorf("short write: %v", err)
+	}
+	if err := o.Write(8, make([]byte, 8)); !errors.Is(err, ErrAddressRange) {
+		t.Errorf("oob write: %v", err)
+	}
+	if _, err := o.Read(-1); !errors.Is(err, ErrAddressRange) {
+		t.Errorf("oob read: %v", err)
+	}
+}
+
+func TestAgainstReferenceMap(t *testing.T) {
+	const capacity = 64
+	o := newTestORAM(t, capacity, 8, 5)
+	rng := rand.New(rand.NewSource(99))
+	ref := make(map[int][]byte)
+
+	for step := 0; step < 5000; step++ {
+		addr := rng.Intn(capacity)
+		if rng.Intn(2) == 0 {
+			data := make([]byte, 8)
+			binary.BigEndian.PutUint64(data, rng.Uint64())
+			if err := o.Write(addr, data); err != nil {
+				t.Fatal(err)
+			}
+			ref[addr] = data
+		} else {
+			got, err := o.Read(addr)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := ref[addr]
+			if (got == nil) != (want == nil) || !bytes.Equal(got, want) {
+				t.Fatalf("step %d addr %d: got %v, want %v", step, addr, got, want)
+			}
+		}
+	}
+	if o.Accesses() != 5000 {
+		t.Errorf("accesses=%d, want 5000", o.Accesses())
+	}
+}
+
+func TestStashStaysBounded(t *testing.T) {
+	const capacity = 256
+	o := newTestORAM(t, capacity, 8, 6)
+	rng := rand.New(rand.NewSource(7))
+	data := make([]byte, 8)
+	maxStash := 0
+	for step := 0; step < 20000; step++ {
+		if err := o.Write(rng.Intn(capacity), data); err != nil {
+			t.Fatal(err)
+		}
+		if s := o.StashSize(); s > maxStash {
+			maxStash = s
+		}
+	}
+	// Path ORAM with Z=4 keeps the stash tiny with overwhelming
+	// probability; 60 is far above any plausible excursion for N=256.
+	if maxStash > 60 {
+		t.Errorf("stash reached %d blocks; eviction is broken", maxStash)
+	}
+}
+
+func TestWritesAreCopied(t *testing.T) {
+	o := newTestORAM(t, 4, 4, 8)
+	buf := []byte{1, 2, 3, 4}
+	if err := o.Write(0, buf); err != nil {
+		t.Fatal(err)
+	}
+	buf[0] = 99
+	got, err := o.Read(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[0] != 1 {
+		t.Fatal("ORAM aliases caller memory")
+	}
+}
+
+func TestNonPowerOfTwoCapacity(t *testing.T) {
+	o := newTestORAM(t, 100, 16, 9)
+	data := make([]byte, 16)
+	for addr := 0; addr < 100; addr++ {
+		data[0] = byte(addr)
+		if err := o.Write(addr, data); err != nil {
+			t.Fatalf("addr %d: %v", addr, err)
+		}
+	}
+	for addr := 0; addr < 100; addr++ {
+		got, err := o.Read(addr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got[0] != byte(addr) {
+			t.Fatalf("addr %d: got %d", addr, got[0])
+		}
+	}
+}
+
+func TestStoreZeroInitialized(t *testing.T) {
+	s, err := NewStore(32, 8, rand.New(rand.NewSource(10)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := s.Get(31)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, make([]byte, 8)) {
+		t.Fatalf("fresh store returned %v", got)
+	}
+	if err := s.Put(31, []byte("12345678")); err != nil {
+		t.Fatal(err)
+	}
+	got, err = s.Get(31)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "12345678" {
+		t.Fatalf("got %q", got)
+	}
+	if s.StashSize() > 60 {
+		t.Errorf("store stash %d", s.StashSize())
+	}
+}
+
+func BenchmarkORAMAccess(b *testing.B) {
+	o, err := New(1<<12, 64, rand.New(rand.NewSource(1)))
+	if err != nil {
+		b.Fatal(err)
+	}
+	data := make([]byte, 64)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := o.Write(i%(1<<12), data); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

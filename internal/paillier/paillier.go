@@ -1,0 +1,244 @@
+// Package paillier implements the Paillier additively homomorphic
+// cryptosystem over math/big. The paper positions GenDPR's TEE aggregation
+// as one instantiation and homomorphic encryption as an alternative
+// (Section 5.1); this package backs that alternative: members encrypt their
+// Phase 1 count vectors, any untrusted aggregator sums the ciphertexts, and
+// only the key holder (the elected leader's enclave, or an external data
+// access committee) learns the aggregate — never the per-member counts.
+package paillier
+
+import (
+	"crypto/rand"
+	"errors"
+	"fmt"
+	"io"
+	"math/big"
+)
+
+var (
+	one = big.NewInt(1)
+
+	// ErrMessageRange is returned when a plaintext does not fit the modulus.
+	ErrMessageRange = errors.New("paillier: message outside [0, N)")
+
+	// ErrCiphertextRange is returned for malformed ciphertexts.
+	ErrCiphertextRange = errors.New("paillier: ciphertext outside (0, N^2)")
+)
+
+// PublicKey is the encryption key.
+type PublicKey struct {
+	// N is the modulus (product of two primes).
+	N *big.Int
+	// NSquared caches N^2.
+	NSquared *big.Int
+	// G is the generator, fixed to N+1 (the standard simplification).
+	G *big.Int
+}
+
+// PrivateKey adds the decryption trapdoor.
+type PrivateKey struct {
+	PublicKey
+	lambda *big.Int // lcm(p-1, q-1)
+	mu     *big.Int // (L(g^lambda mod N^2))^-1 mod N
+}
+
+// GenerateKey creates a key pair with an n-bit modulus. Use at least 2048
+// bits in production; tests use smaller keys for speed.
+func GenerateKey(random io.Reader, bits int) (*PrivateKey, error) {
+	if bits < 64 {
+		return nil, fmt.Errorf("paillier: modulus of %d bits is too small", bits)
+	}
+	for {
+		p, err := rand.Prime(random, bits/2)
+		if err != nil {
+			return nil, fmt.Errorf("paillier: prime: %w", err)
+		}
+		q, err := rand.Prime(random, bits-bits/2)
+		if err != nil {
+			return nil, fmt.Errorf("paillier: prime: %w", err)
+		}
+		if p.Cmp(q) == 0 {
+			continue
+		}
+		n := new(big.Int).Mul(p, q)
+		if n.BitLen() != bits {
+			continue
+		}
+		pMinus := new(big.Int).Sub(p, one)
+		qMinus := new(big.Int).Sub(q, one)
+		gcd := new(big.Int).GCD(nil, nil, pMinus, qMinus)
+		lambda := new(big.Int).Mul(pMinus, qMinus)
+		lambda.Div(lambda, gcd)
+
+		nSquared := new(big.Int).Mul(n, n)
+		g := new(big.Int).Add(n, one)
+
+		// mu = (L(g^lambda mod N^2))^-1 mod N.
+		glambda := new(big.Int).Exp(g, lambda, nSquared)
+		l := lFunction(glambda, n)
+		mu := new(big.Int).ModInverse(l, n)
+		if mu == nil {
+			continue
+		}
+		return &PrivateKey{
+			PublicKey: PublicKey{N: n, NSquared: nSquared, G: g},
+			lambda:    lambda,
+			mu:        mu,
+		}, nil
+	}
+}
+
+// lFunction computes L(u) = (u - 1) / n.
+func lFunction(u, n *big.Int) *big.Int {
+	l := new(big.Int).Sub(u, one)
+	return l.Div(l, n)
+}
+
+// Encrypt produces a ciphertext of m in [0, N).
+func (pub *PublicKey) Encrypt(random io.Reader, m *big.Int) (*big.Int, error) {
+	if m.Sign() < 0 || m.Cmp(pub.N) >= 0 {
+		return nil, fmt.Errorf("%w: %v", ErrMessageRange, m)
+	}
+	r, err := pub.randomUnit(random)
+	if err != nil {
+		return nil, err
+	}
+	// c = g^m * r^N mod N^2; with g = N+1, g^m = 1 + mN mod N^2.
+	gm := new(big.Int).Mul(m, pub.N)
+	gm.Add(gm, one)
+	gm.Mod(gm, pub.NSquared)
+	rn := new(big.Int).Exp(r, pub.N, pub.NSquared)
+	c := gm.Mul(gm, rn)
+	return c.Mod(c, pub.NSquared), nil
+}
+
+// randomUnit draws r in Z*_N.
+func (pub *PublicKey) randomUnit(random io.Reader) (*big.Int, error) {
+	for {
+		r, err := rand.Int(random, pub.N)
+		if err != nil {
+			return nil, fmt.Errorf("paillier: random unit: %w", err)
+		}
+		if r.Sign() == 0 {
+			continue
+		}
+		if new(big.Int).GCD(nil, nil, r, pub.N).Cmp(one) == 0 {
+			return r, nil
+		}
+	}
+}
+
+// validateCiphertext checks structural sanity.
+func (pub *PublicKey) validateCiphertext(c *big.Int) error {
+	if c == nil || c.Sign() <= 0 || c.Cmp(pub.NSquared) >= 0 {
+		return ErrCiphertextRange
+	}
+	return nil
+}
+
+// Decrypt recovers the plaintext.
+func (priv *PrivateKey) Decrypt(c *big.Int) (*big.Int, error) {
+	if err := priv.validateCiphertext(c); err != nil {
+		return nil, err
+	}
+	u := new(big.Int).Exp(c, priv.lambda, priv.NSquared)
+	m := lFunction(u, priv.N)
+	m.Mul(m, priv.mu)
+	return m.Mod(m, priv.N), nil
+}
+
+// Add homomorphically adds two ciphertexts: Dec(Add(c1,c2)) = m1 + m2 mod N.
+func (pub *PublicKey) Add(c1, c2 *big.Int) (*big.Int, error) {
+	if err := pub.validateCiphertext(c1); err != nil {
+		return nil, err
+	}
+	if err := pub.validateCiphertext(c2); err != nil {
+		return nil, err
+	}
+	c := new(big.Int).Mul(c1, c2)
+	return c.Mod(c, pub.NSquared), nil
+}
+
+// AddPlain adds a plaintext constant: Dec(AddPlain(c,k)) = m + k mod N.
+func (pub *PublicKey) AddPlain(c, k *big.Int) (*big.Int, error) {
+	if err := pub.validateCiphertext(c); err != nil {
+		return nil, err
+	}
+	if k.Sign() < 0 || k.Cmp(pub.N) >= 0 {
+		return nil, fmt.Errorf("%w: %v", ErrMessageRange, k)
+	}
+	gk := new(big.Int).Mul(k, pub.N)
+	gk.Add(gk, one)
+	gk.Mod(gk, pub.NSquared)
+	out := gk.Mul(gk, c)
+	return out.Mod(out, pub.NSquared), nil
+}
+
+// MulPlain multiplies the plaintext by a constant: Dec(MulPlain(c,k)) = k*m.
+func (pub *PublicKey) MulPlain(c, k *big.Int) (*big.Int, error) {
+	if err := pub.validateCiphertext(c); err != nil {
+		return nil, err
+	}
+	if k.Sign() < 0 {
+		return nil, fmt.Errorf("%w: %v", ErrMessageRange, k)
+	}
+	return new(big.Int).Exp(c, k, pub.NSquared), nil
+}
+
+// EncryptVector encrypts a count vector elementwise.
+func (pub *PublicKey) EncryptVector(random io.Reader, counts []int64) ([]*big.Int, error) {
+	out := make([]*big.Int, len(counts))
+	for i, v := range counts {
+		if v < 0 {
+			return nil, fmt.Errorf("%w: negative count %d", ErrMessageRange, v)
+		}
+		c, err := pub.Encrypt(random, big.NewInt(v))
+		if err != nil {
+			return nil, err
+		}
+		out[i] = c
+	}
+	return out, nil
+}
+
+// AggregateVectors homomorphically sums encrypted count vectors: the
+// untrusted aggregator never sees a plaintext. All vectors must share the
+// same length.
+func (pub *PublicKey) AggregateVectors(vectors ...[]*big.Int) ([]*big.Int, error) {
+	if len(vectors) == 0 {
+		return nil, nil
+	}
+	length := len(vectors[0])
+	out := make([]*big.Int, length)
+	copy(out, vectors[0])
+	for _, v := range vectors[1:] {
+		if len(v) != length {
+			return nil, fmt.Errorf("paillier: vector length %d, want %d", len(v), length)
+		}
+		for i := range out {
+			sum, err := pub.Add(out[i], v[i])
+			if err != nil {
+				return nil, err
+			}
+			out[i] = sum
+		}
+	}
+	return out, nil
+}
+
+// DecryptVector recovers aggregated counts as int64s, failing when a value
+// does not fit.
+func (priv *PrivateKey) DecryptVector(cs []*big.Int) ([]int64, error) {
+	out := make([]int64, len(cs))
+	for i, c := range cs {
+		m, err := priv.Decrypt(c)
+		if err != nil {
+			return nil, err
+		}
+		if !m.IsInt64() {
+			return nil, fmt.Errorf("paillier: aggregate at %d overflows int64", i)
+		}
+		out[i] = m.Int64()
+	}
+	return out, nil
+}

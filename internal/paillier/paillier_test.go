@@ -1,0 +1,195 @@
+package paillier
+
+import (
+	"crypto/rand"
+	"errors"
+	"math/big"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+// testKeyBits keeps key generation fast in tests; production keys are 2048+.
+const testKeyBits = 512
+
+var (
+	keyOnce sync.Once
+	testKey *PrivateKey
+)
+
+func sharedKey(t testing.TB) *PrivateKey {
+	t.Helper()
+	keyOnce.Do(func() {
+		k, err := GenerateKey(rand.Reader, testKeyBits)
+		if err != nil {
+			t.Fatalf("GenerateKey: %v", err)
+		}
+		testKey = k
+	})
+	return testKey
+}
+
+func TestEncryptDecryptRoundTrip(t *testing.T) {
+	key := sharedKey(t)
+	for _, m := range []int64{0, 1, 42, 1 << 40} {
+		c, err := key.Encrypt(rand.Reader, big.NewInt(m))
+		if err != nil {
+			t.Fatalf("Encrypt(%d): %v", m, err)
+		}
+		got, err := key.Decrypt(c)
+		if err != nil {
+			t.Fatalf("Decrypt: %v", err)
+		}
+		if got.Int64() != m {
+			t.Errorf("round trip %d → %v", m, got)
+		}
+	}
+}
+
+func TestEncryptionIsRandomized(t *testing.T) {
+	key := sharedKey(t)
+	m := big.NewInt(7)
+	c1, err := key.Encrypt(rand.Reader, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c2, err := key.Encrypt(rand.Reader, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c1.Cmp(c2) == 0 {
+		t.Fatal("two encryptions of the same message are identical")
+	}
+}
+
+func TestHomomorphicAddition(t *testing.T) {
+	key := sharedKey(t)
+	c1, _ := key.Encrypt(rand.Reader, big.NewInt(123))
+	c2, _ := key.Encrypt(rand.Reader, big.NewInt(877))
+	sum, err := key.Add(c1, c2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := key.Decrypt(sum)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Int64() != 1000 {
+		t.Errorf("Dec(c1*c2)=%v, want 1000", got)
+	}
+}
+
+func TestAddPlainAndMulPlain(t *testing.T) {
+	key := sharedKey(t)
+	c, _ := key.Encrypt(rand.Reader, big.NewInt(10))
+	cPlus, err := key.AddPlain(c, big.NewInt(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := key.Decrypt(cPlus); got.Int64() != 15 {
+		t.Errorf("AddPlain: %v, want 15", got)
+	}
+	cTimes, err := key.MulPlain(c, big.NewInt(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := key.Decrypt(cTimes); got.Int64() != 70 {
+		t.Errorf("MulPlain: %v, want 70", got)
+	}
+}
+
+func TestMessageRangeChecks(t *testing.T) {
+	key := sharedKey(t)
+	if _, err := key.Encrypt(rand.Reader, big.NewInt(-1)); !errors.Is(err, ErrMessageRange) {
+		t.Errorf("negative message: %v", err)
+	}
+	if _, err := key.Encrypt(rand.Reader, key.N); !errors.Is(err, ErrMessageRange) {
+		t.Errorf("message = N: %v", err)
+	}
+	if _, err := key.Decrypt(big.NewInt(0)); !errors.Is(err, ErrCiphertextRange) {
+		t.Errorf("zero ciphertext: %v", err)
+	}
+	if _, err := key.Decrypt(key.NSquared); !errors.Is(err, ErrCiphertextRange) {
+		t.Errorf("ciphertext = N^2: %v", err)
+	}
+	c, _ := key.Encrypt(rand.Reader, big.NewInt(1))
+	if _, err := key.Add(c, big.NewInt(0)); !errors.Is(err, ErrCiphertextRange) {
+		t.Errorf("Add with bad ciphertext: %v", err)
+	}
+}
+
+func TestGenerateKeyRejectsTinyModulus(t *testing.T) {
+	if _, err := GenerateKey(rand.Reader, 32); err == nil {
+		t.Fatal("32-bit modulus accepted")
+	}
+}
+
+func TestVectorAggregation(t *testing.T) {
+	key := sharedKey(t)
+	a := []int64{1, 2, 3}
+	b := []int64{10, 20, 30}
+	c := []int64{100, 200, 300}
+	var encs [][]*big.Int
+	for _, v := range [][]int64{a, b, c} {
+		enc, err := key.EncryptVector(rand.Reader, v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		encs = append(encs, enc)
+	}
+	agg, err := key.AggregateVectors(encs...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := key.DecryptVector(agg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int64{111, 222, 333}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("aggregate[%d]=%d, want %d", i, got[i], want[i])
+		}
+	}
+}
+
+func TestVectorAggregationErrors(t *testing.T) {
+	key := sharedKey(t)
+	if _, err := key.EncryptVector(rand.Reader, []int64{-1}); !errors.Is(err, ErrMessageRange) {
+		t.Errorf("negative count: %v", err)
+	}
+	enc1, _ := key.EncryptVector(rand.Reader, []int64{1, 2})
+	enc2, _ := key.EncryptVector(rand.Reader, []int64{1})
+	if _, err := key.AggregateVectors(enc1, enc2); err == nil {
+		t.Error("length mismatch accepted")
+	}
+	empty, err := key.AggregateVectors()
+	if err != nil || empty != nil {
+		t.Errorf("empty aggregation: %v, %v", empty, err)
+	}
+}
+
+// Property: homomorphic addition matches plaintext addition for arbitrary
+// small counts.
+func TestQuickHomomorphicSum(t *testing.T) {
+	key := sharedKey(t)
+	f := func(a, b uint16) bool {
+		ca, err := key.Encrypt(rand.Reader, big.NewInt(int64(a)))
+		if err != nil {
+			return false
+		}
+		cb, err := key.Encrypt(rand.Reader, big.NewInt(int64(b)))
+		if err != nil {
+			return false
+		}
+		sum, err := key.Add(ca, cb)
+		if err != nil {
+			return false
+		}
+		m, err := key.Decrypt(sum)
+		return err == nil && m.Int64() == int64(a)+int64(b)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,187 @@
+// Package release builds the artifact GenDPR exists to gate: the
+// open-access GWAS statistics publication of Figure 1. After the assessment
+// selects L_safe, the leader enclave assembles per-SNP association
+// statistics over exactly those positions, signs the document with a key
+// rooted in its attested identity, and publishes it. Consumers verify the
+// signature and know the statistics passed the federation's privacy
+// assessment.
+package release
+
+import (
+	"crypto/ed25519"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"sort"
+
+	"gendpr/internal/seal"
+	"gendpr/internal/stats"
+)
+
+var (
+	// ErrBadSignature is returned when document verification fails.
+	ErrBadSignature = errors.New("release: signature verification failed")
+
+	// ErrNotSigned is returned when verification is attempted on an
+	// unsigned document.
+	ErrNotSigned = errors.New("release: document is not signed")
+)
+
+// SNPStatistic is one published row.
+type SNPStatistic struct {
+	// SNP is the original SNP index in the study's desired set.
+	SNP int `json:"snp"`
+	// ID is the variant identifier (rs-style).
+	ID string `json:"id"`
+	// CaseFrequency is the minor-allele frequency in the case population.
+	CaseFrequency float64 `json:"caseFrequency"`
+	// ReferenceFrequency is the minor-allele frequency in the reference.
+	ReferenceFrequency float64 `json:"referenceFrequency"`
+	// ChiSquare is the Pearson association statistic.
+	ChiSquare float64 `json:"chiSquare"`
+	// PValue is the chi-square(1) association p-value.
+	PValue float64 `json:"pValue"`
+	// OddsRatio is the allelic odds ratio.
+	OddsRatio float64 `json:"oddsRatio"`
+}
+
+// Parameters echoes the privacy settings the release was assessed under.
+type Parameters struct {
+	MAFCutoff      float64 `json:"mafCutoff"`
+	LDCutoff       float64 `json:"ldCutoff"`
+	Alpha          float64 `json:"alpha"`
+	PowerThreshold float64 `json:"powerThreshold"`
+	Colluders      string  `json:"colludersTolerated"`
+}
+
+// Document is a complete GWAS statistics release.
+type Document struct {
+	// StudyID names the study.
+	StudyID string `json:"studyId"`
+	// CaseCount and ReferenceCount give the population sizes.
+	CaseCount      int64 `json:"caseCount"`
+	ReferenceCount int64 `json:"referenceCount"`
+	// Parameters are the assessment settings.
+	Parameters Parameters `json:"parameters"`
+	// Statistics holds one row per released SNP, ascending by index.
+	Statistics []SNPStatistic `json:"statistics"`
+	// Signature is the leader enclave's Ed25519 signature over the
+	// canonical encoding of every other field.
+	Signature []byte `json:"signature,omitempty"`
+}
+
+// Build assembles the release for the safe SNP subset from pooled counts.
+func Build(studyID string, caseCounts []int64, caseN int64, refCounts []int64, refN int64, safe []int, params Parameters) (*Document, error) {
+	if len(caseCounts) != len(refCounts) {
+		return nil, fmt.Errorf("release: %d case counts vs %d reference counts", len(caseCounts), len(refCounts))
+	}
+	if caseN <= 0 || refN <= 0 {
+		return nil, fmt.Errorf("release: populations must be positive (case %d, reference %d)", caseN, refN)
+	}
+	doc := &Document{
+		StudyID:        studyID,
+		CaseCount:      caseN,
+		ReferenceCount: refN,
+		Parameters:     params,
+		Statistics:     make([]SNPStatistic, 0, len(safe)),
+	}
+	ordered := make([]int, len(safe))
+	copy(ordered, safe)
+	sort.Ints(ordered)
+	for _, l := range ordered {
+		if l < 0 || l >= len(caseCounts) {
+			return nil, fmt.Errorf("release: safe SNP %d out of range for %d SNPs", l, len(caseCounts))
+		}
+		tab, err := stats.NewSingleTable(caseN, caseCounts[l], refN, refCounts[l])
+		if err != nil {
+			return nil, fmt.Errorf("release: SNP %d: %w", l, err)
+		}
+		chi2 := tab.ChiSquare()
+		p, err := stats.ChiSquareSurvival(chi2, 1)
+		if err != nil {
+			return nil, fmt.Errorf("release: SNP %d: %w", l, err)
+		}
+		doc.Statistics = append(doc.Statistics, SNPStatistic{
+			SNP:                l,
+			ID:                 fmt.Sprintf("rs%d", l),
+			CaseFrequency:      float64(caseCounts[l]) / float64(caseN),
+			ReferenceFrequency: float64(refCounts[l]) / float64(refN),
+			ChiSquare:          chi2,
+			PValue:             p,
+			OddsRatio:          tab.OddsRatio(),
+		})
+	}
+	return doc, nil
+}
+
+// canonicalBytes serializes everything except the signature, depending only
+// on field values (encoding/json is deterministic for struct fields).
+func (d *Document) canonicalBytes() ([]byte, error) {
+	clone := *d
+	clone.Signature = nil
+	b, err := json.Marshal(&clone)
+	if err != nil {
+		return nil, fmt.Errorf("release: canonicalize: %w", err)
+	}
+	return b, nil
+}
+
+// Sign attaches the publisher's signature.
+func (d *Document) Sign(key *seal.SigningKey) error {
+	body, err := d.canonicalBytes()
+	if err != nil {
+		return err
+	}
+	d.Signature = key.Sign(body)
+	return nil
+}
+
+// Verify checks the signature against the publisher's public key.
+func (d *Document) Verify(pub ed25519.PublicKey) error {
+	if len(d.Signature) == 0 {
+		return ErrNotSigned
+	}
+	body, err := d.canonicalBytes()
+	if err != nil {
+		return err
+	}
+	if !seal.Verify(pub, body, d.Signature) {
+		return ErrBadSignature
+	}
+	return nil
+}
+
+// Encode renders the document as indented JSON.
+func (d *Document) Encode() ([]byte, error) {
+	b, err := json.MarshalIndent(d, "", "  ")
+	if err != nil {
+		return nil, fmt.Errorf("release: encode: %w", err)
+	}
+	return append(b, '\n'), nil
+}
+
+// Decode parses a document produced by Encode.
+func Decode(b []byte) (*Document, error) {
+	var d Document
+	if err := json.Unmarshal(b, &d); err != nil {
+		return nil, fmt.Errorf("release: decode: %w", err)
+	}
+	return &d, nil
+}
+
+// TopAssociations returns the n most significant released SNPs (smallest
+// p-values), the headline of a GWAS publication.
+func (d *Document) TopAssociations(n int) []SNPStatistic {
+	sorted := make([]SNPStatistic, len(d.Statistics))
+	copy(sorted, d.Statistics)
+	sort.Slice(sorted, func(i, j int) bool {
+		if sorted[i].PValue != sorted[j].PValue {
+			return sorted[i].PValue < sorted[j].PValue
+		}
+		return sorted[i].SNP < sorted[j].SNP
+	})
+	if n > len(sorted) {
+		n = len(sorted)
+	}
+	return sorted[:n]
+}

@@ -1,0 +1,146 @@
+package release
+
+import (
+	"errors"
+	"sort"
+	"strings"
+	"testing"
+
+	"gendpr/internal/seal"
+)
+
+func sampleDocument(t *testing.T) *Document {
+	t.Helper()
+	caseCounts := []int64{50, 10, 30, 70, 5}
+	refCounts := []int64{40, 12, 30, 20, 6}
+	doc, err := Build("amd-study", caseCounts, 100, refCounts, 100, []int{3, 0, 2}, Parameters{
+		MAFCutoff:      0.05,
+		LDCutoff:       1e-5,
+		Alpha:          0.1,
+		PowerThreshold: 0.9,
+		Colluders:      "f=0",
+	})
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	return doc
+}
+
+func TestBuildStatistics(t *testing.T) {
+	doc := sampleDocument(t)
+	if len(doc.Statistics) != 3 {
+		t.Fatalf("%d rows, want 3", len(doc.Statistics))
+	}
+	if !sort.SliceIsSorted(doc.Statistics, func(i, j int) bool {
+		return doc.Statistics[i].SNP < doc.Statistics[j].SNP
+	}) {
+		t.Error("rows must be ascending by SNP index")
+	}
+	for _, s := range doc.Statistics {
+		if s.PValue < 0 || s.PValue > 1 {
+			t.Errorf("SNP %d p-value %v", s.SNP, s.PValue)
+		}
+		if s.OddsRatio <= 0 {
+			t.Errorf("SNP %d odds ratio %v", s.SNP, s.OddsRatio)
+		}
+		if !strings.HasPrefix(s.ID, "rs") {
+			t.Errorf("SNP %d id %q", s.SNP, s.ID)
+		}
+	}
+	// SNP 3 has the strongest association (70 vs 20).
+	top := doc.TopAssociations(1)
+	if len(top) != 1 || top[0].SNP != 3 {
+		t.Errorf("top association %+v, want SNP 3", top)
+	}
+	if got := doc.TopAssociations(10); len(got) != 3 {
+		t.Errorf("TopAssociations over-requesting returned %d", len(got))
+	}
+}
+
+func TestBuildValidation(t *testing.T) {
+	if _, err := Build("s", []int64{1}, 10, []int64{1, 2}, 10, nil, Parameters{}); err == nil {
+		t.Error("count length mismatch accepted")
+	}
+	if _, err := Build("s", []int64{1}, 0, []int64{1}, 10, nil, Parameters{}); err == nil {
+		t.Error("zero case population accepted")
+	}
+	if _, err := Build("s", []int64{1}, 10, []int64{1}, 10, []int{5}, Parameters{}); err == nil {
+		t.Error("out-of-range safe SNP accepted")
+	}
+	if _, err := Build("s", []int64{20}, 10, []int64{1}, 10, []int{0}, Parameters{}); err == nil {
+		t.Error("impossible count accepted")
+	}
+}
+
+func TestSignVerifyRoundTrip(t *testing.T) {
+	doc := sampleDocument(t)
+	key, err := seal.NewSigningKey()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := doc.Verify(key.Public()); !errors.Is(err, ErrNotSigned) {
+		t.Fatalf("unsigned verify: %v", err)
+	}
+	if err := doc.Sign(key); err != nil {
+		t.Fatal(err)
+	}
+	if err := doc.Verify(key.Public()); err != nil {
+		t.Fatalf("Verify: %v", err)
+	}
+	other, _ := seal.NewSigningKey()
+	if err := doc.Verify(other.Public()); !errors.Is(err, ErrBadSignature) {
+		t.Fatalf("wrong key: %v", err)
+	}
+}
+
+func TestSignatureCoversContent(t *testing.T) {
+	doc := sampleDocument(t)
+	key, _ := seal.NewSigningKey()
+	if err := doc.Sign(key); err != nil {
+		t.Fatal(err)
+	}
+	doc.Statistics[0].PValue = 0.123
+	if err := doc.Verify(key.Public()); !errors.Is(err, ErrBadSignature) {
+		t.Fatalf("tampered statistics passed: %v", err)
+	}
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	doc := sampleDocument(t)
+	key, _ := seal.NewSigningKey()
+	if err := doc.Sign(key); err != nil {
+		t.Fatal(err)
+	}
+	encoded, err := doc.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := Decode(encoded)
+	if err != nil {
+		t.Fatalf("Decode: %v", err)
+	}
+	// The decoded document must still verify: the canonical form survives
+	// the JSON round trip.
+	if err := back.Verify(key.Public()); err != nil {
+		t.Fatalf("decoded document failed verification: %v", err)
+	}
+	if back.StudyID != doc.StudyID || len(back.Statistics) != len(doc.Statistics) {
+		t.Error("content lost in round trip")
+	}
+	if _, err := Decode([]byte("{broken")); err == nil {
+		t.Error("malformed JSON accepted")
+	}
+}
+
+func TestEmptyRelease(t *testing.T) {
+	doc, err := Build("empty", []int64{1, 2}, 10, []int64{1, 2}, 10, nil, Parameters{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(doc.Statistics) != 0 {
+		t.Errorf("empty safe set released %d rows", len(doc.Statistics))
+	}
+	if got := doc.TopAssociations(3); len(got) != 0 {
+		t.Errorf("TopAssociations on empty doc: %v", got)
+	}
+}

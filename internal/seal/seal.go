@@ -1,0 +1,188 @@
+// Package seal provides the cryptographic primitives GenDPR's enclaves use:
+// AES-256-GCM authenticated encryption for every exchanged or sealed payload,
+// HKDF-SHA256 key derivation, ECDH (P-256) session-key agreement bootstrapped
+// during remote attestation, and Ed25519 signatures for quotes and signed
+// genome files. Everything builds on the Go standard library.
+package seal
+
+import (
+	"crypto/aes"
+	"crypto/cipher"
+	"crypto/ecdh"
+	"crypto/ed25519"
+	"crypto/hmac"
+	"crypto/rand"
+	"crypto/sha256"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// KeySize is the AES-256 key size in bytes.
+const KeySize = 32
+
+var (
+	// ErrDecrypt is returned when a ciphertext fails authentication or is
+	// structurally invalid. The cause is deliberately not distinguished.
+	ErrDecrypt = errors.New("seal: message authentication failed")
+
+	// ErrBadKey is returned for keys of the wrong size.
+	ErrBadKey = errors.New("seal: key must be 32 bytes")
+)
+
+// NewKey returns a fresh random AES-256 key.
+func NewKey() ([]byte, error) {
+	k := make([]byte, KeySize)
+	if _, err := io.ReadFull(rand.Reader, k); err != nil {
+		return nil, fmt.Errorf("seal: generate key: %w", err)
+	}
+	return k, nil
+}
+
+func newAEAD(key []byte) (cipher.AEAD, error) {
+	if len(key) != KeySize {
+		return nil, ErrBadKey
+	}
+	block, err := aes.NewCipher(key)
+	if err != nil {
+		return nil, fmt.Errorf("seal: new cipher: %w", err)
+	}
+	aead, err := cipher.NewGCM(block)
+	if err != nil {
+		return nil, fmt.Errorf("seal: new GCM: %w", err)
+	}
+	return aead, nil
+}
+
+// Encrypt seals plaintext under the key with AES-256-GCM, binding the
+// additional data. The random nonce is prepended to the returned ciphertext.
+func Encrypt(key, plaintext, additional []byte) ([]byte, error) {
+	aead, err := newAEAD(key)
+	if err != nil {
+		return nil, err
+	}
+	nonce := make([]byte, aead.NonceSize())
+	if _, err := io.ReadFull(rand.Reader, nonce); err != nil {
+		return nil, fmt.Errorf("seal: nonce: %w", err)
+	}
+	out := make([]byte, 0, len(nonce)+len(plaintext)+aead.Overhead())
+	out = append(out, nonce...)
+	return aead.Seal(out, nonce, plaintext, additional), nil
+}
+
+// Decrypt opens a ciphertext produced by Encrypt under the same key and
+// additional data.
+func Decrypt(key, ciphertext, additional []byte) ([]byte, error) {
+	aead, err := newAEAD(key)
+	if err != nil {
+		return nil, err
+	}
+	if len(ciphertext) < aead.NonceSize() {
+		return nil, ErrDecrypt
+	}
+	nonce, body := ciphertext[:aead.NonceSize()], ciphertext[aead.NonceSize():]
+	plain, err := aead.Open(nil, nonce, body, additional)
+	if err != nil {
+		return nil, ErrDecrypt
+	}
+	return plain, nil
+}
+
+// HKDF derives n bytes of key material from a secret using HKDF-SHA256
+// (RFC 5869) with the given salt and info strings.
+func HKDF(secret, salt, info []byte, n int) ([]byte, error) {
+	if n <= 0 || n > 255*sha256.Size {
+		return nil, fmt.Errorf("seal: HKDF output length %d invalid", n)
+	}
+	// Extract.
+	if len(salt) == 0 {
+		salt = make([]byte, sha256.Size)
+	}
+	ext := hmac.New(sha256.New, salt)
+	ext.Write(secret)
+	prk := ext.Sum(nil)
+	// Expand.
+	out := make([]byte, 0, n)
+	var t []byte
+	for i := byte(1); len(out) < n; i++ {
+		exp := hmac.New(sha256.New, prk)
+		exp.Write(t)
+		exp.Write(info)
+		exp.Write([]byte{i})
+		t = exp.Sum(nil)
+		out = append(out, t...)
+	}
+	return out[:n], nil
+}
+
+// KeyPair is an ephemeral ECDH key pair used for session establishment.
+type KeyPair struct {
+	priv *ecdh.PrivateKey
+}
+
+// NewKeyPair generates an ephemeral P-256 key pair.
+func NewKeyPair() (*KeyPair, error) {
+	priv, err := ecdh.P256().GenerateKey(rand.Reader)
+	if err != nil {
+		return nil, fmt.Errorf("seal: generate ECDH key: %w", err)
+	}
+	return &KeyPair{priv: priv}, nil
+}
+
+// PublicBytes returns the public key encoding to send to the peer.
+func (kp *KeyPair) PublicBytes() []byte {
+	return kp.priv.PublicKey().Bytes()
+}
+
+// SessionKey derives a 32-byte AES key from the ECDH shared secret with the
+// peer's public key, bound to the given context info. Both sides derive the
+// same key when they use the same info string.
+func (kp *KeyPair) SessionKey(peerPublic, info []byte) ([]byte, error) {
+	pub, err := ecdh.P256().NewPublicKey(peerPublic)
+	if err != nil {
+		return nil, fmt.Errorf("seal: parse peer public key: %w", err)
+	}
+	secret, err := kp.priv.ECDH(pub)
+	if err != nil {
+		return nil, fmt.Errorf("seal: ECDH: %w", err)
+	}
+	return HKDF(secret, nil, info, KeySize)
+}
+
+// SigningKey wraps an Ed25519 private key.
+type SigningKey struct {
+	priv ed25519.PrivateKey
+}
+
+// NewSigningKey generates an Ed25519 signing key.
+func NewSigningKey() (*SigningKey, error) {
+	_, priv, err := ed25519.GenerateKey(rand.Reader)
+	if err != nil {
+		return nil, fmt.Errorf("seal: generate signing key: %w", err)
+	}
+	return &SigningKey{priv: priv}, nil
+}
+
+// NewSigningKeyFromSeed derives a deterministic Ed25519 signing key from a
+// 32-byte seed — used to share one attestation authority across processes.
+func NewSigningKeyFromSeed(seed []byte) (*SigningKey, error) {
+	if len(seed) != ed25519.SeedSize {
+		return nil, fmt.Errorf("seal: seed must be %d bytes, got %d", ed25519.SeedSize, len(seed))
+	}
+	return &SigningKey{priv: ed25519.NewKeyFromSeed(seed)}, nil
+}
+
+// Public returns the verification key.
+func (k *SigningKey) Public() ed25519.PublicKey {
+	return k.priv.Public().(ed25519.PublicKey)
+}
+
+// Sign signs the message.
+func (k *SigningKey) Sign(message []byte) []byte {
+	return ed25519.Sign(k.priv, message)
+}
+
+// Verify checks an Ed25519 signature.
+func Verify(pub ed25519.PublicKey, message, sig []byte) bool {
+	return len(pub) == ed25519.PublicKeySize && ed25519.Verify(pub, message, sig)
+}

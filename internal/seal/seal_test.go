@@ -1,0 +1,186 @@
+package seal
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"testing"
+	"testing/quick"
+)
+
+func TestEncryptDecryptRoundTrip(t *testing.T) {
+	key, err := NewKey()
+	if err != nil {
+		t.Fatal(err)
+	}
+	msg := []byte("allele counts over L_des")
+	aad := []byte("phase-1")
+	ct, err := Encrypt(key, msg, aad)
+	if err != nil {
+		t.Fatalf("Encrypt: %v", err)
+	}
+	if bytes.Contains(ct, msg) {
+		t.Fatal("ciphertext leaks plaintext")
+	}
+	pt, err := Decrypt(key, ct, aad)
+	if err != nil {
+		t.Fatalf("Decrypt: %v", err)
+	}
+	if !bytes.Equal(pt, msg) {
+		t.Fatal("round trip lost data")
+	}
+}
+
+func TestDecryptRejectsTampering(t *testing.T) {
+	key, _ := NewKey()
+	ct, err := Encrypt(key, []byte("payload"), []byte("aad"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	flip := make([]byte, len(ct))
+	copy(flip, ct)
+	flip[len(flip)-1] ^= 1
+	if _, err := Decrypt(key, flip, []byte("aad")); err == nil {
+		t.Error("tampered ciphertext must fail")
+	}
+	if _, err := Decrypt(key, ct, []byte("wrong-aad")); err == nil {
+		t.Error("wrong additional data must fail")
+	}
+	other, _ := NewKey()
+	if _, err := Decrypt(other, ct, []byte("aad")); err == nil {
+		t.Error("wrong key must fail")
+	}
+	if _, err := Decrypt(key, ct[:5], []byte("aad")); err == nil {
+		t.Error("truncated ciphertext must fail")
+	}
+}
+
+func TestEncryptBadKeySize(t *testing.T) {
+	if _, err := Encrypt(make([]byte, 16), []byte("x"), nil); err == nil {
+		t.Error("16-byte key must be rejected (AES-256 only)")
+	}
+	if _, err := Decrypt(nil, []byte("x"), nil); err == nil {
+		t.Error("nil key must be rejected")
+	}
+}
+
+func TestEncryptNondeterministicNonce(t *testing.T) {
+	key, _ := NewKey()
+	a, _ := Encrypt(key, []byte("same"), nil)
+	b, _ := Encrypt(key, []byte("same"), nil)
+	if bytes.Equal(a, b) {
+		t.Fatal("two encryptions of the same message must differ (random nonce)")
+	}
+}
+
+func TestHKDFRFC5869Vector(t *testing.T) {
+	// RFC 5869 test case 1 (SHA-256).
+	ikm, _ := hex.DecodeString("0b0b0b0b0b0b0b0b0b0b0b0b0b0b0b0b0b0b0b0b0b0b")
+	salt, _ := hex.DecodeString("000102030405060708090a0b0c")
+	info, _ := hex.DecodeString("f0f1f2f3f4f5f6f7f8f9")
+	want, _ := hex.DecodeString("3cb25f25faacd57a90434f64d0362f2a2d2d0a90cf1a5a4c5db02d56ecc4c5bf34007208d5b887185865")
+	got, err := HKDF(ikm, salt, info, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("HKDF = %x, want %x", got, want)
+	}
+}
+
+func TestHKDFEmptySalt(t *testing.T) {
+	// RFC 5869 test case 3: zero-length salt and info.
+	ikm, _ := hex.DecodeString("0b0b0b0b0b0b0b0b0b0b0b0b0b0b0b0b0b0b0b0b0b0b")
+	want, _ := hex.DecodeString("8da4e775a563c18f715f802a063c5a31b8a11f5c5ee1879ec3454e5f3c738d2d9d201395faa4b61a96c8")
+	got, err := HKDF(ikm, nil, nil, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("HKDF = %x, want %x", got, want)
+	}
+}
+
+func TestHKDFBadLength(t *testing.T) {
+	if _, err := HKDF([]byte("s"), nil, nil, 0); err == nil {
+		t.Error("n=0 must fail")
+	}
+	if _, err := HKDF([]byte("s"), nil, nil, 256*sha256.Size); err == nil {
+		t.Error("oversized output must fail")
+	}
+}
+
+func TestECDHSessionAgreement(t *testing.T) {
+	a, err := NewKeyPair()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewKeyPair()
+	if err != nil {
+		t.Fatal(err)
+	}
+	info := []byte("gendpr-session-v1")
+	ka, err := a.SessionKey(b.PublicBytes(), info)
+	if err != nil {
+		t.Fatal(err)
+	}
+	kb, err := b.SessionKey(a.PublicBytes(), info)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(ka, kb) {
+		t.Fatal("both sides must derive the same session key")
+	}
+	if len(ka) != KeySize {
+		t.Fatalf("session key is %d bytes, want %d", len(ka), KeySize)
+	}
+	// A different context string yields an unrelated key.
+	ka2, err := a.SessionKey(b.PublicBytes(), []byte("other"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Equal(ka, ka2) {
+		t.Fatal("different info must yield different keys")
+	}
+	if _, err := a.SessionKey([]byte("garbage"), info); err == nil {
+		t.Error("malformed peer public key must fail")
+	}
+}
+
+func TestSigningRoundTrip(t *testing.T) {
+	k, err := NewSigningKey()
+	if err != nil {
+		t.Fatal(err)
+	}
+	msg := []byte("signed VCF digest")
+	sig := k.Sign(msg)
+	if !Verify(k.Public(), msg, sig) {
+		t.Fatal("valid signature rejected")
+	}
+	if Verify(k.Public(), []byte("other"), sig) {
+		t.Fatal("signature over different message accepted")
+	}
+	sig[0] ^= 1
+	if Verify(k.Public(), msg, sig) {
+		t.Fatal("corrupted signature accepted")
+	}
+	if Verify([]byte("short"), msg, sig) {
+		t.Fatal("malformed public key accepted")
+	}
+}
+
+// Property: for arbitrary payloads and AADs, Decrypt(Encrypt(m)) == m.
+func TestQuickSealRoundTrip(t *testing.T) {
+	key, _ := NewKey()
+	f := func(msg, aad []byte) bool {
+		ct, err := Encrypt(key, msg, aad)
+		if err != nil {
+			return false
+		}
+		pt, err := Decrypt(key, ct, aad)
+		return err == nil && bytes.Equal(pt, msg)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,180 @@
+// Package secshare implements additive secret sharing over the Mersenne
+// prime field Z_(2^61−1) — the third aggregation substrate for GenDPR's
+// Phase 1 alongside the TEE (default) and Paillier HE paths. The paper's
+// related work (Section 2.1) surveys SMC-based federated GWAS: members
+// split their count vectors into n additive shares, hand one share to each
+// of n non-colluding aggregators, every aggregator sums the shares it holds
+// locally, and recombining the aggregator outputs reveals only the
+// federation-wide sums. No single aggregator (or any proper subset of them)
+// learns anything about an individual member's counts.
+package secshare
+
+import (
+	"crypto/rand"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// Modulus is the Mersenne prime 2^61 − 1.
+const Modulus uint64 = (1 << 61) - 1
+
+var (
+	// ErrShareCount is returned for invalid share counts.
+	ErrShareCount = errors.New("secshare: need at least two shares")
+
+	// ErrValueRange is returned when a secret does not fit the field's
+	// positive half (values must be non-negative counts).
+	ErrValueRange = errors.New("secshare: value outside [0, modulus/2)")
+
+	// ErrLengthMismatch is returned when vectors disagree on length.
+	ErrLengthMismatch = errors.New("secshare: vector length mismatch")
+)
+
+// addMod adds two field elements.
+func addMod(a, b uint64) uint64 {
+	s := a + b // cannot overflow: both < 2^61
+	if s >= Modulus {
+		s -= Modulus
+	}
+	return s
+}
+
+// subMod subtracts b from a in the field.
+func subMod(a, b uint64) uint64 {
+	if a >= b {
+		return a - b
+	}
+	return a + Modulus - b
+}
+
+// randomElement draws a uniform field element.
+func randomElement(random io.Reader) (uint64, error) {
+	var buf [8]byte
+	for {
+		if _, err := io.ReadFull(random, buf[:]); err != nil {
+			return 0, fmt.Errorf("secshare: randomness: %w", err)
+		}
+		// Rejection-sample 61-bit values below the modulus.
+		v := binary.BigEndian.Uint64(buf[:]) >> 3
+		if v < Modulus {
+			return v, nil
+		}
+	}
+}
+
+// Share splits a non-negative value into n additive shares. Any n−1 shares
+// are jointly uniform and reveal nothing about the value.
+func Share(value int64, n int, random io.Reader) ([]uint64, error) {
+	if n < 2 {
+		return nil, fmt.Errorf("%w: n=%d", ErrShareCount, n)
+	}
+	if value < 0 || uint64(value) >= Modulus/2 {
+		return nil, fmt.Errorf("%w: %d", ErrValueRange, value)
+	}
+	if random == nil {
+		random = rand.Reader
+	}
+	shares := make([]uint64, n)
+	acc := uint64(0)
+	for i := 0; i < n-1; i++ {
+		r, err := randomElement(random)
+		if err != nil {
+			return nil, err
+		}
+		shares[i] = r
+		acc = addMod(acc, r)
+	}
+	shares[n-1] = subMod(uint64(value), acc)
+	return shares, nil
+}
+
+// Combine reconstructs the secret from all of its shares.
+func Combine(shares []uint64) (int64, error) {
+	if len(shares) < 2 {
+		return 0, fmt.Errorf("%w: got %d", ErrShareCount, len(shares))
+	}
+	acc := uint64(0)
+	for _, s := range shares {
+		if s >= Modulus {
+			return 0, fmt.Errorf("secshare: share %d outside the field", s)
+		}
+		acc = addMod(acc, s)
+	}
+	if acc >= Modulus/2 {
+		return 0, fmt.Errorf("%w: reconstructed %d", ErrValueRange, acc)
+	}
+	return int64(acc), nil
+}
+
+// SharedVector is one aggregator's view of a shared count vector.
+type SharedVector []uint64
+
+// ShareVector splits a count vector into n SharedVectors, one per
+// aggregator: entry l of the i-th output is the i-th share of counts[l].
+func ShareVector(counts []int64, n int, random io.Reader) ([]SharedVector, error) {
+	if n < 2 {
+		return nil, fmt.Errorf("%w: n=%d", ErrShareCount, n)
+	}
+	out := make([]SharedVector, n)
+	for i := range out {
+		out[i] = make(SharedVector, len(counts))
+	}
+	for l, v := range counts {
+		shares, err := Share(v, n, random)
+		if err != nil {
+			return nil, fmt.Errorf("secshare: SNP %d: %w", l, err)
+		}
+		for i, s := range shares {
+			out[i][l] = s
+		}
+	}
+	return out, nil
+}
+
+// AddVectors sums share vectors elementwise — the local, information-free
+// work each aggregator performs over the shares it received.
+func AddVectors(vectors ...SharedVector) (SharedVector, error) {
+	if len(vectors) == 0 {
+		return nil, nil
+	}
+	out := make(SharedVector, len(vectors[0]))
+	copy(out, vectors[0])
+	for _, v := range vectors[1:] {
+		if len(v) != len(out) {
+			return nil, fmt.Errorf("%w: %d vs %d", ErrLengthMismatch, len(v), len(out))
+		}
+		for l := range out {
+			out[l] = addMod(out[l], v[l])
+		}
+	}
+	return out, nil
+}
+
+// CombineVectors reconstructs the aggregate count vector from every
+// aggregator's summed share vector.
+func CombineVectors(aggregatorSums []SharedVector) ([]int64, error) {
+	if len(aggregatorSums) < 2 {
+		return nil, fmt.Errorf("%w: got %d aggregators", ErrShareCount, len(aggregatorSums))
+	}
+	length := len(aggregatorSums[0])
+	for _, v := range aggregatorSums {
+		if len(v) != length {
+			return nil, fmt.Errorf("%w: %d vs %d", ErrLengthMismatch, len(v), length)
+		}
+	}
+	out := make([]int64, length)
+	shares := make([]uint64, len(aggregatorSums))
+	for l := 0; l < length; l++ {
+		for i, v := range aggregatorSums {
+			shares[i] = v[l]
+		}
+		value, err := Combine(shares)
+		if err != nil {
+			return nil, fmt.Errorf("secshare: SNP %d: %w", l, err)
+		}
+		out[l] = value
+	}
+	return out, nil
+}

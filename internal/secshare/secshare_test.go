@@ -1,0 +1,174 @@
+package secshare
+
+import (
+	"bytes"
+	"crypto/rand"
+	"errors"
+	"testing"
+	"testing/quick"
+)
+
+func TestShareCombineRoundTrip(t *testing.T) {
+	for _, v := range []int64{0, 1, 42, 1 << 40, int64(Modulus/2) - 1} {
+		for _, n := range []int{2, 3, 7} {
+			shares, err := Share(v, n, rand.Reader)
+			if err != nil {
+				t.Fatalf("Share(%d, %d): %v", v, n, err)
+			}
+			if len(shares) != n {
+				t.Fatalf("got %d shares, want %d", len(shares), n)
+			}
+			got, err := Combine(shares)
+			if err != nil {
+				t.Fatalf("Combine: %v", err)
+			}
+			if got != v {
+				t.Fatalf("round trip %d → %d (n=%d)", v, got, n)
+			}
+		}
+	}
+}
+
+func TestShareValidation(t *testing.T) {
+	if _, err := Share(1, 1, rand.Reader); !errors.Is(err, ErrShareCount) {
+		t.Errorf("n=1: %v", err)
+	}
+	if _, err := Share(-1, 2, rand.Reader); !errors.Is(err, ErrValueRange) {
+		t.Errorf("negative: %v", err)
+	}
+	if _, err := Share(int64(Modulus/2), 2, rand.Reader); !errors.Is(err, ErrValueRange) {
+		t.Errorf("too large: %v", err)
+	}
+	if _, err := Combine([]uint64{1}); !errors.Is(err, ErrShareCount) {
+		t.Errorf("single share: %v", err)
+	}
+	if _, err := Combine([]uint64{Modulus, 1}); err == nil {
+		t.Error("out-of-field share accepted")
+	}
+}
+
+func TestSingleShareRevealsNothing(t *testing.T) {
+	// Sharing the same value twice yields unrelated first shares: the
+	// share is a uniform field element, not a function of the secret.
+	a1, err := Share(12345, 3, rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a2, err := Share(12345, 3, rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a1[0] == a2[0] && a1[1] == a2[1] {
+		t.Fatal("shares repeat across invocations; randomness broken")
+	}
+	// Combining a proper subset must not reconstruct the value.
+	partial := uint64(0)
+	for _, s := range a1[:2] {
+		partial = (partial + s) % Modulus
+	}
+	if int64(partial) == 12345 {
+		t.Fatal("two of three shares reconstructed the secret")
+	}
+}
+
+func TestDeterministicWithSeededReader(t *testing.T) {
+	seed := bytes.Repeat([]byte{7}, 1024)
+	s1, err := Share(99, 3, bytes.NewReader(seed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := Share(99, 3, bytes.NewReader(seed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range s1 {
+		if s1[i] != s2[i] {
+			t.Fatal("same randomness must give same shares")
+		}
+	}
+}
+
+func TestVectorAggregationFlow(t *testing.T) {
+	// Three members, two non-colluding aggregators.
+	members := [][]int64{
+		{1, 2, 3, 4},
+		{10, 20, 30, 40},
+		{100, 200, 300, 400},
+	}
+	const aggregators = 2
+	perAggregator := make([][]SharedVector, aggregators)
+	for _, counts := range members {
+		sharedViews, err := ShareVector(counts, aggregators, rand.Reader)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, view := range sharedViews {
+			perAggregator[i] = append(perAggregator[i], view)
+		}
+	}
+	// Each aggregator sums locally.
+	sums := make([]SharedVector, aggregators)
+	for i, views := range perAggregator {
+		s, err := AddVectors(views...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sums[i] = s
+	}
+	got, err := CombineVectors(sums)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int64{111, 222, 333, 444}
+	for l := range want {
+		if got[l] != want[l] {
+			t.Errorf("aggregate[%d]=%d, want %d", l, got[l], want[l])
+		}
+	}
+}
+
+func TestVectorErrors(t *testing.T) {
+	if _, err := ShareVector([]int64{1}, 1, rand.Reader); !errors.Is(err, ErrShareCount) {
+		t.Errorf("ShareVector n=1: %v", err)
+	}
+	if _, err := ShareVector([]int64{-5}, 2, rand.Reader); err == nil {
+		t.Error("negative count accepted")
+	}
+	if _, err := AddVectors(SharedVector{1, 2}, SharedVector{1}); !errors.Is(err, ErrLengthMismatch) {
+		t.Errorf("AddVectors mismatch: %v", err)
+	}
+	if v, err := AddVectors(); err != nil || v != nil {
+		t.Errorf("empty AddVectors: %v, %v", v, err)
+	}
+	if _, err := CombineVectors([]SharedVector{{1}}); !errors.Is(err, ErrShareCount) {
+		t.Errorf("single aggregator: %v", err)
+	}
+	if _, err := CombineVectors([]SharedVector{{1, 2}, {1}}); !errors.Is(err, ErrLengthMismatch) {
+		t.Errorf("CombineVectors mismatch: %v", err)
+	}
+}
+
+// Property: sharing and recombining arbitrary counts round-trips, and the
+// elementwise share sums match plaintext sums.
+func TestQuickShareHomomorphism(t *testing.T) {
+	f := func(a, b uint32, rawN uint8) bool {
+		n := int(rawN%5) + 2
+		sa, err := Share(int64(a), n, rand.Reader)
+		if err != nil {
+			return false
+		}
+		sb, err := Share(int64(b), n, rand.Reader)
+		if err != nil {
+			return false
+		}
+		sum := make([]uint64, n)
+		for i := range sum {
+			sum[i] = addMod(sa[i], sb[i])
+		}
+		got, err := Combine(sum)
+		return err == nil && got == int64(a)+int64(b)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,54 @@
+package stats
+
+import (
+	"math"
+
+	"gendpr/internal/genome"
+)
+
+// R2FromStats computes the squared Pearson correlation between two SNPs from
+// pooled sufficient statistics (the quantities GDO enclaves outsource during
+// Phase 2). For binary genotypes this equals the contingency-table r^2 of
+// Section 3.1. Degenerate input (a monomorphic SNP) yields 0.
+func R2FromStats(s genome.PairStats) float64 {
+	n := float64(s.N)
+	if n == 0 {
+		return 0
+	}
+	num := n*float64(s.SumXY) - float64(s.SumX)*float64(s.SumY)
+	vx := n*float64(s.SumXX) - float64(s.SumX)*float64(s.SumX)
+	vy := n*float64(s.SumYY) - float64(s.SumY)*float64(s.SumY)
+	if vx <= 0 || vy <= 0 {
+		return 0
+	}
+	r2 := num * num / (vx * vy)
+	if r2 > 1 {
+		// Guard against floating-point drift above the mathematical bound.
+		r2 = 1
+	}
+	return r2
+}
+
+// PairTableFromStats reconstructs the pairwise contingency table of Table 2b
+// from binary-genotype sufficient statistics.
+func PairTableFromStats(s genome.PairStats) PairTable {
+	return PairTable{
+		C11: s.SumXY,
+		C10: s.SumX - s.SumXY,
+		C01: s.SumY - s.SumXY,
+		C00: s.N - s.SumX - s.SumY + s.SumXY,
+	}
+}
+
+// LDPValue returns the chi-square(1) p-value for the hypothesis that two
+// SNPs are uncorrelated, using the classical identity chi^2 = N * r^2. Small
+// p-values indicate high linkage disequilibrium; the paper removes a SNP of
+// every pair with p below the LD cutoff (1e-5).
+func LDPValue(s genome.PairStats) (float64, error) {
+	r2 := R2FromStats(s)
+	x := float64(s.N) * r2
+	if math.IsNaN(x) {
+		return 0, ErrBadArgument
+	}
+	return ChiSquareSurvival(x, 1)
+}

@@ -1,0 +1,37 @@
+package transport
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzReadFrame feeds arbitrary bytes to the frame decoder: it must reject
+// or parse without panicking, and anything parsed must re-serialize to an
+// equivalent frame.
+func FuzzReadFrame(f *testing.F) {
+	var buf bytes.Buffer
+	if err := WriteFrame(&buf, Message{Kind: 7, Payload: []byte("payload")}); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.Bytes())
+	f.Add([]byte{})
+	f.Add([]byte{0xFF, 0xFF, 0xFF, 0xFF, 0, 0})
+	f.Add([]byte{0, 0, 0, 0, 0, 0})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		m, err := ReadFrame(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		var out bytes.Buffer
+		if err := WriteFrame(&out, m); err != nil {
+			t.Fatalf("accepted frame failed to serialize: %v", err)
+		}
+		back, err := ReadFrame(&out)
+		if err != nil {
+			t.Fatalf("own output failed to parse: %v", err)
+		}
+		if back.Kind != m.Kind || !bytes.Equal(back.Payload, m.Payload) {
+			t.Fatal("frame round trip changed the message")
+		}
+	})
+}

@@ -1,0 +1,65 @@
+package transport
+
+import "sync/atomic"
+
+// Meter counts the traffic crossing a connection. GenDPR's headline
+// bandwidth claim (Section 7.1) is that members exchange count vectors and
+// LR-matrices instead of genome files; the federation uses meters to report
+// exactly how many bytes crossed each attested channel.
+type Meter struct {
+	sentBytes atomic.Int64
+	recvBytes atomic.Int64
+	sentMsgs  atomic.Int64
+	recvMsgs  atomic.Int64
+}
+
+// SentBytes returns the total payload bytes sent.
+func (m *Meter) SentBytes() int64 { return m.sentBytes.Load() }
+
+// RecvBytes returns the total payload bytes received.
+func (m *Meter) RecvBytes() int64 { return m.recvBytes.Load() }
+
+// SentMessages returns the number of messages sent.
+func (m *Meter) SentMessages() int64 { return m.sentMsgs.Load() }
+
+// RecvMessages returns the number of messages received.
+func (m *Meter) RecvMessages() int64 { return m.recvMsgs.Load() }
+
+// TotalBytes returns traffic in both directions.
+func (m *Meter) TotalBytes() int64 { return m.SentBytes() + m.RecvBytes() }
+
+// meteredConn counts payload bytes around an inner connection. Wrapping
+// outside NewSecure measures ciphertext (wire) sizes; wrapping inside
+// measures plaintext sizes.
+type meteredConn struct {
+	inner Conn
+	meter *Meter
+}
+
+var _ Conn = (*meteredConn)(nil)
+
+// NewMetered wraps a connection so all traffic is counted on the meter.
+func NewMetered(inner Conn, meter *Meter) Conn {
+	return &meteredConn{inner: inner, meter: meter}
+}
+
+func (c *meteredConn) Send(m Message) error {
+	if err := c.inner.Send(m); err != nil {
+		return err
+	}
+	c.meter.sentBytes.Add(int64(len(m.Payload)))
+	c.meter.sentMsgs.Add(1)
+	return nil
+}
+
+func (c *meteredConn) Recv() (Message, error) {
+	m, err := c.inner.Recv()
+	if err != nil {
+		return Message{}, err
+	}
+	c.meter.recvBytes.Add(int64(len(m.Payload)))
+	c.meter.recvMsgs.Add(1)
+	return m, nil
+}
+
+func (c *meteredConn) Close() error { return c.inner.Close() }

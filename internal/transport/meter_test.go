@@ -1,0 +1,87 @@
+package transport
+
+import (
+	"bytes"
+	"testing"
+
+	"gendpr/internal/seal"
+)
+
+func TestMeterCountsBothDirections(t *testing.T) {
+	a, b := Pipe()
+	defer a.Close()
+	var meter Meter
+	ma := NewMetered(a, &meter)
+
+	go func() {
+		m, err := b.Recv()
+		if err != nil {
+			t.Errorf("Recv: %v", err)
+			return
+		}
+		if err := b.Send(Message{Kind: 2, Payload: append(m.Payload, 'x')}); err != nil {
+			t.Errorf("Send: %v", err)
+		}
+	}()
+
+	if err := ma.Send(Message{Kind: 1, Payload: []byte("1234")}); err != nil {
+		t.Fatal(err)
+	}
+	reply, err := ma.Recv()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(reply.Payload, []byte("1234x")) {
+		t.Fatalf("reply %q", reply.Payload)
+	}
+	if meter.SentBytes() != 4 || meter.RecvBytes() != 5 {
+		t.Errorf("bytes sent=%d recv=%d, want 4/5", meter.SentBytes(), meter.RecvBytes())
+	}
+	if meter.SentMessages() != 1 || meter.RecvMessages() != 1 {
+		t.Errorf("messages sent=%d recv=%d, want 1/1", meter.SentMessages(), meter.RecvMessages())
+	}
+	if meter.TotalBytes() != 9 {
+		t.Errorf("total=%d, want 9", meter.TotalBytes())
+	}
+}
+
+func TestMeterSeesCiphertextWhenOutsideSecure(t *testing.T) {
+	key, err := seal.NewKey()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rawA, rawB := Pipe()
+	defer rawA.Close()
+	var meter Meter
+	// secure(metered(raw)): the meter counts ciphertext.
+	a := NewSecure(NewMetered(rawA, &meter), key)
+	b := NewSecure(rawB, key)
+
+	payload := []byte("plaintext-body")
+	go func() {
+		if err := a.Send(Message{Kind: 1, Payload: payload}); err != nil {
+			t.Errorf("Send: %v", err)
+		}
+	}()
+	if _, err := b.Recv(); err != nil {
+		t.Fatal(err)
+	}
+	// GCM adds a 12-byte nonce and 16-byte tag.
+	if got := meter.SentBytes(); got != int64(len(payload))+28 {
+		t.Errorf("ciphertext bytes %d, want %d", got, len(payload)+28)
+	}
+}
+
+func TestMeterDoesNotCountFailedSends(t *testing.T) {
+	a, b := Pipe()
+	_ = b
+	a.Close()
+	var meter Meter
+	ma := NewMetered(a, &meter)
+	if err := ma.Send(Message{Payload: []byte("x")}); err == nil {
+		t.Fatal("send on closed pipe must fail")
+	}
+	if meter.SentBytes() != 0 || meter.SentMessages() != 0 {
+		t.Error("failed send was counted")
+	}
+}

@@ -1,0 +1,55 @@
+package vcf
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"gendpr/internal/genome"
+)
+
+// FuzzRead checks that arbitrary text never panics the parser and that
+// anything it accepts round-trips through Write.
+func FuzzRead(f *testing.F) {
+	var sample bytes.Buffer
+	m := genome.NewMatrix(2, 3)
+	m.Set(0, 1, true)
+	if err := Write(&sample, m); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(sample.String())
+	f.Add("")
+	f.Add("##fileformat=VCFv4.2\n#CHROM\tPOS\tID\tREF\tALT\tQUAL\tFILTER\tINFO\tFORMAT\n")
+	f.Add("#CHROM\tPOS\n1\t2\n")
+	f.Add("1\t1\trs0\tA\tG\t.\tPASS\t.\tGT\t0\t1\n")
+	f.Fuzz(func(t *testing.T, text string) {
+		parsed, err := Read(strings.NewReader(text))
+		if err != nil {
+			return
+		}
+		var buf bytes.Buffer
+		if err := Write(&buf, parsed); err != nil {
+			t.Fatalf("accepted matrix failed to serialize: %v", err)
+		}
+		again, err := Read(&buf)
+		if err != nil {
+			t.Fatalf("own output failed to parse: %v", err)
+		}
+		if !again.Equal(parsed) {
+			t.Fatal("write/read round trip changed genotypes")
+		}
+	})
+}
+
+// FuzzReadSigned checks the signed reader against hostile headers.
+func FuzzReadSigned(f *testing.F) {
+	f.Add([]byte("##gendpr-signature=zz\nbody"))
+	f.Add([]byte("##gendpr-signature=00ff\n"))
+	f.Add([]byte("no newline"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		// Any error is fine; panics are not. A nil key never verifies.
+		if _, err := ReadSigned(bytes.NewReader(data), nil); err == nil {
+			t.Fatal("unsigned/garbage input verified against a nil key")
+		}
+	})
+}
