@@ -1,0 +1,126 @@
+// Command gendpr-lint runs the GenDPR project-invariant static-analysis
+// suite (internal/analysis) over the module and exits non-zero when any
+// invariant is violated. It is the lint half of scripts/check.sh, the
+// repository's CI gate; STATIC_ANALYSIS.md documents each analyzer and how
+// to acknowledge an intentional exception with //gendpr:allow.
+//
+// Usage:
+//
+//	gendpr-lint [./...] [dir ...]
+//
+// With no arguments (or "./..."), the whole module containing the working
+// directory is linted. Directory arguments restrict the report to packages
+// under those paths; the full module is still loaded so cross-package type
+// information stays complete.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"gendpr/internal/analysis"
+)
+
+func main() {
+	verbose := flag.Bool("v", false, "list analyzers and packages as they run")
+	flag.Parse()
+	if err := run(flag.Args(), *verbose); err != nil {
+		fmt.Fprintln(os.Stderr, "gendpr-lint:", err)
+		os.Exit(2)
+	}
+}
+
+func run(args []string, verbose bool) error {
+	root, err := moduleRoot()
+	if err != nil {
+		return err
+	}
+	mod, err := analysis.LoadModule(root)
+	if err != nil {
+		return err
+	}
+	analyzers := analysis.DefaultAnalyzers()
+	if verbose {
+		fmt.Fprintf(os.Stderr, "module %s: %d packages, %d analyzers\n",
+			mod.Path, len(mod.Packages), len(analyzers))
+		for _, p := range mod.Packages {
+			if len(p.TypeErrors) > 0 {
+				fmt.Fprintf(os.Stderr, "  %s: %d type errors (syntactic checks only where types are missing)\n",
+					p.Path, len(p.TypeErrors))
+			}
+		}
+	}
+
+	keep, err := dirFilter(root, args)
+	if err != nil {
+		return err
+	}
+	var findings int
+	for _, d := range analysis.Run(mod, analyzers) {
+		if !keep(d.Pos.Filename) {
+			continue
+		}
+		rel, err := filepath.Rel(root, d.Pos.Filename)
+		if err != nil {
+			rel = d.Pos.Filename
+		}
+		fmt.Printf("%s:%d:%d: [%s] %s\n", rel, d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message)
+		findings++
+	}
+	if findings > 0 {
+		fmt.Fprintf(os.Stderr, "gendpr-lint: %d finding(s)\n", findings)
+		os.Exit(1)
+	}
+	return nil
+}
+
+// moduleRoot walks up from the working directory to the enclosing go.mod.
+func moduleRoot() (string, error) {
+	dir, err := os.Getwd()
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("no go.mod above %s", dir)
+		}
+		dir = parent
+	}
+}
+
+// dirFilter interprets the positional arguments: "./..." (or none) keeps
+// everything, directory arguments keep findings under those directories.
+func dirFilter(root string, args []string) (func(string) bool, error) {
+	var dirs []string
+	for _, a := range args {
+		if a == "./..." || a == "..." {
+			return func(string) bool { return true }, nil
+		}
+		abs, err := filepath.Abs(strings.TrimSuffix(a, "/..."))
+		if err != nil {
+			return nil, err
+		}
+		if info, err := os.Stat(abs); err != nil || !info.IsDir() {
+			return nil, fmt.Errorf("%s is not a directory", a)
+		}
+		dirs = append(dirs, abs)
+	}
+	if len(dirs) == 0 {
+		return func(string) bool { return true }, nil
+	}
+	return func(file string) bool {
+		for _, d := range dirs {
+			if file == d || strings.HasPrefix(file, d+string(filepath.Separator)) {
+				return true
+			}
+		}
+		return false
+	}, nil
+}

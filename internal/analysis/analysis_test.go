@@ -1,0 +1,258 @@
+package analysis
+
+import (
+	"bufio"
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// wantRe extracts expectations of the form: want "substring"
+var wantRe = regexp.MustCompile(`want "([^"]+)"`)
+
+// fixtureExpectations scans a fixture directory's Go files for // want
+// comments, keyed by file:line.
+func fixtureExpectations(t *testing.T, dir string) map[string][]string {
+	t.Helper()
+	want := make(map[string][]string)
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		path := filepath.Join(dir, e.Name())
+		f, err := os.Open(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sc := bufio.NewScanner(f)
+		for line := 1; sc.Scan(); line++ {
+			for _, m := range wantRe.FindAllStringSubmatch(sc.Text(), -1) {
+				key := fmt.Sprintf("%s:%d", path, line)
+				want[key] = append(want[key], m[1])
+			}
+		}
+		if err := sc.Err(); err != nil {
+			t.Fatal(err)
+		}
+		f.Close()
+	}
+	return want
+}
+
+// runFixture lints one testdata package with one analyzer and compares the
+// diagnostics against the // want expectations, both directions.
+func runFixture(t *testing.T, a *Analyzer, name string) {
+	t.Helper()
+	dir := filepath.Join("testdata", "src", name)
+	pkg, err := LoadPackageDir(dir, "fixture/"+name)
+	if err != nil {
+		t.Fatalf("loading fixture %s: %v", name, err)
+	}
+	mod := &Module{Path: "fixture", Dir: dir, Fset: pkg.Fset, Packages: []*Package{pkg}}
+	diags := Run(mod, []*Analyzer{a})
+
+	want := fixtureExpectations(t, dir)
+	matched := make(map[string]int)
+	for _, d := range diags {
+		key := fmt.Sprintf("%s:%d", d.Pos.Filename, d.Pos.Line)
+		found := false
+		for _, w := range want[key] {
+			if strings.Contains(d.Message, w) {
+				found = true
+				matched[key]++
+				break
+			}
+		}
+		if !found {
+			t.Errorf("unexpected diagnostic: %s", d)
+		}
+	}
+	for key, ws := range want {
+		if matched[key] < len(ws) {
+			t.Errorf("%s: expected diagnostic(s) %q not reported", key, ws)
+		}
+	}
+	if len(want) == 0 {
+		t.Fatalf("fixture %s has no // want expectations; it would pass vacuously", name)
+	}
+}
+
+func fixtureScope(name string) []Scope {
+	return []Scope{{PathPrefix: "fixture/" + name}}
+}
+
+func TestCryptoRandFixture(t *testing.T) {
+	runFixture(t, NewCryptoRand(fixtureScope("cryptorand")), "cryptorand")
+}
+
+func TestLockAcrossSendFixture(t *testing.T) {
+	runFixture(t, NewLockAcrossSend(nil), "lockacrosssend")
+}
+
+func TestFloatEqFixture(t *testing.T) {
+	runFixture(t, NewFloatEq(nil), "floateq")
+}
+
+func TestErrDropFixture(t *testing.T) {
+	runFixture(t, NewErrDrop(nil), "errdrop")
+}
+
+func TestWGMisuseFixture(t *testing.T) {
+	runFixture(t, NewWGMisuse(nil), "wgmisuse")
+}
+
+// TestScopeExcludesOtherPackages: an analyzer scoped elsewhere must not
+// fire on the fixture.
+func TestScopeExcludesOtherPackages(t *testing.T) {
+	dir := filepath.Join("testdata", "src", "cryptorand")
+	pkg, err := LoadPackageDir(dir, "fixture/cryptorand")
+	if err != nil {
+		t.Fatal(err)
+	}
+	mod := &Module{Path: "fixture", Dir: dir, Fset: pkg.Fset, Packages: []*Package{pkg}}
+	a := NewCryptoRand([]Scope{{PathPrefix: "fixture/otherpkg"}})
+	if diags := Run(mod, []*Analyzer{a}); len(diags) != 0 {
+		t.Fatalf("out-of-scope analyzer reported %v", diags)
+	}
+}
+
+func TestScopeMatching(t *testing.T) {
+	cases := []struct {
+		scope Scope
+		pkg   string
+		base  string
+		want  bool
+	}{
+		{Scope{PathPrefix: "a/b"}, "a/b", "x.go", true},
+		{Scope{PathPrefix: "a/b"}, "a/b/c", "x.go", true},
+		{Scope{PathPrefix: "a/b"}, "a/bc", "x.go", false},
+		{Scope{PathPrefix: "a/b", Files: []string{"y.go"}}, "a/b", "x.go", false},
+		{Scope{PathPrefix: "a/b", Files: []string{"x.go"}}, "a/b", "x.go", true},
+	}
+	for _, c := range cases {
+		if got := c.scope.matches(c.pkg, c.base); got != c.want {
+			t.Errorf("%+v.matches(%q, %q) = %v, want %v", c.scope, c.pkg, c.base, got, c.want)
+		}
+	}
+}
+
+// TestMalformedDirective: an allow directive without a justification is
+// itself a finding.
+func TestMalformedDirective(t *testing.T) {
+	dir := t.TempDir()
+	src := `package fixture
+
+func f(a, b float64) bool {
+	//gendpr:allow(floateq)
+	return a == b
+}
+`
+	if err := os.WriteFile(filepath.Join(dir, "f.go"), []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	pkg, err := LoadPackageDir(dir, "fixture/malformed")
+	if err != nil {
+		t.Fatal(err)
+	}
+	mod := &Module{Path: "fixture", Dir: dir, Fset: pkg.Fset, Packages: []*Package{pkg}}
+	diags := Run(mod, []*Analyzer{NewFloatEq(nil)})
+	var directive, floateq bool
+	for _, d := range diags {
+		switch d.Analyzer {
+		case "directive":
+			directive = true
+		case "floateq":
+			floateq = true
+		}
+	}
+	if !directive {
+		t.Error("missing-justification directive not reported")
+	}
+	if !floateq {
+		t.Error("reasonless directive must not suppress the finding")
+	}
+}
+
+// TestJustifiedDirectiveSuppresses: with a reason, the finding on the next
+// line is silenced.
+func TestJustifiedDirectiveSuppresses(t *testing.T) {
+	dir := t.TempDir()
+	src := `package fixture
+
+func f(a, b float64) bool {
+	//gendpr:allow(floateq): fixture proves bitwise identity is intended here
+	return a == b
+}
+`
+	if err := os.WriteFile(filepath.Join(dir, "f.go"), []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	pkg, err := LoadPackageDir(dir, "fixture/justified")
+	if err != nil {
+		t.Fatal(err)
+	}
+	mod := &Module{Path: "fixture", Dir: dir, Fset: pkg.Fset, Packages: []*Package{pkg}}
+	if diags := Run(mod, []*Analyzer{NewFloatEq(nil)}); len(diags) != 0 {
+		t.Fatalf("justified directive did not suppress: %v", diags)
+	}
+}
+
+// TestLoadModuleSelf loads the real repository and checks the loader's
+// basic guarantees: the module path resolves, dependency order holds, and
+// the privacy-critical packages type-check (analyzers rely on their type
+// information, so silent degradation there would weaken the gate).
+func TestLoadModuleSelf(t *testing.T) {
+	if testing.Short() {
+		t.Skip("loads and type-checks the whole module")
+	}
+	mod, err := LoadModule(filepath.Join("..", ".."))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mod.Path != "gendpr" {
+		t.Fatalf("module path %q", mod.Path)
+	}
+	index := make(map[string]int)
+	for i, p := range mod.Packages {
+		index[p.Path] = i
+	}
+	for _, need := range []string{"gendpr/internal/oram", "gendpr/internal/transport", "gendpr/internal/federation", "gendpr/internal/analysis"} {
+		if _, ok := index[need]; !ok {
+			t.Errorf("package %s not loaded", need)
+		}
+	}
+	if index["gendpr/internal/federation"] < index["gendpr/internal/transport"] {
+		t.Error("dependency order violated: federation before transport")
+	}
+	for _, p := range mod.Packages {
+		switch p.Path {
+		case "gendpr/internal/oram", "gendpr/internal/transport", "gendpr/internal/federation",
+			"gendpr/internal/stats", "gendpr/internal/lrtest", "gendpr/internal/core":
+			if len(p.TypeErrors) > 0 {
+				t.Errorf("%s has type errors: %v", p.Path, p.TypeErrors[0])
+			}
+		}
+	}
+}
+
+// TestDefaultSuiteCleanOnTree is the in-test version of the CI gate:
+// the default analyzers report nothing on the current repository.
+func TestDefaultSuiteCleanOnTree(t *testing.T) {
+	if testing.Short() {
+		t.Skip("loads and type-checks the whole module")
+	}
+	mod, err := LoadModule(filepath.Join("..", ".."))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range Run(mod, DefaultAnalyzers()) {
+		t.Errorf("finding on clean tree: %s", d)
+	}
+}

@@ -1,0 +1,135 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// errDropNames are the call names whose error results carry protocol state:
+// transport sends/receives and the frame/wire codecs. Dropping one leaves a
+// federation peer silently desynchronized — the member believes a reply was
+// delivered, the leader never sees it — which surfaces later as a hung Recv
+// or a protocol violation attributed to the wrong party.
+var errDropNames = map[string]bool{
+	"Send":       true,
+	"Recv":       true,
+	"WriteFrame": true,
+	"ReadFrame":  true,
+	"Finish":     true,
+}
+
+// errDropPrefixes extends the match to the wire codec helper families
+// (encodeX/decodeX, EncodeX/DecodeX) whose final result is an error.
+var errDropPrefixes = []string{"encode", "decode", "Encode", "Decode"}
+
+// NewErrDrop returns the analyzer flagging discarded error results from
+// transport send/receive and wire encode/decode calls: a bare call
+// statement, an `_ =` assignment, a blank in the error position of a
+// multi-assign, and go/defer statements that discard the result.
+//
+// When type information is available, only calls whose signature really ends
+// in error are flagged; otherwise the name match decides.
+func NewErrDrop(scopes []Scope) *Analyzer {
+	a := &Analyzer{
+		Name:   "errdrop",
+		Doc:    "errors from transport Send/Recv and wire encode/decode must be checked",
+		Scopes: scopes,
+	}
+	a.Run = func(p *Pass) {
+		for _, f := range p.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				switch s := n.(type) {
+				case *ast.ExprStmt:
+					if call, ok := s.X.(*ast.CallExpr); ok {
+						checkDroppedCall(p, call, "result of %s discarded: %s")
+					}
+				case *ast.GoStmt:
+					checkDroppedCall(p, s.Call, "error from %s discarded by go statement: %s")
+				case *ast.DeferStmt:
+					checkDroppedCall(p, s.Call, "error from %s discarded by defer: %s")
+				case *ast.AssignStmt:
+					checkDroppedAssign(p, s)
+				}
+				return true
+			})
+		}
+	}
+	return a
+}
+
+func errDropCallee(call *ast.CallExpr) (string, bool) {
+	var name string
+	switch fn := call.Fun.(type) {
+	case *ast.Ident:
+		name = fn.Name
+	case *ast.SelectorExpr:
+		name = fn.Sel.Name
+	default:
+		return "", false
+	}
+	if errDropNames[name] {
+		return name, true
+	}
+	for _, prefix := range errDropPrefixes {
+		if strings.HasPrefix(name, prefix) && len(name) > len(prefix) {
+			return name, true
+		}
+	}
+	return "", false
+}
+
+// lastResultError reports whether the call's final result is an error.
+// Unknown signatures (no type info) default to true so the name heuristics
+// still apply on partially-checked packages.
+func lastResultError(p *Pass, call *ast.CallExpr) bool {
+	info := p.Pkg.Info
+	if info == nil {
+		return true
+	}
+	tv, ok := info.Types[call.Fun]
+	if !ok || tv.Type == nil {
+		return true
+	}
+	sig, ok := tv.Type.Underlying().(*types.Signature)
+	if !ok {
+		return true
+	}
+	res := sig.Results()
+	if res.Len() == 0 {
+		return false
+	}
+	return types.Identical(res.At(res.Len()-1).Type(), types.Universe.Lookup("error").Type())
+}
+
+func checkDroppedCall(p *Pass, call *ast.CallExpr, format string) {
+	name, ok := errDropCallee(call)
+	if !ok || !lastResultError(p, call) {
+		return
+	}
+	p.Reportf(call.Pos(), format, name,
+		"a lost transport/wire error desynchronizes the protocol; handle it or add a justified //gendpr:allow(errdrop)")
+}
+
+// checkDroppedAssign flags `_ = f(...)` and `v, _ := f(...)` where the blank
+// lands on the error result of a matched call.
+func checkDroppedAssign(p *Pass, s *ast.AssignStmt) {
+	if len(s.Rhs) != 1 {
+		return
+	}
+	call, ok := s.Rhs[0].(*ast.CallExpr)
+	if !ok {
+		return
+	}
+	name, ok := errDropCallee(call)
+	if !ok || !lastResultError(p, call) {
+		return
+	}
+	last, ok := s.Lhs[len(s.Lhs)-1].(*ast.Ident)
+	if !ok || last.Name != "_" {
+		return
+	}
+	p.Reportf(s.Pos(),
+		"error from %s assigned to blank: a lost transport/wire error desynchronizes the protocol; handle it or add a justified //gendpr:allow(errdrop)",
+		name)
+}

@@ -1,0 +1,76 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+)
+
+// NewFloatEq returns the analyzer flagging == and != between float-typed
+// operands in the statistical packages. The release-assessment cutoffs (MAF
+// 0.05, p < 1e-5, the alpha/beta power thresholds) travel through logs,
+// divisions, and pooled aggregation; exact equality on such values silently
+// depends on evaluation order and platform rounding, which is exactly the
+// non-determinism a reproducibility-audited release pipeline must exclude.
+//
+// Two idioms stay legal: comparing an expression with itself (the NaN
+// check), and comparing against an exact-zero constant (an IEEE-754-exact
+// sentinel). Everything else needs a tolerance, an integer domain, or a
+// justified //gendpr:allow(floateq) directive.
+func NewFloatEq(scopes []Scope) *Analyzer {
+	a := &Analyzer{
+		Name:   "floateq",
+		Doc:    "float operands must not be compared with == or != (tolerances or integer domains instead)",
+		Scopes: scopes,
+	}
+	a.Run = func(p *Pass) {
+		info := p.Pkg.Info
+		if info == nil {
+			return
+		}
+		for _, f := range p.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				be, ok := n.(*ast.BinaryExpr)
+				if !ok || (be.Op != token.EQL && be.Op != token.NEQ) {
+					return true
+				}
+				xt, xok := info.Types[be.X]
+				yt, yok := info.Types[be.Y]
+				if !xok || !yok || !isFloat(xt.Type) || !isFloat(yt.Type) {
+					return true
+				}
+				if types.ExprString(be.X) == types.ExprString(be.Y) {
+					return true // NaN idiom: x != x
+				}
+				if isExactZero(xt.Value) || isExactZero(yt.Value) {
+					return true // exact-zero sentinel comparison
+				}
+				p.Reportf(be.OpPos,
+					"exact floating-point %s between %s and %s: cutoff and frequency values carry rounding error; compare with a tolerance or move to an integer domain",
+					be.Op, types.ExprString(be.X), types.ExprString(be.Y))
+				return true
+			})
+		}
+	}
+	return a
+}
+
+func isFloat(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsFloat != 0
+}
+
+func isExactZero(v constant.Value) bool {
+	if v == nil {
+		return false
+	}
+	switch v.Kind() {
+	case constant.Int, constant.Float:
+		return constant.Sign(v) == 0
+	}
+	return false
+}

@@ -1,0 +1,255 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Package is one parsed (and, when possible, type-checked) package. Test
+// files are excluded: the invariants guard production code, and tests
+// legitimately use deterministic randomness and exact comparisons.
+type Package struct {
+	// Path is the import path ("gendpr/internal/oram").
+	Path string
+	// Dir is the absolute directory.
+	Dir string
+	// Fset is the module-wide file set.
+	Fset *token.FileSet
+	// Files holds the parsed non-test files, sorted by file name.
+	Files []*ast.File
+	// Types and Info carry the type-check result. They are non-nil even
+	// when checking was incomplete; TypeErrors records what went wrong so
+	// analyzers can degrade to syntactic checks.
+	Types      *types.Package
+	Info       *types.Info
+	TypeErrors []error
+}
+
+// Module is a loaded Go module: every package under the root, in dependency
+// order (imports before importers).
+type Module struct {
+	Path     string
+	Dir      string
+	Fset     *token.FileSet
+	Packages []*Package
+}
+
+// skipDir reports directories the loader never descends into.
+func skipDir(name string) bool {
+	return name == "testdata" || name == "vendor" ||
+		strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")
+}
+
+var moduleLine = regexp.MustCompile(`(?m)^module\s+(\S+)`)
+
+// LoadModule parses and type-checks every package of the module rooted at
+// dir (the directory containing go.mod). Type-check failures in one package
+// do not fail the load: they are recorded on the package and checking
+// continues, so syntactic analyzers still see the whole module.
+func LoadModule(dir string) (*Module, error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return nil, err
+	}
+	modBytes, err := os.ReadFile(filepath.Join(abs, "go.mod"))
+	if err != nil {
+		return nil, fmt.Errorf("analysis: %s is not a module root: %w", dir, err)
+	}
+	m := moduleLine.FindSubmatch(modBytes)
+	if m == nil {
+		return nil, fmt.Errorf("analysis: no module line in %s/go.mod", dir)
+	}
+	mod := &Module{Path: string(m[1]), Dir: abs, Fset: token.NewFileSet()}
+
+	byPath := make(map[string]*Package)
+	err = filepath.WalkDir(abs, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() {
+			return nil
+		}
+		if path != abs && skipDir(d.Name()) {
+			return filepath.SkipDir
+		}
+		pkg, err := parseDir(mod.Fset, path, importPathFor(mod, abs, path))
+		if err != nil {
+			return err
+		}
+		if pkg != nil {
+			byPath[pkg.Path] = pkg
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	mod.Packages = topoSort(byPath)
+	typeCheck(mod, byPath)
+	return mod, nil
+}
+
+func importPathFor(mod *Module, root, dir string) string {
+	rel, err := filepath.Rel(root, dir)
+	if err != nil || rel == "." {
+		return mod.Path
+	}
+	return mod.Path + "/" + filepath.ToSlash(rel)
+}
+
+// parseDir parses the non-test Go files of one directory; nil when the
+// directory holds no Go package.
+func parseDir(fset *token.FileSet, dir, path string) (*Package, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var names []string
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		names = append(names, name)
+	}
+	if len(names) == 0 {
+		return nil, nil
+	}
+	sort.Strings(names)
+	pkg := &Package{Path: path, Dir: dir, Fset: fset}
+	for _, name := range names {
+		f, err := parser.ParseFile(fset, filepath.Join(dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, fmt.Errorf("analysis: parse %s: %w", filepath.Join(dir, name), err)
+		}
+		pkg.Files = append(pkg.Files, f)
+	}
+	return pkg, nil
+}
+
+// imports lists the package's import paths.
+func (p *Package) imports() []string {
+	seen := make(map[string]bool)
+	var out []string
+	for _, f := range p.Files {
+		for _, imp := range f.Imports {
+			path, err := strconv.Unquote(imp.Path.Value)
+			if err != nil || seen[path] {
+				continue
+			}
+			seen[path] = true
+			out = append(out, path)
+		}
+	}
+	return out
+}
+
+// topoSort orders packages so every intra-module import precedes its
+// importer (cycles cannot occur in a buildable module; any residue is
+// appended in path order).
+func topoSort(byPath map[string]*Package) []*Package {
+	var order []*Package
+	state := make(map[string]int) // 0 unvisited, 1 visiting, 2 done
+	paths := make([]string, 0, len(byPath))
+	for p := range byPath {
+		paths = append(paths, p)
+	}
+	sort.Strings(paths)
+	var visit func(string)
+	visit = func(path string) {
+		pkg := byPath[path]
+		if pkg == nil || state[path] != 0 {
+			return
+		}
+		state[path] = 1
+		for _, dep := range pkg.imports() {
+			visit(dep)
+		}
+		state[path] = 2
+		order = append(order, pkg)
+	}
+	for _, p := range paths {
+		visit(p)
+	}
+	return order
+}
+
+// chainImporter resolves intra-module imports from the already-checked
+// packages and everything else (the standard library) by type-checking its
+// source via go/importer's "source" compiler support.
+type chainImporter struct {
+	local map[string]*Package
+	std   types.ImporterFrom
+}
+
+func (c *chainImporter) Import(path string) (*types.Package, error) {
+	return c.ImportFrom(path, "", 0)
+}
+
+func (c *chainImporter) ImportFrom(path, dir string, mode types.ImportMode) (*types.Package, error) {
+	if p, ok := c.local[path]; ok {
+		if p.Types == nil {
+			return nil, fmt.Errorf("analysis: %s not yet type-checked (import cycle?)", path)
+		}
+		return p.Types, nil
+	}
+	return c.std.ImportFrom(path, dir, mode)
+}
+
+// typeCheck runs go/types over every package in dependency order, recording
+// rather than propagating failures.
+func typeCheck(mod *Module, byPath map[string]*Package) {
+	std, _ := importer.ForCompiler(mod.Fset, "source", nil).(types.ImporterFrom)
+	imp := &chainImporter{local: byPath, std: std}
+	for _, pkg := range mod.Packages {
+		checkPackage(mod.Fset, pkg, imp)
+	}
+}
+
+func checkPackage(fset *token.FileSet, pkg *Package, imp types.Importer) {
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+	}
+	conf := types.Config{
+		Importer: imp,
+		Error:    func(err error) { pkg.TypeErrors = append(pkg.TypeErrors, err) },
+	}
+	tpkg, err := conf.Check(pkg.Path, fset, pkg.Files, info)
+	if err != nil && len(pkg.TypeErrors) == 0 {
+		pkg.TypeErrors = append(pkg.TypeErrors, err)
+	}
+	pkg.Types = tpkg
+	pkg.Info = info
+}
+
+// LoadPackageDir loads a single directory as one standalone package under
+// the given import path, resolving imports from the standard library only.
+// It backs the analyzer fixture tests, which lint self-contained testdata
+// packages.
+func LoadPackageDir(dir, path string) (*Package, error) {
+	fset := token.NewFileSet()
+	pkg, err := parseDir(fset, dir, path)
+	if err != nil {
+		return nil, err
+	}
+	if pkg == nil {
+		return nil, fmt.Errorf("analysis: no Go files in %s", dir)
+	}
+	std, _ := importer.ForCompiler(fset, "source", nil).(types.ImporterFrom)
+	checkPackage(fset, pkg, &chainImporter{local: nil, std: std})
+	return pkg, nil
+}

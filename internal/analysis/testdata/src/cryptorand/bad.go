@@ -1,0 +1,12 @@
+// Package fixture exercises the cryptorand analyzer: math/rand (any
+// flavor) is forbidden in privacy-critical packages.
+package fixture
+
+import (
+	"math/rand" // want "math/rand imported in privacy-critical package"
+)
+
+// Shuffle leaks: a seeded PRNG makes the permutation predictable.
+func Shuffle(v []int) {
+	rand.Shuffle(len(v), func(i, j int) { v[i], v[j] = v[j], v[i] })
+}

@@ -1,0 +1,13 @@
+package fixture
+
+import (
+	"crypto/rand"
+	"io"
+)
+
+// Nonce is fine: crypto/rand is the sanctioned entropy source.
+func Nonce() ([]byte, error) {
+	b := make([]byte, 16)
+	_, err := io.ReadFull(rand.Reader, b)
+	return b, err
+}

@@ -1,0 +1,68 @@
+// Package fixture exercises the errdrop analyzer: discarded errors from
+// transport send/receive and wire encode/decode calls.
+package fixture
+
+// Conn stands in for transport.Conn.
+type Conn struct{}
+
+func (Conn) Send(b []byte) error   { return nil }
+func (Conn) Recv() ([]byte, error) { return nil, nil }
+
+func decodeFrame(b []byte) (int, error) { return 0, nil }
+
+// encodeFrame has no error result: bare calls are pointless but not an
+// errdrop finding.
+func encodeFrame(v int) []byte { return nil }
+
+// BadBareSend drops the error entirely.
+func BadBareSend(c Conn, b []byte) {
+	c.Send(b) // want "result of Send discarded"
+}
+
+// BadBlankSend assigns the error to blank.
+func BadBlankSend(c Conn, b []byte) {
+	_ = c.Send(b) // want "error from Send assigned to blank"
+}
+
+// BadBlankDecode drops the error position of a multi-result decode.
+func BadBlankDecode(b []byte) int {
+	v, _ := decodeFrame(b) // want "error from decodeFrame assigned to blank"
+	return v
+}
+
+// BadGoSend launches a send whose error nobody can observe.
+func BadGoSend(c Conn, b []byte) {
+	go c.Send(b) // want "error from Send discarded by go statement"
+}
+
+// BadDeferRecv defers a receive whose error vanishes.
+func BadDeferRecv(c Conn) {
+	defer c.Recv() // want "error from Recv discarded by defer"
+}
+
+// GoodChecked handles the error.
+func GoodChecked(c Conn, b []byte) error {
+	if err := c.Send(b); err != nil {
+		return err
+	}
+	v, err := decodeFrame(b)
+	if err != nil {
+		return err
+	}
+	_ = v
+	return nil
+}
+
+// GoodEncodeNoError: the callee has no error result, so a bare call is not
+// an errdrop finding (type information proves it).
+func GoodEncodeNoError(v int) {
+	encodeFrame(v)
+}
+
+// GoodUnmatchedName: dropping errors from unrelated calls is outside this
+// analyzer's contract.
+func GoodUnmatchedName(c Conn) {
+	_ = helper()
+}
+
+func helper() error { return nil }

@@ -1,0 +1,56 @@
+// Package fixture exercises the floateq analyzer: exact float comparisons
+// outside the sanctioned idioms.
+package fixture
+
+import "math"
+
+const cutoff = 0.05
+
+// BadFrequencyEquality compares computed frequencies exactly.
+func BadFrequencyEquality(caseFreq, refFreq float64) bool {
+	return caseFreq == refFreq // want "exact floating-point == between caseFreq and refFreq"
+}
+
+// BadCutoffEquality tests a derived value against a non-zero threshold.
+func BadCutoffEquality(maf float64) bool {
+	return maf != cutoff // want "exact floating-point != between maf and cutoff"
+}
+
+// BadFloat32 also applies to float32 operands.
+func BadFloat32(a, b float32) bool {
+	return a == b // want "exact floating-point == between a and b"
+}
+
+// GoodNaNIdiom: self-comparison is the NaN check.
+func GoodNaNIdiom(v float64) bool {
+	return v != v
+}
+
+// GoodZeroSentinel: comparing against exact zero is IEEE-exact.
+func GoodZeroSentinel(n float64) float64 {
+	if n == 0 {
+		return 0
+	}
+	return 1 / n
+}
+
+// GoodIntComparison: integer equality is unaffected.
+func GoodIntComparison(a, b int64) bool {
+	return a == b
+}
+
+// GoodTolerance is the recommended pattern.
+func GoodTolerance(a, b float64) bool {
+	return math.Abs(a-b) < 1e-12
+}
+
+// GoodOrdering: relational comparisons stay legal (cutoffs use < and >=).
+func GoodOrdering(p float64) bool {
+	return p < 1e-5
+}
+
+// GoodSuppressed documents an intentional exact comparison.
+func GoodSuppressed(a, b float64) bool {
+	//gendpr:allow(floateq): fixture demonstrates a justified suppression
+	return a == b
+}

@@ -1,0 +1,61 @@
+// Package fixture exercises the wgmisuse analyzer: WaitGroup.Add inside the
+// spawned goroutine and non-deferred Done.
+package fixture
+
+import "sync"
+
+// BadAddInsideGoroutine: Wait can observe zero before the goroutine runs.
+func BadAddInsideGoroutine(work func()) {
+	var wg sync.WaitGroup
+	go func() {
+		wg.Add(1) // want "wg.Add inside the spawned goroutine races with Wait"
+		defer wg.Done()
+		work()
+	}()
+	wg.Wait()
+}
+
+// BadTrailingDone: an early return or panic in work skips Done.
+func BadTrailingDone(work func()) {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		work()
+		wg.Done() // want "wg.Done is not deferred"
+	}()
+	wg.Wait()
+}
+
+// GoodChoreography: Add before go, Done deferred first.
+func GoodChoreography(work func()) {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		work()
+	}()
+	wg.Wait()
+}
+
+// GoodNonWaitGroupAdd: Add on other types is ignored.
+type counter struct{ n int }
+
+func (c *counter) Add(v int) { c.n += v }
+func (c *counter) Done()     {}
+
+func GoodNonWaitGroup(c *counter) {
+	go func() {
+		c.Add(1)
+		c.Done()
+	}()
+}
+
+// GoodNamedFunction: goroutines running named functions are out of scope
+// (the body is analyzed where it is declared).
+func GoodNamedFunction(wg *sync.WaitGroup) {
+	wg.Add(1)
+	go release(wg)
+	wg.Wait()
+}
+
+func release(wg *sync.WaitGroup) { defer wg.Done() }

@@ -3,7 +3,6 @@ package core
 import (
 	"fmt"
 	"math/bits"
-	"math/rand"
 
 	"gendpr/internal/genome"
 	"gendpr/internal/lrtest"
@@ -26,9 +25,10 @@ type ObliviousMember struct {
 var _ Provider = (*ObliviousMember)(nil)
 
 // NewObliviousMember loads a genotype shard into an ORAM store, one block
-// per SNP column. The rng drives ORAM leaf remapping; use a crypto-seeded
-// source in production.
-func NewObliviousMember(shard *genome.Matrix, rng *rand.Rand) (*ObliviousMember, error) {
+// per SNP column. The rng drives ORAM leaf remapping; production code must
+// pass a crypto-backed source (internal/crand.Source) so the host cannot
+// predict leaf assignments, while tests pass a seeded deterministic source.
+func NewObliviousMember(shard *genome.Matrix, rng oram.Rand) (*ObliviousMember, error) {
 	if shard == nil {
 		return nil, fmt.Errorf("core: oblivious member needs a genotype shard")
 	}

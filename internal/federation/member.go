@@ -70,7 +70,10 @@ func (m *Member) Serve(raw transport.Conn) error {
 		}
 		reply, done, err := m.handle(local, msg)
 		if err != nil {
-			// Report the failure to the leader, then stop serving.
+			// Report the failure to the leader, then stop serving. The
+			// send is best-effort: the member is already returning the
+			// original error, and a dead channel would only add noise.
+			//gendpr:allow(errdrop): best-effort failure report while already propagating the root-cause error
 			_ = conn.Send(transport.Message{Kind: KindError, Payload: []byte(err.Error())})
 			return fmt.Errorf("federation: member %s: %w", m.id, err)
 		}

@@ -34,14 +34,19 @@ func (m *Matrix) CompactBytes() ([]byte, error) {
 				// never produces it, so fall back to the dense encoding.
 				return nil, fmt.Errorf("%w: column %d contains NaN", ErrNotCompactable, j)
 			}
+			// The compact codec tests whether each cell is bit-identical
+			// to one of the column's two representatives; the values are
+			// copies, never recomputed, so exact equality is the spec.
 			switch {
 			case seen == 0:
 				lo[j] = v
 				seen = 1
+			//gendpr:allow(floateq): exact-representation dictionary check, values are verbatim copies
 			case seen >= 1 && v == lo[j]:
 			case seen == 1:
 				hi[j] = v
 				seen = 2
+			//gendpr:allow(floateq): exact-representation dictionary check, values are verbatim copies
 			case v != hi[j]:
 				return nil, fmt.Errorf("%w: column %d", ErrNotCompactable, j)
 			}
@@ -68,6 +73,7 @@ func (m *Matrix) CompactBytes() ([]byte, error) {
 	bits := make([]byte, bitBytes)
 	for i := 0; i < m.rows; i++ {
 		for j := 0; j < m.cols; j++ {
+			//gendpr:allow(floateq): bit assignment against the verbatim representatives collected above
 			if m.data[i*m.cols+j] == hi[j] && hi[j] != lo[j] {
 				idx := i*m.cols + j
 				bits[idx/8] |= 1 << (uint(idx) % 8)

@@ -184,11 +184,14 @@ func (m *Matrix) Column(j int) []float64 {
 }
 
 // Equal reports whether two matrices are identical in shape and content.
+// Identity is bitwise by contract: the wire codec round-trip guarantees
+// (and tests assert) exact reproduction, not approximate equality.
 func (m *Matrix) Equal(o *Matrix) bool {
 	if m.rows != o.rows || m.cols != o.cols {
 		return false
 	}
 	for i := range m.data {
+		//gendpr:allow(floateq): bitwise identity is this method's documented contract
 		if m.data[i] != o.data[i] {
 			return false
 		}

@@ -207,6 +207,10 @@ func DiscriminabilityOrder(caseLR, refLR *Matrix) []int {
 		rs[j] = ranked{j: j, d: math.Abs(columnMean(caseLR, j) - columnMean(refLR, j))}
 	}
 	sort.Slice(rs, func(a, b int) bool {
+		// Exact inequality keeps the comparator a strict weak order; a
+		// tolerance here would make "equal" intransitive and the ordering
+		// (hence the admission order every combination shares) unstable.
+		//gendpr:allow(floateq): sort tie-break needs exact comparison for a consistent total order
 		if rs[a].d != rs[b].d {
 			return rs[a].d < rs[b].d
 		}

@@ -12,8 +12,19 @@ package oram
 import (
 	"errors"
 	"fmt"
-	"math/rand"
 )
+
+// Rand is the minimal uniform-integer source ORAM consumes for leaf
+// remapping. Production code must inject a cryptographically secure
+// implementation (internal/crand.Source): the Path ORAM security argument
+// requires that an observer of the untrusted host cannot predict remapped
+// leaves. Tests inject a seeded *math/rand.Rand, which satisfies the same
+// interface, for reproducible traces. The cryptorand static analyzer keeps
+// math/rand itself out of this package.
+type Rand interface {
+	// Intn returns a uniform value in [0, n); it may panic for n <= 0.
+	Intn(n int) int
+}
 
 // BucketSize is Z, the number of block slots per tree node. Z=4 is the
 // setting shown by the Path ORAM paper to keep the stash small.
@@ -44,15 +55,15 @@ type ORAM struct {
 	buckets [][]block // heap layout, 1-based; len(buckets[i]) <= BucketSize
 	pos     []int     // addr -> leaf
 	stash   map[int][]byte
-	rng     *rand.Rand
+	rng     Rand
 
 	accesses int64
 }
 
 // New creates an ORAM holding capacity blocks of blockSize bytes. The rng
-// drives leaf remapping; pass a crypto-seeded source in production and a
-// fixed seed in tests.
-func New(capacity, blockSize int, rng *rand.Rand) (*ORAM, error) {
+// drives leaf remapping; pass a crand.Source in production and a fixed-seed
+// math/rand source in tests.
+func New(capacity, blockSize int, rng Rand) (*ORAM, error) {
 	if capacity <= 0 {
 		return nil, fmt.Errorf("oram: capacity %d invalid", capacity)
 	}
@@ -171,7 +182,7 @@ type Store struct {
 }
 
 // NewStore creates an ORAM store with all blocks zero-initialized.
-func NewStore(capacity, blockSize int, rng *rand.Rand) (*Store, error) {
+func NewStore(capacity, blockSize int, rng Rand) (*Store, error) {
 	o, err := New(capacity, blockSize, rng)
 	if err != nil {
 		return nil, err

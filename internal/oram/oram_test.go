@@ -4,8 +4,11 @@ import (
 	"bytes"
 	"encoding/binary"
 	"errors"
+	"fmt"
 	"math/rand"
 	"testing"
+
+	"gendpr/internal/crand"
 )
 
 func newTestORAM(t *testing.T, capacity, blockSize int, seed int64) *ORAM {
@@ -206,6 +209,32 @@ func BenchmarkORAMAccess(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		if err := o.Write(i%(1<<12), data); err != nil {
 			b.Fatal(err)
+		}
+	}
+}
+
+// TestCryptoSource exercises the production configuration: ORAM driven by a
+// crypto/rand-backed source instead of the deterministic test PRNG.
+func TestCryptoSource(t *testing.T) {
+	o, err := New(64, 8, crand.New())
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[int]string{}
+	for i := 0; i < 64; i++ {
+		v := fmt.Sprintf("v%07d", i)
+		if err := o.Write(i, []byte(v)); err != nil {
+			t.Fatal(err)
+		}
+		want[i] = v
+	}
+	for i := 0; i < 64; i++ {
+		got, err := o.Read(i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(got) != want[i] {
+			t.Fatalf("addr %d: got %q want %q", i, got, want[i])
 		}
 	}
 }

@@ -269,6 +269,10 @@ func (s *secureConn) Send(m Message) error {
 	if err != nil {
 		return fmt.Errorf("transport: encrypt: %w", err)
 	}
+	// sendMu binds the sequence-number increment to the wire order; a
+	// concurrent Send slipping between them would desynchronize the AEAD
+	// replay window. The lock guards only this channel's ordering.
+	//gendpr:allow(lockacrosssend): the lock IS the wire-order/sequence-number serializer for this direction
 	if err := s.inner.Send(Message{Kind: m.Kind, Payload: ct}); err != nil {
 		return err
 	}
@@ -279,6 +283,9 @@ func (s *secureConn) Send(m Message) error {
 func (s *secureConn) Recv() (Message, error) {
 	s.recvMu.Lock()
 	defer s.recvMu.Unlock()
+	// Mirror of Send: the receive order must match the sequence-number
+	// increments, so the lock spans the blocking Recv by design.
+	//gendpr:allow(lockacrosssend): the lock IS the wire-order/sequence-number serializer for this direction
 	m, err := s.inner.Recv()
 	if err != nil {
 		return Message{}, err

@@ -1,0 +1,29 @@
+#!/usr/bin/env sh
+# CI gate for the GenDPR repo: formatting, vet, build, project-invariant
+# lint (see STATIC_ANALYSIS.md), and the race-enabled test suite.
+# Run from anywhere inside the repo; exits non-zero on the first failure.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "== gofmt =="
+unformatted=$(gofmt -l . | grep -v '/testdata/' || true)
+if [ -n "$unformatted" ]; then
+    echo "gofmt needed on:" >&2
+    echo "$unformatted" >&2
+    exit 1
+fi
+
+echo "== go vet =="
+go vet ./...
+
+echo "== go build =="
+go build ./...
+
+echo "== gendpr-lint =="
+go run ./cmd/gendpr-lint ./...
+
+echo "== go test -race =="
+go test -race ./...
+
+echo "ALL CHECKS PASSED"
