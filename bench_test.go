@@ -192,6 +192,7 @@ func BenchmarkTable5Collusion(b *testing.B) {
 			b.Run(fmt.Sprintf("G%d_%s", g, p.label), func(b *testing.B) {
 				b.ReportAllocs()
 				var safe, combos int
+				var lrPeak int64
 				for i := 0; i < b.N; i++ {
 					rep, err := bench.RunGenDPR(w, g, p.policy)
 					if err != nil {
@@ -199,9 +200,11 @@ func BenchmarkTable5Collusion(b *testing.B) {
 					}
 					safe = len(rep.Selection.Safe)
 					combos = rep.Combinations
+					lrPeak = rep.PeakLRMatrixBytes
 				}
 				b.ReportMetric(float64(safe), "safe-snps")
 				b.ReportMetric(float64(combos), "combinations")
+				b.ReportMetric(float64(lrPeak), "lr-matrix-bytes")
 			})
 		}
 	}

@@ -1,0 +1,74 @@
+// Command benchjson records `go test -bench` output into a benchmark
+// trajectory file (e.g. BENCH_phase3.json). It reads benchmark output on
+// stdin, parses the result lines, and appends one labelled entry to the
+// JSON trajectory — replacing a previous entry with the same label, so
+// re-recording a run is idempotent.
+//
+// Usage (normally driven by scripts/bench.sh):
+//
+//	go test -run '^$' -bench Phase3 . | benchjson -label pr2 -out BENCH_phase3.json
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"gendpr/internal/bench"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("benchjson", flag.ContinueOnError)
+	var (
+		label     = fs.String("label", "", "entry label (required; same label replaces the prior entry)")
+		out       = fs.String("out", "BENCH_phase3.json", "trajectory file to update")
+		name      = fs.String("benchmark", "phase3", "trajectory benchmark name")
+		scale     = fs.Float64("scale", 0, "GENDPR_BENCH_SCALE the run used (recorded as metadata)")
+		benchtime = fs.String("benchtime", "", "-benchtime the run used (recorded as metadata)")
+		note      = fs.String("note", "", "free-form note recorded with the entry")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *label == "" {
+		return fmt.Errorf("-label is required")
+	}
+
+	results, err := bench.ParseBenchOutput(os.Stdin)
+	if err != nil {
+		return err
+	}
+	if len(results) == 0 {
+		return fmt.Errorf("no benchmark result lines on stdin")
+	}
+
+	existing, err := os.ReadFile(*out)
+	if err != nil && !os.IsNotExist(err) {
+		return err
+	}
+	entry := bench.Entry{
+		Label:     *label,
+		Date:      time.Now().UTC().Format("2006-01-02"),
+		Scale:     *scale,
+		BenchTime: *benchtime,
+		Note:      *note,
+		Results:   results,
+	}
+	merged, err := bench.MergeTrajectory(existing, *name, entry)
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(*out, merged, 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "benchjson: recorded %d results as %q in %s\n", len(results), *label, *out)
+	return nil
+}

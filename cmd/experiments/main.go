@@ -17,6 +17,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"sort"
 	"strings"
 	"time"
@@ -34,14 +36,42 @@ func main() {
 func run(args []string) error {
 	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
 	var (
-		scale = fs.Float64("scale", 0.1, "genome-count scale factor (1 = paper sizes)")
-		only  = fs.String("only", "", "run a single experiment: table3, fig5a, fig5b, fig6a, fig6b, table4, table5, bandwidth")
-		gdos  = fs.Int("gdos", 3, "federation size for table4")
-		gGrid = fs.String("table5-g", "3,4,5", "federation sizes for table5")
-		reps  = fs.Int("reps", 5, "repetitions averaged per running-time figure (the paper uses 5)")
+		scale      = fs.Float64("scale", 0.1, "genome-count scale factor (1 = paper sizes)")
+		only       = fs.String("only", "", "run a single experiment: table3, fig5a, fig5b, fig6a, fig6b, table4, table5, bandwidth")
+		gdos       = fs.Int("gdos", 3, "federation size for table4")
+		gGrid      = fs.String("table5-g", "3,4,5", "federation sizes for table5")
+		reps       = fs.Int("reps", 5, "repetitions averaged per running-time figure (the paper uses 5)")
+		cpuProfile = fs.String("cpuprofile", "", "write a CPU profile of the selected experiments to this file")
+		memProfile = fs.String("memprofile", "", "write an end-of-run heap profile to this file")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			return fmt.Errorf("cpuprofile: %w", err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return fmt.Errorf("cpuprofile: %w", err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memProfile != "" {
+		defer func() {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "experiments: memprofile:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // settle allocations so the heap profile shows live memory
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "experiments: memprofile:", err)
+			}
+		}()
 	}
 
 	experiments := map[string]func() error{

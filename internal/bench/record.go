@@ -1,0 +1,120 @@
+package bench
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+// Result is one parsed `go test -bench` output line: the benchmark name
+// (without the Benchmark prefix and -GOMAXPROCS suffix), its iteration
+// count, and every reported metric keyed by unit (ns/op, B/op, custom
+// b.ReportMetric units).
+type Result struct {
+	Name       string             `json:"name"`
+	Iterations int64              `json:"iterations"`
+	Metrics    map[string]float64 `json:"metrics"`
+}
+
+// Entry is one run of the benchmark suite inside a trajectory file such as
+// BENCH_phase3.json: a label (usually the change under test), run metadata,
+// and the parsed results.
+type Entry struct {
+	Label     string   `json:"label"`
+	Date      string   `json:"date,omitempty"`
+	Scale     float64  `json:"scale,omitempty"`
+	BenchTime string   `json:"benchtime,omitempty"`
+	Note      string   `json:"note,omitempty"`
+	Results   []Result `json:"results"`
+}
+
+// Trajectory is the top-level shape of a BENCH_*.json file: an append-only
+// sequence of suite runs, oldest first, so successive perf PRs can compare
+// against any recorded baseline.
+type Trajectory struct {
+	Benchmark string  `json:"benchmark"`
+	Entries   []Entry `json:"entries"`
+}
+
+// benchLine matches `go test -bench` result lines, e.g.
+//
+//	BenchmarkTable4Selection/7430genomes_1000SNPs-8   1   40786768 ns/op   489.0 maf-snps
+var benchLine = regexp.MustCompile(`^Benchmark(\S+?)(?:-\d+)?\s+(\d+)\s+(.+)$`)
+
+// ParseBenchOutput extracts the benchmark results from `go test -bench`
+// output, ignoring every non-result line (headers, PASS/ok, test chatter).
+func ParseBenchOutput(r io.Reader) ([]Result, error) {
+	var out []Result
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+	for sc.Scan() {
+		m := benchLine.FindStringSubmatch(strings.TrimRight(sc.Text(), " \t"))
+		if m == nil {
+			continue
+		}
+		iters, err := strconv.ParseInt(m[2], 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("bench: iteration count in %q: %w", sc.Text(), err)
+		}
+		res := Result{Name: m[1], Iterations: iters, Metrics: map[string]float64{}}
+		fields := strings.Fields(m[3])
+		for i := 0; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				return nil, fmt.Errorf("bench: metric value in %q: %w", sc.Text(), err)
+			}
+			res.Metrics[fields[i+1]] = v
+		}
+		out = append(out, res)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("bench: reading output: %w", err)
+	}
+	return out, nil
+}
+
+// MergeTrajectory appends entry to the trajectory serialized in existing
+// (which may be empty for a fresh file) and returns the updated JSON. An
+// existing entry with the same label is replaced in place, so re-running a
+// suite under one label updates rather than duplicates its record.
+func MergeTrajectory(existing []byte, benchmark string, entry Entry) ([]byte, error) {
+	traj := Trajectory{Benchmark: benchmark}
+	if len(existing) > 0 {
+		if err := json.Unmarshal(existing, &traj); err != nil {
+			return nil, fmt.Errorf("bench: existing trajectory: %w", err)
+		}
+		if traj.Benchmark != benchmark {
+			return nil, fmt.Errorf("bench: trajectory records %q, not %q", traj.Benchmark, benchmark)
+		}
+	}
+	replaced := false
+	for i := range traj.Entries {
+		if traj.Entries[i].Label == entry.Label {
+			traj.Entries[i] = entry
+			replaced = true
+			break
+		}
+	}
+	if !replaced {
+		traj.Entries = append(traj.Entries, entry)
+	}
+	buf, err := json.MarshalIndent(traj, "", "  ")
+	if err != nil {
+		return nil, fmt.Errorf("bench: encode trajectory: %w", err)
+	}
+	return append(buf, '\n'), nil
+}
+
+// FindResult returns the named result inside an entry, or false.
+func (e Entry) FindResult(name string) (Result, bool) {
+	for _, r := range e.Results {
+		if r.Name == name {
+			return r, true
+		}
+	}
+	return Result{}, false
+}

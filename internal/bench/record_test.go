@@ -1,0 +1,100 @@
+package bench
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+const sampleBenchOutput = `goos: linux
+goarch: amd64
+pkg: gendpr
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkTable4Selection/7430genomes_1000SNPs-8         	       1	  40786768 ns/op	        38.00 ld-snps	 4581528 B/op	    7499 allocs/op
+BenchmarkTable5Collusion/G3_f1                        	       2	 336609875 ns/op	         4.000 combinations	51230584 B/op
+PASS
+ok  	gendpr	8.524s
+`
+
+func TestParseBenchOutput(t *testing.T) {
+	results, err := ParseBenchOutput(strings.NewReader(sampleBenchOutput))
+	if err != nil {
+		t.Fatalf("ParseBenchOutput: %v", err)
+	}
+	if len(results) != 2 {
+		t.Fatalf("parsed %d results, want 2", len(results))
+	}
+	first := results[0]
+	if first.Name != "Table4Selection/7430genomes_1000SNPs" {
+		t.Errorf("name %q", first.Name)
+	}
+	if first.Iterations != 1 {
+		t.Errorf("iterations %d, want 1", first.Iterations)
+	}
+	if first.Metrics["ns/op"] != 40786768 {
+		t.Errorf("ns/op %v", first.Metrics["ns/op"])
+	}
+	if first.Metrics["ld-snps"] != 38 {
+		t.Errorf("ld-snps %v", first.Metrics["ld-snps"])
+	}
+	if first.Metrics["allocs/op"] != 7499 {
+		t.Errorf("allocs/op %v", first.Metrics["allocs/op"])
+	}
+	second := results[1]
+	if second.Name != "Table5Collusion/G3_f1" || second.Iterations != 2 {
+		t.Errorf("second result %+v", second)
+	}
+}
+
+func TestParseBenchOutputIgnoresChatter(t *testing.T) {
+	results, err := ParseBenchOutput(strings.NewReader("PASS\nok gendpr 1s\n=== RUN TestX\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 0 {
+		t.Fatalf("parsed %d results from chatter", len(results))
+	}
+}
+
+func TestMergeTrajectoryAppendsAndReplaces(t *testing.T) {
+	e1 := Entry{Label: "seed", Results: []Result{{Name: "X", Iterations: 1, Metrics: map[string]float64{"ns/op": 10}}}}
+	buf, err := MergeTrajectory(nil, "phase3", e1)
+	if err != nil {
+		t.Fatalf("fresh merge: %v", err)
+	}
+	e2 := Entry{Label: "pr2", Results: []Result{{Name: "X", Iterations: 1, Metrics: map[string]float64{"ns/op": 5}}}}
+	buf, err = MergeTrajectory(buf, "phase3", e2)
+	if err != nil {
+		t.Fatalf("append merge: %v", err)
+	}
+	var traj Trajectory
+	if err := json.Unmarshal(buf, &traj); err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if traj.Benchmark != "phase3" || len(traj.Entries) != 2 {
+		t.Fatalf("trajectory %+v", traj)
+	}
+
+	// Same label replaces in place.
+	e2b := Entry{Label: "pr2", Note: "rerun", Results: e2.Results}
+	buf, err = MergeTrajectory(buf, "phase3", e2b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(buf, &traj); err != nil {
+		t.Fatal(err)
+	}
+	if len(traj.Entries) != 2 || traj.Entries[1].Note != "rerun" {
+		t.Fatalf("replace failed: %+v", traj.Entries)
+	}
+
+	// Mismatched benchmark name is rejected.
+	if _, err := MergeTrajectory(buf, "other", e1); err == nil {
+		t.Fatal("benchmark mismatch accepted")
+	}
+
+	r, ok := traj.Entries[0].FindResult("X")
+	if !ok || r.Metrics["ns/op"] != 10 {
+		t.Fatalf("FindResult: %+v %v", r, ok)
+	}
+}

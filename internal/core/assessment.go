@@ -66,6 +66,7 @@ func RunAssessment(members []Provider, reference *genome.Matrix, cfg Config, pol
 		acct:    leaderEnclave,
 		members: make([]*cachedProvider, g),
 		report:  &Report{Combinations: len(subsets)},
+		pool:    defaultWorkPool(),
 	}
 	for i, m := range members {
 		run.members[i] = newCachedProvider(m)
@@ -95,6 +96,7 @@ func RunAssessment(members []Provider, reference *genome.Matrix, cfg Config, pol
 	if run.acct != nil {
 		run.report.PeakEnclaveBytes = run.acct.MemoryPeak()
 	}
+	run.report.PeakLRMatrixBytes = run.lrPeak
 	return run.report, nil
 }
 
@@ -130,15 +132,21 @@ type assessmentRun struct {
 	acct    *enclave.Enclave
 	members []*cachedProvider
 	report  *Report
+	pool    *workPool
 
 	counts    [][]int64
 	caseNs    []int64
 	refCounts []int64
+	refCols   *genome.ColumnBits
 	refN      int64
 
 	timingMu  sync.Mutex
 	pairMu    sync.Mutex
 	pairsSeen map[[2]int]bool
+
+	lrMu    sync.Mutex
+	lrBytes int64
+	lrPeak  int64
 }
 
 // addTiming accumulates wall time into one breakdown bucket; the accessor is
@@ -163,9 +171,34 @@ func (r *assessmentRun) free(n int64) {
 	}
 }
 
+// allocLR accounts protected memory that holds LR-matrices, tracking the
+// Phase 3 component of the enclave footprint separately so the report can
+// attribute it (Report.PeakLRMatrixBytes).
+func (r *assessmentRun) allocLR(n int64) error {
+	if err := r.alloc(n); err != nil {
+		return err
+	}
+	r.lrMu.Lock()
+	r.lrBytes += n
+	if r.lrBytes > r.lrPeak {
+		r.lrPeak = r.lrBytes
+	}
+	r.lrMu.Unlock()
+	return nil
+}
+
+func (r *assessmentRun) freeLR(n int64) {
+	r.free(n)
+	r.lrMu.Lock()
+	r.lrBytes -= n
+	r.lrMu.Unlock()
+}
+
 // forEachSubset runs one evaluation per combination, sequentially by
 // default or concurrently when the configuration enables the paper's
-// parallel-combination optimization.
+// parallel-combination optimization. Concurrency goes through the shared
+// worker pool: C(G, G−f) grows fast, and a goroutine per combination (each
+// spawning per-member fetches of its own) oversubscribes the leader.
 func (r *assessmentRun) forEachSubset(subsets [][]int, eval func(c int, subset []int) error) error {
 	if !r.cfg.ParallelCombinations || len(subsets) == 1 {
 		for c, subset := range subsets {
@@ -178,11 +211,10 @@ func (r *assessmentRun) forEachSubset(subsets [][]int, eval func(c int, subset [
 	errs := make([]error, len(subsets))
 	var wg sync.WaitGroup
 	for c, subset := range subsets {
-		wg.Add(1)
-		go func(c int, subset []int) {
-			defer wg.Done()
+		c, subset := c, subset
+		r.pool.Go(&wg, func() {
 			errs[c] = eval(c, subset)
-		}(c, subset)
+		})
 	}
 	wg.Wait()
 	return errors.Join(errs...)
@@ -203,9 +235,8 @@ func (r *assessmentRun) collectSummaries() error {
 
 	var wg sync.WaitGroup
 	for i, m := range r.members {
-		wg.Add(1)
-		go func(i int, m *cachedProvider) {
-			defer wg.Done()
+		i, m := i, m
+		r.pool.Go(&wg, func() {
 			counts, err := m.Counts()
 			if err != nil {
 				errs[i] = fmt.Errorf("core: member %d counts: %w", i, err)
@@ -218,7 +249,7 @@ func (r *assessmentRun) collectSummaries() error {
 			}
 			r.counts[i] = counts
 			r.caseNs[i] = n
-		}(i, m)
+		})
 	}
 	wg.Wait()
 	if err := errors.Join(errs...); err != nil {
@@ -243,7 +274,13 @@ func (r *assessmentRun) collectSummaries() error {
 			return err
 		}
 	}
-	r.refCounts = r.ref.AlleleCounts()
+	// The reference panel is queried for thousands of pair counts in Phase 2;
+	// the column-major view turns each into a stride-1 AND+popcount.
+	r.refCols = r.ref.Transpose()
+	r.refCounts = make([]int64, l)
+	for snp := range r.refCounts {
+		r.refCounts[snp] = r.refCols.AlleleCount(snp)
+	}
 	r.refN = int64(r.ref.N())
 	r.pairsSeen = make(map[[2]int]bool)
 	return nil
@@ -306,22 +343,45 @@ func (r *assessmentRun) subsetPairStats(subset []int) PairStatsFunc {
 			}
 		}
 
+		// The reference panel's single counts are already known (Phase 1
+		// computed them), so its contribution costs one PairCount column
+		// pass instead of three full scans.
+		pooled := genome.PairStatsFromCounts(r.refN, r.refCounts[a], r.refCounts[b], r.refCols.PairCount(a, b))
+
+		// Fast path: after the prefetch, almost every pair the LD scan asks
+		// for is in every member's cache — aggregate synchronously instead of
+		// dispatching a goroutine per member.
+		cached := make([]genome.PairStats, len(subset))
+		hit := 0
+		for slot, i := range subset {
+			s, ok := r.members[i].cachedPair(a, b)
+			if !ok {
+				break
+			}
+			cached[slot] = s
+			hit++
+		}
+		if hit == len(subset) {
+			for _, s := range cached {
+				pooled = pooled.Add(s)
+			}
+			return pooled, nil
+		}
+
 		parts := make([]genome.PairStats, len(subset))
 		errs := make([]error, len(subset))
 		var wg sync.WaitGroup
 		for slot, i := range subset {
-			wg.Add(1)
-			go func(slot, i int) {
-				defer wg.Done()
+			slot, i := slot, i
+			r.pool.Go(&wg, func() {
 				s, err := r.members[i].PairStats(a, b)
 				if err != nil {
 					errs[slot] = fmt.Errorf("core: member %d pair stats: %w", i, err)
 					return
 				}
 				parts[slot] = s
-			}(slot, i)
+			})
 		}
-		pooled := r.ref.PairStats(a, b)
 		wg.Wait()
 		if err := errors.Join(errs...); err != nil {
 			return genome.PairStats{}, err
@@ -363,13 +423,12 @@ func (r *assessmentRun) prefetchAdjacentPairs(lPrime []int) error {
 	errs := make([]error, len(r.members))
 	var wg sync.WaitGroup
 	for i, m := range r.members {
-		wg.Add(1)
-		go func(i int, m *cachedProvider) {
-			defer wg.Done()
+		i, m := i, m
+		r.pool.Go(&wg, func() {
 			if err := m.Prefetch(pairs); err != nil {
 				errs[i] = fmt.Errorf("core: member %d pair prefetch: %w", i, err)
 			}
-		}(i, m)
+		})
 	}
 	wg.Wait()
 	return errors.Join(errs...)
@@ -414,13 +473,30 @@ func (r *assessmentRun) phase2LD(subsets [][]int, lPrime []int) ([]int, [][]int,
 	return intersected, per, nil
 }
 
+// bitLRBytes is the protected-memory footprint of one bit-packed LR-matrix:
+// one bit per cell packed into 64-bit words per column, two float64
+// representatives per column, plus the fixed header.
+func bitLRBytes(rows, cols int64) int64 {
+	return lrMatrixOverhead + 8*((rows+63)/64)*cols + 16*cols
+}
+
 func (r *assessmentRun) phase3LR(subsets [][]int, lDouble []int) ([]int, [][]int, float64, error) {
 	per := make([][]int, len(subsets))
 	var fullPower float64
 	// The admission order is derived once, from the full-membership
 	// evaluation (subsets[0]), and shared with every collusion combination;
-	// see LRPhaseOrdered.
+	// see LRPhaseBitOrdered.
 	var order []int
+
+	// The reference panel's genotype bit-pattern is combination-independent:
+	// refFreq depends only on the reference counts, so across collusion
+	// combinations only the per-column log ratios change, never which cells
+	// are minor alleles. The full-membership evaluation (always first,
+	// sequentially) builds the pattern once; every other combination reskins
+	// it with its own ratios, sharing the read-only cell bits.
+	var refPattern *lrtest.BitMatrix
+	cols := int64(len(lDouble))
+	reskinBytes := 16 * cols // a reskin allocates only two representatives per column
 
 	evalSubset := func(c int, subset []int) error {
 		counts, n := r.subsetCounts(subset)
@@ -434,23 +510,24 @@ func (r *assessmentRun) phase3LR(subsets [][]int, lDouble []int) ([]int, [][]int
 		for _, i := range subset {
 			rows += r.caseNs[i]
 		}
-		caseBytes := lrMatrixOverhead + 8*rows*int64(len(lDouble))
-		refBytes := lrMatrixOverhead + 8*r.refN*int64(len(lDouble))
-		if err := r.alloc(caseBytes + refBytes); err != nil {
+		lrBytes := bitLRBytes(rows, cols)
+		if c > 0 {
+			lrBytes += reskinBytes
+		}
+		if err := r.allocLR(lrBytes); err != nil {
 			return err
 		}
-		defer r.free(caseBytes + refBytes)
+		defer r.freeLR(lrBytes)
 
 		// Collect the members' local LR-matrices: each member builds its
 		// own matrix on its own machine, concurrently.
 		start = time.Now()
-		parts := make([]*lrtest.Matrix, len(subset))
+		parts := make([]*lrtest.BitMatrix, len(subset))
 		errs := make([]error, len(subset))
 		var wg sync.WaitGroup
 		for slot, i := range subset {
-			wg.Add(1)
-			go func(slot, i int) {
-				defer wg.Done()
+			slot, i := slot, i
+			r.pool.Go(&wg, func() {
 				lr, err := r.members[i].LRMatrix(lDouble, caseFreq, refFreq)
 				if err != nil {
 					errs[slot] = fmt.Errorf("core: member %d LR-matrix: %w", i, err)
@@ -461,28 +538,42 @@ func (r *assessmentRun) phase3LR(subsets [][]int, lDouble []int) ([]int, [][]int
 					return
 				}
 				parts[slot] = lr
-			}(slot, i)
+			})
 		}
 		wg.Wait()
 		if err := errors.Join(errs...); err != nil {
 			return err
 		}
-		merged, err := lrtest.Merge(parts...)
+		merged, err := lrtest.MergeBits(parts...)
 		r.addTiming(&r.report.Timings.DataAggregation, start)
 		if err != nil {
 			return fmt.Errorf("core: merge LR-matrices: %w", err)
 		}
 
-		// Build the reference matrix and run the empirical search.
+		// Obtain the reference matrix — built once, reskinned after — and
+		// run the empirical search.
 		start = time.Now()
-		refLR, err := BuildLRMatrix(r.ref, lDouble, caseFreq, refFreq)
-		if err != nil {
-			return err
+		var refLR *lrtest.BitMatrix
+		if c == 0 {
+			refLR, err = BuildLRBitMatrix(r.ref, lDouble, caseFreq, refFreq)
+			if err != nil {
+				return err
+			}
+			refPattern = refLR
+		} else {
+			ratios, rerr := lrtest.NewLogRatios(caseFreq, refFreq)
+			if rerr != nil {
+				return fmt.Errorf("core: log ratios: %w", rerr)
+			}
+			refLR, err = refPattern.Reskin(ratios)
+			if err != nil {
+				return err
+			}
 		}
 		if c == 0 {
-			order = lrtest.DiscriminabilityOrder(merged, refLR)
+			order = lrtest.DiscriminabilityOrderBit(merged, refLR)
 		}
-		safe, power, err := LRPhaseOrdered(lDouble, merged, refLR, r.cfg.LR, order)
+		safe, power, err := LRPhaseBitOrdered(lDouble, merged, refLR, r.cfg.LR, order)
 		r.addTiming(&r.report.Timings.LRTest, start)
 		if err != nil {
 			return err
@@ -493,6 +584,13 @@ func (r *assessmentRun) phase3LR(subsets [][]int, lDouble []int) ([]int, [][]int
 		}
 		return nil
 	}
+
+	// The reference pattern lives for the whole phase.
+	refBytes := bitLRBytes(r.refN, cols)
+	if err := r.allocLR(refBytes); err != nil {
+		return nil, nil, 0, err
+	}
+	defer r.freeLR(refBytes)
 
 	// The full-membership subset runs first (it defines the canonical
 	// order); the combinations may then run sequentially or in parallel.

@@ -442,6 +442,6 @@ func (c *countingProvider) PairStats(a, b int) (genome.PairStats, error) {
 	return c.inner.PairStats(a, b)
 }
 
-func (c *countingProvider) LRMatrix(cols []int, cf, rf []float64) (*lrtest.Matrix, error) {
+func (c *countingProvider) LRMatrix(cols []int, cf, rf []float64) (*lrtest.BitMatrix, error) {
 	return c.inner.LRMatrix(cols, cf, rf)
 }

@@ -1,0 +1,125 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"gendpr/internal/genome"
+	"gendpr/internal/lrtest"
+)
+
+// densePhase3 replicates the seed implementation's Phase 3 exactly: per
+// evaluation subset, merge dense member LR-matrices, rebuild the dense
+// reference LR-matrix, derive the admission order from the full-membership
+// evaluation, run the dense greedy search, and intersect. It is the golden
+// baseline the bit-packed kernel must match bit for bit.
+func densePhase3(t *testing.T, shards []*genome.Matrix, reference *genome.Matrix, subsets [][]int, lDouble []int, params lrtest.Params) ([][]int, []int, float64) {
+	t.Helper()
+	counts := make([][]int64, len(shards))
+	for i, s := range shards {
+		counts[i] = s.AlleleCounts()
+	}
+	refCounts := reference.AlleleCounts()
+	refN := int64(reference.N())
+
+	var order []int
+	var fullPower float64
+	per := make([][]int, len(subsets))
+	for c, subset := range subsets {
+		sum := make([]int64, reference.L())
+		var n int64
+		for _, i := range subset {
+			for l, v := range counts[i] {
+				sum[l] += v
+			}
+			n += int64(shards[i].N())
+		}
+		caseFreq := Frequencies(sum, n, lDouble)
+		refFreq := Frequencies(refCounts, refN, lDouble)
+
+		parts := make([]*lrtest.Matrix, len(subset))
+		for slot, i := range subset {
+			lr, err := BuildLRMatrix(shards[i], lDouble, caseFreq, refFreq)
+			if err != nil {
+				t.Fatalf("dense member %d LR-matrix: %v", i, err)
+			}
+			parts[slot] = lr
+		}
+		merged, err := lrtest.Merge(parts...)
+		if err != nil {
+			t.Fatalf("dense merge: %v", err)
+		}
+		refLR, err := BuildLRMatrix(reference, lDouble, caseFreq, refFreq)
+		if err != nil {
+			t.Fatalf("dense reference LR-matrix: %v", err)
+		}
+		if c == 0 {
+			order = lrtest.DiscriminabilityOrder(merged, refLR)
+		}
+		safe, power, err := LRPhaseOrdered(lDouble, merged, refLR, params, order)
+		if err != nil {
+			t.Fatalf("dense LR phase: %v", err)
+		}
+		per[c] = safe
+		if c == 0 {
+			fullPower = power
+		}
+	}
+	return per, IntersectSorted(per...), fullPower
+}
+
+// TestPhase3BitKernelGolden pins the tentpole guarantee: the bit-packed
+// incremental kernel (packed member matrices, packed wire merge, quickselect
+// thresholds, reskinned reference pattern) selects byte-identical safe
+// subsets — and the identical released power — as the seed's dense Phase 3,
+// across seeds, shard counts, collusion policies, and both oblivious modes.
+func TestPhase3BitKernelGolden(t *testing.T) {
+	cases := []struct {
+		seed   int64
+		snps   int
+		caseN  int
+		g      int
+		policy CollusionPolicy
+	}{
+		{seed: 5, snps: 120, caseN: 300, g: 2, policy: CollusionPolicy{}},
+		{seed: 9, snps: 140, caseN: 360, g: 3, policy: CollusionPolicy{F: 2}},
+		{seed: 29, snps: 100, caseN: 280, g: 4, policy: CollusionPolicy{Conservative: true}},
+	}
+	for _, tc := range cases {
+		for _, oblivious := range []bool{false, true} {
+			cohort := testCohort(t, tc.snps, tc.caseN, tc.seed)
+			shards := shardsOf(t, cohort, tc.g)
+			cfg := DefaultConfig()
+			cfg.LR.Oblivious = oblivious
+
+			rep, err := RunDistributed(shards, cohort.Reference, cfg, tc.policy)
+			if err != nil {
+				t.Fatalf("seed=%d oblivious=%v: RunDistributed: %v", tc.seed, oblivious, err)
+			}
+			if len(rep.Selection.AfterLD) == 0 {
+				t.Fatalf("seed=%d: degenerate test data, nothing survived LD", tc.seed)
+			}
+
+			subsets, err := evaluationSubsets(tc.g, tc.policy)
+			if err != nil {
+				t.Fatal(err)
+			}
+			per, safe, power := densePhase3(t, shards, cohort.Reference, subsets, rep.Selection.AfterLD, cfg.LR)
+
+			if !equalInts(rep.Selection.Safe, safe) {
+				t.Errorf("seed=%d g=%d oblivious=%v: bit kernel safe set %v != dense %v",
+					tc.seed, tc.g, oblivious, rep.Selection.Safe, safe)
+			}
+			if math.Float64bits(rep.Selection.Power) != math.Float64bits(power) {
+				t.Errorf("seed=%d g=%d oblivious=%v: bit kernel power %v != dense %v",
+					tc.seed, tc.g, oblivious, rep.Selection.Power, power)
+			}
+			for c := range per {
+				if !equalInts(rep.PerCombination[c].Safe, per[c]) {
+					t.Errorf("seed=%d g=%d oblivious=%v combination %d: bit kernel %v != dense %v",
+						tc.seed, tc.g, oblivious, c, rep.PerCombination[c].Safe, per[c])
+				}
+			}
+		}
+	}
+}

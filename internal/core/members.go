@@ -24,8 +24,10 @@ type Provider interface {
 	PairStats(a, b int) (genome.PairStats, error)
 	// LRMatrix builds the member's local LR-matrix over the given columns
 	// (original SNP indices) using the pooled frequencies broadcast by the
-	// leader (Phase 3).
-	LRMatrix(cols []int, caseFreq, refFreq []float64) (*lrtest.Matrix, error)
+	// leader (Phase 3). The matrix travels bit-packed end to end: members
+	// build it packed, the wire format ships it packed, and the leader
+	// merges and scores it packed.
+	LRMatrix(cols []int, caseFreq, refFreq []float64) (*lrtest.BitMatrix, error)
 }
 
 // BatchPairProvider is an optional Provider extension: the leader prefetches
@@ -41,6 +43,10 @@ type BatchPairProvider interface {
 // LocalMember is an in-process Provider over a private genotype shard.
 type LocalMember struct {
 	shard *genome.Matrix
+
+	viewOnce sync.Once
+	cols     *genome.ColumnBits
+	counts   []int64
 }
 
 var (
@@ -53,9 +59,26 @@ func NewLocalMember(shard *genome.Matrix) *LocalMember {
 	return &LocalMember{shard: shard}
 }
 
-// Counts implements Provider.
+// view lazily builds the shard's column-major bitset and count vector once:
+// with them, each pair-statistics request is a stride-1 AND+popcount instead
+// of three cache-hostile row scans — the LD phase asks for thousands.
+func (m *LocalMember) view() (*genome.ColumnBits, []int64) {
+	m.viewOnce.Do(func() {
+		m.cols = m.shard.Transpose()
+		counts := make([]int64, m.shard.L())
+		for l := range counts {
+			counts[l] = m.cols.AlleleCount(l)
+		}
+		m.counts = counts
+	})
+	return m.cols, m.counts
+}
+
+// Counts implements Provider. The returned slice is the member's cached count
+// vector and must be treated as read-only.
 func (m *LocalMember) Counts() ([]int64, error) {
-	return m.shard.AlleleCounts(), nil
+	_, counts := m.view()
+	return counts, nil
 }
 
 // CaseN implements Provider.
@@ -68,7 +91,8 @@ func (m *LocalMember) PairStats(a, b int) (genome.PairStats, error) {
 	if a < 0 || a >= m.shard.L() || b < 0 || b >= m.shard.L() {
 		return genome.PairStats{}, fmt.Errorf("core: pair (%d,%d) out of range for %d SNPs", a, b, m.shard.L())
 	}
-	return m.shard.PairStats(a, b), nil
+	cols, counts := m.view()
+	return genome.PairStatsFromCounts(int64(m.shard.N()), counts[a], counts[b], cols.PairCount(a, b)), nil
 }
 
 // PairStatsBatch implements BatchPairProvider.
@@ -85,28 +109,53 @@ func (m *LocalMember) PairStatsBatch(pairs [][2]int) ([]genome.PairStats, error)
 }
 
 // LRMatrix implements Provider.
-func (m *LocalMember) LRMatrix(cols []int, caseFreq, refFreq []float64) (*lrtest.Matrix, error) {
-	return BuildLRMatrix(m.shard, cols, caseFreq, refFreq)
+func (m *LocalMember) LRMatrix(cols []int, caseFreq, refFreq []float64) (*lrtest.BitMatrix, error) {
+	return BuildLRBitMatrix(m.shard, cols, caseFreq, refFreq)
 }
 
-// BuildLRMatrix is the member-side Phase 3 computation: restrict the local
-// genotypes to the broadcast SNP columns and fill in Equation 1 contributions
-// using the pooled frequency vectors.
-func BuildLRMatrix(g *genome.Matrix, cols []int, caseFreq, refFreq []float64) (*lrtest.Matrix, error) {
+// checkLRRequest validates the leader's Phase 3 broadcast against the shard.
+func checkLRRequest(g *genome.Matrix, cols []int, caseFreq, refFreq []float64) (lrtest.LogRatios, error) {
 	if len(cols) != len(caseFreq) || len(cols) != len(refFreq) {
-		return nil, fmt.Errorf("core: %d columns vs %d/%d frequencies", len(cols), len(caseFreq), len(refFreq))
+		return lrtest.LogRatios{}, fmt.Errorf("core: %d columns vs %d/%d frequencies", len(cols), len(caseFreq), len(refFreq))
 	}
 	for _, l := range cols {
 		if l < 0 || l >= g.L() {
-			return nil, fmt.Errorf("core: column %d out of range for %d SNPs", l, g.L())
+			return lrtest.LogRatios{}, fmt.Errorf("core: column %d out of range for %d SNPs", l, g.L())
 		}
 	}
 	ratios, err := lrtest.NewLogRatios(caseFreq, refFreq)
 	if err != nil {
-		return nil, fmt.Errorf("core: log ratios: %w", err)
+		return lrtest.LogRatios{}, fmt.Errorf("core: log ratios: %w", err)
 	}
-	sub := g.SelectColumns(cols)
-	m, err := lrtest.Build(sub, ratios)
+	return ratios, nil
+}
+
+// BuildLRMatrix is the dense member-side Phase 3 computation: restrict the
+// local genotypes to the broadcast SNP columns and fill in Equation 1
+// contributions using the pooled frequency vectors. The protocol path uses
+// the bit-packed BuildLRBitMatrix; the dense form remains for test fixtures
+// and equivalence baselines.
+func BuildLRMatrix(g *genome.Matrix, cols []int, caseFreq, refFreq []float64) (*lrtest.Matrix, error) {
+	ratios, err := checkLRRequest(g, cols, caseFreq, refFreq)
+	if err != nil {
+		return nil, err
+	}
+	m, err := lrtest.Build(g.SelectColumns(cols), ratios)
+	if err != nil {
+		return nil, fmt.Errorf("core: build LR matrix: %w", err)
+	}
+	return m, nil
+}
+
+// BuildLRBitMatrix is BuildLRMatrix without the dense materialization: the
+// column-restricted genotypes pack straight into a BitMatrix, one bit per
+// cell plus two representatives per column.
+func BuildLRBitMatrix(g *genome.Matrix, cols []int, caseFreq, refFreq []float64) (*lrtest.BitMatrix, error) {
+	ratios, err := checkLRRequest(g, cols, caseFreq, refFreq)
+	if err != nil {
+		return nil, err
+	}
+	m, err := lrtest.BuildBit(g.SelectColumns(cols), ratios)
 	if err != nil {
 		return nil, fmt.Errorf("core: build LR matrix: %w", err)
 	}
@@ -219,7 +268,17 @@ func (c *cachedProvider) Prefetch(pairs [][2]int) error {
 	return nil
 }
 
-func (c *cachedProvider) LRMatrix(cols []int, caseFreq, refFreq []float64) (*lrtest.Matrix, error) {
+// cachedPair returns a pair's statistics when they are already cached. The
+// LD scan's hot loop asks every member for mostly-prefetched pairs; hitting
+// the cache synchronously avoids a goroutine dispatch per member per pair.
+func (c *cachedProvider) cachedPair(a, b int) (genome.PairStats, bool) {
+	c.mu.Lock()
+	s, ok := c.pairs[[2]int{a, b}]
+	c.mu.Unlock()
+	return s, ok
+}
+
+func (c *cachedProvider) LRMatrix(cols []int, caseFreq, refFreq []float64) (*lrtest.BitMatrix, error) {
 	// LR matrices are combination-specific (the frequency vectors differ),
 	// so they are not cached; each is requested exactly once per
 	// combination anyway.

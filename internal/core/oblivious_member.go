@@ -126,8 +126,10 @@ func (m *ObliviousMember) PairStats(a, b int) (genome.PairStats, error) {
 }
 
 // LRMatrix implements Provider: the retained columns are fetched through the
-// ORAM, so which SNPs survived to Phase 3 stays hidden from the host.
-func (m *ObliviousMember) LRMatrix(cols []int, caseFreq, refFreq []float64) (*lrtest.Matrix, error) {
+// ORAM, so which SNPs survived to Phase 3 stays hidden from the host. Each
+// ORAM block is already the column's genotype bitset, so it packs into the
+// bit-matrix verbatim — no per-cell decode and no dense intermediate.
+func (m *ObliviousMember) LRMatrix(cols []int, caseFreq, refFreq []float64) (*lrtest.BitMatrix, error) {
 	if len(cols) != len(caseFreq) || len(cols) != len(refFreq) {
 		return nil, fmt.Errorf("core: %d columns vs %d/%d frequencies", len(cols), len(caseFreq), len(refFreq))
 	}
@@ -135,19 +137,7 @@ func (m *ObliviousMember) LRMatrix(cols []int, caseFreq, refFreq []float64) (*lr
 	if err != nil {
 		return nil, fmt.Errorf("core: log ratios: %w", err)
 	}
-	out := lrtest.NewMatrix(m.n, len(cols))
-	for j, l := range cols {
-		col, err := m.column(l)
-		if err != nil {
-			return nil, err
-		}
-		for i := 0; i < m.n; i++ {
-			if col[i/8]&(1<<(uint(i)%8)) != 0 {
-				out.Set(i, j, ratios.Minor[j])
-			} else {
-				out.Set(i, j, ratios.Major[j])
-			}
-		}
-	}
-	return out, nil
+	return lrtest.BuildBitFromColumnBytes(m.n, ratios, func(j int) ([]byte, error) {
+		return m.column(cols[j])
+	})
 }

@@ -138,6 +138,32 @@ func LRPhaseOrdered(cols []int, caseLR, refLR *lrtest.Matrix, params lrtest.Para
 	return safe, res.Power, nil
 }
 
+// LRPhaseBit is LRPhase over bit-packed LR-matrices — the production Phase 3
+// kernel. Results are bit-for-bit identical to the dense LRPhase.
+func LRPhaseBit(cols []int, caseLR, refLR *lrtest.BitMatrix, params lrtest.Params) ([]int, float64, error) {
+	return LRPhaseBitOrdered(cols, caseLR, refLR, params, nil)
+}
+
+// LRPhaseBitOrdered is LRPhaseOrdered over bit-packed LR-matrices.
+func LRPhaseBitOrdered(cols []int, caseLR, refLR *lrtest.BitMatrix, params lrtest.Params, order []int) ([]int, float64, error) {
+	if caseLR.Cols() != len(cols) || refLR.Cols() != len(cols) {
+		return nil, 0, fmt.Errorf("core: LR matrices have %d/%d columns, want %d",
+			caseLR.Cols(), refLR.Cols(), len(cols))
+	}
+	if order == nil {
+		order = lrtest.DiscriminabilityOrderBit(caseLR, refLR)
+	}
+	res, err := lrtest.SelectSafeBitWithOrder(caseLR, refLR, params, order)
+	if err != nil {
+		return nil, 0, fmt.Errorf("core: LR-test: %w", err)
+	}
+	safe := make([]int, len(res.Safe))
+	for i, j := range res.Safe {
+		safe[i] = cols[j]
+	}
+	return safe, res.Power, nil
+}
+
 // IntersectSorted intersects ascending integer slices — the per-phase
 // combination intersection of collusion-tolerant GenDPR (getIntersection in
 // Section 6.1). With no input it returns nil; with one, a copy.

@@ -1,0 +1,47 @@
+package core
+
+import (
+	"runtime"
+	"sync"
+)
+
+// workPool bounds the leader's goroutine fan-out. The assessment driver
+// spawns work at several nesting levels — one task per collusion combination,
+// and inside each one task per member — so an unbounded `go` per unit of work
+// multiplies into C(G, G−f)·G goroutines all contending for the same CPUs.
+// The pool caps concurrently running tasks at GOMAXPROCS; when no slot is
+// free the submitting goroutine runs the task inline instead of blocking,
+// which keeps nested submissions (a combination task spawning member tasks)
+// deadlock-free by construction.
+type workPool struct {
+	sem chan struct{}
+}
+
+func newWorkPool(size int) *workPool {
+	if size < 1 {
+		size = 1
+	}
+	return &workPool{sem: make(chan struct{}, size)}
+}
+
+func defaultWorkPool() *workPool {
+	return newWorkPool(runtime.GOMAXPROCS(0))
+}
+
+// Go runs fn, on a pooled goroutine when a slot is free and inline otherwise,
+// and tracks completion through wg so callers retain their familiar
+// wg.Add/Wait structure.
+func (p *workPool) Go(wg *sync.WaitGroup, fn func()) {
+	wg.Add(1)
+	select {
+	case p.sem <- struct{}{}:
+		go func() {
+			defer wg.Done()
+			defer func() { <-p.sem }()
+			fn()
+		}()
+	default:
+		fn()
+		wg.Done()
+	}
+}

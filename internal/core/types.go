@@ -84,6 +84,10 @@ type Report struct {
 	// PeakEnclaveBytes is the high-water mark of protected memory accounted
 	// inside the coordinating enclave (Table 3's memory column).
 	PeakEnclaveBytes int64
+	// PeakLRMatrixBytes is the high-water mark of the leader-enclave memory
+	// occupied by LR-matrices alone (the Phase 3 component of the enclave
+	// footprint, and the quantity the bit-packed kernel shrinks).
+	PeakLRMatrixBytes int64
 	// Combinations is the number of honest-subset combinations evaluated
 	// (1 when collusion tolerance is off).
 	Combinations int

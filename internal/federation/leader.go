@@ -159,12 +159,14 @@ func (r *remoteProvider) PairStatsBatch(pairs [][2]int) ([]genome.PairStats, err
 	return stats, nil
 }
 
-func (r *remoteProvider) LRMatrix(cols []int, caseFreq, refFreq []float64) (*lrtest.Matrix, error) {
+func (r *remoteProvider) LRMatrix(cols []int, caseFreq, refFreq []float64) (*lrtest.BitMatrix, error) {
 	payload, err := r.roundTrip(transport.Message{Kind: KindLRRequest, Payload: encodeLRRequest(cols, caseFreq, refFreq)}, KindLRReply)
 	if err != nil {
 		return nil, err
 	}
-	m, err := lrtest.DecodeWire(payload)
+	// Decode straight into the bit-packed form: the leader enclave never
+	// materializes a member's dense LR-matrix.
+	m, err := lrtest.DecodeWireBit(payload)
 	if err != nil {
 		return nil, fmt.Errorf("federation: member %d LR-matrix: %w", r.index, err)
 	}

@@ -9,7 +9,6 @@ import (
 	"gendpr/internal/enclave"
 	"gendpr/internal/enclave/attest"
 	"gendpr/internal/genome"
-	"gendpr/internal/lrtest"
 	"gendpr/internal/transport"
 )
 
@@ -134,7 +133,7 @@ func (m *Member) handle(local *core.LocalMember, msg transport.Message) (*transp
 		if err != nil {
 			return nil, false, err
 		}
-		return &transport.Message{Kind: KindLRReply, Payload: lrtest.EncodeWire(lr)}, false, nil
+		return &transport.Message{Kind: KindLRReply, Payload: lr.EncodeWire()}, false, nil
 
 	case KindResult:
 		afterMAF, afterLD, safe, err := decodeResult(msg.Payload)

@@ -87,6 +87,18 @@ func (m *Matrix) row(i int) []uint64 {
 	return m.words[i*m.stride : (i+1)*m.stride]
 }
 
+// RowWords returns the packed genotype bits of row i — L() bits
+// little-endian, bit l set when individual i carries the minor allele at SNP
+// l. The slice aliases the matrix storage and must be treated as read-only;
+// it lets bit-packed consumers (lrtest.BuildBit) transpose genotypes without
+// a per-cell interface call.
+func (m *Matrix) RowWords(i int) []uint64 {
+	if i < 0 || i >= m.n {
+		panic(fmt.Sprintf("genome: row %d out of range for %d rows", i, m.n))
+	}
+	return m.row(i)
+}
+
 // AlleleCount returns the number of individuals carrying the minor allele at
 // SNP position l.
 func (m *Matrix) AlleleCount(l int) int64 {
@@ -173,11 +185,17 @@ func (s PairStats) Add(o PairStats) PairStats {
 // PairStats computes the correlation sufficient statistics between SNP
 // positions l1 and l2 over all individuals of the matrix.
 func (m *Matrix) PairStats(l1, l2 int) PairStats {
-	x := m.AlleleCount(l1)
-	y := m.AlleleCount(l2)
-	xy := m.PairCount(l1, l2)
+	return PairStatsFromCounts(int64(m.n), m.AlleleCount(l1), m.AlleleCount(l2), m.PairCount(l1, l2))
+}
+
+// PairStatsFromCounts assembles pair statistics from already-known
+// minor-allele counts (x at the first SNP, y at the second, xy at both) over
+// n binary genotypes. Callers holding a precomputed count vector — every
+// assessment does after Phase 1 — pay one PairCount pass per pair instead of
+// the three column scans PairStats makes.
+func PairStatsFromCounts(n, x, y, xy int64) PairStats {
 	return PairStats{
-		N:     int64(m.n),
+		N:     n,
 		SumX:  x,
 		SumY:  y,
 		SumXY: xy,
@@ -318,4 +336,114 @@ func getUint64(b []byte) uint64 {
 	_ = b[7]
 	return uint64(b[0])<<56 | uint64(b[1])<<48 | uint64(b[2])<<40 | uint64(b[3])<<32 |
 		uint64(b[4])<<24 | uint64(b[5])<<16 | uint64(b[6])<<8 | uint64(b[7])
+}
+
+// ColumnBits is a column-major transpose of a genotype matrix: column l's n
+// bits are packed contiguously, so allele counts collapse to popcounts over
+// stride-1 words and pair counts to an AND+popcount sweep. The row-major
+// Matrix pays one cache miss per row for these queries (rows are a full
+// stride apart); the LD phase asks for thousands of pair counts, which makes
+// this view the difference between a memory-bound and a compute-bound scan.
+//
+// The view is a snapshot: mutations to the source matrix after Transpose are
+// not reflected.
+type ColumnBits struct {
+	n, l int
+	wpc  int // words per column: (n+63)/64
+	bits []uint64
+}
+
+// Transpose builds the column-major view in one pass over the matrix's set
+// bits.
+func (m *Matrix) Transpose() *ColumnBits {
+	wpc := (m.n + wordBits - 1) / wordBits
+	t := &ColumnBits{n: m.n, l: m.l, wpc: wpc, bits: make([]uint64, m.l*wpc)}
+	var blk [wordBits]uint64
+	for bi := 0; bi < wpc; bi++ {
+		i0 := bi * wordBits
+		rows := m.n - i0
+		if rows > wordBits {
+			rows = wordBits
+		}
+		// One 64-row stripe of the matrix stays cache-resident while every
+		// 64-column block in it is gathered and transposed.
+		for w := 0; w < m.stride; w++ {
+			var any uint64
+			for k := 0; k < rows; k++ {
+				blk[k] = m.words[(i0+k)*m.stride+w]
+				any |= blk[k]
+			}
+			if any == 0 {
+				continue // destination words are already zero
+			}
+			for k := rows; k < wordBits; k++ {
+				blk[k] = 0
+			}
+			transpose64(&blk)
+			c0 := w * wordBits
+			cmax := m.l - c0
+			if cmax > wordBits {
+				cmax = wordBits
+			}
+			for j := 0; j < cmax; j++ {
+				t.bits[(c0+j)*wpc+bi] = blk[j]
+			}
+		}
+	}
+	return t
+}
+
+// transpose64 transposes a 64x64 bit block in place: bit j of word k moves to
+// bit k of word j (LSB-first on both axes). The recursive block-swap runs in
+// 6 rounds of masked exchanges instead of 4096 single-bit moves.
+func transpose64(a *[wordBits]uint64) {
+	mask := uint64(0x00000000FFFFFFFF)
+	for j := 32; j != 0; j >>= 1 {
+		for k := 0; k < wordBits; k = (k + j + 1) &^ j {
+			t := (a[k]>>uint(j) ^ a[k+j]) & mask
+			a[k+j] ^= t
+			a[k] ^= t << uint(j)
+		}
+		mask ^= mask << uint(j>>1)
+	}
+}
+
+// N returns the number of individuals.
+func (t *ColumnBits) N() int { return t.n }
+
+// L returns the number of SNP positions.
+func (t *ColumnBits) L() int { return t.l }
+
+func (t *ColumnBits) column(l int) []uint64 {
+	if l < 0 || l >= t.l {
+		panic(fmt.Sprintf("genome: SNP %d out of range for %d columns", l, t.l))
+	}
+	return t.bits[l*t.wpc : (l+1)*t.wpc]
+}
+
+// AlleleCount returns the number of individuals carrying the minor allele at
+// SNP position l.
+func (t *ColumnBits) AlleleCount(l int) int64 {
+	var c int
+	for _, w := range t.column(l) {
+		c += bits.OnesCount64(w)
+	}
+	return int64(c)
+}
+
+// PairCount returns the number of individuals carrying the minor allele at
+// both positions — popcount of the columns' intersection.
+func (t *ColumnBits) PairCount(l1, l2 int) int64 {
+	a, b := t.column(l1), t.column(l2)
+	var c int
+	for i := range a {
+		c += bits.OnesCount64(a[i] & b[i])
+	}
+	return int64(c)
+}
+
+// PairStats computes the correlation sufficient statistics between SNP
+// positions l1 and l2, equivalent to Matrix.PairStats on the source matrix.
+func (t *ColumnBits) PairStats(l1, l2 int) PairStats {
+	return PairStatsFromCounts(int64(t.n), t.AlleleCount(l1), t.AlleleCount(l2), t.PairCount(l1, l2))
 }

@@ -284,3 +284,31 @@ func BenchmarkPairStats(b *testing.B) {
 		_ = m.PairStats(10, 11)
 	}
 }
+
+func TestTransposeMatchesRowMajor(t *testing.T) {
+	// Shapes crossing both the row-word (l=64) and column-word (n=64)
+	// boundaries, plus degenerate edges.
+	shapes := [][2]int{{1, 1}, {63, 65}, {64, 64}, {65, 63}, {130, 200}, {0, 5}, {5, 0}}
+	for _, sh := range shapes {
+		n, l := sh[0], sh[1]
+		m := randomMatrix(t, n, l, int64(7*n+l))
+		tr := m.Transpose()
+		if tr.N() != n || tr.L() != l {
+			t.Fatalf("%dx%d: transpose reports %dx%d", n, l, tr.N(), tr.L())
+		}
+		for snp := 0; snp < l; snp++ {
+			if got, want := tr.AlleleCount(snp), m.AlleleCount(snp); got != want {
+				t.Fatalf("%dx%d: AlleleCount(%d)=%d, want %d", n, l, snp, got, want)
+			}
+		}
+		for trial := 0; trial < 50 && l > 0; trial++ {
+			a, b := (trial*13)%l, (trial*29+7)%l
+			if got, want := tr.PairCount(a, b), m.PairCount(a, b); got != want {
+				t.Fatalf("%dx%d: PairCount(%d,%d)=%d, want %d", n, l, a, b, got, want)
+			}
+			if got, want := tr.PairStats(a, b), m.PairStats(a, b); got != want {
+				t.Fatalf("%dx%d: PairStats(%d,%d)=%+v, want %+v", n, l, a, b, got, want)
+			}
+		}
+	}
+}

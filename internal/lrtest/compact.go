@@ -23,12 +23,23 @@ var ErrNotCompactable = errors.New("lrtest: matrix column has more than two dist
 // the paper's cohort sizes. The encoding is exact: decoding reproduces the
 // dense matrix bit for bit.
 func (m *Matrix) CompactBytes() ([]byte, error) {
+	// One pass in storage order does both jobs at once: it discovers each
+	// column's two representatives and packs the cell bits. The trick making
+	// a single pass sound is that every cell visited before a column's second
+	// distinct value is the first one, whose bit is 0 — exactly the packed
+	// slice's zero default — so no back-patching is needed when hi appears.
+	// The seed implementation swept the matrix twice (column-strided, then
+	// row-major); this pass is row-major only, the cache-friendly direction,
+	// and assembles each output byte in a register before storing it.
 	lo := make([]float64, m.cols)
 	hi := make([]float64, m.cols)
-	for j := 0; j < m.cols; j++ {
-		seen := 0
-		for i := 0; i < m.rows; i++ {
-			v := m.data[i*m.cols+j]
+	seen := make([]uint8, m.cols)
+	bits := make([]byte, (m.rows*m.cols+7)/8)
+	var cur byte  // output byte being assembled
+	var nbits int // bits of cur filled so far
+	for i := 0; i < m.rows; i++ {
+		row := m.data[i*m.cols : (i+1)*m.cols]
+		for j, v := range row {
 			if v != v {
 				// NaN breaks the equality-based bit assignment; Equation 1
 				// never produces it, so fall back to the dense encoding.
@@ -38,26 +49,37 @@ func (m *Matrix) CompactBytes() ([]byte, error) {
 			// to one of the column's two representatives; the values are
 			// copies, never recomputed, so exact equality is the spec.
 			switch {
-			case seen == 0:
+			case seen[j] == 0:
 				lo[j] = v
-				seen = 1
+				seen[j] = 1
 			//gendpr:allow(floateq): exact-representation dictionary check, values are verbatim copies
-			case seen >= 1 && v == lo[j]:
-			case seen == 1:
+			case v == lo[j]:
+			case seen[j] == 1:
 				hi[j] = v
-				seen = 2
+				seen[j] = 2
+				cur |= 1 << uint(nbits)
 			//gendpr:allow(floateq): exact-representation dictionary check, values are verbatim copies
-			case v != hi[j]:
+			case v == hi[j]:
+				cur |= 1 << uint(nbits)
+			default:
 				return nil, fmt.Errorf("%w: column %d", ErrNotCompactable, j)
 			}
+			if nbits++; nbits == 8 {
+				bits[(i*m.cols+j)/8] = cur
+				cur, nbits = 0, 0
+			}
 		}
-		if seen < 2 {
+	}
+	if nbits > 0 {
+		bits[len(bits)-1] = cur
+	}
+	for j := 0; j < m.cols; j++ {
+		if seen[j] < 2 {
 			hi[j] = lo[j]
 		}
 	}
 
-	bitBytes := (m.rows*m.cols + 7) / 8
-	buf := make([]byte, 0, 17+16*m.cols+bitBytes)
+	buf := make([]byte, 0, 17+16*m.cols+len(bits))
 	buf = append(buf, wireCompact)
 	var tmp [8]byte
 	appendU64 := func(v uint64) {
@@ -69,16 +91,6 @@ func (m *Matrix) CompactBytes() ([]byte, error) {
 	for j := 0; j < m.cols; j++ {
 		appendU64(math.Float64bits(lo[j]))
 		appendU64(math.Float64bits(hi[j]))
-	}
-	bits := make([]byte, bitBytes)
-	for i := 0; i < m.rows; i++ {
-		for j := 0; j < m.cols; j++ {
-			//gendpr:allow(floateq): bit assignment against the verbatim representatives collected above
-			if m.data[i*m.cols+j] == hi[j] && hi[j] != lo[j] {
-				idx := i*m.cols + j
-				bits[idx/8] |= 1 << (uint(idx) % 8)
-			}
-		}
 	}
 	return append(buf, bits...), nil
 }

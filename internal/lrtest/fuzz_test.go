@@ -35,6 +35,38 @@ func FuzzDecodeWire(f *testing.F) {
 	})
 }
 
+// FuzzBitMatrixWire checks that hostile encodings never panic the
+// bit-packed decoder, that it agrees cell-for-cell with the dense decoder on
+// every accepted input, and that its own re-encoding round-trips exactly.
+func FuzzBitMatrixWire(f *testing.F) {
+	m := NewMatrix(3, 2)
+	m.Set(0, 0, 1.5)
+	m.Set(2, 1, -0.25)
+	f.Add(EncodeWire(m))
+	f.Add(append([]byte{wireDense}, m.Bytes()...))
+	f.Add([]byte{wireCompact, 0, 0})
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		bit, err := DecodeWireBit(data)
+		if err != nil {
+			return
+		}
+		if dense, err := DecodeWire(data); err == nil {
+			// Compare serialized IEEE-754 bit patterns (NaN-safe).
+			if !bytes.Equal(bit.Dense().Bytes(), dense.Bytes()) {
+				t.Fatal("bit decoder disagrees with dense decoder")
+			}
+		}
+		again, err := DecodeWireBit(bit.EncodeWire())
+		if err != nil {
+			t.Fatalf("re-encode of accepted matrix failed: %v", err)
+		}
+		if !again.Equal(bit) {
+			t.Fatal("bit wire round trip changed the matrix")
+		}
+	})
+}
+
 // FuzzFromBytes covers the dense decoder separately.
 func FuzzFromBytes(f *testing.F) {
 	m := NewMatrix(2, 2)

@@ -45,24 +45,30 @@ func (p Params) Validate() error {
 
 // Threshold returns the decision threshold τ: the (1−α) quantile of the
 // reference individuals' LR scores. An adversary declaring membership when
-// LR > τ then has false-positive rate at most α.
+// LR > τ then has false-positive rate at most α. The quantile is found with
+// an O(n) quickselect rather than a full sort; the k-th order statistic is
+// the same value either way.
 func Threshold(refScores []float64, alpha float64) float64 {
 	if len(refScores) == 0 {
 		return math.Inf(1)
 	}
-	sorted := make([]float64, len(refScores))
-	copy(sorted, refScores)
-	sort.Float64s(sorted)
-	// Smallest τ with at most ceil(alpha·n)−1 … choose the index so that the
-	// fraction of reference scores strictly above τ is ≤ α.
-	idx := int(math.Ceil(float64(len(sorted))*(1-alpha))) - 1
+	scratch := make([]float64, len(refScores))
+	copy(scratch, refScores)
+	return kthSmallest(scratch, thresholdIndex(len(scratch), alpha))
+}
+
+// thresholdIndex returns the index of the (1−α) quantile in an ascending
+// sort of n scores: the position so that the fraction of reference scores
+// strictly above it is ≤ α.
+func thresholdIndex(n int, alpha float64) int {
+	idx := int(math.Ceil(float64(n)*(1-alpha))) - 1
 	if idx < 0 {
 		idx = 0
 	}
-	if idx >= len(sorted) {
-		idx = len(sorted) - 1
+	if idx >= n {
+		idx = n - 1
 	}
-	return sorted[idx]
+	return idx
 }
 
 // Power returns the fraction of case scores strictly above the threshold —

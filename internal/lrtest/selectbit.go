@@ -1,0 +1,169 @@
+package lrtest
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"gendpr/internal/oblivious"
+)
+
+// powerEval computes detection powers across the greedy admission loop while
+// reusing its scratch buffers: the seed implementation allocated and fully
+// sorted a fresh copy of the reference scores for every candidate, turning
+// the search into O(L·N log N) with 2L allocations; this evaluator is
+// O(L·N) with none.
+type powerEval struct {
+	params  Params
+	scratch []float64       // quickselect working copy of the reference scores
+	topk    *oblivious.TopK // oblivious-mode streaming quantile filter
+	kth     int             // oblivious-mode rank: the k-th largest is τ
+}
+
+// newPowerEval sizes the evaluator for reference score vectors of length n.
+func newPowerEval(params Params, n int) *powerEval {
+	e := &powerEval{params: params}
+	if params.Oblivious {
+		if n > 0 {
+			// The (1−α) quantile at ascending index idx is the (n−idx)-th
+			// largest score.
+			e.kth = n - thresholdIndex(n, params.Alpha)
+			e.topk = oblivious.NewTopK(e.kth)
+		}
+		return e
+	}
+	e.scratch = make([]float64, n)
+	return e
+}
+
+// power returns Power(case, Threshold(ref, α)), bit-identical to the
+// sort-based detectionPower on both the direct and the oblivious path: the
+// quickselect and the streaming top-k filter both return the exact k-th
+// order statistic the full sorts returned.
+func (e *powerEval) power(caseScores, refScores []float64) float64 {
+	if len(caseScores) == 0 {
+		return 0
+	}
+	var tau float64
+	switch {
+	case len(refScores) == 0:
+		tau = math.Inf(1)
+	case e.params.Oblivious:
+		e.topk.Reset()
+		e.topk.Push(refScores)
+		tau = e.topk.KthLargest(e.kth)
+	default:
+		copy(e.scratch, refScores)
+		tau = kthSmallest(e.scratch, thresholdIndex(len(e.scratch), e.params.Alpha))
+	}
+	if e.params.Oblivious {
+		return float64(oblivious.CountGreater(caseScores, tau)) / float64(len(caseScores))
+	}
+	return Power(caseScores, tau)
+}
+
+// SelectSafeBit performs the safe-subset search of SelectSafe over
+// bit-packed LR-matrices, returning an identical Result without ever
+// materializing the dense form.
+func SelectSafeBit(caseLR, refLR *BitMatrix, params Params) (Result, error) {
+	if caseLR.Cols() != refLR.Cols() {
+		return Result{}, fmt.Errorf("%w: case %d vs reference %d columns", ErrShapeMismatch, caseLR.Cols(), refLR.Cols())
+	}
+	return SelectSafeBitWithOrder(caseLR, refLR, params, DiscriminabilityOrderBit(caseLR, refLR))
+}
+
+// SelectSafeBitWithOrder runs the greedy admission of SelectSafeWithOrder
+// over bit-packed LR-matrices. Candidate scores accumulate columns in the
+// same sequential row order as the dense kernel, so every power — and hence
+// the selected subset — is bit-for-bit identical.
+func SelectSafeBitWithOrder(caseLR, refLR *BitMatrix, params Params, order []int) (Result, error) {
+	if err := params.Validate(); err != nil {
+		return Result{}, err
+	}
+	if caseLR.Cols() != refLR.Cols() {
+		return Result{}, fmt.Errorf("%w: case %d vs reference %d columns", ErrShapeMismatch, caseLR.Cols(), refLR.Cols())
+	}
+	cols := caseLR.Cols()
+	if cols == 0 {
+		return Result{Safe: []int{}}, nil
+	}
+	if err := validateOrder(order, cols); err != nil {
+		return Result{}, err
+	}
+
+	caseScores := make([]float64, caseLR.Rows())
+	refScores := make([]float64, refLR.Rows())
+	candCase := make([]float64, caseLR.Rows())
+	candRef := make([]float64, refLR.Rows())
+	eval := newPowerEval(params, refLR.Rows())
+
+	res := Result{Safe: make([]int, 0, cols)}
+	for _, j := range order {
+		caseLR.addColumn(candCase, caseScores, j)
+		refLR.addColumn(candRef, refScores, j)
+		power := eval.power(candCase, candRef)
+		res.Iterations++
+		if power < params.PowerThreshold {
+			caseScores, candCase = candCase, caseScores
+			refScores, candRef = candRef, refScores
+			res.Safe = append(res.Safe, j)
+			res.Power = power
+		}
+	}
+	sort.Ints(res.Safe)
+	return res, nil
+}
+
+// DiscriminabilityOrderBit ranks columns exactly as DiscriminabilityOrder
+// does, computing the column means from the packed form with the same
+// sequential row-order accumulation.
+func DiscriminabilityOrderBit(caseLR, refLR *BitMatrix) []int {
+	cols := caseLR.Cols()
+	type ranked struct {
+		j int
+		d float64
+	}
+	rs := make([]ranked, cols)
+	for j := 0; j < cols; j++ {
+		rs[j] = ranked{j: j, d: math.Abs(columnMeanBit(caseLR, j) - columnMeanBit(refLR, j))}
+	}
+	sort.Slice(rs, func(a, b int) bool {
+		// Exact inequality keeps the comparator a strict weak order; see
+		// DiscriminabilityOrder.
+		//gendpr:allow(floateq): sort tie-break needs exact comparison for a consistent total order
+		if rs[a].d != rs[b].d {
+			return rs[a].d < rs[b].d
+		}
+		return rs[a].j < rs[b].j
+	})
+	order := make([]int, cols)
+	for i, r := range rs {
+		order[i] = r.j
+	}
+	return order
+}
+
+func columnMeanBit(m *BitMatrix, j int) float64 {
+	if m.rows == 0 {
+		return 0
+	}
+	v := [2]float64{m.zero[j], m.one[j]}
+	w := m.bits[j*m.wpc : (j+1)*m.wpc]
+	var sum float64
+	for i := 0; i < m.rows; i++ {
+		sum += v[(w[i>>6]>>(uint(i)&63))&1]
+	}
+	return sum / float64(m.rows)
+}
+
+// EvaluateBit computes the detection power of the LR-test restricted to the
+// given column subset of bit-packed case and reference LR-matrices — the
+// bit-kernel twin of Evaluate.
+func EvaluateBit(caseLR, refLR *BitMatrix, subset []int, alpha float64) (float64, error) {
+	if caseLR.Cols() != refLR.Cols() {
+		return 0, fmt.Errorf("%w: case %d vs reference %d columns", ErrShapeMismatch, caseLR.Cols(), refLR.Cols())
+	}
+	caseScores := caseLR.ScoreSubset(subset)
+	refScores := refLR.ScoreSubset(subset)
+	return Power(caseScores, Threshold(refScores, alpha)), nil
+}

@@ -26,4 +26,11 @@ go run ./cmd/gendpr-lint ./...
 echo "== go test -race =="
 go test -race ./...
 
+echo "== bench smoke (1 iteration, tiny scale) =="
+# One iteration of the Phase-3 suite at a tiny scale: catches benchmarks that
+# no longer compile or crash without paying for a real measurement run.
+GENDPR_BENCH_SCALE=0.01 go test -run '^$' \
+    -bench '^(BenchmarkTable4Selection|BenchmarkTable5Collusion|BenchmarkAblationObliviousLRTest|BenchmarkAblationLRWireFormat|BenchmarkAblationCollusionParallel)$' \
+    -benchtime 1x . >/dev/null
+
 echo "ALL CHECKS PASSED"
