@@ -38,6 +38,10 @@ func run(args []string) error {
 		authority    = fs.String("authority", "", "attestation-authority seed file (required)")
 		colluders    = fs.Int("f", 0, "tolerated colluding members")
 		conservative = fs.Bool("conservative", false, "tolerate every f in 1..G-1")
+		rpcTimeout   = fs.Duration("rpc-timeout", 0, "deadline per member exchange (0 waits forever)")
+		dialTimeout  = fs.Duration("dial-timeout", 0, "deadline per member (re)connection (0 uses the transport default)")
+		retries      = fs.Int("retries", 0, "reconnect-and-retry attempts per failed member exchange")
+		minQuorum    = fs.Int("min-quorum", 0, "minimum surviving GDOs (leader included) to finish without failed members; 0 aborts on any failure")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -67,29 +71,50 @@ func run(args []string) error {
 		return err
 	}
 
+	opts := federation.RunOptions{
+		RPCTimeout:  *rpcTimeout,
+		DialTimeout: *dialTimeout,
+		MaxRetries:  *retries,
+		MinQuorum:   *minQuorum,
+	}
+	dt := *dialTimeout
+	if dt <= 0 {
+		dt = transport.DefaultDialTimeout
+	}
 	addrs := strings.Split(*members, ",")
-	conns := make([]transport.Conn, 0, len(addrs))
+	links := make([]federation.MemberLink, 0, len(addrs))
 	defer func() {
-		for _, c := range conns {
-			_ = c.Close()
+		for _, l := range links {
+			_ = l.Conn.Close()
 		}
 	}()
-	for _, addr := range addrs {
-		conn, err := transport.Dial(strings.TrimSpace(addr))
+	for _, raw := range addrs {
+		addr := strings.TrimSpace(raw)
+		conn, err := transport.DialTimeout(addr, dt)
 		if err != nil {
 			return err
 		}
-		conns = append(conns, conn)
+		links = append(links, federation.MemberLink{
+			Conn: conn,
+			Name: addr,
+			Redial: func() (transport.Conn, error) {
+				return transport.DialTimeout(addr, dt)
+			},
+		})
 	}
 	fmt.Printf("leader: %d members connected, %d local genomes, %d reference genomes, %d SNPs\n",
-		len(conns), shard.N(), reference.N(), shard.L())
+		len(links), shard.N(), reference.N(), shard.L())
 
-	report, err := leader.Run(conns, reference, core.DefaultConfig(),
-		core.CollusionPolicy{F: *colluders, Conservative: *conservative})
+	report, err := leader.RunLinks(links, reference, core.DefaultConfig(),
+		core.CollusionPolicy{F: *colluders, Conservative: *conservative}, opts)
 	if err != nil {
 		return err
 	}
 	fmt.Printf("selection: %s\n", report.Selection)
+	for _, e := range report.Excluded {
+		// Provider index 0 is the leader's own shard; members start at 1.
+		fmt.Printf("excluded: member %s failed mid-run and was dropped under quorum degradation\n", addrs[e-1])
+	}
 	fmt.Printf("residual identification power: %.3f\n", report.Selection.Power)
 	fmt.Printf("combinations evaluated: %d\n", report.Combinations)
 	t := report.Timings

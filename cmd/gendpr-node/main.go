@@ -45,6 +45,7 @@ func run(args []string) error {
 		authority = fs.String("authority", "", "attestation-authority seed file (required)")
 		id        = fs.String("id", "gdo", "member identifier for logs")
 		serves    = fs.Int("serves", 1, "number of assessments to serve before exiting")
+		idle      = fs.Duration("idle-timeout", 0, "per-session bound on waiting for the next leader message (0 waits forever)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -78,16 +79,22 @@ func run(args []string) error {
 	fmt.Printf("%s: holding %d genomes x %d SNPs, listening on %s\n",
 		*id, shard.N(), shard.L(), listener.Addr())
 
-	for i := 0; i < *serves; i++ {
+	// Only a clean shutdown consumes a serve slot: a session that dies on a
+	// transport failure is treated as an interrupted run whose leader may
+	// redial (the leader retries over a fresh attested connection), so the
+	// node logs it and keeps accepting.
+	for i := 0; i < *serves; {
 		conn, err := listener.Accept()
 		if err != nil {
 			return err
 		}
-		err = member.Serve(conn)
+		err = member.ServeWithOptions(conn, federation.ServeOptions{IdleTimeout: *idle})
 		_ = conn.Close()
 		if err != nil {
-			return err
+			fmt.Printf("%s: session ended early (%v), awaiting reconnect\n", *id, err)
+			continue
 		}
+		i++
 		if sel := member.LastResult(); sel != nil {
 			fmt.Printf("%s: assessment complete, broadcast selection %s\n", *id, sel)
 		} else {

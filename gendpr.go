@@ -63,6 +63,11 @@ type (
 	HybridRelease = core.HybridRelease
 	// FederationResult is the outcome of a middleware (networked) run.
 	FederationResult = federation.Result
+	// RunOptions configures the fault-tolerance envelope of a federation
+	// run: per-exchange deadlines, retry with reconnect and re-attestation,
+	// and quorum-based degradation. The zero value reproduces the base
+	// protocol (no deadlines, no retries, abort on any member failure).
+	RunOptions = federation.RunOptions
 )
 
 // DefaultConfig returns the paper's evaluation settings: MAF cutoff 0.05,
@@ -108,6 +113,20 @@ func AssessFederated(shards []*Matrix, reference *Matrix, cfg Config, policy Col
 // AssessFederatedTCP runs the middleware across loopback TCP connections.
 func AssessFederatedTCP(shards []*Matrix, reference *Matrix, cfg Config, policy CollusionPolicy) (*FederationResult, error) {
 	return federation.RunOverTCP(shards, reference, cfg, policy)
+}
+
+// AssessFederatedWithOptions is AssessFederated under explicit
+// fault-tolerance options: deadlines on every member exchange, automatic
+// reconnection with capped exponential backoff, and quorum degradation
+// (FederationResult.Excluded lists members dropped mid-run).
+func AssessFederatedWithOptions(shards []*Matrix, reference *Matrix, cfg Config, policy CollusionPolicy, opts RunOptions) (*FederationResult, error) {
+	return federation.RunInProcessWithOptions(shards, reference, cfg, policy, opts)
+}
+
+// AssessFederatedTCPWithOptions is AssessFederatedTCP with fault-tolerance
+// options.
+func AssessFederatedTCPWithOptions(shards []*Matrix, reference *Matrix, cfg Config, policy CollusionPolicy, opts RunOptions) (*FederationResult, error) {
+	return federation.RunOverTCPWithOptions(shards, reference, cfg, policy, opts)
 }
 
 // BuildHybridRelease publishes statistics over every desired SNP: exact over

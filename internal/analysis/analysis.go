@@ -241,5 +241,6 @@ func DefaultAnalyzers() []*Analyzer {
 		NewFloatEq(floatCutoffs),
 		NewErrDrop(nil),
 		NewWGMisuse(nil),
+		NewNakedRecv([]Scope{{PathPrefix: "gendpr/internal/federation"}}),
 	}
 }

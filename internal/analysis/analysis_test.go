@@ -108,6 +108,10 @@ func TestWGMisuseFixture(t *testing.T) {
 	runFixture(t, NewWGMisuse(nil), "wgmisuse")
 }
 
+func TestNakedRecvFixture(t *testing.T) {
+	runFixture(t, NewNakedRecv(nil), "nakedrecv")
+}
+
 // TestScopeExcludesOtherPackages: an analyzer scoped elsewhere must not
 // fire on the fixture.
 func TestScopeExcludesOtherPackages(t *testing.T) {

@@ -239,12 +239,12 @@ func (r *assessmentRun) collectSummaries() error {
 		r.pool.Go(&wg, func() {
 			counts, err := m.Counts()
 			if err != nil {
-				errs[i] = fmt.Errorf("core: member %d counts: %w", i, err)
+				errs[i] = memberErr(i, PhaseSummary, "counts: %w", err)
 				return
 			}
 			n, err := m.CaseN()
 			if err != nil {
-				errs[i] = fmt.Errorf("core: member %d population size: %w", i, err)
+				errs[i] = memberErr(i, PhaseSummary, "population size: %w", err)
 				return
 			}
 			r.counts[i] = counts
@@ -376,7 +376,7 @@ func (r *assessmentRun) subsetPairStats(subset []int) PairStatsFunc {
 			r.pool.Go(&wg, func() {
 				s, err := r.members[i].PairStats(a, b)
 				if err != nil {
-					errs[slot] = fmt.Errorf("core: member %d pair stats: %w", i, err)
+					errs[slot] = memberErr(i, PhaseLD, "pair stats: %w", err)
 					return
 				}
 				parts[slot] = s
@@ -426,7 +426,7 @@ func (r *assessmentRun) prefetchAdjacentPairs(lPrime []int) error {
 		i, m := i, m
 		r.pool.Go(&wg, func() {
 			if err := m.Prefetch(pairs); err != nil {
-				errs[i] = fmt.Errorf("core: member %d pair prefetch: %w", i, err)
+				errs[i] = memberErr(i, PhaseLD, "pair prefetch: %w", err)
 			}
 		})
 	}
@@ -530,11 +530,11 @@ func (r *assessmentRun) phase3LR(subsets [][]int, lDouble []int) ([]int, [][]int
 			r.pool.Go(&wg, func() {
 				lr, err := r.members[i].LRMatrix(lDouble, caseFreq, refFreq)
 				if err != nil {
-					errs[slot] = fmt.Errorf("core: member %d LR-matrix: %w", i, err)
+					errs[slot] = memberErr(i, PhaseLR, "LR-matrix: %w", err)
 					return
 				}
 				if lr.Cols() != len(lDouble) {
-					errs[slot] = fmt.Errorf("core: member %d LR-matrix has %d columns, want %d", i, lr.Cols(), len(lDouble))
+					errs[slot] = memberErr(i, PhaseLR, "LR-matrix has %d columns, want %d", lr.Cols(), len(lDouble))
 					return
 				}
 				parts[slot] = lr

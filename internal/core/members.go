@@ -177,6 +177,8 @@ type cachedProvider struct {
 	pairs  map[[2]int]genome.PairStats
 }
 
+var _ BatchPairProvider = (*cachedProvider)(nil)
+
 func newCachedProvider(p Provider) *cachedProvider {
 	return &cachedProvider{inner: p, pairs: make(map[[2]int]genome.PairStats)}
 }
@@ -266,6 +268,26 @@ func (c *cachedProvider) Prefetch(pairs [][2]int) error {
 	}
 	c.mu.Unlock()
 	return nil
+}
+
+// PairStatsBatch implements BatchPairProvider by serving from the cache after
+// a prefetch. Without it, stacking cached providers — the resilient driver
+// wraps once so survivor data replays across restarts, then the assessment
+// driver wraps again — would hide the inner provider's batching capability
+// and silently downgrade the LD phase to one request per pair.
+func (c *cachedProvider) PairStatsBatch(pairs [][2]int) ([]genome.PairStats, error) {
+	if err := c.Prefetch(pairs); err != nil {
+		return nil, err
+	}
+	out := make([]genome.PairStats, len(pairs))
+	for i, p := range pairs {
+		s, err := c.PairStats(p[0], p[1])
+		if err != nil {
+			return nil, err
+		}
+		out[i] = s
+	}
+	return out, nil
 }
 
 // cachedPair returns a pair's statistics when they are already cached. The

@@ -1,0 +1,169 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"gendpr/internal/enclave"
+	"gendpr/internal/genome"
+)
+
+// Protocol phase names used in member-failure errors and reports.
+const (
+	PhaseSummary = "summary collection"
+	PhaseMAF     = "MAF (phase 1)"
+	PhaseLD      = "LD (phase 2)"
+	PhaseLR      = "LR-test (phase 3)"
+)
+
+// ErrMemberFailed marks a member as unreachable after the transport layer
+// exhausted its retry budget. Providers wrap their terminal transport errors
+// with it; the resilient runner treats any other member-attributed error
+// (protocol violations, tampered payloads) as run-fatal, because excluding a
+// member that misbehaves — rather than one that merely disappeared — would
+// mask an attack.
+var ErrMemberFailed = errors.New("member unreachable")
+
+// ErrQuorumLost is returned when excluding failed members would leave fewer
+// survivors than the configured quorum.
+var ErrQuorumLost = errors.New("core: quorum lost")
+
+// MemberError attributes a failure to one member and the protocol phase
+// where it surfaced. The assessment wraps every member-side error in one, so
+// callers can tell which GDO broke and where without parsing messages.
+type MemberError struct {
+	// Member is the index within the member slice of the failing run.
+	Member int
+	// Phase is the protocol phase where the failure surfaced.
+	Phase string
+	// Err is the underlying cause.
+	Err error
+}
+
+func (e *MemberError) Error() string {
+	return fmt.Sprintf("core: member %d failed in %s: %v", e.Member, e.Phase, e.Err)
+}
+
+func (e *MemberError) Unwrap() error { return e.Err }
+
+// memberErr builds a MemberError for one member and phase.
+func memberErr(member int, phase string, format string, args ...any) *MemberError {
+	return &MemberError{Member: member, Phase: phase, Err: fmt.Errorf(format, args...)}
+}
+
+// Resilience configures quorum-based graceful degradation.
+type Resilience struct {
+	// MinQuorum is the minimum number of members that must survive for the
+	// assessment to continue after exclusions. Zero (or negative) disables
+	// degradation entirely: any member failure aborts the run, matching the
+	// base protocol.
+	MinQuorum int
+}
+
+// Enabled reports whether degradation is configured.
+func (r Resilience) Enabled() bool { return r.MinQuorum > 0 }
+
+// FailedMembers walks an assessment error and returns the member indices
+// whose failures are degradable (wrapped in ErrMemberFailed), sorted. An
+// empty result means the error is run-fatal.
+func FailedMembers(err error) []int {
+	seen := make(map[int]bool)
+	var walk func(error)
+	walk = func(e error) {
+		if e == nil {
+			return
+		}
+		if me, ok := e.(*MemberError); ok {
+			if errors.Is(me.Err, ErrMemberFailed) {
+				seen[me.Member] = true
+			}
+			return
+		}
+		switch x := e.(type) {
+		case interface{ Unwrap() error }:
+			walk(x.Unwrap())
+		case interface{ Unwrap() []error }:
+			for _, sub := range x.Unwrap() {
+				walk(sub)
+			}
+		}
+	}
+	walk(err)
+	out := make([]int, 0, len(seen))
+	for i := range seen {
+		out = append(out, i)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// RunAssessmentResilient is RunAssessment with quorum-based degradation: when
+// a member is declared failed (its provider reports ErrMemberFailed) and at
+// least res.MinQuorum members survive, the assessment restarts over the
+// surviving providers and the returned Report lists the excluded members.
+// Survivor responses are memoized across restarts, so completed phases replay
+// from cache rather than re-querying the federation.
+//
+// Degrading to a subset is privacy-conservative: every phase already
+// evaluates honest subsets of the membership under collusion tolerance, and a
+// release deemed safe for fewer contributors reveals no more when the
+// excluded shards never contribute. The collusion policy is re-validated
+// against the shrunken federation and the run aborts if it can no longer be
+// satisfied.
+func RunAssessmentResilient(members []Provider, reference *genome.Matrix, cfg Config, policy CollusionPolicy, leaderEnclave *enclave.Enclave, res Resilience) (*Report, error) {
+	if !res.Enabled() {
+		return RunAssessment(members, reference, cfg, policy, leaderEnclave)
+	}
+	// Wrap once, outside the per-attempt wrapping RunAssessment does, so the
+	// caches survive restarts: a survivor's counts, pair statistics, and
+	// population size replay from memory on the next attempt.
+	stable := make([]*cachedProvider, len(members))
+	for i, m := range members {
+		stable[i] = newCachedProvider(m)
+	}
+	alive := make([]int, len(members))
+	for i := range alive {
+		alive[i] = i
+	}
+	var excluded []int
+
+	for {
+		current := make([]Provider, len(alive))
+		for slot, id := range alive {
+			current[slot] = stable[id]
+		}
+		report, err := RunAssessment(current, reference, cfg, policy, leaderEnclave)
+		if err == nil {
+			report.Excluded = append([]int(nil), excluded...)
+			return report, nil
+		}
+		failed := FailedMembers(err)
+		if len(failed) == 0 {
+			return nil, err
+		}
+		survivors := len(alive) - len(failed)
+		if survivors < res.MinQuorum {
+			return nil, fmt.Errorf("%w: %d survivors after excluding %d member(s), need %d: %v",
+				ErrQuorumLost, survivors, len(excluded)+len(failed), res.MinQuorum, err)
+		}
+		if perr := policy.Validate(survivors); perr != nil {
+			return nil, fmt.Errorf("core: collusion policy unsatisfiable over %d survivors: %w (member failure: %v)", survivors, perr, err)
+		}
+		// Map slot indices of this attempt back to original member identities
+		// and drop them from the roster.
+		drop := make(map[int]bool, len(failed))
+		for _, slot := range failed {
+			drop[slot] = true
+			excluded = append(excluded, alive[slot])
+		}
+		next := alive[:0]
+		for slot, id := range alive {
+			if !drop[slot] {
+				next = append(next, id)
+			}
+		}
+		alive = next
+		sort.Ints(excluded)
+	}
+}

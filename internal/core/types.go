@@ -94,4 +94,8 @@ type Report struct {
 	// PerCombination holds each combination's selection when collusion
 	// tolerance is on (indexed like the combination enumeration).
 	PerCombination []Selection
+	// Excluded lists the members (by their original indices) that failed and
+	// were excluded under quorum degradation. Empty for a full-membership
+	// run; only ever populated by RunAssessmentResilient.
+	Excluded []int
 }

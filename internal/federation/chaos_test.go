@@ -1,0 +1,262 @@
+package federation
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"gendpr/internal/core"
+	"gendpr/internal/genome"
+	"gendpr/internal/transport"
+)
+
+// The chaos harness sweeps deterministic fault points across all three
+// protocol phases and asserts the two acceptable outcomes of the
+// fault-tolerant runtime:
+//
+//   - rescue: with retries and redial enabled, the run completes with a
+//     selection bit-identical to the undisturbed baseline and no exclusions;
+//   - degrade: with retries disabled and a quorum configured, the run
+//     completes with exactly the faulted member excluded and a selection
+//     bit-identical to a run over the survivors.
+//
+// Never a hang (every case runs under a watchdog) and never a silent wrong
+// answer (every case compares selections against an independent baseline).
+
+const (
+	chaosRPCTimeout = 500 * time.Millisecond
+	chaosDelay      = 3 * chaosRPCTimeout
+	chaosWatchdog   = 60 * time.Second
+)
+
+// chaosInjector wraps the first member connection spawned by the in-process
+// runner with a transport.Fault; every later spawn — including redials of the
+// same member — passes through untouched, so the fault fires exactly once.
+type chaosInjector struct {
+	point transport.FaultPoint
+
+	mu     sync.Mutex
+	target int
+	fault  *transport.Fault
+}
+
+func (c *chaosInjector) inject(shardIdx int, conn transport.Conn) transport.Conn {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.fault != nil {
+		return conn
+	}
+	c.target = shardIdx
+	c.fault = transport.NewFault(conn, c.point)
+	return c.fault
+}
+
+func (c *chaosInjector) fired() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.fault != nil && c.fault.Fired()
+}
+
+// chaosFixture holds the shared cohort plus memoized baselines so the sweep
+// pays for each reference assessment once.
+type chaosFixture struct {
+	cohort *genome.Cohort
+	shards []*genome.Matrix
+
+	mu        sync.Mutex
+	baselines map[string]*core.Report
+}
+
+func newChaosFixture(t *testing.T) *chaosFixture {
+	t.Helper()
+	cohort := testCohort(t, 36, 48, 53)
+	shards, err := cohort.Partition(3)
+	if err != nil {
+		t.Fatalf("Partition: %v", err)
+	}
+	return &chaosFixture{cohort: cohort, shards: shards, baselines: map[string]*core.Report{}}
+}
+
+// baseline returns the distributed reference run with shard `excluded`
+// removed (-1 keeps the full federation), memoized per exclusion and policy.
+func (f *chaosFixture) baseline(t *testing.T, excluded int, policy core.CollusionPolicy) *core.Report {
+	t.Helper()
+	key := fmt.Sprintf("%d/F%d/c%v", excluded, policy.F, policy.Conservative)
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if r, ok := f.baselines[key]; ok {
+		return r
+	}
+	shards := make([]*genome.Matrix, 0, len(f.shards))
+	for i, s := range f.shards {
+		if i != excluded {
+			shards = append(shards, s)
+		}
+	}
+	r, err := core.RunDistributed(shards, f.cohort.Reference, core.DefaultConfig(), policy)
+	if err != nil {
+		t.Fatalf("baseline (excluded=%d): %v", excluded, err)
+	}
+	f.baselines[key] = r
+	return r
+}
+
+// runGuarded executes one federated run under a watchdog: a hang is a test
+// failure, never a stuck suite.
+func runGuarded(t *testing.T, f *chaosFixture, policy core.CollusionPolicy, opts RunOptions, inject faultInjector) (*Result, error) {
+	t.Helper()
+	type outcome struct {
+		res *Result
+		err error
+	}
+	done := make(chan outcome, 1)
+	go func() {
+		res, err := runInProcessInjected(f.shards, f.cohort.Reference, core.DefaultConfig(), policy, opts, false, inject)
+		done <- outcome{res, err}
+	}()
+	select {
+	case o := <-done:
+		return o.res, o.err
+	case <-time.After(chaosWatchdog):
+		t.Fatalf("chaos run hung past the %v watchdog", chaosWatchdog)
+		return nil, nil
+	}
+}
+
+// chaosPoints enumerates one fault point per phase and direction. Delay
+// points carry the sleep that must trip the RPC deadline.
+func chaosPoints(short bool) []transport.FaultPoint {
+	send := func(kind uint16, fk transport.FaultKind) transport.FaultPoint {
+		return transport.FaultPoint{Op: transport.FaultSend, Kind: fk, MsgKind: kind, Delay: chaosDelay}
+	}
+	recv := func(kind uint16, fk transport.FaultKind) transport.FaultPoint {
+		return transport.FaultPoint{Op: transport.FaultRecv, Kind: fk, MsgKind: kind, Delay: chaosDelay}
+	}
+	if short {
+		// The smoke subset: one teardown and one lossy point per direction,
+		// touching Phase 1 and Phase 3.
+		return []transport.FaultPoint{
+			send(KindCountsRequest, transport.FaultClose),
+			send(KindLRRequest, transport.FaultDrop),
+			recv(KindCountsReply, transport.FaultDrop),
+			recv(KindLRReply, transport.FaultClose),
+		}
+	}
+	var points []transport.FaultPoint
+	for _, fk := range []transport.FaultKind{transport.FaultError, transport.FaultClose, transport.FaultDrop} {
+		points = append(points,
+			send(KindCountsRequest, fk),
+			send(KindPairBatchRequest, fk),
+			send(KindLRRequest, fk),
+			recv(KindCountsReply, fk),
+			recv(KindPairBatchReply, fk),
+			recv(KindLRReply, fk),
+		)
+	}
+	// Delay faults sleep for real, so cover one per direction instead of the
+	// full matrix: a slow request send and a late Phase 3 reply.
+	points = append(points,
+		send(KindCountsRequest, transport.FaultDelay),
+		recv(KindLRReply, transport.FaultDelay),
+	)
+	return points
+}
+
+// TestChaosRescue sweeps every fault point with retries and redial enabled:
+// the run must recover — same selection as the undisturbed baseline, nobody
+// excluded.
+func TestChaosRescue(t *testing.T) {
+	f := newChaosFixture(t)
+	policies := []core.CollusionPolicy{{}}
+	if !testing.Short() {
+		policies = append(policies, core.CollusionPolicy{F: 1})
+	}
+	for _, policy := range policies {
+		for _, point := range chaosPoints(testing.Short()) {
+			name := fmt.Sprintf("F%d/%s", policy.F, point)
+			t.Run(name, func(t *testing.T) {
+				inj := &chaosInjector{point: point}
+				res, err := runGuarded(t, f, policy, RunOptions{
+					RPCTimeout: chaosRPCTimeout,
+					MaxRetries: 3,
+					Backoff:    5 * time.Millisecond,
+				}, inj.inject)
+				if err != nil {
+					t.Fatalf("run did not recover: %v", err)
+				}
+				if !inj.fired() {
+					t.Fatal("fault never fired; the case exercised nothing")
+				}
+				if len(res.Excluded) != 0 {
+					t.Fatalf("recovered run excluded members: %v", res.Excluded)
+				}
+				want := f.baseline(t, -1, policy)
+				if !res.Report.Selection.Equal(want.Selection) {
+					t.Errorf("selection %v != baseline %v", res.Report.Selection, want.Selection)
+				}
+			})
+		}
+	}
+}
+
+// TestChaosDegrade sweeps the same fault points with retries disabled and a
+// two-provider quorum: the faulted member must be excluded, everyone else
+// finishes, and the selection equals a run over the survivors.
+func TestChaosDegrade(t *testing.T) {
+	f := newChaosFixture(t)
+	policies := []core.CollusionPolicy{{}}
+	if !testing.Short() {
+		policies = append(policies, core.CollusionPolicy{F: 1})
+	}
+	for _, policy := range policies {
+		for _, point := range chaosPoints(testing.Short()) {
+			name := fmt.Sprintf("F%d/%s", policy.F, point)
+			t.Run(name, func(t *testing.T) {
+				inj := &chaosInjector{point: point}
+				res, err := runGuarded(t, f, policy, RunOptions{
+					RPCTimeout: chaosRPCTimeout,
+					MaxRetries: 0,
+					MinQuorum:  2,
+				}, inj.inject)
+				if err != nil {
+					t.Fatalf("run did not degrade: %v", err)
+				}
+				if !inj.fired() {
+					t.Fatal("fault never fired; the case exercised nothing")
+				}
+				if len(res.Excluded) != 1 || res.Excluded[0] != inj.target {
+					t.Fatalf("excluded %v, want exactly the faulted shard %d", res.Excluded, inj.target)
+				}
+				want := f.baseline(t, inj.target, policy)
+				if !res.Report.Selection.Equal(want.Selection) {
+					t.Errorf("degraded selection %v != survivor baseline %v", res.Report.Selection, want.Selection)
+				}
+			})
+		}
+	}
+}
+
+// TestChaosQuorumLoss drops the quorum floor out from under a faulted run:
+// with MinQuorum equal to the full federation, any member failure must abort
+// with ErrQuorumLost rather than degrade or hang.
+func TestChaosQuorumLoss(t *testing.T) {
+	f := newChaosFixture(t)
+	inj := &chaosInjector{point: transport.FaultPoint{
+		Op:      transport.FaultSend,
+		Kind:    transport.FaultClose,
+		MsgKind: KindPairBatchRequest,
+	}}
+	_, err := runGuarded(t, f, core.CollusionPolicy{}, RunOptions{
+		RPCTimeout: chaosRPCTimeout,
+		MaxRetries: 0,
+		MinQuorum:  3,
+	}, inj.inject)
+	if err == nil {
+		t.Fatal("run completed despite quorum loss")
+	}
+	if !errors.Is(err, core.ErrQuorumLost) {
+		t.Fatalf("error %v does not wrap ErrQuorumLost", err)
+	}
+}

@@ -25,6 +25,10 @@ type Result struct {
 	MemberSelections []*core.Selection
 	// Traffic reports what actually crossed the attested channels.
 	Traffic TrafficStats
+	// Excluded lists the shard positions of members that failed and were
+	// excluded under quorum degradation (empty unless RunOptions.MinQuorum
+	// allowed the run to degrade).
+	Excluded []int
 }
 
 // TrafficStats quantifies the paper's Section 7.1 bandwidth claim: members
@@ -70,45 +74,102 @@ func randomNonces(g int) ([][]byte, error) {
 	return nonces, nil
 }
 
+// electedLeader runs the shared setup of both runners: authority, election,
+// and leader construction.
+func electedLeader(shards []*genome.Matrix) (*Leader, *attest.Authority, int, error) {
+	g := len(shards)
+	if g == 0 {
+		return nil, nil, 0, core.ErrNoMembers
+	}
+	authority, err := attest.NewAuthority()
+	if err != nil {
+		return nil, nil, 0, fmt.Errorf("federation: %w", err)
+	}
+	nonces, err := randomNonces(g)
+	if err != nil {
+		return nil, nil, 0, err
+	}
+	leaderIdx, err := ElectLeader(nonces, g)
+	if err != nil {
+		return nil, nil, 0, err
+	}
+	leaderPlatform, err := enclave.NewPlatform()
+	if err != nil {
+		return nil, nil, 0, fmt.Errorf("federation: %w", err)
+	}
+	leader, err := NewLeader(fmt.Sprintf("gdo-%d", leaderIdx), shards[leaderIdx], leaderPlatform, authority)
+	if err != nil {
+		return nil, nil, 0, err
+	}
+	return leader, authority, leaderIdx, nil
+}
+
+// assembleResult maps the leader's report back to shard positions.
+func assembleResult(report *core.Report, leaderIdx int, g int, members []*Member, memberShards []int, meters []*transport.Meter, shards []*genome.Matrix) *Result {
+	res := &Result{
+		Report:           report,
+		LeaderIndex:      leaderIdx,
+		MemberSelections: make([]*core.Selection, g),
+		Traffic:          trafficStats(meters, shards, leaderIdx),
+	}
+	for j, shardIdx := range memberShards {
+		res.MemberSelections[shardIdx] = members[j].LastResult()
+	}
+	// Report.Excluded uses provider indices (0 = leader's shard); translate
+	// to shard positions for the federation-level view.
+	for _, e := range report.Excluded {
+		if e >= 1 && e <= len(memberShards) {
+			res.Excluded = append(res.Excluded, memberShards[e-1])
+		}
+	}
+	return res
+}
+
 // RunInProcess assembles a complete federation inside one process: one
 // platform and enclave per shard, random leader election, attested in-memory
 // channels, and a full protocol run. It is the reference deployment used by
 // tests, examples and benchmarks; RunOverTCP exercises the same nodes across
 // real sockets.
 func RunInProcess(shards []*genome.Matrix, reference *genome.Matrix, cfg core.Config, policy core.CollusionPolicy) (*Result, error) {
-	g := len(shards)
-	if g == 0 {
-		return nil, core.ErrNoMembers
-	}
-	authority, err := attest.NewAuthority()
-	if err != nil {
-		return nil, fmt.Errorf("federation: %w", err)
-	}
-	nonces, err := randomNonces(g)
-	if err != nil {
-		return nil, err
-	}
-	leaderIdx, err := ElectLeader(nonces, g)
-	if err != nil {
-		return nil, err
-	}
+	return runInProcess(shards, reference, cfg, policy, RunOptions{}, true)
+}
 
-	leaderPlatform, err := enclave.NewPlatform()
-	if err != nil {
-		return nil, fmt.Errorf("federation: %w", err)
-	}
-	leader, err := NewLeader(fmt.Sprintf("gdo-%d", leaderIdx), shards[leaderIdx], leaderPlatform, authority)
+// RunInProcessWithOptions is RunInProcess under the fault-tolerance options:
+// deadlines on every exchange, automatic re-establishment of dropped member
+// channels (a fresh pipe and serving goroutine, re-attested), and quorum
+// degradation. Member serving errors do not fail the run — the leader's
+// report, including its excluded-member list, is authoritative.
+func RunInProcessWithOptions(shards []*genome.Matrix, reference *genome.Matrix, cfg core.Config, policy core.CollusionPolicy, opts RunOptions) (*Result, error) {
+	return runInProcess(shards, reference, cfg, policy, opts, false)
+}
+
+// faultInjector optionally wraps the leader end of each member channel; the
+// chaos harness installs one via the package-internal test hook.
+type faultInjector func(shardIdx int, conn transport.Conn) transport.Conn
+
+func runInProcess(shards []*genome.Matrix, reference *genome.Matrix, cfg core.Config, policy core.CollusionPolicy, opts RunOptions, strict bool) (*Result, error) {
+	return runInProcessInjected(shards, reference, cfg, policy, opts, strict, nil)
+}
+
+// runInProcessInjected is runInProcess with a fault-injection hook on the
+// leader-side connections (nil for production use). Injectors wrap the raw
+// end, below attestation and encryption, so injected faults exercise the
+// full recovery path including re-attestation.
+func runInProcessInjected(shards []*genome.Matrix, reference *genome.Matrix, cfg core.Config, policy core.CollusionPolicy, opts RunOptions, strict bool, inject faultInjector) (*Result, error) {
+	g := len(shards)
+	leader, authority, leaderIdx, err := electedLeader(shards)
 	if err != nil {
 		return nil, err
 	}
 
 	var (
-		wg         sync.WaitGroup
-		mu         sync.Mutex
-		serveErrs  []error
-		members    = make([]*Member, 0, g-1)
-		leaderEnds = make([]transport.Conn, 0, g-1)
-		meters     = make([]*transport.Meter, g)
+		wg           sync.WaitGroup
+		mu           sync.Mutex
+		serveErrs    []error
+		members      = make([]*Member, 0, g-1)
+		memberShards = make([]int, 0, g-1)
+		links        = make([]MemberLink, 0, g-1)
+		meters       = make([]*transport.Meter, g)
 	)
 	for i := 0; i < g; i++ {
 		if i == leaderIdx {
@@ -123,47 +184,50 @@ func RunInProcess(shards []*genome.Matrix, reference *genome.Matrix, cfg core.Co
 			return nil, err
 		}
 		members = append(members, member)
-		leaderEnd, memberEnd := transport.Pipe()
+		memberShards = append(memberShards, i)
 		meters[i] = &transport.Meter{}
-		leaderEnds = append(leaderEnds, transport.NewMetered(leaderEnd, meters[i]))
-		wg.Add(1)
-		go func(m *Member, conn transport.Conn) {
-			defer wg.Done()
-			if err := m.Serve(conn); err != nil {
-				mu.Lock()
-				serveErrs = append(serveErrs, err)
-				mu.Unlock()
+
+		// spawn creates one attestable channel to this member: a fresh pipe
+		// whose far end is served by a new goroutine. The initial connection
+		// and every redial go through it, so a reconnecting leader talks to
+		// a live serving loop with fresh AEAD state.
+		meter, shardIdx := meters[i], i
+		spawn := func() transport.Conn {
+			leaderEnd, memberEnd := transport.Pipe()
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				if err := member.Serve(memberEnd); err != nil {
+					mu.Lock()
+					serveErrs = append(serveErrs, err)
+					mu.Unlock()
+				}
+			}()
+			conn := transport.NewMetered(leaderEnd, meter)
+			if inject != nil {
+				conn = inject(shardIdx, conn)
 			}
-		}(member, memberEnd)
+			return conn
+		}
+		link := MemberLink{Conn: spawn(), Name: member.ID()}
+		if !strict {
+			link.Redial = func() (transport.Conn, error) { return spawn(), nil }
+		}
+		links = append(links, link)
 	}
 
-	report, runErr := leader.Run(leaderEnds, reference, cfg, policy)
-	for _, c := range leaderEnds {
-		_ = c.Close()
+	report, runErr := leader.RunLinks(links, reference, cfg, policy, opts)
+	for _, l := range links {
+		_ = l.Conn.Close()
 	}
 	wg.Wait()
 	if runErr != nil {
 		return nil, runErr
 	}
-	if len(serveErrs) > 0 {
+	if strict && len(serveErrs) > 0 {
 		return nil, errors.Join(serveErrs...)
 	}
-
-	res := &Result{
-		Report:           report,
-		LeaderIndex:      leaderIdx,
-		MemberSelections: make([]*core.Selection, g),
-		Traffic:          trafficStats(meters, shards, leaderIdx),
-	}
-	memberAt := 0
-	for i := 0; i < g; i++ {
-		if i == leaderIdx {
-			continue
-		}
-		res.MemberSelections[i] = members[memberAt].LastResult()
-		memberAt++
-	}
-	return res, nil
+	return assembleResult(report, leaderIdx, g, members, memberShards, meters, shards), nil
 }
 
 // trafficStats folds the per-channel meters into the result summary.
@@ -189,40 +253,33 @@ func trafficStats(meters []*transport.Meter, shards []*genome.Matrix, leaderIdx 
 // RunOverTCP runs the same federation across loopback TCP sockets: each
 // member listens on an ephemeral port and serves one leader connection.
 func RunOverTCP(shards []*genome.Matrix, reference *genome.Matrix, cfg core.Config, policy core.CollusionPolicy) (*Result, error) {
-	g := len(shards)
-	if g == 0 {
-		return nil, core.ErrNoMembers
-	}
-	authority, err := attest.NewAuthority()
-	if err != nil {
-		return nil, fmt.Errorf("federation: %w", err)
-	}
-	nonces, err := randomNonces(g)
-	if err != nil {
-		return nil, err
-	}
-	leaderIdx, err := ElectLeader(nonces, g)
-	if err != nil {
-		return nil, err
-	}
+	return runOverTCP(shards, reference, cfg, policy, RunOptions{}, true)
+}
 
-	leaderPlatform, err := enclave.NewPlatform()
-	if err != nil {
-		return nil, fmt.Errorf("federation: %w", err)
-	}
-	leader, err := NewLeader(fmt.Sprintf("gdo-%d", leaderIdx), shards[leaderIdx], leaderPlatform, authority)
+// RunOverTCPWithOptions is RunOverTCP under the fault-tolerance options.
+// Each member keeps accepting connections until it serves a clean shutdown
+// or its listener closes, so a leader redial after a connection drop reaches
+// a live serving loop.
+func RunOverTCPWithOptions(shards []*genome.Matrix, reference *genome.Matrix, cfg core.Config, policy core.CollusionPolicy, opts RunOptions) (*Result, error) {
+	return runOverTCP(shards, reference, cfg, policy, opts, false)
+}
+
+func runOverTCP(shards []*genome.Matrix, reference *genome.Matrix, cfg core.Config, policy core.CollusionPolicy, opts RunOptions, strict bool) (*Result, error) {
+	g := len(shards)
+	leader, authority, leaderIdx, err := electedLeader(shards)
 	if err != nil {
 		return nil, err
 	}
 
 	var (
-		wg        sync.WaitGroup
-		mu        sync.Mutex
-		serveErrs []error
-		members   = make([]*Member, 0, g-1)
-		conns     = make([]transport.Conn, 0, g-1)
-		listeners = make([]*transport.Listener, 0, g-1)
-		meters    = make([]*transport.Meter, g)
+		wg           sync.WaitGroup
+		mu           sync.Mutex
+		serveErrs    []error
+		members      = make([]*Member, 0, g-1)
+		memberShards = make([]int, 0, g-1)
+		links        = make([]MemberLink, 0, g-1)
+		listeners    = make([]*transport.Listener, 0, g-1)
+		meters       = make([]*transport.Meter, g)
 	)
 	defer func() {
 		for _, l := range listeners {
@@ -243,6 +300,7 @@ func RunOverTCP(shards []*genome.Matrix, reference *genome.Matrix, cfg core.Conf
 			return nil, err
 		}
 		members = append(members, member)
+		memberShards = append(memberShards, i)
 
 		listener, err := transport.Listen("127.0.0.1:0")
 		if err != nil {
@@ -250,56 +308,79 @@ func RunOverTCP(shards []*genome.Matrix, reference *genome.Matrix, cfg core.Conf
 		}
 		listeners = append(listeners, listener)
 		wg.Add(1)
-		go func(m *Member, l *transport.Listener) {
-			defer wg.Done()
-			conn, err := l.Accept()
-			if err != nil {
-				mu.Lock()
-				serveErrs = append(serveErrs, err)
-				mu.Unlock()
-				return
-			}
-			defer conn.Close()
-			if err := m.Serve(conn); err != nil {
-				mu.Lock()
-				serveErrs = append(serveErrs, err)
-				mu.Unlock()
-			}
-		}(member, listener)
+		if strict {
+			// Legacy behavior: one connection, one serving session.
+			go func(m *Member, l *transport.Listener) {
+				defer wg.Done()
+				conn, err := l.Accept()
+				if err != nil {
+					mu.Lock()
+					serveErrs = append(serveErrs, err)
+					mu.Unlock()
+					return
+				}
+				defer conn.Close()
+				if err := m.Serve(conn); err != nil {
+					mu.Lock()
+					serveErrs = append(serveErrs, err)
+					mu.Unlock()
+				}
+			}(member, listener)
+		} else {
+			// Resilient behavior: keep accepting so the leader can redial
+			// after a drop; stop once a session ends in a clean shutdown or
+			// the listener closes.
+			go func(m *Member, l *transport.Listener) {
+				defer wg.Done()
+				for {
+					conn, err := l.Accept()
+					if err != nil {
+						return
+					}
+					err = m.Serve(conn)
+					_ = conn.Close()
+					if err == nil {
+						return
+					}
+					mu.Lock()
+					serveErrs = append(serveErrs, err)
+					mu.Unlock()
+				}
+			}(member, listener)
+		}
 
-		conn, err := transport.Dial(listener.Addr())
+		conn, err := transport.DialTimeout(listener.Addr(), opts.dialTimeout())
 		if err != nil {
 			return nil, err
 		}
 		meters[i] = &transport.Meter{}
-		conns = append(conns, transport.NewMetered(conn, meters[i]))
+		addr, meter := listener.Addr(), meters[i]
+		link := MemberLink{Conn: transport.NewMetered(conn, meter), Name: member.ID()}
+		if !strict {
+			link.Redial = func() (transport.Conn, error) {
+				c, err := transport.DialTimeout(addr, opts.dialTimeout())
+				if err != nil {
+					return nil, err
+				}
+				return transport.NewMetered(c, meter), nil
+			}
+		}
+		links = append(links, link)
 	}
 
-	report, runErr := leader.Run(conns, reference, cfg, policy)
-	for _, c := range conns {
-		_ = c.Close()
+	report, runErr := leader.RunLinks(links, reference, cfg, policy, opts)
+	for _, l := range links {
+		_ = l.Conn.Close()
+	}
+	for _, l := range listeners {
+		_ = l.Close()
 	}
 	wg.Wait()
 	if runErr != nil {
 		return nil, runErr
 	}
-	if len(serveErrs) > 0 {
+	if strict && len(serveErrs) > 0 {
 		return nil, errors.Join(serveErrs...)
 	}
-
-	res := &Result{
-		Report:           report,
-		LeaderIndex:      leaderIdx,
-		MemberSelections: make([]*core.Selection, g),
-		Traffic:          trafficStats(meters, shards, leaderIdx),
-	}
-	memberAt := 0
-	for i := 0; i < g; i++ {
-		if i == leaderIdx {
-			continue
-		}
-		res.MemberSelections[i] = members[memberAt].LastResult()
-		memberAt++
-	}
-	return res, nil
+	return assembleResult(report, leaderIdx, g, members, memberShards, meters, shards), nil
 }

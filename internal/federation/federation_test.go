@@ -329,12 +329,27 @@ func TestMemberRejectsMalformedRequests(t *testing.T) {
 	if reply.Kind != KindError {
 		t.Fatalf("reply kind %d, want KindError", reply.Kind)
 	}
-	serveErr := <-serveDone
-	if serveErr == nil {
-		t.Fatal("member must stop serving after a protocol violation")
+	if !strings.Contains(string(reply.Payload), "out of range") {
+		t.Errorf("unexpected error payload: %s", reply.Payload)
 	}
-	if !strings.Contains(serveErr.Error(), "out of range") {
-		t.Errorf("unexpected serve error: %v", serveErr)
+
+	// The attested session survives the malformed request: a valid query
+	// must still be answered, and only shutdown ends the loop cleanly.
+	if err := conn.Send(transport.Message{Kind: KindCountsRequest}); err != nil {
+		t.Fatal(err)
+	}
+	reply, err = conn.Recv()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reply.Kind != KindCountsReply {
+		t.Fatalf("post-error reply kind %d, want KindCountsReply", reply.Kind)
+	}
+	if err := conn.Send(transport.Message{Kind: KindShutdown}); err != nil {
+		t.Fatal(err)
+	}
+	if serveErr := <-serveDone; serveErr != nil {
+		t.Fatalf("member did not keep serving past a malformed request: %v", serveErr)
 	}
 }
 

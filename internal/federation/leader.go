@@ -1,8 +1,11 @@
 package federation
 
 import (
+	"errors"
 	"fmt"
+	"strconv"
 	"sync"
+	"time"
 
 	"gendpr/internal/core"
 	"gendpr/internal/enclave"
@@ -11,6 +14,12 @@ import (
 	"gendpr/internal/lrtest"
 	"gendpr/internal/transport"
 )
+
+// ErrMemberReported marks an error the member itself computed and reported
+// via KindError. These are deterministic — a malformed request or tampered
+// payload fails the same way on every retry — so the leader never retries
+// them and the resilient runner treats them as run-fatal.
+var ErrMemberReported = errors.New("federation: member reported an error")
 
 // Leader is the randomly elected coordinator GDO. Like every member it holds
 // a private local shard; additionally its trusted coordination module
@@ -38,39 +47,102 @@ func NewLeader(id string, shard *genome.Matrix, platform *enclave.Platform, auth
 // ID returns the leader identifier.
 func (l *Leader) ID() string { return l.id }
 
+// MemberLink describes one member connection the leader drives.
+type MemberLink struct {
+	// Conn is the established raw (pre-attestation) connection.
+	Conn transport.Conn
+	// Name identifies the member in errors and logs.
+	Name string
+	// Redial, when non-nil, re-establishes a raw connection to the member
+	// after a failure; the leader re-attests it before reuse. Nil disables
+	// reconnection: the first transport failure declares the member failed.
+	Redial func() (transport.Conn, error)
+}
+
 // Run attests every member connection, executes the assessment over the
 // federation (leader shard plus remote members), broadcasts the final
 // selection, and shuts the members down. The raw connections are owned by
-// the caller and are not closed.
+// the caller and are not closed. It is RunLinks with the zero RunOptions:
+// no deadlines, no retries, abort on any member failure.
 func (l *Leader) Run(memberConns []transport.Conn, reference *genome.Matrix, cfg core.Config, policy core.CollusionPolicy) (*core.Report, error) {
-	secure := make([]transport.Conn, len(memberConns))
-	for i, raw := range memberConns {
-		conn, err := attestConn(raw, l.authority, l.enclave, true)
-		if err != nil {
-			return nil, fmt.Errorf("federation: leader attesting member %d: %w", i, err)
+	links := make([]MemberLink, len(memberConns))
+	for i, c := range memberConns {
+		links[i] = MemberLink{Conn: c, Name: strconv.Itoa(i)}
+	}
+	return l.RunLinks(links, reference, cfg, policy, RunOptions{})
+}
+
+// RunLinks is Run with explicit fault-tolerance options: per-exchange
+// deadlines, retry with redial and re-attestation, and quorum degradation.
+// Connections the leader itself re-establishes via link.Redial are closed
+// before returning; the initial link connections stay owned by the caller.
+//
+// When opts.MinQuorum is positive, the returned Report may list excluded
+// members in Report.Excluded; entries are provider indices where 0 is the
+// leader's own shard and i+1 is links[i].
+func (l *Leader) RunLinks(links []MemberLink, reference *genome.Matrix, cfg core.Config, policy core.CollusionPolicy, opts RunOptions) (*core.Report, error) {
+	remotes := make([]*remoteProvider, len(links))
+	for i, link := range links {
+		r := &remoteProvider{
+			name:   link.Name,
+			opts:   opts,
+			redial: link.Redial,
+			attest: func(raw transport.Conn) (transport.Conn, error) {
+				return attestConnTimeout(raw, l.authority, l.enclave, true, opts.RPCTimeout)
+			},
 		}
-		secure[i] = conn
+		conn, err := r.attest(link.Conn)
+		if err != nil {
+			err = fmt.Errorf("federation: leader attesting member %s: %w", link.Name, err)
+			if opts.MinQuorum <= 0 {
+				return nil, err
+			}
+			// Degradation is on: carry the member in the failed state so the
+			// assessment can exclude it instead of aborting the federation.
+			r.conn = link.Conn
+			r.health = HealthFailed
+			r.failCause = err
+		} else {
+			r.conn = conn
+		}
+		remotes[i] = r
 	}
+	defer func() {
+		for _, r := range remotes {
+			r.closeOwned()
+		}
+	}()
 
-	providers := make([]core.Provider, 0, len(secure)+1)
+	providers := make([]core.Provider, 0, len(remotes)+1)
 	providers = append(providers, core.NewLocalMember(l.shard))
-	for i, conn := range secure {
-		providers = append(providers, &remoteProvider{conn: conn, index: i})
+	for _, r := range remotes {
+		providers = append(providers, r)
 	}
 
-	report, err := core.RunAssessment(providers, reference, cfg, policy, l.enclave)
+	report, err := core.RunAssessmentResilient(providers, reference, cfg, policy, l.enclave, core.Resilience{MinQuorum: opts.MinQuorum})
 	if err != nil {
 		return nil, err
 	}
 
+	excluded := make(map[int]bool, len(report.Excluded))
+	for _, e := range report.Excluded {
+		excluded[e] = true
+	}
 	payload := encodeResult(report.Selection.AfterMAF, report.Selection.AfterLD, report.Selection.Safe)
-	for i, conn := range secure {
-		if err := conn.Send(transport.Message{Kind: KindResult, Payload: payload}); err != nil {
-			return nil, fmt.Errorf("federation: broadcasting result to member %d: %w", i, err)
+	for i, r := range remotes {
+		if excluded[i+1] {
+			continue
 		}
-		if err := conn.Send(transport.Message{Kind: KindShutdown}); err != nil {
-			return nil, fmt.Errorf("federation: shutting down member %d: %w", i, err)
+		err := r.notify(
+			transport.Message{Kind: KindResult, Payload: payload},
+			transport.Message{Kind: KindShutdown},
+		)
+		if err != nil && opts.MinQuorum <= 0 {
+			return nil, fmt.Errorf("federation: broadcasting result to member %s: %w", links[i].Name, err)
 		}
+		// Under degradation a member that cannot receive its copy of the
+		// result does not invalidate the leader's report; its serving loop
+		// terminates when the connection closes.
 	}
 	return report, nil
 }
@@ -79,56 +151,199 @@ func (l *Leader) Run(memberConns []transport.Conn, reference *genome.Matrix, cfg
 // interface the assessment pipeline consumes. Calls are synchronous
 // request/response exchanges; the mutex keeps concurrent callers (the
 // driver's parallel fetches and parallel-combination mode) from interleaving
-// requests on the shared connection.
+// requests on the shared connection, and guards the health state machine
+// (healthy → retrying → failed) plus the reconnect cycle.
 type remoteProvider struct {
-	mu    sync.Mutex
-	conn  transport.Conn
-	index int
+	name   string
+	opts   RunOptions
+	redial func() (transport.Conn, error)
+	attest func(raw transport.Conn) (transport.Conn, error)
+
+	mu        sync.Mutex
+	conn      transport.Conn
+	owned     bool // conn was created by reconnect, not by the caller
+	health    Health
+	failCause error
+
+	// Counts and CaseN answers arrive in the same KindCountsReply; fetch
+	// once and serve both from the cache.
+	summaryLoaded bool
+	counts        []int64
+	caseN         int64
 }
 
-var _ core.Provider = (*remoteProvider)(nil)
+var (
+	_ core.Provider          = (*remoteProvider)(nil)
+	_ core.BatchPairProvider = (*remoteProvider)(nil)
+)
 
-func (r *remoteProvider) roundTrip(req transport.Message, wantKind uint16) ([]byte, error) {
+// Health returns the member's current health state.
+func (r *remoteProvider) Health() Health {
 	r.mu.Lock()
 	defer r.mu.Unlock()
+	return r.health
+}
+
+// closeOwned closes the connection if the provider re-established it; the
+// caller's original connection is left open per the Run contract.
+func (r *remoteProvider) closeOwned() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.owned {
+		_ = r.conn.Close()
+	}
+}
+
+// memberFailed wraps the terminal cause so core.FailedMembers recognizes the
+// member as degradable.
+func (r *remoteProvider) memberFailed(cause error) error {
+	return fmt.Errorf("federation: member %s: %w (%v)", r.name, core.ErrMemberFailed, cause)
+}
+
+// retryable reports whether a retry on a fresh connection could change the
+// outcome. Member-reported and protocol-violation errors are deterministic
+// or adversarial; only transport-level failures are worth retrying.
+func retryable(err error) bool {
+	return !errors.Is(err, ErrMemberReported) && !errors.Is(err, ErrProtocol)
+}
+
+// reconnectLocked replaces the broken connection with a freshly redialed and
+// re-attested one. The old channel is always abandoned: after a lost or
+// faulted message its AEAD sequence numbers are desynchronized, so replies
+// could never authenticate again.
+func (r *remoteProvider) reconnectLocked() error {
+	_ = r.conn.Close()
+	raw, err := r.redial()
+	if err != nil {
+		return fmt.Errorf("redial: %w", err)
+	}
+	secure, err := r.attest(raw)
+	if err != nil {
+		_ = raw.Close()
+		return fmt.Errorf("re-attest: %w", err)
+	}
+	r.conn = secure
+	r.owned = true
+	return nil
+}
+
+// exchangeLocked performs one request/response exchange under the
+// configured per-operation deadline. Callers hold r.mu.
+func (r *remoteProvider) exchangeLocked(req transport.Message, wantKind uint16) ([]byte, error) {
 	// The mutex exists to pair each request with its reply on the shared
 	// connection: holding it across Send+Recv IS the serialization, it
 	// guards no other state, and a stalled member blocks only callers that
 	// need this same member's answer.
 	//gendpr:allow(lockacrosssend): per-connection RPC serializer; the lock scope is exactly one request/response exchange
-	if err := r.conn.Send(req); err != nil {
-		return nil, fmt.Errorf("federation: member %d send: %w", r.index, err)
+	if err := transport.SendDeadline(r.conn, req, r.opts.RPCTimeout); err != nil {
+		return nil, fmt.Errorf("federation: member %s send: %w", r.name, err)
 	}
-	//gendpr:allow(lockacrosssend): same request/response pairing as the Send above
-	reply, err := r.conn.Recv()
+	//gendpr:allow(lockacrosssend): same request/response pairing as the send above
+	reply, err := transport.RecvDeadline(r.conn, r.opts.RPCTimeout)
 	if err != nil {
-		return nil, fmt.Errorf("federation: member %d recv: %w", r.index, err)
+		return nil, fmt.Errorf("federation: member %s recv: %w", r.name, err)
 	}
 	if reply.Kind == KindError {
-		return nil, fmt.Errorf("federation: member %d reported: %s", r.index, reply.Payload)
+		return nil, fmt.Errorf("%w: member %s: %s", ErrMemberReported, r.name, reply.Payload)
 	}
 	if reply.Kind != wantKind {
-		return nil, fmt.Errorf("%w: member %d replied kind %d, want %d", ErrProtocol, r.index, reply.Kind, wantKind)
+		return nil, fmt.Errorf("%w: member %s replied kind %d, want %d", ErrProtocol, r.name, reply.Kind, wantKind)
 	}
 	return reply.Payload, nil
 }
 
-func (r *remoteProvider) Counts() ([]int64, error) {
-	payload, err := r.roundTrip(transport.Message{Kind: KindCountsRequest}, KindCountsReply)
+// roundTripLocked is the retry engine: exchange, and on transport failure
+// back off, redial, re-attest, and re-issue until the budget runs out and
+// the member is declared failed. Callers hold r.mu.
+func (r *remoteProvider) roundTripLocked(req transport.Message, wantKind uint16) ([]byte, error) {
+	if r.health == HealthFailed {
+		return nil, r.memberFailed(r.failCause)
+	}
+	var lastErr error
+	for attempt := 0; ; attempt++ {
+		if attempt > 0 {
+			if r.redial == nil || attempt > r.opts.MaxRetries {
+				r.health = HealthFailed
+				r.failCause = lastErr
+				return nil, r.memberFailed(lastErr)
+			}
+			r.health = HealthRetrying
+			time.Sleep(backoffDelay(r.opts, attempt))
+			if err := r.reconnectLocked(); err != nil {
+				lastErr = err
+				continue
+			}
+		}
+		payload, err := r.exchangeLocked(req, wantKind)
+		if err == nil {
+			r.health = HealthHealthy
+			return payload, nil
+		}
+		if !retryable(err) {
+			return nil, err
+		}
+		lastErr = err
+	}
+}
+
+func (r *remoteProvider) roundTrip(req transport.Message, wantKind uint16) ([]byte, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.roundTripLocked(req, wantKind)
+}
+
+// notify delivers fire-and-forget messages (result broadcast, shutdown)
+// under the send deadline. A failed member is skipped silently: it already
+// missed the protocol.
+func (r *remoteProvider) notify(msgs ...transport.Message) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.health == HealthFailed {
+		return r.memberFailed(r.failCause)
+	}
+	for _, m := range msgs {
+		//gendpr:allow(lockacrosssend): broadcast serialized on the same per-connection RPC lock
+		if err := transport.SendDeadline(r.conn, m, r.opts.RPCTimeout); err != nil {
+			return fmt.Errorf("federation: member %s send: %w", r.name, err)
+		}
+	}
+	return nil
+}
+
+// loadSummaryLocked fetches the member's counts/population reply once; both
+// Counts and CaseN are served from it. Callers hold r.mu.
+func (r *remoteProvider) loadSummaryLocked() error {
+	if r.summaryLoaded {
+		return nil
+	}
+	payload, err := r.roundTripLocked(transport.Message{Kind: KindCountsRequest}, KindCountsReply)
 	if err != nil {
+		return err
+	}
+	counts, n, err := decodeCounts(payload)
+	if err != nil {
+		return err
+	}
+	r.counts, r.caseN, r.summaryLoaded = counts, n, true
+	return nil
+}
+
+func (r *remoteProvider) Counts() ([]int64, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if err := r.loadSummaryLocked(); err != nil {
 		return nil, err
 	}
-	counts, _, err := decodeCounts(payload)
-	return counts, err
+	return r.counts, nil
 }
 
 func (r *remoteProvider) CaseN() (int64, error) {
-	payload, err := r.roundTrip(transport.Message{Kind: KindCountsRequest}, KindCountsReply)
-	if err != nil {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if err := r.loadSummaryLocked(); err != nil {
 		return 0, err
 	}
-	_, n, err := decodeCounts(payload)
-	return n, err
+	return r.caseN, nil
 }
 
 func (r *remoteProvider) PairStats(a, b int) (genome.PairStats, error) {
@@ -154,7 +369,7 @@ func (r *remoteProvider) PairStatsBatch(pairs [][2]int) ([]genome.PairStats, err
 		return nil, err
 	}
 	if len(stats) != len(pairs) {
-		return nil, fmt.Errorf("%w: member %d returned %d stats for %d pairs", ErrProtocol, r.index, len(stats), len(pairs))
+		return nil, fmt.Errorf("%w: member %s returned %d stats for %d pairs", ErrProtocol, r.name, len(stats), len(pairs))
 	}
 	return stats, nil
 }
@@ -168,7 +383,7 @@ func (r *remoteProvider) LRMatrix(cols []int, caseFreq, refFreq []float64) (*lrt
 	// materializes a member's dense LR-matrix.
 	m, err := lrtest.DecodeWireBit(payload)
 	if err != nil {
-		return nil, fmt.Errorf("federation: member %d LR-matrix: %w", r.index, err)
+		return nil, fmt.Errorf("federation: member %s LR-matrix: %w", r.name, err)
 	}
 	return m, nil
 }

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"time"
 
 	"gendpr/internal/core"
 	"gendpr/internal/enclave"
@@ -50,17 +51,35 @@ func (m *Member) LastResult() *core.Selection {
 	return m.result
 }
 
+// ServeOptions configures a member's serving loop.
+type ServeOptions struct {
+	// IdleTimeout bounds the wait for the next leader message (and each
+	// attestation handshake step); when it expires the member stops serving
+	// with a timeout error, freeing the slot for a reconnecting leader.
+	// Zero waits forever.
+	IdleTimeout time.Duration
+}
+
 // Serve attests the connection to the leader and answers requests until the
 // leader sends a shutdown or the connection closes. It returns nil on a
 // clean shutdown.
 func (m *Member) Serve(raw transport.Conn) error {
-	conn, err := attestConn(raw, m.authority, m.enclave, false)
+	return m.ServeWithOptions(raw, ServeOptions{})
+}
+
+// ServeWithOptions is Serve with an idle deadline. Malformed requests —
+// decode failures, protocol violations, out-of-range queries — are answered
+// with KindError and the loop keeps serving: a single bad request must not
+// tear down an attested session the leader may still need. Teardown is
+// reserved for transport failures, where the channel itself is gone.
+func (m *Member) ServeWithOptions(raw transport.Conn, opts ServeOptions) error {
+	conn, err := attestConnTimeout(raw, m.authority, m.enclave, false, opts.IdleTimeout)
 	if err != nil {
 		return fmt.Errorf("federation: member %s: %w", m.id, err)
 	}
 	local := core.NewLocalMember(m.shard)
 	for {
-		msg, err := conn.Recv()
+		msg, err := transport.RecvDeadline(conn, opts.IdleTimeout)
 		if err != nil {
 			if errors.Is(err, transport.ErrClosed) {
 				return fmt.Errorf("federation: member %s: leader disconnected", m.id)
@@ -69,12 +88,10 @@ func (m *Member) Serve(raw transport.Conn) error {
 		}
 		reply, done, err := m.handle(local, msg)
 		if err != nil {
-			// Report the failure to the leader, then stop serving. The
-			// send is best-effort: the member is already returning the
-			// original error, and a dead channel would only add noise.
-			//gendpr:allow(errdrop): best-effort failure report while already propagating the root-cause error
-			_ = conn.Send(transport.Message{Kind: KindError, Payload: []byte(err.Error())})
-			return fmt.Errorf("federation: member %s: %w", m.id, err)
+			if sendErr := conn.Send(transport.Message{Kind: KindError, Payload: []byte(err.Error())}); sendErr != nil {
+				return fmt.Errorf("federation: member %s reporting %q: %w", m.id, err, sendErr)
+			}
+			continue
 		}
 		if reply != nil {
 			if err := conn.Send(*reply); err != nil {

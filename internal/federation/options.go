@@ -1,0 +1,116 @@
+package federation
+
+import (
+	"sync"
+	"time"
+
+	"gendpr/internal/crand"
+	"gendpr/internal/transport"
+)
+
+// DefaultBackoff is the base delay before the first retry when RunOptions
+// enables retries without choosing one.
+const DefaultBackoff = 50 * time.Millisecond
+
+// maxBackoff caps the exponential growth of the retry delay.
+const maxBackoff = 5 * time.Second
+
+// RunOptions configures the fault-tolerance envelope of a federation run.
+// The zero value reproduces the base protocol exactly: no deadlines, no
+// retries, and any member failure aborts the assessment.
+type RunOptions struct {
+	// RPCTimeout bounds each request/response exchange with a member,
+	// including each attestation handshake step. Zero waits forever.
+	RPCTimeout time.Duration
+	// DialTimeout bounds re-establishing a dropped member connection. Zero
+	// uses transport.DefaultDialTimeout.
+	DialTimeout time.Duration
+	// MaxRetries is how many times a failed member RPC is re-issued before
+	// the member is declared failed. Member RPCs are idempotent — counts,
+	// pair batches, and LR-matrices are pure functions of the shard — so
+	// re-issuing is always safe. Every retry runs on a freshly redialed and
+	// re-attested connection: the old channel's AEAD sequence numbers are
+	// unrecoverable once a message is lost. Zero disables retries.
+	MaxRetries int
+	// Backoff is the base delay before the first retry; it doubles per
+	// attempt (capped at 5s) with random jitter in [base/2, base]. Zero uses
+	// DefaultBackoff.
+	Backoff time.Duration
+	// MinQuorum, when positive, enables quorum degradation: a member
+	// declared failed is excluded and the assessment restarts over the
+	// survivors as long as at least MinQuorum providers (counting the
+	// leader's own shard) remain. Zero aborts on any member failure.
+	MinQuorum int
+}
+
+func (o RunOptions) dialTimeout() time.Duration {
+	if o.DialTimeout > 0 {
+		return o.DialTimeout
+	}
+	return transport.DefaultDialTimeout
+}
+
+func (o RunOptions) backoffBase() time.Duration {
+	if o.Backoff > 0 {
+		return o.Backoff
+	}
+	return DefaultBackoff
+}
+
+// backoffDelay returns the jittered delay before the attempt-th retry
+// (1-based): base doubled per attempt, capped, with the jitter drawn from
+// the crypto-backed source so colluding members cannot predict the leader's
+// retry schedule.
+func backoffDelay(o RunOptions, attempt int) time.Duration {
+	d := o.backoffBase()
+	for i := 1; i < attempt && d < maxBackoff; i++ {
+		d *= 2
+	}
+	if d > maxBackoff {
+		d = maxBackoff
+	}
+	return jitter(d)
+}
+
+var (
+	jitterMu  sync.Mutex
+	jitterSrc = crand.New()
+)
+
+// jitter maps d to a uniform value in [d/2, d]. The source is not
+// concurrency-safe, so draws are serialized; retries are rare and the
+// critical section is a few buffered byte reads.
+func jitter(d time.Duration) time.Duration {
+	if d < 2 {
+		return d
+	}
+	half := d / 2
+	jitterMu.Lock()
+	defer jitterMu.Unlock()
+	return half + time.Duration(jitterSrc.Intn(int(half)+1))
+}
+
+// Health is the leader-side state of one member connection.
+type Health uint8
+
+const (
+	// HealthHealthy means the last exchange with the member succeeded.
+	HealthHealthy Health = iota
+	// HealthRetrying means an exchange failed and the leader is inside the
+	// redial/re-attest/backoff cycle.
+	HealthRetrying
+	// HealthFailed means the retry budget is exhausted; the member is
+	// declared failed and every further request fails immediately.
+	HealthFailed
+)
+
+func (h Health) String() string {
+	switch h {
+	case HealthHealthy:
+		return "healthy"
+	case HealthRetrying:
+		return "retrying"
+	default:
+		return "failed"
+	}
+}

@@ -9,6 +9,7 @@ import (
 	"crypto/sha256"
 	"errors"
 	"fmt"
+	"time"
 
 	"gendpr/internal/enclave"
 	"gendpr/internal/enclave/attest"
@@ -271,15 +272,22 @@ func decodeResult(b []byte) (afterMAF, afterLD, safe []int, err error) {
 // connection and returns the encrypted channel. sendFirst breaks the
 // symmetry: the leader offers first, members answer.
 func attestConn(raw transport.Conn, authority *attest.Authority, enc *enclave.Enclave, sendFirst bool) (transport.Conn, error) {
+	return attestConnTimeout(raw, authority, enc, sendFirst, 0)
+}
+
+// attestConnTimeout is attestConn with a per-step deadline: each handshake
+// send and receive must complete within timeout (zero waits forever), so a
+// silent or stalled peer cannot wedge the attesting side.
+func attestConnTimeout(raw transport.Conn, authority *attest.Authority, enc *enclave.Enclave, sendFirst bool, timeout time.Duration) (transport.Conn, error) {
 	hs, err := attest.NewHandshake(authority, enc)
 	if err != nil {
 		return nil, fmt.Errorf("federation: handshake: %w", err)
 	}
 	send := func() error {
-		return raw.Send(transport.Message{Kind: KindAttestOffer, Payload: encodeOffer(hs.Offer())})
+		return transport.SendDeadline(raw, transport.Message{Kind: KindAttestOffer, Payload: encodeOffer(hs.Offer())}, timeout)
 	}
 	recv := func() (attest.Offer, error) {
-		m, err := raw.Recv()
+		m, err := transport.RecvDeadline(raw, timeout)
 		if err != nil {
 			return attest.Offer{}, fmt.Errorf("federation: handshake recv: %w", err)
 		}

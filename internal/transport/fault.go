@@ -1,0 +1,216 @@
+package transport
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+)
+
+// ErrInjected marks failures produced by a Fault wrapper. Chaos tests match
+// on it with errors.Is to distinguish injected faults from real transport
+// errors.
+var ErrInjected = errors.New("transport: injected fault")
+
+// FaultOp selects which side of the connection a fault targets.
+type FaultOp uint8
+
+const (
+	// FaultSend fires while transmitting.
+	FaultSend FaultOp = iota
+	// FaultRecv fires while receiving.
+	FaultRecv
+)
+
+func (o FaultOp) String() string {
+	if o == FaultSend {
+		return "send"
+	}
+	return "recv"
+}
+
+// FaultKind selects what the fault does when it fires.
+type FaultKind uint8
+
+const (
+	// FaultError fails the operation with ErrInjected without touching the
+	// connection; a retry on the same conn could still succeed.
+	FaultError FaultKind = iota
+	// FaultClose tears down the underlying connection and fails the
+	// operation, simulating a crashed or partitioned peer.
+	FaultClose
+	// FaultDrop swallows the message: a faulted Send reports success without
+	// transmitting; a faulted Recv discards the received message and blocks
+	// for the next one. This desynchronizes AEAD sequence numbers by design.
+	FaultDrop
+	// FaultDelay sleeps for Delay before performing the operation, long
+	// enough to trip a configured deadline.
+	FaultDelay
+)
+
+func (k FaultKind) String() string {
+	switch k {
+	case FaultError:
+		return "error"
+	case FaultClose:
+		return "close"
+	case FaultDrop:
+		return "drop"
+	default:
+		return "delay"
+	}
+}
+
+// FaultPoint describes one deterministic fault: the Nth matching message
+// (1-based) of the given operation — optionally only messages of kind
+// MsgKind — triggers the fault once.
+type FaultPoint struct {
+	// Op is the targeted direction.
+	Op FaultOp
+	// Kind is what happens when the fault fires.
+	Kind FaultKind
+	// MsgKind, when non-zero, restricts matching to messages of this wire
+	// kind. Message kinds are plaintext even under the encrypted transport,
+	// so faults can target specific protocol steps below the AEAD layer.
+	MsgKind uint16
+	// N is the 1-based count of matching messages before firing; 0 means 1.
+	N int
+	// Delay is how long FaultDelay sleeps before the operation proceeds.
+	Delay time.Duration
+}
+
+func (p FaultPoint) String() string {
+	s := fmt.Sprintf("%s/%s#%d", p.Op, p.Kind, p.n())
+	if p.MsgKind != 0 {
+		s += fmt.Sprintf("@kind%d", p.MsgKind)
+	}
+	return s
+}
+
+func (p FaultPoint) n() int {
+	if p.N <= 0 {
+		return 1
+	}
+	return p.N
+}
+
+// Fault wraps a connection and injects one deterministic fault at a
+// configured point. After firing, the wrapper is transparent, so tests can
+// assert recovery behavior from an exactly-known failure.
+type Fault struct {
+	inner Conn
+	point FaultPoint
+
+	mu       sync.Mutex
+	seen     int
+	fired    bool
+	deadline time.Time
+}
+
+var _ Conn = (*Fault)(nil)
+
+// NewFault wraps inner so the described fault point fires exactly once.
+func NewFault(inner Conn, point FaultPoint) *Fault {
+	return &Fault{inner: inner, point: point}
+}
+
+// Fired reports whether the fault has triggered.
+func (f *Fault) Fired() bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.fired
+}
+
+// trigger counts a matching message and reports whether the fault fires now.
+func (f *Fault) trigger(op FaultOp, kind uint16) bool {
+	if f.point.Op != op {
+		return false
+	}
+	if f.point.MsgKind != 0 && f.point.MsgKind != kind {
+		return false
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.fired {
+		return false
+	}
+	f.seen++
+	if f.seen < f.point.n() {
+		return false
+	}
+	f.fired = true
+	return true
+}
+
+func (f *Fault) Send(m Message) error {
+	if f.trigger(FaultSend, m.Kind) {
+		switch f.point.Kind {
+		case FaultError:
+			return fmt.Errorf("%w: send %v", ErrInjected, f.point)
+		case FaultClose:
+			f.inner.Close()
+			return fmt.Errorf("%w: send close %v", ErrInjected, f.point)
+		case FaultDrop:
+			return nil
+		case FaultDelay:
+			time.Sleep(f.point.Delay)
+			if err := f.overran(); err != nil {
+				return err
+			}
+		}
+	}
+	return f.inner.Send(m)
+}
+
+func (f *Fault) Recv() (Message, error) {
+	m, err := f.inner.Recv()
+	if err != nil {
+		return m, err
+	}
+	if f.trigger(FaultRecv, m.Kind) {
+		switch f.point.Kind {
+		case FaultError:
+			return Message{}, fmt.Errorf("%w: recv %v", ErrInjected, f.point)
+		case FaultClose:
+			f.inner.Close()
+			return Message{}, fmt.Errorf("%w: recv close %v", ErrInjected, f.point)
+		case FaultDrop:
+			// Discard and block for the next message, as a lossy link would.
+			return f.inner.Recv()
+		case FaultDelay:
+			// The inner Recv already completed, so sleep here and then honor
+			// the caller's deadline ourselves: a reply that arrives after the
+			// deadline is a timeout, exactly as if the peer were slow.
+			time.Sleep(f.point.Delay)
+			if err := f.overran(); err != nil {
+				return Message{}, err
+			}
+		}
+	}
+	return m, err
+}
+
+// overran reports a timeout error when a delay pushed past the deadline.
+func (f *Fault) overran() error {
+	f.mu.Lock()
+	d := f.deadline
+	f.mu.Unlock()
+	if !d.IsZero() && time.Now().After(d) {
+		return fmt.Errorf("transport: fault delay: %w", ErrTimeout)
+	}
+	return nil
+}
+
+func (f *Fault) Close() error { return f.inner.Close() }
+
+// SetDeadline records the deadline (so delay faults can convert an overrun
+// into a timeout) and forwards to the wrapped connection when supported.
+func (f *Fault) SetDeadline(t time.Time) error {
+	f.mu.Lock()
+	f.deadline = t
+	f.mu.Unlock()
+	if d, ok := f.inner.(Deadliner); ok {
+		return d.SetDeadline(t)
+	}
+	return fmt.Errorf("transport: fault inner conn has no deadline support")
+}

@@ -1,6 +1,10 @@
 package transport
 
-import "sync/atomic"
+import (
+	"fmt"
+	"sync/atomic"
+	"time"
+)
 
 // Meter counts the traffic crossing a connection. GenDPR's headline
 // bandwidth claim (Section 7.1) is that members exchange count vectors and
@@ -63,3 +67,11 @@ func (c *meteredConn) Recv() (Message, error) {
 }
 
 func (c *meteredConn) Close() error { return c.inner.Close() }
+
+// SetDeadline forwards to the wrapped connection when it supports deadlines.
+func (c *meteredConn) SetDeadline(t time.Time) error {
+	if d, ok := c.inner.(Deadliner); ok {
+		return d.SetDeadline(t)
+	}
+	return fmt.Errorf("transport: metered inner conn has no deadline support")
+}

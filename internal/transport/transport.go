@@ -12,6 +12,7 @@ import (
 	"fmt"
 	"io"
 	"net"
+	"os"
 	"sync"
 	"time"
 
@@ -29,7 +30,22 @@ var (
 
 	// ErrFrameTooLarge is returned when a frame length exceeds MaxFrameSize.
 	ErrFrameTooLarge = errors.New("transport: frame exceeds maximum size")
+
+	// ErrTimeout is returned when a deadline expires before an operation
+	// completes. It aliases os.ErrDeadlineExceeded so errors.Is matches both
+	// pipe timeouts and net.Conn deadline errors uniformly.
+	ErrTimeout = os.ErrDeadlineExceeded
 )
+
+// IsTimeout reports whether err was caused by an expired deadline, on either
+// the in-memory or the TCP transport.
+func IsTimeout(err error) bool {
+	if errors.Is(err, ErrTimeout) {
+		return true
+	}
+	var ne net.Error
+	return errors.As(err, &ne) && ne.Timeout()
+}
 
 // Message is one protocol message: a kind discriminator and an opaque
 // payload.
@@ -49,6 +65,54 @@ type Conn interface {
 	Close() error
 }
 
+// Deadliner is implemented by connections that support absolute I/O
+// deadlines. Both built-in transports (pipe and TCP) and every wrapper in
+// this package implement it; SetDeadline(time.Time{}) clears the deadline.
+type Deadliner interface {
+	SetDeadline(t time.Time) error
+}
+
+// SetDeadline applies an absolute deadline to c if it supports one. It
+// reports whether the connection honored the deadline; connections without
+// deadline support are left untouched.
+func SetDeadline(c Conn, t time.Time) bool {
+	d, ok := c.(Deadliner)
+	if !ok {
+		return false
+	}
+	return d.SetDeadline(t) == nil
+}
+
+// RecvDeadline receives one message, failing with a timeout error if it does
+// not arrive within the given duration. A non-positive timeout blocks
+// indefinitely. The deadline is cleared afterwards.
+func RecvDeadline(c Conn, timeout time.Duration) (Message, error) {
+	if timeout <= 0 {
+		return c.Recv()
+	}
+	if !SetDeadline(c, time.Now().Add(timeout)) {
+		return c.Recv()
+	}
+	m, err := c.Recv()
+	SetDeadline(c, time.Time{})
+	return m, err
+}
+
+// SendDeadline sends one message, failing with a timeout error if it cannot
+// be transmitted within the given duration. A non-positive timeout blocks
+// indefinitely. The deadline is cleared afterwards.
+func SendDeadline(c Conn, m Message, timeout time.Duration) error {
+	if timeout <= 0 {
+		return c.Send(m)
+	}
+	if !SetDeadline(c, time.Now().Add(timeout)) {
+		return c.Send(m)
+	}
+	err := c.Send(m)
+	SetDeadline(c, time.Time{})
+	return err
+}
+
 // --- In-memory transport ---
 
 type pipeShared struct {
@@ -64,6 +128,9 @@ type pipeConn struct {
 	out    chan<- Message
 	in     <-chan Message
 	shared *pipeShared
+
+	mu       sync.Mutex
+	deadline time.Time
 }
 
 // Pipe returns two connected in-memory endpoints. Messages sent on one are
@@ -78,21 +145,50 @@ func Pipe() (Conn, Conn) {
 	return a, b
 }
 
+// SetDeadline sets an absolute deadline for both Send and Recv. The zero
+// time clears it. The deadline applies to operations started after the call;
+// the in-memory transport does not interrupt an already-blocked operation.
+func (c *pipeConn) SetDeadline(t time.Time) error {
+	c.mu.Lock()
+	c.deadline = t
+	c.mu.Unlock()
+	return nil
+}
+
+// expiry returns a channel that fires when the current deadline passes, or
+// nil when no deadline is set. The returned stop func releases the timer.
+func (c *pipeConn) expiry() (<-chan time.Time, func()) {
+	c.mu.Lock()
+	d := c.deadline
+	c.mu.Unlock()
+	if d.IsZero() {
+		return nil, func() {}
+	}
+	t := time.NewTimer(time.Until(d))
+	return t.C, func() { t.Stop() }
+}
+
 func (c *pipeConn) Send(m Message) error {
 	select {
 	case <-c.shared.done:
 		return ErrClosed
 	default:
 	}
+	expired, stop := c.expiry()
+	defer stop()
 	select {
 	case c.out <- m:
 		return nil
 	case <-c.shared.done:
 		return ErrClosed
+	case <-expired:
+		return fmt.Errorf("transport: pipe send: %w", ErrTimeout)
 	}
 }
 
 func (c *pipeConn) Recv() (Message, error) {
+	expired, stop := c.expiry()
+	defer stop()
 	select {
 	case m := <-c.in:
 		return m, nil
@@ -104,6 +200,8 @@ func (c *pipeConn) Recv() (Message, error) {
 		default:
 			return Message{}, ErrClosed
 		}
+	case <-expired:
+		return Message{}, fmt.Errorf("transport: pipe recv: %w", ErrTimeout)
 	}
 }
 
@@ -183,6 +281,10 @@ func (n *netMsgConn) Recv() (Message, error) {
 }
 
 func (n *netMsgConn) Close() error { return n.c.Close() }
+
+// SetDeadline delegates to the underlying net.Conn; expired deadlines
+// surface as errors satisfying errors.Is(err, ErrTimeout).
+func (n *netMsgConn) SetDeadline(t time.Time) error { return n.c.SetDeadline(t) }
 
 // DefaultDialTimeout bounds connection establishment.
 const DefaultDialTimeout = 10 * time.Second
@@ -299,3 +401,11 @@ func (s *secureConn) Recv() (Message, error) {
 }
 
 func (s *secureConn) Close() error { return s.inner.Close() }
+
+// SetDeadline forwards to the wrapped connection when it supports deadlines.
+func (s *secureConn) SetDeadline(t time.Time) error {
+	if d, ok := s.inner.(Deadliner); ok {
+		return d.SetDeadline(t)
+	}
+	return fmt.Errorf("transport: secure inner conn has no deadline support")
+}

@@ -26,6 +26,13 @@ go run ./cmd/gendpr-lint ./...
 echo "== go test -race =="
 go test -race ./...
 
+echo "== chaos smoke (short fault sweep) =="
+# A fixed-seed subset of the chaos harness: one fault per direction through
+# Phase 1 and Phase 3, both the rescue and the quorum-degradation paths.
+# The full sweep runs with the suite above; this step keeps the injected
+# fault points visible as their own gate.
+go test -short -run '^TestChaos' ./internal/federation/
+
 echo "== bench smoke (1 iteration, tiny scale) =="
 # One iteration of the Phase-3 suite at a tiny scale: catches benchmarks that
 # no longer compile or crash without paying for a real measurement run.
