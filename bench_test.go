@@ -16,6 +16,7 @@
 package gendpr_test
 
 import (
+	"errors"
 	"fmt"
 	"os"
 	"strconv"
@@ -304,6 +305,9 @@ func fullPairwiseLD(retained []int, pool core.PairStatsFunc, pvals []float64, cu
 				return nil, err
 			}
 			p, err := stats.LDPValue(ps)
+			if errors.Is(err, stats.ErrDegeneratePair) {
+				p, err = 1, nil
+			}
 			if err != nil {
 				return nil, err
 			}

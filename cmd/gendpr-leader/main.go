@@ -3,16 +3,27 @@
 // member node, attests the channels, drives the three-phase protocol, and
 // prints the safe-to-release selection.
 //
+// With -checkpoint-dir the leader snapshots every phase boundary to disk; a
+// run interrupted by a crash or SIGINT/SIGTERM can then be continued by a
+// (possibly re-elected) leader started with -resume and the same member list,
+// which replays the completed phases from the snapshot instead of recomputing
+// them.
+//
 // See cmd/gendpr-node for the full deployment walkthrough.
 package main
 
 import (
+	"context"
 	"encoding/hex"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 
+	"gendpr/internal/checkpoint"
 	"gendpr/internal/core"
 	"gendpr/internal/enclave"
 	"gendpr/internal/enclave/attest"
@@ -42,12 +53,17 @@ func run(args []string) error {
 		dialTimeout  = fs.Duration("dial-timeout", 0, "deadline per member (re)connection (0 uses the transport default)")
 		retries      = fs.Int("retries", 0, "reconnect-and-retry attempts per failed member exchange")
 		minQuorum    = fs.Int("min-quorum", 0, "minimum surviving GDOs (leader included) to finish without failed members; 0 aborts on any failure")
+		ckptDir      = fs.String("checkpoint-dir", "", "directory for phase-boundary snapshots; an interrupted run can be continued with -resume")
+		resume       = fs.Bool("resume", false, "seed the run from a compatible snapshot left in -checkpoint-dir by an interrupted leader")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if *members == "" || *caseFile == "" || *refFile == "" || *authority == "" {
 		return fmt.Errorf("-members, -case, -reference and -authority are required")
+	}
+	if *resume && *ckptDir == "" {
+		return fmt.Errorf("-resume needs -checkpoint-dir")
 	}
 
 	shard, err := readVCF(*caseFile)
@@ -77,6 +93,20 @@ func run(args []string) error {
 		MaxRetries:  *retries,
 		MinQuorum:   *minQuorum,
 	}
+	if *ckptDir != "" {
+		store, err := checkpoint.NewFileStore(*ckptDir)
+		if err != nil {
+			return err
+		}
+		if !*resume {
+			// Without -resume a leftover snapshot is stale by declaration:
+			// start the run from scratch rather than silently continuing it.
+			if err := store.Clear(); err != nil {
+				return err
+			}
+		}
+		opts.Checkpoints = store
+	}
 	dt := *dialTimeout
 	if dt <= 0 {
 		dt = transport.DefaultDialTimeout
@@ -105,10 +135,22 @@ func run(args []string) error {
 	fmt.Printf("leader: %d members connected, %d local genomes, %d reference genomes, %d SNPs\n",
 		len(links), shard.N(), reference.N(), shard.L())
 
-	report, err := leader.RunLinks(links, reference, core.DefaultConfig(),
+	// SIGINT/SIGTERM cancels the run: in-flight exchanges are interrupted and
+	// the assessment stops at the next boundary, leaving the checkpoint (if
+	// any) behind for a -resume restart.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	report, err := leader.RunLinksContext(ctx, links, reference, core.DefaultConfig(),
 		core.CollusionPolicy{F: *colluders, Conservative: *conservative}, opts)
 	if err != nil {
+		if errors.Is(err, context.Canceled) && *ckptDir != "" {
+			return fmt.Errorf("interrupted; completed phases are snapshotted in %s — rerun with -resume to continue: %w", *ckptDir, err)
+		}
 		return err
+	}
+	if report.Resumed {
+		fmt.Printf("resumed from checkpoint in %s\n", *ckptDir)
 	}
 	fmt.Printf("selection: %s\n", report.Selection)
 	for _, e := range report.Excluded {

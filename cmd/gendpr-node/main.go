@@ -6,6 +6,9 @@
 // All processes of a deployment must share the attestation authority seed
 // (see cmd/gendpr-authority).
 //
+// The node shuts down cleanly on SIGINT/SIGTERM: a parked serving loop is
+// interrupted mid-wait rather than lingering until the next leader message.
+//
 // Usage:
 //
 //	gendpr-authority -out authority.seed
@@ -16,11 +19,17 @@
 package main
 
 import (
+	"context"
 	"encoding/hex"
+	"errors"
 	"flag"
 	"fmt"
+	"net"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
+	"time"
 
 	"gendpr/internal/enclave"
 	"gendpr/internal/enclave/attest"
@@ -79,29 +88,92 @@ func run(args []string) error {
 	fmt.Printf("%s: holding %d genomes x %d SNPs, listening on %s\n",
 		*id, shard.N(), shard.L(), listener.Addr())
 
-	// Only a clean shutdown consumes a serve slot: a session that dies on a
-	// transport failure is treated as an interrupted run whose leader may
-	// redial (the leader retries over a fresh attested connection), so the
-	// node logs it and keeps accepting.
-	for i := 0; i < *serves; {
-		conn, err := listener.Accept()
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	// A signal must also unblock the Accept call itself, which has no
+	// context of its own: close the listener when the context falls.
+	go func() {
+		<-ctx.Done()
+		_ = listener.Close()
+	}()
+
+	return serveAssessments(ctx, member, listener, *serves, federation.ServeOptions{IdleTimeout: *idle}, func(format string, args ...any) {
+		fmt.Printf("%s: "+format+"\n", append([]any{*id}, args...)...)
+	})
+}
+
+// acceptor is the slice of transport.Listener the serving loop needs; tests
+// substitute a scripted implementation.
+type acceptor interface {
+	Accept() (transport.Conn, error)
+}
+
+// Accept-retry backoff bounds: transient listener errors (EMFILE, ECONNABORTED
+// and friends) are retried with doubling delays instead of killing the node.
+const (
+	acceptBackoffBase = 50 * time.Millisecond
+	acceptBackoffMax  = 2 * time.Second
+)
+
+// serveAssessments is the node's serving loop. Only a clean shutdown consumes
+// a serve slot: a session that dies on a transport failure is treated as an
+// interrupted run whose leader may redial (the leader retries over a fresh
+// attested connection), so the node logs it and keeps accepting. Accept
+// errors are retried with capped exponential backoff; a closed listener — the
+// shutdown path — ends the loop cleanly, as does context cancellation.
+func serveAssessments(ctx context.Context, member *federation.Member, l acceptor, serves int, opts federation.ServeOptions, logf func(format string, args ...any)) error {
+	backoff := acceptBackoffBase
+	for i := 0; i < serves; {
+		conn, err := l.Accept()
 		if err != nil {
-			return err
+			if errors.Is(err, net.ErrClosed) || (ctx != nil && ctx.Err() != nil) {
+				// Listener closed underneath us: the shutdown path.
+				return nil
+			}
+			logf("accept failed (%v), retrying in %v", err, backoff)
+			if err := sleepCtx(ctx, backoff); err != nil {
+				return nil
+			}
+			if backoff *= 2; backoff > acceptBackoffMax {
+				backoff = acceptBackoffMax
+			}
+			continue
 		}
-		err = member.ServeWithOptions(conn, federation.ServeOptions{IdleTimeout: *idle})
+		backoff = acceptBackoffBase
+		err = member.ServeContext(ctx, conn, opts)
 		_ = conn.Close()
 		if err != nil {
-			fmt.Printf("%s: session ended early (%v), awaiting reconnect\n", *id, err)
+			if ctx != nil && ctx.Err() != nil {
+				logf("shutting down: %v", ctx.Err())
+				return nil
+			}
+			logf("session ended early (%v), awaiting reconnect", err)
 			continue
 		}
 		i++
 		if sel := member.LastResult(); sel != nil {
-			fmt.Printf("%s: assessment complete, broadcast selection %s\n", *id, sel)
+			logf("assessment complete, broadcast selection %s", sel)
 		} else {
-			fmt.Printf("%s: assessment complete\n", *id)
+			logf("assessment complete")
 		}
 	}
 	return nil
+}
+
+// sleepCtx sleeps for d unless the context is canceled first.
+func sleepCtx(ctx context.Context, d time.Duration) error {
+	if ctx == nil {
+		time.Sleep(d)
+		return nil
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
 }
 
 func readVCF(path string) (*genome.Matrix, error) {

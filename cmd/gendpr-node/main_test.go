@@ -1,0 +1,99 @@
+package main
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"gendpr/internal/federation"
+	"gendpr/internal/transport"
+)
+
+// scriptedAcceptor plays back a fixed sequence of Accept outcomes, then
+// reports a closed listener forever.
+type scriptedAcceptor struct {
+	mu    sync.Mutex
+	steps []error
+	calls int
+}
+
+func (s *scriptedAcceptor) Accept() (transport.Conn, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.calls++
+	if s.calls > len(s.steps) {
+		return nil, fmt.Errorf("transport: accept: %w", net.ErrClosed)
+	}
+	return nil, s.steps[s.calls-1]
+}
+
+func (s *scriptedAcceptor) accepts() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.calls
+}
+
+// TestServeAssessmentsRetriesTransientAccept is the regression test for the
+// accept loop: transient Accept errors (resource exhaustion, aborted
+// handshakes) must be retried with backoff instead of killing the node, and
+// a closed listener must end the loop cleanly.
+func TestServeAssessmentsRetriesTransientAccept(t *testing.T) {
+	transient := errors.New("accept tcp: too many open files")
+	acc := &scriptedAcceptor{steps: []error{transient, transient}}
+	var retries int
+	err := serveAssessments(context.Background(), nil, acc, 1, federation.ServeOptions{}, func(format string, args ...any) {
+		if len(args) > 0 {
+			if e, ok := args[0].(error); ok && errors.Is(e, transient) {
+				retries++
+			}
+		}
+	})
+	if err != nil {
+		t.Fatalf("serveAssessments = %v, want nil on listener close", err)
+	}
+	if got := acc.accepts(); got != 3 {
+		t.Errorf("Accept called %d times, want 3 (two transient retries, then closed)", got)
+	}
+	if retries != 2 {
+		t.Errorf("logged %d transient retries, want 2", retries)
+	}
+}
+
+// TestServeAssessmentsStopsOnCancel: a canceled context ends the loop
+// cleanly even while Accept keeps failing.
+func TestServeAssessmentsStopsOnCancel(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	acc := &scriptedAcceptor{steps: []error{errors.New("accept: transient")}}
+	done := make(chan error, 1)
+	go func() {
+		done <- serveAssessments(ctx, nil, acc, 1, federation.ServeOptions{}, func(string, ...any) {})
+	}()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("serveAssessments = %v, want nil on cancellation", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("serveAssessments did not stop on a canceled context")
+	}
+}
+
+// TestServeAssessmentsBackoffIsBounded: repeated transient failures must not
+// grow the delay past the cap (the doubling would otherwise overflow into
+// effectively-infinite sleeps).
+func TestServeAssessmentsBackoffIsBounded(t *testing.T) {
+	b := acceptBackoffBase
+	for i := 0; i < 20; i++ {
+		if b *= 2; b > acceptBackoffMax {
+			b = acceptBackoffMax
+		}
+	}
+	if b != acceptBackoffMax {
+		t.Fatalf("backoff after 20 failures = %v, want capped at %v", b, acceptBackoffMax)
+	}
+}

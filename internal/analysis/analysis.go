@@ -242,5 +242,6 @@ func DefaultAnalyzers() []*Analyzer {
 		NewErrDrop(nil),
 		NewWGMisuse(nil),
 		NewNakedRecv([]Scope{{PathPrefix: "gendpr/internal/federation"}}),
+		NewCtxDeadline([]Scope{{PathPrefix: "gendpr/internal/federation"}}),
 	}
 }

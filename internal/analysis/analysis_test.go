@@ -112,6 +112,10 @@ func TestNakedRecvFixture(t *testing.T) {
 	runFixture(t, NewNakedRecv(nil), "nakedrecv")
 }
 
+func TestCtxDeadlineFixture(t *testing.T) {
+	runFixture(t, NewCtxDeadline(nil), "ctxdeadline")
+}
+
 // TestScopeExcludesOtherPackages: an analyzer scoped elsewhere must not
 // fire on the fixture.
 func TestScopeExcludesOtherPackages(t *testing.T) {

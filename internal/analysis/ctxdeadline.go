@@ -1,0 +1,89 @@
+package analysis
+
+import (
+	"go/ast"
+)
+
+// NewCtxDeadline returns the analyzer flagging functions that accept a
+// context.Context and then never reference it. The federation middleware
+// threads contexts down to the transport layer so cancellation can interrupt
+// in-flight exchanges; a function that takes a context but drops it on the
+// floor advertises cancellability it does not deliver — a leader "canceling"
+// such a path would keep a member parked on a dead exchange. Accepting an
+// intentionally unused context is spelled with the blank identifier.
+//
+// The check is syntactic: a parameter whose type reads context.Context and
+// whose name is not _ must appear somewhere in the function body. Any
+// occurrence counts (including inside nested literals), which errs toward
+// silence rather than false alarms.
+func NewCtxDeadline(scopes []Scope) *Analyzer {
+	a := &Analyzer{
+		Name:   "ctxdeadline",
+		Doc:    "a function accepting a context.Context must propagate it; accepting and ignoring one makes callers believe the operation is cancellable when it is not",
+		Scopes: scopes,
+	}
+	a.Run = func(p *Pass) {
+		for _, f := range p.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				var ft *ast.FuncType
+				var body *ast.BlockStmt
+				switch fn := n.(type) {
+				case *ast.FuncDecl:
+					ft, body = fn.Type, fn.Body
+				case *ast.FuncLit:
+					ft, body = fn.Type, fn.Body
+				default:
+					return true
+				}
+				if body == nil || ft.Params == nil {
+					return true
+				}
+				for _, field := range ft.Params.List {
+					if !isContextType(field.Type) {
+						continue
+					}
+					for _, name := range field.Names {
+						if name.Name == "_" {
+							continue
+						}
+						if !identUsed(body, name.Name) {
+							p.Reportf(name.Pos(),
+								"context.Context parameter %q is never used: propagate it into the blocking calls (or name it _) so cancellation is not silently ignored",
+								name.Name)
+						}
+					}
+				}
+				return true
+			})
+		}
+	}
+	return a
+}
+
+// isContextType matches the written type context.Context.
+func isContextType(e ast.Expr) bool {
+	sel, ok := e.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Context" {
+		return false
+	}
+	id, ok := sel.X.(*ast.Ident)
+	return ok && id.Name == "context"
+}
+
+// identUsed reports whether any identifier with the given name occurs in the
+// body. Purely syntactic: a same-named identifier in a nested scope counts as
+// a use, erring toward silence.
+func identUsed(body *ast.BlockStmt, name string) bool {
+	used := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if used {
+			return false
+		}
+		if id, ok := n.(*ast.Ident); ok && id.Name == name {
+			used = true
+			return false
+		}
+		return true
+	})
+	return used
+}

@@ -1,0 +1,49 @@
+// Package fixture exercises the ctxdeadline analyzer: context parameters
+// must be propagated into the blocking work, not accepted and ignored.
+package fixture
+
+import "context"
+
+type conn struct{}
+
+func (c conn) send(ctx context.Context) error {
+	<-ctx.Done()
+	return ctx.Err()
+}
+
+// A named context parameter the body never references: the signature promises
+// cancellability the implementation does not deliver.
+func ignoresContext(ctx context.Context, n int) int { // want "never used"
+	return n + 1
+}
+
+// Propagating the context into the blocking call is the point.
+func propagates(ctx context.Context) error {
+	c := conn{}
+	return c.send(ctx)
+}
+
+// The blank identifier is the explicit opt-out for interface conformance.
+func blankContext(_ context.Context) int {
+	return 0
+}
+
+// Checking ctx.Err() counts as a use.
+func checksErr(ctx context.Context) error {
+	return ctx.Err()
+}
+
+// Function literals are held to the same rule.
+var litIgnores = func(ctx context.Context) int { // want "never used"
+	return 2
+}
+
+// A closure capturing the outer context counts as propagation.
+func closurePropagates(ctx context.Context) func() error {
+	return func() error { return ctx.Err() }
+}
+
+// An unnamed parameter cannot be referenced and is not flagged.
+func unnamed(context.Context) int {
+	return 3
+}

@@ -1,0 +1,358 @@
+// Package checkpoint persists assessment progress at phase boundaries so a
+// re-elected leader (or a restarted one) can resume a partially completed
+// GenDPR run instead of recomputing every phase from zero. A checkpoint is a
+// single self-contained record: the provider roster it was taken over, the
+// collected summary statistics, the selections surviving each completed
+// phase, the pair statistics the LD scan aggregated, and the per-combination
+// Phase 3 results (including the merged LR BitMatrix for the canonical
+// combination, which seeds the admission order on resume).
+//
+// The on-disk/on-wire form is a versioned, length-prefixed, CRC-guarded
+// envelope over the project's deterministic wire codec. Decoding is
+// all-or-nothing: a truncated, corrupted, or version-skewed record yields an
+// error and no partially applied state, which the fuzz target enforces.
+package checkpoint
+
+import (
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"math"
+
+	"gendpr/internal/genome"
+	"gendpr/internal/wire"
+)
+
+// Version is the current checkpoint format version. Decoders reject any
+// other value: resuming from a checkpoint written by a different build is a
+// correctness hazard, not a migration opportunity.
+const Version = 1
+
+// magic identifies a checkpoint record; anything else is not even parsed.
+const magic = "GDPRCKPT"
+
+var (
+	// ErrNotFound is returned by Store.Load when no checkpoint exists.
+	ErrNotFound = errors.New("checkpoint: not found")
+
+	// ErrCorrupt is returned when a record fails structural validation:
+	// bad magic, truncated envelope, CRC mismatch, or undecodable payload.
+	ErrCorrupt = errors.New("checkpoint: corrupt record")
+
+	// ErrVersion is returned when the record's format version is not the
+	// one this build writes.
+	ErrVersion = errors.New("checkpoint: unsupported version")
+)
+
+// Stage is the highest fully completed phase boundary a checkpoint covers.
+type Stage uint8
+
+const (
+	// StageNone means only the collected summaries are recorded.
+	StageNone Stage = iota
+	// StageMAF means Phase 1 is complete: LPrime and PerMAF are valid.
+	StageMAF
+	// StageLD means Phase 2 is complete: LDouble, PerLD and Pairs are valid.
+	StageLD
+)
+
+func (s Stage) String() string {
+	switch s {
+	case StageNone:
+		return "none"
+	case StageMAF:
+		return "maf"
+	case StageLD:
+		return "ld"
+	default:
+		return fmt.Sprintf("stage(%d)", uint8(s))
+	}
+}
+
+// PairRecord is one aggregated pair-statistics entry collected from a
+// provider during the LD phase.
+type PairRecord struct {
+	A, B  int
+	Stats genome.PairStats
+}
+
+// Combination is the completed Phase 3 result for one collusion combination,
+// identified by the member names it was evaluated over (names, not slot
+// indices: a new leader enumerates providers in a different order).
+type Combination struct {
+	// Members are the provider identity names of the combination.
+	Members []string
+	// Safe is the combination's safe SNP selection.
+	Safe []int
+	// Power is the residual identification power (meaningful for the
+	// full-membership combination only).
+	Power float64
+	// Merged holds the wire encoding of the merged LR BitMatrix. It is
+	// retained only for the full-membership combination, whose merged
+	// matrix defines the canonical discriminability order every other
+	// combination shares; resuming leaders re-derive the order from it
+	// without re-fetching member matrices.
+	Merged []byte
+}
+
+// State is one checkpoint: everything a leader needs to resume an assessment
+// at the recorded stage. Per-provider arrays (Counts, CaseNs, Pairs) are
+// indexed like Providers; a resuming leader remaps them onto its own
+// provider order by name.
+type State struct {
+	// Fingerprint binds the checkpoint to one run shape (configuration,
+	// policy, provider name set, reference dimensions). A mismatch means
+	// the checkpoint describes a different run and must be ignored.
+	Fingerprint []byte
+	// Providers are the identity names, in the saving leader's slot order.
+	Providers []string
+	// Counts holds each provider's minor-allele count vector.
+	Counts [][]int64
+	// CaseNs holds each provider's case-population size.
+	CaseNs []int64
+	// Stage is the highest completed phase boundary.
+	Stage Stage
+	// LPrime and PerMAF are the Phase 1 outputs (valid from StageMAF).
+	LPrime []int
+	PerMAF [][]int
+	// LDouble and PerLD are the Phase 2 outputs (valid from StageLD).
+	LDouble []int
+	PerLD   [][]int
+	// Pairs holds each provider's pair statistics aggregated during the LD
+	// scan, indexed like Providers (valid from StageLD). Seeding them back
+	// into the provider caches lets a resumed run answer any residual LD
+	// queries without re-contacting members.
+	Pairs [][]PairRecord
+	// Combinations lists the Phase 3 combinations completed so far.
+	Combinations []Combination
+}
+
+// maxElems bounds decoded element counts before allocation so a hostile
+// length field cannot force a huge allocation; real checkpoints are far
+// smaller.
+const maxElems = 1 << 24
+
+// Encode serializes the state into the versioned CRC-guarded envelope:
+//
+//	magic(8) | version u32 | payload length u64 | payload | crc32(IEEE) u32
+//
+// The CRC covers version, length, and payload.
+func Encode(st *State) []byte {
+	e := wire.NewEncoder(1024)
+	e.Blob(st.Fingerprint)
+	e.Uint64(uint64(len(st.Providers)))
+	for _, name := range st.Providers {
+		e.String(name)
+	}
+	e.Uint64(uint64(len(st.Counts)))
+	for _, counts := range st.Counts {
+		e.Int64s(counts)
+	}
+	e.Int64s(st.CaseNs)
+	e.Uint64(uint64(st.Stage))
+	e.Ints(st.LPrime)
+	encodePerCombination(e, st.PerMAF)
+	e.Ints(st.LDouble)
+	encodePerCombination(e, st.PerLD)
+	e.Uint64(uint64(len(st.Pairs)))
+	for _, recs := range st.Pairs {
+		e.Uint64(uint64(len(recs)))
+		for _, r := range recs {
+			e.Int(r.A)
+			e.Int(r.B)
+			e.Int64(r.Stats.N)
+			e.Int64(r.Stats.SumX)
+			e.Int64(r.Stats.SumY)
+			e.Int64(r.Stats.SumXY)
+			e.Int64(r.Stats.SumXX)
+			e.Int64(r.Stats.SumYY)
+		}
+	}
+	e.Uint64(uint64(len(st.Combinations)))
+	for _, c := range st.Combinations {
+		e.Uint64(uint64(len(c.Members)))
+		for _, m := range c.Members {
+			e.String(m)
+		}
+		e.Ints(c.Safe)
+		e.Float64(c.Power)
+		e.Blob(c.Merged)
+	}
+	payload := e.Bytes()
+
+	out := make([]byte, 0, len(magic)+16+len(payload))
+	out = append(out, magic...)
+	out = appendUint32(out, Version)
+	out = appendUint64(out, uint64(len(payload)))
+	out = append(out, payload...)
+	crc := crc32.ChecksumIEEE(out[len(magic):])
+	return appendUint32(out, crc)
+}
+
+func appendUint32(b []byte, v uint32) []byte {
+	return append(b, byte(v>>24), byte(v>>16), byte(v>>8), byte(v))
+}
+
+func appendUint64(b []byte, v uint64) []byte {
+	return append(b, byte(v>>56), byte(v>>48), byte(v>>40), byte(v>>32),
+		byte(v>>24), byte(v>>16), byte(v>>8), byte(v))
+}
+
+func encodePerCombination(e *wire.Encoder, per [][]int) {
+	e.Uint64(uint64(len(per)))
+	for _, sel := range per {
+		e.Ints(sel)
+	}
+}
+
+// Decode parses an encoded checkpoint. Any structural defect — wrong magic,
+// version skew, truncation, trailing bytes, CRC mismatch, or an undecodable
+// payload — yields a nil state and an error; a partially decoded state is
+// never returned.
+func Decode(b []byte) (*State, error) {
+	if len(b) < len(magic)+16 {
+		return nil, fmt.Errorf("%w: %d bytes is shorter than the envelope", ErrCorrupt, len(b))
+	}
+	if string(b[:len(magic)]) != magic {
+		return nil, fmt.Errorf("%w: bad magic", ErrCorrupt)
+	}
+	body := b[len(magic) : len(b)-4]
+	wantCRC := uint32(b[len(b)-4])<<24 | uint32(b[len(b)-3])<<16 | uint32(b[len(b)-2])<<8 | uint32(b[len(b)-1])
+	if crc32.ChecksumIEEE(body) != wantCRC {
+		return nil, fmt.Errorf("%w: CRC mismatch", ErrCorrupt)
+	}
+	version := uint32(body[0])<<24 | uint32(body[1])<<16 | uint32(body[2])<<8 | uint32(body[3])
+	if version != Version {
+		return nil, fmt.Errorf("%w: got %d, want %d", ErrVersion, version, Version)
+	}
+	length := uint64(0)
+	for _, x := range body[4:12] {
+		length = length<<8 | uint64(x)
+	}
+	payload := body[12:]
+	if uint64(len(payload)) != length {
+		return nil, fmt.Errorf("%w: payload length %d, envelope says %d", ErrCorrupt, len(payload), length)
+	}
+
+	d := wire.NewDecoder(payload)
+	st := &State{}
+	st.Fingerprint = append([]byte(nil), d.Blob()...)
+	st.Providers = decodeStrings(d)
+	nCounts, ok := decodeLen(d)
+	if !ok {
+		return nil, fmt.Errorf("%w: counts length", ErrCorrupt)
+	}
+	st.Counts = make([][]int64, 0, nCounts)
+	for i := 0; i < nCounts; i++ {
+		st.Counts = append(st.Counts, d.Int64s())
+	}
+	st.CaseNs = d.Int64s()
+	st.Stage = Stage(d.Uint64())
+	st.LPrime = d.Ints()
+	st.PerMAF = decodePerCombination(d)
+	st.LDouble = d.Ints()
+	st.PerLD = decodePerCombination(d)
+	nPairs, ok := decodeLen(d)
+	if !ok {
+		return nil, fmt.Errorf("%w: pairs length", ErrCorrupt)
+	}
+	st.Pairs = make([][]PairRecord, 0, nPairs)
+	for i := 0; i < nPairs; i++ {
+		n, ok := decodeLen(d)
+		if !ok {
+			return nil, fmt.Errorf("%w: pair record length", ErrCorrupt)
+		}
+		recs := make([]PairRecord, 0, n)
+		for j := 0; j < n; j++ {
+			recs = append(recs, PairRecord{
+				A: d.Int(),
+				B: d.Int(),
+				Stats: genome.PairStats{
+					N:     d.Int64(),
+					SumX:  d.Int64(),
+					SumY:  d.Int64(),
+					SumXY: d.Int64(),
+					SumXX: d.Int64(),
+					SumYY: d.Int64(),
+				},
+			})
+		}
+		st.Pairs = append(st.Pairs, recs)
+	}
+	nCombos, ok := decodeLen(d)
+	if !ok {
+		return nil, fmt.Errorf("%w: combination length", ErrCorrupt)
+	}
+	st.Combinations = make([]Combination, 0, nCombos)
+	for i := 0; i < nCombos; i++ {
+		c := Combination{
+			Members: decodeStrings(d),
+			Safe:    d.Ints(),
+			Power:   d.Float64(),
+		}
+		c.Merged = append([]byte(nil), d.Blob()...)
+		st.Combinations = append(st.Combinations, c)
+	}
+	if err := d.Finish(); err != nil {
+		return nil, fmt.Errorf("%w: payload: %v", ErrCorrupt, err)
+	}
+	if err := st.validate(); err != nil {
+		return nil, err
+	}
+	return st, nil
+}
+
+// validate enforces the cross-field invariants a decoder cannot express:
+// per-provider arrays must align with the roster, and the stage must be one
+// this version defines. Saving code maintains these by construction.
+func (st *State) validate() error {
+	g := len(st.Providers)
+	if len(st.Counts) != g || len(st.CaseNs) != g {
+		return fmt.Errorf("%w: %d providers with %d count vectors and %d population sizes",
+			ErrCorrupt, g, len(st.Counts), len(st.CaseNs))
+	}
+	if len(st.Pairs) != 0 && len(st.Pairs) != g {
+		return fmt.Errorf("%w: %d pair caches for %d providers", ErrCorrupt, len(st.Pairs), g)
+	}
+	if st.Stage > StageLD {
+		return fmt.Errorf("%w: stage %d", ErrCorrupt, st.Stage)
+	}
+	for _, c := range st.Combinations {
+		if math.IsNaN(c.Power) || math.IsInf(c.Power, 0) {
+			return fmt.Errorf("%w: non-finite combination power", ErrCorrupt)
+		}
+	}
+	return nil
+}
+
+func decodeLen(d *wire.Decoder) (int, bool) {
+	n := d.Uint64()
+	if d.Err() != nil || n > maxElems {
+		return 0, false
+	}
+	return int(n), true
+}
+
+func decodeStrings(d *wire.Decoder) []string {
+	n, ok := decodeLen(d)
+	if !ok {
+		return nil
+	}
+	out := make([]string, 0, n)
+	for i := 0; i < n; i++ {
+		out = append(out, d.String())
+	}
+	return out
+}
+
+func decodePerCombination(d *wire.Decoder) [][]int {
+	n, ok := decodeLen(d)
+	if !ok {
+		return nil
+	}
+	out := make([][]int, 0, n)
+	for i := 0; i < n; i++ {
+		out = append(out, d.Ints())
+	}
+	return out
+}

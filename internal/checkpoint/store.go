@@ -1,0 +1,127 @@
+package checkpoint
+
+import (
+	"errors"
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sync"
+)
+
+// Store is pluggable checkpoint persistence. A run holds at most one current
+// checkpoint: Save replaces it atomically, Load returns the latest one (or
+// ErrNotFound), and Clear removes it — the leader clears on successful
+// completion so a finished run cannot be "resumed".
+//
+// Placement is a deployment concern the interface deliberately leaves open:
+// the in-process failover runner shares one MemStore between successive
+// leaders, while the CLIs point a FileStore at a directory (which must be
+// reachable by whichever node resumes — the same machine after a restart, or
+// replicated storage in a real multi-host deployment).
+type Store interface {
+	// Save persists st as the current checkpoint, replacing any previous
+	// one. The state must not be mutated while Save runs.
+	Save(st *State) error
+	// Load returns the current checkpoint, or ErrNotFound when none exists.
+	Load() (*State, error)
+	// Clear removes the current checkpoint; clearing an empty store is not
+	// an error.
+	Clear() error
+}
+
+// MemStore is an in-memory Store for tests and the in-process failover
+// runner. It round-trips through the codec on every Save/Load, so states
+// never alias between the saver and the loader and the encoder stays on the
+// hot path of every checkpointing test.
+type MemStore struct {
+	mu   sync.Mutex
+	data []byte
+}
+
+// NewMemStore returns an empty in-memory store.
+func NewMemStore() *MemStore { return &MemStore{} }
+
+// Save implements Store.
+func (s *MemStore) Save(st *State) error {
+	b := Encode(st)
+	s.mu.Lock()
+	s.data = b
+	s.mu.Unlock()
+	return nil
+}
+
+// Load implements Store.
+func (s *MemStore) Load() (*State, error) {
+	s.mu.Lock()
+	b := s.data
+	s.mu.Unlock()
+	if b == nil {
+		return nil, ErrNotFound
+	}
+	return Decode(b)
+}
+
+// Clear implements Store.
+func (s *MemStore) Clear() error {
+	s.mu.Lock()
+	s.data = nil
+	s.mu.Unlock()
+	return nil
+}
+
+// FileStore persists the checkpoint as one file in a directory, writing via
+// a temporary file plus rename so a crash mid-save leaves either the old
+// checkpoint or the new one, never a torn record (the CRC catches torn
+// writes the filesystem lets through anyway).
+type FileStore struct {
+	path string
+}
+
+// checkpointFile is the file name used inside the store directory.
+const checkpointFile = "assessment.ckpt"
+
+// NewFileStore opens (creating if needed) a directory-backed store.
+func NewFileStore(dir string) (*FileStore, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("checkpoint: %w", err)
+	}
+	return &FileStore{path: filepath.Join(dir, checkpointFile)}, nil
+}
+
+// Path returns the checkpoint file location.
+func (s *FileStore) Path() string { return s.path }
+
+// Save implements Store with an atomic-rename write.
+func (s *FileStore) Save(st *State) error {
+	tmp := s.path + ".tmp"
+	if err := os.WriteFile(tmp, Encode(st), 0o644); err != nil {
+		return fmt.Errorf("checkpoint: %w", err)
+	}
+	if err := os.Rename(tmp, s.path); err != nil {
+		_ = os.Remove(tmp)
+		return fmt.Errorf("checkpoint: %w", err)
+	}
+	return nil
+}
+
+// Load implements Store.
+func (s *FileStore) Load() (*State, error) {
+	b, err := os.ReadFile(s.path)
+	if errors.Is(err, fs.ErrNotExist) {
+		return nil, ErrNotFound
+	}
+	if err != nil {
+		return nil, fmt.Errorf("checkpoint: %w", err)
+	}
+	return Decode(b)
+}
+
+// Clear implements Store.
+func (s *FileStore) Clear() error {
+	err := os.Remove(s.path)
+	if err != nil && !errors.Is(err, fs.ErrNotExist) {
+		return fmt.Errorf("checkpoint: %w", err)
+	}
+	return nil
+}

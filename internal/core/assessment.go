@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
@@ -42,6 +43,17 @@ const (
 // protocol intermediates occupy (count vectors, pair statistics, LR-matrices)
 // and is the source of Table 3's memory column.
 func RunAssessment(members []Provider, reference *genome.Matrix, cfg Config, policy CollusionPolicy, leaderEnclave *enclave.Enclave) (*Report, error) {
+	return RunAssessmentWithOptions(members, reference, cfg, policy, leaderEnclave, AssessmentOptions{})
+}
+
+// RunAssessmentWithOptions is RunAssessment with cancellation and checkpoint
+// durability. With the zero options it behaves exactly like RunAssessment.
+// When opts.Checkpoints is set, phase boundaries are persisted to the store,
+// and a compatible existing checkpoint (same fingerprint: configuration,
+// policy, provider name set, reference dimensions) seeds the run — completed
+// phases replay from the snapshot instead of re-querying members, and
+// Report.Resumed records that it happened.
+func RunAssessmentWithOptions(members []Provider, reference *genome.Matrix, cfg Config, policy CollusionPolicy, leaderEnclave *enclave.Enclave, opts AssessmentOptions) (*Report, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
@@ -61,6 +73,7 @@ func RunAssessment(members []Provider, reference *genome.Matrix, cfg Config, pol
 	}
 
 	run := &assessmentRun{
+		ctx:     opts.Context,
 		cfg:     cfg,
 		ref:     reference,
 		acct:    leaderEnclave,
@@ -72,6 +85,20 @@ func RunAssessment(members []Provider, reference *genome.Matrix, cfg Config, pol
 		run.members[i] = newCachedProvider(m)
 	}
 
+	if opts.Checkpoints != nil {
+		if len(opts.ProviderNames) != g {
+			return nil, fmt.Errorf("core: %d provider names for %d members (checkpointing needs stable identities)", len(opts.ProviderNames), g)
+		}
+		fp := Fingerprint(cfg, policy, opts.ProviderNames, reference.N(), reference.L())
+		run.cs, err = newCkState(opts.Checkpoints, opts.ProviderNames, fp, g, policy)
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	if err := run.ctxErr(); err != nil {
+		return nil, err
+	}
 	if err := run.collectSummaries(); err != nil {
 		return nil, err
 	}
@@ -87,6 +114,13 @@ func RunAssessment(members []Provider, reference *genome.Matrix, cfg Config, pol
 	if err != nil {
 		return nil, err
 	}
+	// A cancellation that raced the last phase must not yield a report: the
+	// caller treats a returned report as a completed (and checkpoint-cleared)
+	// run, and the failover harness relies on kill-at-last-save runs
+	// reporting cancellation deterministically.
+	if err := run.ctxErr(); err != nil {
+		return nil, err
+	}
 
 	run.report.Selection = Selection{AfterMAF: lPrime, AfterLD: lDouble, Safe: safe, Power: power}
 	run.report.PerCombination = make([]Selection, len(subsets))
@@ -97,6 +131,8 @@ func RunAssessment(members []Provider, reference *genome.Matrix, cfg Config, pol
 		run.report.PeakEnclaveBytes = run.acct.MemoryPeak()
 	}
 	run.report.PeakLRMatrixBytes = run.lrPeak
+	run.report.Resumed = run.resumed
+	run.cs.finish()
 	return run.report, nil
 }
 
@@ -127,12 +163,15 @@ func evaluationSubsets(g int, policy CollusionPolicy) ([][]int, error) {
 
 // assessmentRun carries the leader-side state across phases.
 type assessmentRun struct {
+	ctx     context.Context
 	cfg     Config
 	ref     *genome.Matrix
 	acct    *enclave.Enclave
 	members []*cachedProvider
 	report  *Report
 	pool    *workPool
+	cs      *ckState
+	resumed bool
 
 	counts    [][]int64
 	caseNs    []int64
@@ -147,6 +186,25 @@ type assessmentRun struct {
 	lrMu    sync.Mutex
 	lrBytes int64
 	lrPeak  int64
+}
+
+// markResumed records that at least one phase replayed from a checkpoint.
+// Locked: parallel-combination mode replays combinations concurrently.
+func (r *assessmentRun) markResumed() {
+	r.timingMu.Lock()
+	r.resumed = true
+	r.timingMu.Unlock()
+}
+
+// ctxErr reports cancellation; a run without a context never cancels.
+// Checked at phase boundaries — in-flight member fetches are bounded by the
+// transport layer's own context plumbing, so boundary checks keep the core
+// loop allocation-free on the uncancelled path.
+func (r *assessmentRun) ctxErr() error {
+	if r.ctx == nil {
+		return nil
+	}
+	return r.ctx.Err()
 }
 
 // addTiming accumulates wall time into one breakdown bucket; the accessor is
@@ -229,51 +287,55 @@ func (r *assessmentRun) collectSummaries() error {
 
 	l := r.ref.L()
 	g := len(r.members)
-	r.counts = make([][]int64, g)
-	r.caseNs = make([]int64, g)
-	errs := make([]error, g)
 
-	var wg sync.WaitGroup
-	for i, m := range r.members {
-		i, m := i, m
-		r.pool.Go(&wg, func() {
-			counts, err := m.Counts()
-			if err != nil {
-				errs[i] = memberErr(i, PhaseSummary, "counts: %w", err)
-				return
-			}
-			n, err := m.CaseN()
-			if err != nil {
-				errs[i] = memberErr(i, PhaseSummary, "population size: %w", err)
-				return
-			}
-			r.counts[i] = counts
-			r.caseNs[i] = n
-		})
-	}
-	wg.Wait()
-	if err := errors.Join(errs...); err != nil {
-		return err
+	if counts, caseNs, ok := r.cs.seededSummaries(); ok {
+		// Resume: the checkpoint holds validated summaries for every
+		// provider — prime the caches and skip the federation round trip.
+		r.counts = counts
+		r.caseNs = caseNs
+		seedSummaryCaches(r.members, counts, caseNs)
+		r.resumed = true
+	} else {
+		r.counts = make([][]int64, g)
+		r.caseNs = make([]int64, g)
+		errs := make([]error, g)
+
+		var wg sync.WaitGroup
+		for i, m := range r.members {
+			i, m := i, m
+			r.pool.Go(&wg, func() {
+				counts, err := m.Counts()
+				if err != nil {
+					errs[i] = memberErr(i, PhaseSummary, "counts: %w", err)
+					return
+				}
+				n, err := m.CaseN()
+				if err != nil {
+					errs[i] = memberErr(i, PhaseSummary, "population size: %w", err)
+					return
+				}
+				r.counts[i] = counts
+				r.caseNs[i] = n
+			})
+		}
+		wg.Wait()
+		if err := errors.Join(errs...); err != nil {
+			return err
+		}
 	}
 
 	// Leader-side validation: malformed or impossible contributions are the
-	// tampering the trusted module must detect.
+	// tampering the trusted module must detect. Invalid payloads are
+	// run-fatal MemberErrors — never retried, never degraded away.
 	for i := range r.members {
-		if len(r.counts[i]) != l {
-			return fmt.Errorf("core: member %d sent %d counts, want %d", i, len(r.counts[i]), l)
-		}
-		if r.caseNs[i] < 0 {
-			return fmt.Errorf("core: member %d reported negative population %d", i, r.caseNs[i])
-		}
-		for snp, c := range r.counts[i] {
-			if c < 0 || c > r.caseNs[i] {
-				return fmt.Errorf("core: member %d count %d at SNP %d inconsistent with population %d", i, c, snp, r.caseNs[i])
-			}
+		if err := validateCounts(r.counts[i], r.caseNs[i], l); err != nil {
+			return memberErr(i, PhaseSummary, "%w", err)
 		}
 		if err := r.alloc(int64(l) * bytesPerCount); err != nil {
 			return err
 		}
 	}
+	r.cs.recordSummaries(r.counts, r.caseNs)
 	// The reference panel is queried for thousands of pair counts in Phase 2;
 	// the column-major view turns each into a stride-1 AND+popcount.
 	r.refCols = r.ref.Transpose()
@@ -304,6 +366,16 @@ func (r *assessmentRun) subsetCounts(subset []int) ([]int64, int64) {
 }
 
 func (r *assessmentRun) phase1MAF(subsets [][]int) ([]int, [][]int, error) {
+	if err := r.ctxErr(); err != nil {
+		return nil, nil, err
+	}
+	if lPrime, perMAF, ok := r.cs.seededMAF(); ok && len(perMAF) == len(subsets) {
+		r.resumed = true
+		if err := r.cs.recordMAF(lPrime, perMAF, false); err != nil {
+			return nil, nil, err
+		}
+		return lPrime, perMAF, nil
+	}
 	per := make([][]int, len(subsets))
 	err := r.forEachSubset(subsets, func(c int, subset []int) error {
 		counts, n := r.subsetCounts(subset)
@@ -322,6 +394,9 @@ func (r *assessmentRun) phase1MAF(subsets [][]int) ([]int, [][]int, error) {
 	start := time.Now()
 	intersected := IntersectSorted(per...)
 	r.addTiming(&r.report.Timings.Indexing, start)
+	if err := r.cs.recordMAF(intersected, per, true); err != nil {
+		return nil, nil, err
+	}
 	return intersected, per, nil
 }
 
@@ -435,6 +510,20 @@ func (r *assessmentRun) prefetchAdjacentPairs(lPrime []int) error {
 }
 
 func (r *assessmentRun) phase2LD(subsets [][]int, lPrime []int) ([]int, [][]int, error) {
+	if err := r.ctxErr(); err != nil {
+		return nil, nil, err
+	}
+	if lDouble, perLD, pairs, ok := r.cs.seededLD(); ok && len(perLD) == len(subsets) {
+		// Resume: Phase 2 outputs come from the checkpoint; the aggregated
+		// pair statistics seed the provider caches so any residual pooled
+		// query (Phase 3 never issues one, but callers may) replays locally.
+		r.resumed = true
+		seedPairCaches(r.members, pairs)
+		if err := r.cs.recordLD(lDouble, perLD, r.members, false); err != nil {
+			return nil, nil, err
+		}
+		return lDouble, perLD, nil
+	}
 	if err := r.prefetchAdjacentPairs(lPrime); err != nil {
 		return nil, nil, err
 	}
@@ -470,6 +559,9 @@ func (r *assessmentRun) phase2LD(subsets [][]int, lPrime []int) ([]int, [][]int,
 	start = time.Now()
 	intersected := IntersectSorted(per...)
 	r.addTiming(&r.report.Timings.LD, start)
+	if err := r.cs.recordLD(intersected, per, r.members, true); err != nil {
+		return nil, nil, err
+	}
 	return intersected, per, nil
 }
 
@@ -481,6 +573,9 @@ func bitLRBytes(rows, cols int64) int64 {
 }
 
 func (r *assessmentRun) phase3LR(subsets [][]int, lDouble []int) ([]int, [][]int, float64, error) {
+	if err := r.ctxErr(); err != nil {
+		return nil, nil, 0, err
+	}
 	per := make([][]int, len(subsets))
 	var fullPower float64
 	// The admission order is derived once, from the full-membership
@@ -499,12 +594,46 @@ func (r *assessmentRun) phase3LR(subsets [][]int, lDouble []int) ([]int, [][]int
 	reskinBytes := 16 * cols // a reskin allocates only two representatives per column
 
 	evalSubset := func(c int, subset []int) error {
+		if err := r.ctxErr(); err != nil {
+			return err
+		}
+		var comboNames []string
+		if r.cs != nil {
+			comboNames = subsetNames(r.cs.names, subset)
+		}
+		if rec, ok := r.cs.seededCombination(comboNames); ok && c > 0 {
+			// Replay a completed collusion combination from the checkpoint;
+			// no member contact, no matrix rebuild.
+			r.markResumed()
+			per[c] = rec.Safe
+			return r.cs.recordCombination(comboNames, rec.Safe, rec.Power, nil, false)
+		}
+
 		counts, n := r.subsetCounts(subset)
 
 		start := time.Now()
 		caseFreq := Frequencies(counts, n, lDouble)
 		refFreq := Frequencies(r.refCounts, r.refN, lDouble)
 		r.addTiming(&r.report.Timings.Indexing, start)
+
+		if rec, ok := r.cs.seededCombination(comboNames); ok && c == 0 {
+			// The full-membership combination anchors every other one: its
+			// merged matrix defines the canonical admission order. Rebuild
+			// the order from the checkpointed matrix; if that fails, fall
+			// through to a full recompute.
+			merged, derr := decodeMerged(rec.Merged)
+			if derr == nil {
+				refLR, berr := BuildLRBitMatrix(r.ref, lDouble, caseFreq, refFreq)
+				if berr == nil {
+					refPattern = refLR
+					order = lrtest.DiscriminabilityOrderBit(merged, refLR)
+					r.markResumed()
+					per[0] = rec.Safe
+					fullPower = rec.Power
+					return r.cs.recordCombination(comboNames, rec.Safe, rec.Power, rec.Merged, false)
+				}
+			}
+		}
 
 		var rows int64
 		for _, i := range subset {
@@ -533,8 +662,8 @@ func (r *assessmentRun) phase3LR(subsets [][]int, lDouble []int) ([]int, [][]int
 					errs[slot] = memberErr(i, PhaseLR, "LR-matrix: %w", err)
 					return
 				}
-				if lr.Cols() != len(lDouble) {
-					errs[slot] = memberErr(i, PhaseLR, "LR-matrix has %d columns, want %d", lr.Cols(), len(lDouble))
+				if err := validateLRMatrix(lr, r.caseNs[i], len(lDouble)); err != nil {
+					errs[slot] = memberErr(i, PhaseLR, "%w", err)
 					return
 				}
 				parts[slot] = lr
@@ -582,7 +711,13 @@ func (r *assessmentRun) phase3LR(subsets [][]int, lDouble []int) ([]int, [][]int
 		if c == 0 {
 			fullPower = power
 		}
-		return nil
+		var mergedWire []byte
+		if c == 0 && r.cs != nil {
+			// Only the full-membership matrix is persisted: it is what a
+			// resuming leader needs to re-derive the shared admission order.
+			mergedWire = merged.EncodeWire()
+		}
+		return r.cs.recordCombination(comboNames, safe, power, mergedWire, true)
 	}
 
 	// The reference pattern lives for the whole phase.

@@ -1,0 +1,403 @@
+package core
+
+import (
+	"bytes"
+	"context"
+	"crypto/sha256"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+
+	"gendpr/internal/checkpoint"
+	"gendpr/internal/lrtest"
+)
+
+// AssessmentOptions extends RunAssessment with cancellation and durability.
+// The zero value reproduces the base protocol exactly: no context checks, no
+// checkpoint reads or writes.
+type AssessmentOptions struct {
+	// Context, when non-nil, cancels the assessment at the next phase
+	// boundary. The error returned is ctx.Err().
+	Context context.Context
+	// ProviderNames are stable identity names, aligned with the member
+	// slice. Checkpoints index per-provider state by name, not slot, so a
+	// re-elected leader that enumerates providers in a different order can
+	// still claim them. Required whenever Checkpoints is set.
+	ProviderNames []string
+	// Checkpoints, when non-nil, persists phase boundaries to the store and
+	// seeds the run from a compatible existing checkpoint.
+	Checkpoints checkpoint.Store
+}
+
+// Fingerprint binds a checkpoint to one run shape: every input that changes
+// the assessment's output — configuration cutoffs and LR parameters, the
+// collusion policy, the provider name set, and the reference dimensions —
+// contributes to the hash. ParallelCombinations is deliberately excluded (it
+// changes scheduling, never results), so a sequential leader can resume a
+// parallel one's checkpoint.
+func Fingerprint(cfg Config, policy CollusionPolicy, names []string, refN, refL int) []byte {
+	h := sha256.New()
+	writeF := func(f float64) {
+		var b [8]byte
+		binary.BigEndian.PutUint64(b[:], math.Float64bits(f))
+		h.Write(b[:])
+	}
+	writeI := func(v int64) {
+		var b [8]byte
+		binary.BigEndian.PutUint64(b[:], uint64(v))
+		h.Write(b[:])
+	}
+	h.Write([]byte("gendpr-assessment-v1\x00"))
+	writeF(cfg.MAFCutoff)
+	writeF(cfg.LDCutoff)
+	writeF(cfg.LR.Alpha)
+	writeF(cfg.LR.PowerThreshold)
+	writeI(boolBit(cfg.LR.Oblivious))
+	writeI(boolBit(cfg.PaperChiSquare))
+	writeI(int64(policy.F))
+	writeI(boolBit(policy.Conservative))
+	sorted := append([]string(nil), names...)
+	sort.Strings(sorted)
+	writeI(int64(len(sorted)))
+	for _, n := range sorted {
+		writeI(int64(len(n)))
+		h.Write([]byte(n))
+	}
+	writeI(int64(refN))
+	writeI(int64(refL))
+	return h.Sum(nil)
+}
+
+func boolBit(b bool) int64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// ckState is the run's checkpointing harness: the loaded seed (remapped onto
+// the current provider order) and the state under construction.
+type ckState struct {
+	store checkpoint.Store
+	names []string
+	fp    []byte
+
+	// seed is the remapped prior state; nil when starting fresh.
+	seed *checkpoint.State
+	// seedCombos maps a combination's sorted-name key to its completed
+	// record in the seed.
+	seedCombos map[string]checkpoint.Combination
+	// oldCombos maps combination indices of the current enumeration onto the
+	// seed's per-combination arrays (PerMAF/PerLD are positional).
+	oldCombos []int
+
+	mu sync.Mutex
+	ck checkpoint.State
+}
+
+// nameKey canonicalizes a provider name set ("\x00" never appears in ids).
+func nameKey(names []string) string {
+	sorted := append([]string(nil), names...)
+	sort.Strings(sorted)
+	return strings.Join(sorted, "\x00")
+}
+
+// newCkState loads and remaps a compatible checkpoint. Incompatible or
+// corrupt checkpoints are ignored (the run starts fresh and overwrites them);
+// only store I/O that cannot be distinguished from data loss is an error.
+func newCkState(store checkpoint.Store, names []string, fp []byte, g int, policy CollusionPolicy) (*ckState, error) {
+	cs := &ckState{store: store, names: names, fp: fp}
+	cs.ck = checkpoint.State{Fingerprint: fp, Providers: names}
+
+	prior, err := store.Load()
+	if errors.Is(err, checkpoint.ErrNotFound) || errors.Is(err, checkpoint.ErrCorrupt) || errors.Is(err, checkpoint.ErrVersion) {
+		return cs, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("core: load checkpoint: %w", err)
+	}
+	if !bytes.Equal(prior.Fingerprint, fp) {
+		// A different run shape (changed config, different survivor set
+		// after an exclusion restart): not resumable.
+		return cs, nil
+	}
+	remapped, ok := remapState(prior, names, g, policy)
+	if !ok {
+		return cs, nil
+	}
+	cs.seed = remapped
+	cs.seedCombos = make(map[string]checkpoint.Combination, len(remapped.Combinations))
+	for _, c := range remapped.Combinations {
+		cs.seedCombos[nameKey(c.Members)] = c
+	}
+	return cs, nil
+}
+
+// remapState reorders a prior state's per-provider arrays onto the current
+// provider order (matching by identity name) and its per-combination arrays
+// onto the current combination enumeration. The fingerprint already
+// guarantees the name sets are equal.
+func remapState(prior *checkpoint.State, names []string, g int, policy CollusionPolicy) (*checkpoint.State, bool) {
+	if len(prior.Providers) != g || len(names) != g {
+		return nil, false
+	}
+	oldSlot := make(map[string]int, g)
+	for i, n := range prior.Providers {
+		oldSlot[n] = i
+	}
+	perm := make([]int, g) // perm[newSlot] = oldSlot
+	for i, n := range names {
+		j, ok := oldSlot[n]
+		if !ok {
+			return nil, false
+		}
+		perm[i] = j
+	}
+
+	out := &checkpoint.State{
+		Fingerprint: prior.Fingerprint,
+		Providers:   names,
+		Stage:       prior.Stage,
+		LPrime:      prior.LPrime,
+		LDouble:     prior.LDouble,
+	}
+	out.Counts = make([][]int64, g)
+	out.CaseNs = make([]int64, g)
+	for i := range names {
+		if perm[i] >= len(prior.Counts) {
+			return nil, false
+		}
+		out.Counts[i] = prior.Counts[perm[i]]
+		out.CaseNs[i] = prior.CaseNs[perm[i]]
+	}
+	if len(prior.Pairs) == g {
+		out.Pairs = make([][]checkpoint.PairRecord, g)
+		for i := range names {
+			out.Pairs[i] = prior.Pairs[perm[i]]
+		}
+	}
+
+	// Per-combination selections are positional in the saving leader's
+	// enumeration; translate via the name sets both enumerations define.
+	oldSubsets, err := evaluationSubsets(g, policy)
+	if err != nil {
+		return nil, false
+	}
+	oldByKey := make(map[string]int, len(oldSubsets))
+	for c, subset := range oldSubsets {
+		key := nameKey(subsetNames(prior.Providers, subset))
+		oldByKey[key] = c
+	}
+	newSubsets, err := evaluationSubsets(g, policy)
+	if err != nil {
+		return nil, false
+	}
+	mapPer := func(per [][]int) ([][]int, bool) {
+		if len(per) == 0 {
+			return nil, true
+		}
+		if len(per) != len(oldSubsets) {
+			return nil, false
+		}
+		out := make([][]int, len(newSubsets))
+		for c, subset := range newSubsets {
+			oc, ok := oldByKey[nameKey(subsetNames(names, subset))]
+			if !ok {
+				return nil, false
+			}
+			out[c] = per[oc]
+		}
+		return out, true
+	}
+	var ok bool
+	if out.PerMAF, ok = mapPer(prior.PerMAF); !ok {
+		return nil, false
+	}
+	if out.PerLD, ok = mapPer(prior.PerLD); !ok {
+		return nil, false
+	}
+	out.Combinations = prior.Combinations
+	return out, true
+}
+
+func subsetNames(names []string, subset []int) []string {
+	out := make([]string, len(subset))
+	for i, s := range subset {
+		if s < 0 || s >= len(names) {
+			return nil
+		}
+		out[i] = names[s]
+	}
+	return out
+}
+
+// recordSummaries records the collected summaries into the state under
+// construction (no persist: the first boundary save is after Phase 1).
+func (cs *ckState) recordSummaries(counts [][]int64, caseNs []int64) {
+	if cs == nil {
+		return
+	}
+	cs.mu.Lock()
+	cs.ck.Counts = counts
+	cs.ck.CaseNs = caseNs
+	cs.mu.Unlock()
+}
+
+// recordMAF records the Phase 1 boundary; persist is false when the phase
+// was replayed from the seed (the prior checkpoint already covers it).
+func (cs *ckState) recordMAF(lPrime []int, perMAF [][]int, persist bool) error {
+	if cs == nil {
+		return nil
+	}
+	cs.mu.Lock()
+	defer cs.mu.Unlock()
+	cs.ck.Stage = checkpoint.StageMAF
+	cs.ck.LPrime = lPrime
+	cs.ck.PerMAF = perMAF
+	if !persist {
+		return nil
+	}
+	return cs.saveLocked()
+}
+
+// recordLD records the Phase 2 boundary together with each provider's
+// aggregated pair statistics.
+func (cs *ckState) recordLD(lDouble []int, perLD [][]int, members []*cachedProvider, persist bool) error {
+	if cs == nil {
+		return nil
+	}
+	pairs := make([][]checkpoint.PairRecord, len(members))
+	for i, m := range members {
+		keys, stats := m.snapshotPairs()
+		recs := make([]checkpoint.PairRecord, len(keys))
+		for j, k := range keys {
+			recs[j] = checkpoint.PairRecord{A: k[0], B: k[1], Stats: stats[j]}
+		}
+		pairs[i] = recs
+	}
+	cs.mu.Lock()
+	defer cs.mu.Unlock()
+	cs.ck.Stage = checkpoint.StageLD
+	cs.ck.LDouble = lDouble
+	cs.ck.PerLD = perLD
+	cs.ck.Pairs = pairs
+	if !persist {
+		return nil
+	}
+	return cs.saveLocked()
+}
+
+// recordCombination records one completed Phase 3 combination. merged is the
+// wire encoding of the merged LR BitMatrix, retained for the full-membership
+// combination only (it defines the shared admission order).
+func (cs *ckState) recordCombination(members []string, safe []int, power float64, merged []byte, persist bool) error {
+	if cs == nil {
+		return nil
+	}
+	cs.mu.Lock()
+	defer cs.mu.Unlock()
+	cs.ck.Combinations = append(cs.ck.Combinations, checkpoint.Combination{
+		Members: members,
+		Safe:    safe,
+		Power:   power,
+		Merged:  merged,
+	})
+	if !persist {
+		return nil
+	}
+	return cs.saveLocked()
+}
+
+// saveLocked persists the state under construction; callers hold cs.mu.
+// A failed save is run-fatal: continuing would break the durability the
+// caller asked for silently.
+func (cs *ckState) saveLocked() error {
+	if err := cs.store.Save(&cs.ck); err != nil {
+		return fmt.Errorf("core: save checkpoint: %w", err)
+	}
+	return nil
+}
+
+// finish clears the store after a successful run so a completed assessment
+// cannot be "resumed". Clear errors are ignored: the result is already
+// computed and correct, and a stale checkpoint is fingerprint-guarded anyway.
+func (cs *ckState) finish() {
+	if cs == nil {
+		return
+	}
+	_ = cs.store.Clear()
+}
+
+// seededSummaries returns the seed's summary data, if any.
+func (cs *ckState) seededSummaries() ([][]int64, []int64, bool) {
+	if cs == nil || cs.seed == nil {
+		return nil, nil, false
+	}
+	return cs.seed.Counts, cs.seed.CaseNs, true
+}
+
+// seededMAF returns the seed's Phase 1 outputs when the stage covers them.
+func (cs *ckState) seededMAF() ([]int, [][]int, bool) {
+	if cs == nil || cs.seed == nil || cs.seed.Stage < checkpoint.StageMAF {
+		return nil, nil, false
+	}
+	return cs.seed.LPrime, cs.seed.PerMAF, true
+}
+
+// seededLD returns the seed's Phase 2 outputs when the stage covers them.
+func (cs *ckState) seededLD() ([]int, [][]int, [][]checkpoint.PairRecord, bool) {
+	if cs == nil || cs.seed == nil || cs.seed.Stage < checkpoint.StageLD {
+		return nil, nil, nil, false
+	}
+	return cs.seed.LDouble, cs.seed.PerLD, cs.seed.Pairs, true
+}
+
+// seededCombination returns a completed Phase 3 record for the given member
+// name set, if the seed holds one.
+func (cs *ckState) seededCombination(members []string) (checkpoint.Combination, bool) {
+	if cs == nil || cs.seedCombos == nil {
+		return checkpoint.Combination{}, false
+	}
+	c, ok := cs.seedCombos[nameKey(members)]
+	return c, ok
+}
+
+// decodeMerged rebuilds the full-membership merged LR-matrix from its wire
+// encoding (used to re-derive the canonical admission order on resume).
+func decodeMerged(b []byte) (*lrtest.BitMatrix, error) {
+	if len(b) == 0 {
+		return nil, errors.New("core: checkpoint holds no merged matrix")
+	}
+	m, err := lrtest.DecodeWireBit(b)
+	if err != nil {
+		return nil, fmt.Errorf("core: checkpointed merged matrix: %w", err)
+	}
+	return m, nil
+}
+
+// seedPairCaches primes the providers' pair caches from checkpointed records
+// so residual LD queries replay from memory.
+func seedPairCaches(members []*cachedProvider, pairs [][]checkpoint.PairRecord) {
+	if len(pairs) != len(members) {
+		return
+	}
+	for i, recs := range pairs {
+		for _, r := range recs {
+			if validatePairStats(r.Stats) != nil {
+				continue
+			}
+			members[i].seedPair(r.A, r.B, r.Stats)
+		}
+	}
+}
+
+// seedSummaryCaches primes the providers' summary caches from a checkpoint.
+func seedSummaryCaches(members []*cachedProvider, counts [][]int64, caseNs []int64) {
+	for i, m := range members {
+		m.seedSummary(counts[i], caseNs[i])
+	}
+}

@@ -1,0 +1,195 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"gendpr/internal/checkpoint"
+	"gendpr/internal/genome"
+)
+
+// snapshotStore passes the first keep saves through to the inner store and
+// silently drops the rest — the on-disk view of a leader that crashed right
+// after its keep-th phase-boundary save. Clear is dropped too (a crashed
+// leader never cleans up).
+type snapshotStore struct {
+	inner *checkpoint.MemStore
+	keep  int
+	saves int
+}
+
+func (s *snapshotStore) Save(st *checkpoint.State) error {
+	s.saves++
+	if s.saves <= s.keep {
+		return s.inner.Save(st)
+	}
+	return nil
+}
+
+func (s *snapshotStore) Load() (*checkpoint.State, error) { return s.inner.Load() }
+func (s *snapshotStore) Clear() error                     { return nil }
+
+func checkpointFixture(t *testing.T) ([]*genome.Matrix, *genome.Matrix) {
+	t.Helper()
+	cohort := testCohort(t, 60, 48, 11)
+	return shardsOf(t, cohort, 3), cohort.Reference
+}
+
+func providersFor(shards []*genome.Matrix, order []int) ([]Provider, []string) {
+	names := []string{"gdo-a", "gdo-b", "gdo-c"}
+	ps := make([]Provider, len(order))
+	ns := make([]string, len(order))
+	for slot, i := range order {
+		ps[slot] = NewLocalMember(shards[i])
+		ns[slot] = names[i]
+	}
+	return ps, ns
+}
+
+// TestResumeFromCheckpointBitIdentical crashes a leader after each save
+// boundary in turn, then resumes under a leader that enumerates the providers
+// in a different order, and demands the resumed result equal the undisturbed
+// baseline bit for bit.
+func TestResumeFromCheckpointBitIdentical(t *testing.T) {
+	shards, ref := checkpointFixture(t)
+	cfg := DefaultConfig()
+	for _, policy := range []CollusionPolicy{{}, {F: 1}} {
+		baselineProviders, _ := providersFor(shards, []int{0, 1, 2})
+		baseline, err := RunAssessment(baselineProviders, ref, cfg, policy, nil)
+		if err != nil {
+			t.Fatalf("baseline: %v", err)
+		}
+
+		subsets, err := evaluationSubsets(len(shards), policy)
+		if err != nil {
+			t.Fatal(err)
+		}
+		maxSaves := 2 + len(subsets) // MAF, LD, one per combination
+		for keep := 1; keep <= maxSaves; keep++ {
+			snap := &snapshotStore{inner: checkpoint.NewMemStore(), keep: keep}
+			ps, names := providersFor(shards, []int{0, 1, 2})
+			if _, err := RunAssessmentWithOptions(ps, ref, cfg, policy, nil, AssessmentOptions{
+				ProviderNames: names,
+				Checkpoints:   snap,
+			}); err != nil {
+				t.Fatalf("policy %+v keep %d: first run: %v", policy, keep, err)
+			}
+
+			// Resume with the provider slots shuffled: the new leader claims
+			// the checkpoint by identity name, not position.
+			ps2, names2 := providersFor(shards, []int{2, 0, 1})
+			report, err := RunAssessmentWithOptions(ps2, ref, cfg, policy, nil, AssessmentOptions{
+				ProviderNames: names2,
+				Checkpoints:   snap.inner,
+			})
+			if err != nil {
+				t.Fatalf("policy %+v keep %d: resume: %v", policy, keep, err)
+			}
+			if !report.Resumed {
+				t.Errorf("policy %+v keep %d: Resumed not set", policy, keep)
+			}
+			if !report.Selection.Equal(baseline.Selection) {
+				t.Errorf("policy %+v keep %d: resumed selection %v != baseline %v",
+					policy, keep, report.Selection, baseline.Selection)
+			}
+			if report.Selection.Power != baseline.Selection.Power {
+				t.Errorf("policy %+v keep %d: resumed power %v != baseline %v",
+					policy, keep, report.Selection.Power, baseline.Selection.Power)
+			}
+			// A successful resumed run clears its store.
+			if _, err := snap.inner.Load(); !errors.Is(err, checkpoint.ErrNotFound) {
+				t.Errorf("policy %+v keep %d: store not cleared after success: %v", policy, keep, err)
+			}
+		}
+	}
+}
+
+// TestCheckpointFingerprintMismatchStartsFresh writes a checkpoint under one
+// configuration and asserts a run with a different cutoff ignores it.
+func TestCheckpointFingerprintMismatchStartsFresh(t *testing.T) {
+	shards, ref := checkpointFixture(t)
+	store := checkpoint.NewMemStore()
+
+	ps, names := providersFor(shards, []int{0, 1, 2})
+	snap := &snapshotStore{inner: store, keep: 2}
+	if _, err := RunAssessmentWithOptions(ps, ref, DefaultConfig(), CollusionPolicy{}, nil, AssessmentOptions{
+		ProviderNames: names, Checkpoints: snap,
+	}); err != nil {
+		t.Fatalf("first run: %v", err)
+	}
+
+	altered := DefaultConfig()
+	altered.MAFCutoff = 0.10
+	ps2, names2 := providersFor(shards, []int{0, 1, 2})
+	report, err := RunAssessmentWithOptions(ps2, ref, altered, CollusionPolicy{}, nil, AssessmentOptions{
+		ProviderNames: names2, Checkpoints: store,
+	})
+	if err != nil {
+		t.Fatalf("second run: %v", err)
+	}
+	if report.Resumed {
+		t.Error("run resumed from a checkpoint with a different fingerprint")
+	}
+
+	ctrl, err := RunAssessment(ps2, ref, altered, CollusionPolicy{}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !report.Selection.Equal(ctrl.Selection) {
+		t.Errorf("fresh run over stale checkpoint diverged: %v != %v", report.Selection, ctrl.Selection)
+	}
+}
+
+// TestAssessmentContextCancel pre-cancels the context and expects the run to
+// fail with ctx.Err() without contacting members.
+func TestAssessmentContextCancel(t *testing.T) {
+	shards, ref := checkpointFixture(t)
+	ps, _ := providersFor(shards, []int{0, 1, 2})
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := RunAssessmentWithOptions(ps, ref, DefaultConfig(), CollusionPolicy{}, nil, AssessmentOptions{Context: ctx})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("error = %v, want context.Canceled", err)
+	}
+}
+
+// TestValidationRejectsTamperedSummaries feeds the leader impossible counts
+// and expects a run-fatal MemberError wrapping ErrInvalidPayload that the
+// resilient runner refuses to degrade away.
+func TestValidationRejectsTamperedSummaries(t *testing.T) {
+	shards, ref := checkpointFixture(t)
+	ps, _ := providersFor(shards, []int{0, 1, 2})
+	tampered := &tamperedProvider{Provider: ps[1]}
+	ps[1] = tampered
+
+	_, err := RunAssessmentResilient(ps, ref, DefaultConfig(), CollusionPolicy{}, nil, Resilience{MinQuorum: 1})
+	if err == nil {
+		t.Fatal("tampered counts were accepted")
+	}
+	if !errors.Is(err, ErrInvalidPayload) {
+		t.Fatalf("error = %v, want ErrInvalidPayload", err)
+	}
+	var me *MemberError
+	if !errors.As(err, &me) || me.Member != 1 {
+		t.Fatalf("error = %v, want MemberError for member 1", err)
+	}
+	if got := FailedMembers(err); len(got) != 0 {
+		t.Fatalf("tampering classified as degradable member failure: %v", got)
+	}
+}
+
+// tamperedProvider reports a count exceeding its population.
+type tamperedProvider struct {
+	Provider
+}
+
+func (p *tamperedProvider) Counts() ([]int64, error) {
+	counts, err := p.Provider.Counts()
+	if err != nil {
+		return nil, err
+	}
+	out := append([]int64(nil), counts...)
+	out[0] = 1 << 40 // impossibly large
+	return out, nil
+}

@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"sort"
 	"sync"
 
 	"gendpr/internal/genome"
@@ -114,14 +115,28 @@ func (m *LocalMember) LRMatrix(cols []int, caseFreq, refFreq []float64) (*lrtest
 }
 
 // checkLRRequest validates the leader's Phase 3 broadcast against the shard.
+// Members distrust the leader symmetrically: out-of-range or duplicate
+// columns and non-finite frequencies are rejected before any local genotype
+// is touched.
 func checkLRRequest(g *genome.Matrix, cols []int, caseFreq, refFreq []float64) (lrtest.LogRatios, error) {
 	if len(cols) != len(caseFreq) || len(cols) != len(refFreq) {
 		return lrtest.LogRatios{}, fmt.Errorf("core: %d columns vs %d/%d frequencies", len(cols), len(caseFreq), len(refFreq))
 	}
+	seen := make(map[int]bool, len(cols))
 	for _, l := range cols {
 		if l < 0 || l >= g.L() {
 			return lrtest.LogRatios{}, fmt.Errorf("core: column %d out of range for %d SNPs", l, g.L())
 		}
+		if seen[l] {
+			return lrtest.LogRatios{}, fmt.Errorf("core: duplicate column %d in LR request", l)
+		}
+		seen[l] = true
+	}
+	if err := validateFrequencies(caseFreq, len(cols)); err != nil {
+		return lrtest.LogRatios{}, fmt.Errorf("core: case frequencies: %w", err)
+	}
+	if err := validateFrequencies(refFreq, len(cols)); err != nil {
+		return lrtest.LogRatios{}, fmt.Errorf("core: reference frequencies: %w", err)
 	}
 	ratios, err := lrtest.NewLogRatios(caseFreq, refFreq)
 	if err != nil {
@@ -230,6 +245,9 @@ func (c *cachedProvider) PairStats(a, b int) (genome.PairStats, error) {
 	if err != nil {
 		return genome.PairStats{}, err
 	}
+	if err := validatePairStats(s); err != nil {
+		return genome.PairStats{}, fmt.Errorf("pair (%d,%d): %w", a, b, err)
+	}
 	c.mu.Lock()
 	c.pairs[key] = s
 	c.mu.Unlock()
@@ -261,6 +279,11 @@ func (c *cachedProvider) Prefetch(pairs [][2]int) error {
 	}
 	if len(stats) != len(missing) {
 		return fmt.Errorf("core: batch returned %d entries for %d pairs", len(stats), len(missing))
+	}
+	for i, s := range stats {
+		if err := validatePairStats(s); err != nil {
+			return fmt.Errorf("pair (%d,%d): %w", missing[i][0], missing[i][1], err)
+		}
 	}
 	c.mu.Lock()
 	for i, p := range missing {
@@ -305,4 +328,44 @@ func (c *cachedProvider) LRMatrix(cols []int, caseFreq, refFreq []float64) (*lrt
 	// so they are not cached; each is requested exactly once per
 	// combination anyway.
 	return c.inner.LRMatrix(cols, caseFreq, refFreq)
+}
+
+// seedSummary primes the summary cache from a checkpoint, so a resumed run
+// never re-contacts the member for Phase 1 inputs. Seeded data was validated
+// before the checkpoint was written.
+func (c *cachedProvider) seedSummary(counts []int64, caseN int64) {
+	c.mu.Lock()
+	c.counts, c.caseN, c.loaded = counts, caseN, true
+	c.mu.Unlock()
+}
+
+// seedPair primes one pair-statistics cache entry from a checkpoint.
+func (c *cachedProvider) seedPair(a, b int, s genome.PairStats) {
+	c.mu.Lock()
+	c.pairs[[2]int{a, b}] = s
+	c.mu.Unlock()
+}
+
+// snapshotPairs returns the cached pair statistics sorted by (a, b) — the
+// deterministic order checkpoints are written in.
+func (c *cachedProvider) snapshotPairs() ([][2]int, []genome.PairStats) {
+	c.mu.Lock()
+	keys := make([][2]int, 0, len(c.pairs))
+	for k := range c.pairs {
+		keys = append(keys, k)
+	}
+	c.mu.Unlock()
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i][0] != keys[j][0] {
+			return keys[i][0] < keys[j][0]
+		}
+		return keys[i][1] < keys[j][1]
+	})
+	out := make([]genome.PairStats, len(keys))
+	c.mu.Lock()
+	for i, k := range keys {
+		out[i] = c.pairs[k]
+	}
+	c.mu.Unlock()
+	return keys, out
 }

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 
 	"gendpr/internal/genome"
@@ -76,6 +77,13 @@ func LDPhase(retained []int, pool PairStatsFunc, assocPValues []float64, cutoff 
 			return nil, fmt.Errorf("core: pair stats (%d,%d): %w", current, next, err)
 		}
 		p, err := stats.LDPValue(ps)
+		if errors.Is(err, stats.ErrDegeneratePair) {
+			// A monomorphic SNP carries no correlation signal; treat the
+			// pair as independent rather than failing the scan (MAF does
+			// not fold frequencies above 0.5, so all-ones SNPs can reach
+			// this phase legitimately).
+			p, err = 1, nil
+		}
 		if err != nil {
 			return nil, fmt.Errorf("core: LD p-value (%d,%d): %w", current, next, err)
 		}

@@ -112,8 +112,20 @@ func FailedMembers(err error) []int {
 // against the shrunken federation and the run aborts if it can no longer be
 // satisfied.
 func RunAssessmentResilient(members []Provider, reference *genome.Matrix, cfg Config, policy CollusionPolicy, leaderEnclave *enclave.Enclave, res Resilience) (*Report, error) {
+	return RunAssessmentResilientWithOptions(members, reference, cfg, policy, leaderEnclave, res, AssessmentOptions{})
+}
+
+// RunAssessmentResilientWithOptions is RunAssessmentResilient with the
+// cancellation and checkpoint durability of RunAssessmentWithOptions. Each
+// restart attempt passes the surviving providers' names through, so a
+// checkpoint written before an exclusion (whose fingerprint covers the full
+// name set) is ignored by the shrunken attempt rather than mis-seeded.
+func RunAssessmentResilientWithOptions(members []Provider, reference *genome.Matrix, cfg Config, policy CollusionPolicy, leaderEnclave *enclave.Enclave, res Resilience, opts AssessmentOptions) (*Report, error) {
 	if !res.Enabled() {
-		return RunAssessment(members, reference, cfg, policy, leaderEnclave)
+		return RunAssessmentWithOptions(members, reference, cfg, policy, leaderEnclave, opts)
+	}
+	if opts.Checkpoints != nil && len(opts.ProviderNames) != len(members) {
+		return nil, fmt.Errorf("core: %d provider names for %d members (checkpointing needs stable identities)", len(opts.ProviderNames), len(members))
 	}
 	// Wrap once, outside the per-attempt wrapping RunAssessment does, so the
 	// caches survive restarts: a survivor's counts, pair statistics, and
@@ -133,10 +145,22 @@ func RunAssessmentResilient(members []Provider, reference *genome.Matrix, cfg Co
 		for slot, id := range alive {
 			current[slot] = stable[id]
 		}
-		report, err := RunAssessment(current, reference, cfg, policy, leaderEnclave)
+		attempt := opts
+		if len(opts.ProviderNames) == len(members) {
+			names := make([]string, len(alive))
+			for slot, id := range alive {
+				names[slot] = opts.ProviderNames[id]
+			}
+			attempt.ProviderNames = names
+		}
+		report, err := RunAssessmentWithOptions(current, reference, cfg, policy, leaderEnclave, attempt)
 		if err == nil {
 			report.Excluded = append([]int(nil), excluded...)
 			return report, nil
+		}
+		if opts.Context != nil && opts.Context.Err() != nil {
+			// Cancellation is never a member failure; surface it directly.
+			return nil, opts.Context.Err()
 		}
 		failed := FailedMembers(err)
 		if len(failed) == 0 {

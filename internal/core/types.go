@@ -98,4 +98,8 @@ type Report struct {
 	// were excluded under quorum degradation. Empty for a full-membership
 	// run; only ever populated by RunAssessmentResilient.
 	Excluded []int
+	// Resumed reports that at least one phase was replayed from a checkpoint
+	// instead of recomputed — set when a (re-elected or restarted) leader
+	// seeded the run from a compatible snapshot.
+	Resumed bool
 }

@@ -1,0 +1,94 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"gendpr/internal/genome"
+	"gendpr/internal/lrtest"
+)
+
+// ErrInvalidPayload marks a member contribution that fails the leader's
+// trust-boundary validation: counts exceeding the population, inconsistent or
+// non-finite sufficient statistics, mismatched vector lengths. Unlike a
+// transport failure (ErrMemberFailed), an invalid payload is evidence of
+// tampering or corruption, so it is run-fatal and never retried or degraded
+// away — excluding a member that misbehaves would mask an attack.
+var ErrInvalidPayload = errors.New("invalid payload")
+
+// validateCounts checks a member's Phase 1 summary: one count per SNP, a
+// non-negative population, and no count exceeding the population size.
+func validateCounts(counts []int64, caseN int64, l int) error {
+	if len(counts) != l {
+		return fmt.Errorf("%w: %d counts, want %d", ErrInvalidPayload, len(counts), l)
+	}
+	if caseN < 0 {
+		return fmt.Errorf("%w: negative population %d", ErrInvalidPayload, caseN)
+	}
+	for snp, c := range counts {
+		if c < 0 || c > caseN {
+			return fmt.Errorf("%w: count %d at SNP %d inconsistent with population %d", ErrInvalidPayload, c, snp, caseN)
+		}
+	}
+	return nil
+}
+
+// validatePairStats checks a member's Phase 2 contribution against the
+// invariants binary genotypes impose: for 0/1 data the squares equal the
+// sums, marginals stay within the population, and the joint count is bounded
+// by both marginals (and from below by inclusion-exclusion).
+func validatePairStats(s genome.PairStats) error {
+	if s.N < 0 {
+		return fmt.Errorf("%w: negative pair population %d", ErrInvalidPayload, s.N)
+	}
+	if s.SumX < 0 || s.SumX > s.N || s.SumY < 0 || s.SumY > s.N {
+		return fmt.Errorf("%w: pair marginals (%d,%d) outside population %d", ErrInvalidPayload, s.SumX, s.SumY, s.N)
+	}
+	if s.SumXX != s.SumX || s.SumYY != s.SumY {
+		return fmt.Errorf("%w: pair squares (%d,%d) differ from sums (%d,%d) for binary genotypes",
+			ErrInvalidPayload, s.SumXX, s.SumYY, s.SumX, s.SumY)
+	}
+	min := s.SumX
+	if s.SumY < min {
+		min = s.SumY
+	}
+	if s.SumXY < 0 || s.SumXY > min {
+		return fmt.Errorf("%w: joint count %d outside [0,%d]", ErrInvalidPayload, s.SumXY, min)
+	}
+	if lower := s.SumX + s.SumY - s.N; s.SumXY < lower {
+		return fmt.Errorf("%w: joint count %d below inclusion-exclusion bound %d", ErrInvalidPayload, s.SumXY, lower)
+	}
+	return nil
+}
+
+// validateLRMatrix checks a member's Phase 3 matrix: one row per local case
+// genome, the broadcast column count, and finite log-ratio representatives
+// (NewLogRatios clamps degenerate frequencies, so an honest member can never
+// produce a NaN or ±Inf cell).
+func validateLRMatrix(lr *lrtest.BitMatrix, rows int64, cols int) error {
+	if int64(lr.Rows()) != rows {
+		return fmt.Errorf("%w: LR-matrix has %d rows, population is %d", ErrInvalidPayload, lr.Rows(), rows)
+	}
+	if lr.Cols() != cols {
+		return fmt.Errorf("%w: LR-matrix has %d columns, want %d", ErrInvalidPayload, lr.Cols(), cols)
+	}
+	if !lr.RepsFinite() {
+		return fmt.Errorf("%w: LR-matrix contains non-finite entries", ErrInvalidPayload)
+	}
+	return nil
+}
+
+// validateFrequencies checks a broadcast frequency vector member-side: the
+// expected length and finite entries in [0,1].
+func validateFrequencies(freq []float64, cols int) error {
+	if len(freq) != cols {
+		return fmt.Errorf("%w: %d frequencies for %d columns", ErrInvalidPayload, len(freq), cols)
+	}
+	for i, f := range freq {
+		if math.IsNaN(f) || f < 0 || f > 1 {
+			return fmt.Errorf("%w: frequency %g at column %d", ErrInvalidPayload, f, i)
+		}
+	}
+	return nil
+}

@@ -1,12 +1,14 @@
 package federation
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
 	"testing"
 	"time"
 
+	"gendpr/internal/checkpoint"
 	"gendpr/internal/core"
 	"gendpr/internal/genome"
 	"gendpr/internal/transport"
@@ -235,6 +237,144 @@ func TestChaosDegrade(t *testing.T) {
 				}
 			})
 		}
+	}
+}
+
+// killStore kills the leader at its killAt-th checkpoint save (1 = after
+// Phase 1, 2 = after Phase 2, 2+c = after the c-th Phase 3 combination) by
+// canceling the leader's run context. With before set the crash lands before
+// the snapshot reaches storage, so the successor finds only the previous
+// boundary — or nothing at all for killAt 1.
+type killStore struct {
+	inner  checkpoint.Store
+	cancel context.CancelFunc
+	killAt int
+	before bool
+
+	mu      sync.Mutex
+	ordinal int
+}
+
+func (k *killStore) Save(st *checkpoint.State) error {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	k.ordinal++
+	if k.ordinal == k.killAt {
+		k.cancel()
+		if k.before {
+			return context.Canceled
+		}
+	}
+	return k.inner.Save(st)
+}
+
+func (k *killStore) Load() (*checkpoint.State, error) { return k.inner.Load() }
+func (k *killStore) Clear() error                     { return k.inner.Clear() }
+
+// runFailoverGuarded executes one failover run under the watchdog.
+func runFailoverGuarded(t *testing.T, f *chaosFixture, policy core.CollusionPolicy, opts RunOptions, hook failoverHook) (*Result, error) {
+	t.Helper()
+	type outcome struct {
+		res *Result
+		err error
+	}
+	done := make(chan outcome, 1)
+	go func() {
+		res, err := runInProcessFailover(context.Background(), f.shards, f.cohort.Reference, core.DefaultConfig(), policy, opts, hook)
+		done <- outcome{res, err}
+	}()
+	select {
+	case o := <-done:
+		return o.res, o.err
+	case <-time.After(chaosWatchdog):
+		t.Fatalf("failover run hung past the %v watchdog", chaosWatchdog)
+		return nil, nil
+	}
+}
+
+// TestChaosLeaderFailover kills the first elected leader at every checkpoint
+// boundary in turn and demands the full recovery story: the survivors elect a
+// new leader, the new leader resumes from the latest durable snapshot, nobody
+// is excluded, and the final selection is bit-identical to the undisturbed
+// baseline.
+func TestChaosLeaderFailover(t *testing.T) {
+	f := newChaosFixture(t)
+	type killCase struct {
+		policy core.CollusionPolicy
+		killAt int
+		before bool
+		// resumed is whether the successor should find a usable snapshot: a
+		// crash during the very first save leaves nothing durable, so that
+		// rerun is fresh rather than resumed.
+		resumed bool
+	}
+	cases := []killCase{
+		{core.CollusionPolicy{}, 1, true, false}, // dies mid-Phase-1 save
+		{core.CollusionPolicy{}, 1, false, true}, // dies right after Phase 1
+		{core.CollusionPolicy{}, 2, false, true}, // dies right after Phase 2
+		{core.CollusionPolicy{}, 3, false, true}, // dies after the last combination
+	}
+	if !testing.Short() {
+		// With F=1 over 3 shards Phase 3 evaluates 4 combinations, so the
+		// save ordinals run 1 (MAF), 2 (LD), 3..6 (combinations).
+		cases = append(cases,
+			killCase{core.CollusionPolicy{F: 1}, 2, false, true},
+			killCase{core.CollusionPolicy{F: 1}, 4, false, true},
+			killCase{core.CollusionPolicy{F: 1}, 6, false, true},
+		)
+	}
+	for _, tc := range cases {
+		name := fmt.Sprintf("F%d/save%d/before=%v", tc.policy.F, tc.killAt, tc.before)
+		t.Run(name, func(t *testing.T) {
+			var (
+				mu       sync.Mutex
+				killed   = -1
+				attempts int
+			)
+			hook := func(attempt, leaderIdx int, cancel context.CancelFunc, store checkpoint.Store) checkpoint.Store {
+				mu.Lock()
+				defer mu.Unlock()
+				attempts++
+				if attempt == 0 {
+					killed = leaderIdx
+					return &killStore{inner: store, cancel: cancel, killAt: tc.killAt, before: tc.before}
+				}
+				return store
+			}
+			res, err := runFailoverGuarded(t, f, tc.policy, RunOptions{
+				RPCTimeout: chaosRPCTimeout,
+				MaxRetries: 1,
+				Backoff:    5 * time.Millisecond,
+			}, hook)
+			if err != nil {
+				t.Fatalf("failover run failed: %v", err)
+			}
+			mu.Lock()
+			gotKilled, gotAttempts := killed, attempts
+			mu.Unlock()
+			if gotAttempts != 2 {
+				t.Fatalf("ran %d attempts, want exactly 2 (kill + resume)", gotAttempts)
+			}
+			if len(res.FormerLeaders) != 1 || res.FormerLeaders[0] != gotKilled {
+				t.Fatalf("FormerLeaders = %v, want [%d]", res.FormerLeaders, gotKilled)
+			}
+			if res.LeaderIndex == gotKilled {
+				t.Fatalf("dead leader %d was re-elected", gotKilled)
+			}
+			if res.Report.Resumed != tc.resumed {
+				t.Errorf("Resumed = %v, want %v", res.Report.Resumed, tc.resumed)
+			}
+			if len(res.Excluded) != 0 {
+				t.Fatalf("failover excluded members: %v", res.Excluded)
+			}
+			want := f.baseline(t, -1, tc.policy)
+			if !res.Report.Selection.Equal(want.Selection) {
+				t.Errorf("failover selection %v != baseline %v", res.Report.Selection, want.Selection)
+			}
+			if res.Report.Selection.Power != want.Selection.Power {
+				t.Errorf("failover power %v != baseline %v", res.Report.Selection.Power, want.Selection.Power)
+			}
+		})
 	}
 }
 

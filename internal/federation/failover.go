@@ -1,0 +1,112 @@
+package federation
+
+import (
+	"context"
+	"errors"
+	"fmt"
+
+	"gendpr/internal/checkpoint"
+	"gendpr/internal/core"
+	"gendpr/internal/enclave"
+	"gendpr/internal/enclave/attest"
+	"gendpr/internal/genome"
+)
+
+// ErrNoElectableLeader is returned when every candidate leader has died and
+// nobody is left to coordinate the assessment.
+var ErrNoElectableLeader = errors.New("federation: every candidate leader has failed")
+
+// failoverHook lets the chaos harness schedule a leader death for one
+// attempt: it may wrap the attempt's checkpoint store, and it receives the
+// cancel function that stands in for the leader process dying. Production
+// runs pass nil.
+type failoverHook func(attempt, leaderIdx int, cancel context.CancelFunc, store checkpoint.Store) checkpoint.Store
+
+// RunInProcessWithFailover is RunInProcessWithOptions with Section 5.2
+// leader failover layered on top: when the elected leader dies mid-run (its
+// run context is canceled), the survivors re-run the committed-nonce election
+// among themselves — a dead leader is struck from the electable set, though
+// its restarted node keeps contributing its shard as an ordinary member — and
+// the new leader resumes the assessment from the latest checkpoint rather
+// than recomputing completed phases. When opts.Checkpoints is nil the
+// successive leaders share an in-memory store; pass a checkpoint.FileStore to
+// model durable on-disk snapshots.
+func RunInProcessWithFailover(ctx context.Context, shards []*genome.Matrix, reference *genome.Matrix, cfg core.Config, policy core.CollusionPolicy, opts RunOptions) (*Result, error) {
+	return runInProcessFailover(ctx, shards, reference, cfg, policy, opts, nil)
+}
+
+func runInProcessFailover(ctx context.Context, shards []*genome.Matrix, reference *genome.Matrix, cfg core.Config, policy core.CollusionPolicy, opts RunOptions, hook failoverHook) (*Result, error) {
+	g := len(shards)
+	if g == 0 {
+		return nil, core.ErrNoMembers
+	}
+	if opts.Checkpoints == nil {
+		opts.Checkpoints = checkpoint.NewMemStore()
+	}
+	authority, err := attest.NewAuthority()
+	if err != nil {
+		return nil, fmt.Errorf("federation: %w", err)
+	}
+
+	dead := make(map[int]bool, g)
+	var former []int
+	for attempt := 0; ; attempt++ {
+		// Re-run the Section 5.2 election over the surviving candidates. The
+		// shard identities (and with them the checkpoint fingerprint) stay
+		// fixed; only who coordinates changes.
+		electable := make([]int, 0, g)
+		for i := 0; i < g; i++ {
+			if !dead[i] {
+				electable = append(electable, i)
+			}
+		}
+		if len(electable) == 0 {
+			return nil, ErrNoElectableLeader
+		}
+		nonces, err := randomNonces(len(electable))
+		if err != nil {
+			return nil, err
+		}
+		idx, err := ElectLeader(nonces, len(electable))
+		if err != nil {
+			return nil, err
+		}
+		leaderIdx := electable[idx]
+
+		platform, err := enclave.NewPlatform()
+		if err != nil {
+			return nil, fmt.Errorf("federation: %w", err)
+		}
+		leader, err := NewLeader(fmt.Sprintf("gdo-%d", leaderIdx), shards[leaderIdx], platform, authority)
+		if err != nil {
+			return nil, err
+		}
+
+		base := ctx
+		if base == nil {
+			base = context.Background()
+		}
+		runCtx, cancel := context.WithCancel(base)
+		attemptOpts := opts
+		if hook != nil {
+			attemptOpts.Checkpoints = hook(attempt, leaderIdx, cancel, opts.Checkpoints)
+		}
+		res, err := runWithLeader(runCtx, leader, authority, leaderIdx, shards, reference, cfg, policy, attemptOpts, false, nil)
+		cancel()
+		if err == nil {
+			res.FormerLeaders = append([]int(nil), former...)
+			return res, nil
+		}
+		if ctx != nil && ctx.Err() != nil {
+			// The whole federation was canceled, not just this leader.
+			return nil, ctx.Err()
+		}
+		if !errors.Is(err, context.Canceled) {
+			return nil, err
+		}
+		// The leader died mid-run: strike it from the electable set, keep its
+		// checkpoints, and let the survivors elect a successor.
+		dead[leaderIdx] = true
+		former = append(former, leaderIdx)
+	}
+}

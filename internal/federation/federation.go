@@ -1,6 +1,7 @@
 package federation
 
 import (
+	"context"
 	"crypto/rand"
 	"errors"
 	"fmt"
@@ -29,6 +30,10 @@ type Result struct {
 	// excluded under quorum degradation (empty unless RunOptions.MinQuorum
 	// allowed the run to degrade).
 	Excluded []int
+	// FormerLeaders lists, oldest first, the shard positions of leaders that
+	// died mid-run and were replaced by re-election before this result was
+	// produced. Empty unless the failover runner had to re-elect.
+	FormerLeaders []int
 }
 
 // TrafficStats quantifies the paper's Section 7.1 bandwidth claim: members
@@ -156,11 +161,20 @@ func runInProcess(shards []*genome.Matrix, reference *genome.Matrix, cfg core.Co
 // end, below attestation and encryption, so injected faults exercise the
 // full recovery path including re-attestation.
 func runInProcessInjected(shards []*genome.Matrix, reference *genome.Matrix, cfg core.Config, policy core.CollusionPolicy, opts RunOptions, strict bool, inject faultInjector) (*Result, error) {
-	g := len(shards)
 	leader, authority, leaderIdx, err := electedLeader(shards)
 	if err != nil {
 		return nil, err
 	}
+	return runWithLeader(nil, leader, authority, leaderIdx, shards, reference, cfg, policy, opts, strict, inject)
+}
+
+// runWithLeader executes one in-process federation run under an
+// already-elected leader: it spawns the member nodes, wires the pipes, and
+// drives the protocol. The failover runner calls it repeatedly — once per
+// elected leader — with a cancellable context standing in for the leader's
+// process lifetime.
+func runWithLeader(ctx context.Context, leader *Leader, authority *attest.Authority, leaderIdx int, shards []*genome.Matrix, reference *genome.Matrix, cfg core.Config, policy core.CollusionPolicy, opts RunOptions, strict bool, inject faultInjector) (*Result, error) {
+	g := len(shards)
 
 	var (
 		wg           sync.WaitGroup
@@ -216,7 +230,7 @@ func runInProcessInjected(shards []*genome.Matrix, reference *genome.Matrix, cfg
 		links = append(links, link)
 	}
 
-	report, runErr := leader.RunLinks(links, reference, cfg, policy, opts)
+	report, runErr := leader.RunLinksContext(ctx, links, reference, cfg, policy, opts)
 	for _, l := range links {
 		_ = l.Conn.Close()
 	}

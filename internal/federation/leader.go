@@ -1,6 +1,7 @@
 package federation
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"strconv"
@@ -81,14 +82,25 @@ func (l *Leader) Run(memberConns []transport.Conn, reference *genome.Matrix, cfg
 // members in Report.Excluded; entries are provider indices where 0 is the
 // leader's own shard and i+1 is links[i].
 func (l *Leader) RunLinks(links []MemberLink, reference *genome.Matrix, cfg core.Config, policy core.CollusionPolicy, opts RunOptions) (*core.Report, error) {
+	return l.RunLinksContext(nil, links, reference, cfg, policy, opts)
+}
+
+// RunLinksContext is RunLinks under a context: cancellation interrupts
+// in-flight member exchanges and retry backoffs, and the assessment aborts at
+// the next phase boundary with ctx.Err(). A nil or never-canceled context
+// reproduces RunLinks exactly. When opts.Checkpoints is set, link names are
+// the stable identities the checkpoint is keyed by, so a re-elected leader
+// resuming a crashed run must address members by the same names.
+func (l *Leader) RunLinksContext(ctx context.Context, links []MemberLink, reference *genome.Matrix, cfg core.Config, policy core.CollusionPolicy, opts RunOptions) (*core.Report, error) {
 	remotes := make([]*remoteProvider, len(links))
 	for i, link := range links {
 		r := &remoteProvider{
 			name:   link.Name,
+			ctx:    ctx,
 			opts:   opts,
 			redial: link.Redial,
 			attest: func(raw transport.Conn) (transport.Conn, error) {
-				return attestConnTimeout(raw, l.authority, l.enclave, true, opts.RPCTimeout)
+				return attestConnContext(ctx, raw, l.authority, l.enclave, true, opts.RPCTimeout)
 			},
 		}
 		conn, err := r.attest(link.Conn)
@@ -114,12 +126,17 @@ func (l *Leader) RunLinks(links []MemberLink, reference *genome.Matrix, cfg core
 	}()
 
 	providers := make([]core.Provider, 0, len(remotes)+1)
+	names := make([]string, 0, len(remotes)+1)
 	providers = append(providers, core.NewLocalMember(l.shard))
+	names = append(names, l.id)
 	for _, r := range remotes {
 		providers = append(providers, r)
+		names = append(names, r.name)
 	}
 
-	report, err := core.RunAssessmentResilient(providers, reference, cfg, policy, l.enclave, core.Resilience{MinQuorum: opts.MinQuorum})
+	report, err := core.RunAssessmentResilientWithOptions(providers, reference, cfg, policy, l.enclave,
+		core.Resilience{MinQuorum: opts.MinQuorum},
+		core.AssessmentOptions{Context: ctx, ProviderNames: names, Checkpoints: opts.Checkpoints})
 	if err != nil {
 		return nil, err
 	}
@@ -155,6 +172,7 @@ func (l *Leader) RunLinks(links []MemberLink, reference *genome.Matrix, cfg core
 // (healthy → retrying → failed) plus the reconnect cycle.
 type remoteProvider struct {
 	name   string
+	ctx    context.Context // run context; nil means never canceled
 	opts   RunOptions
 	redial func() (transport.Conn, error)
 	attest func(raw transport.Conn) (transport.Conn, error)
@@ -202,9 +220,27 @@ func (r *remoteProvider) memberFailed(cause error) error {
 
 // retryable reports whether a retry on a fresh connection could change the
 // outcome. Member-reported and protocol-violation errors are deterministic
-// or adversarial; only transport-level failures are worth retrying.
+// or adversarial, and cancellation is the caller telling the run to stop;
+// only transport-level failures are worth retrying.
 func retryable(err error) bool {
-	return !errors.Is(err, ErrMemberReported) && !errors.Is(err, ErrProtocol)
+	return !errors.Is(err, ErrMemberReported) && !errors.Is(err, ErrProtocol) &&
+		!errors.Is(err, context.Canceled) && !errors.Is(err, context.DeadlineExceeded)
+}
+
+// sleepCtx sleeps for d unless the context is canceled first.
+func sleepCtx(ctx context.Context, d time.Duration) error {
+	if ctx == nil || ctx.Done() == nil {
+		time.Sleep(d)
+		return nil
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
 }
 
 // reconnectLocked replaces the broken connection with a freshly redialed and
@@ -235,11 +271,11 @@ func (r *remoteProvider) exchangeLocked(req transport.Message, wantKind uint16) 
 	// guards no other state, and a stalled member blocks only callers that
 	// need this same member's answer.
 	//gendpr:allow(lockacrosssend): per-connection RPC serializer; the lock scope is exactly one request/response exchange
-	if err := transport.SendDeadline(r.conn, req, r.opts.RPCTimeout); err != nil {
+	if err := transport.SendContext(r.ctx, r.conn, req, r.opts.RPCTimeout); err != nil {
 		return nil, fmt.Errorf("federation: member %s send: %w", r.name, err)
 	}
 	//gendpr:allow(lockacrosssend): same request/response pairing as the send above
-	reply, err := transport.RecvDeadline(r.conn, r.opts.RPCTimeout)
+	reply, err := transport.RecvContext(r.ctx, r.conn, r.opts.RPCTimeout)
 	if err != nil {
 		return nil, fmt.Errorf("federation: member %s recv: %w", r.name, err)
 	}
@@ -268,7 +304,11 @@ func (r *remoteProvider) roundTripLocked(req transport.Message, wantKind uint16)
 				return nil, r.memberFailed(lastErr)
 			}
 			r.health = HealthRetrying
-			time.Sleep(backoffDelay(r.opts, attempt))
+			if err := sleepCtx(r.ctx, backoffDelay(r.opts, attempt)); err != nil {
+				// Cancellation mid-backoff is not a member failure: surface it
+				// unwrapped so the run aborts rather than degrades.
+				return nil, err
+			}
 			if err := r.reconnectLocked(); err != nil {
 				lastErr = err
 				continue
@@ -303,7 +343,7 @@ func (r *remoteProvider) notify(msgs ...transport.Message) error {
 	}
 	for _, m := range msgs {
 		//gendpr:allow(lockacrosssend): broadcast serialized on the same per-connection RPC lock
-		if err := transport.SendDeadline(r.conn, m, r.opts.RPCTimeout); err != nil {
+		if err := transport.SendContext(r.ctx, r.conn, m, r.opts.RPCTimeout); err != nil {
 			return fmt.Errorf("federation: member %s send: %w", r.name, err)
 		}
 	}

@@ -1,6 +1,7 @@
 package federation
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
@@ -73,14 +74,26 @@ func (m *Member) Serve(raw transport.Conn) error {
 // tear down an attested session the leader may still need. Teardown is
 // reserved for transport failures, where the channel itself is gone.
 func (m *Member) ServeWithOptions(raw transport.Conn, opts ServeOptions) error {
-	conn, err := attestConnTimeout(raw, m.authority, m.enclave, false, opts.IdleTimeout)
+	return m.ServeContext(nil, raw, opts)
+}
+
+// ServeContext is ServeWithOptions under a context: cancellation interrupts
+// an in-flight attestation step, receive, or reply, and the loop returns
+// ctx.Err(). A nil or never-canceled context reproduces ServeWithOptions
+// exactly. This is how a member node shuts down cleanly on a signal while
+// parked waiting for the next leader request.
+func (m *Member) ServeContext(ctx context.Context, raw transport.Conn, opts ServeOptions) error {
+	conn, err := attestConnContext(ctx, raw, m.authority, m.enclave, false, opts.IdleTimeout)
 	if err != nil {
 		return fmt.Errorf("federation: member %s: %w", m.id, err)
 	}
 	local := core.NewLocalMember(m.shard)
 	for {
-		msg, err := transport.RecvDeadline(conn, opts.IdleTimeout)
+		msg, err := transport.RecvContext(ctx, conn, opts.IdleTimeout)
 		if err != nil {
+			if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+				return fmt.Errorf("federation: member %s: %w", m.id, err)
+			}
 			if errors.Is(err, transport.ErrClosed) {
 				return fmt.Errorf("federation: member %s: leader disconnected", m.id)
 			}
@@ -88,13 +101,14 @@ func (m *Member) ServeWithOptions(raw transport.Conn, opts ServeOptions) error {
 		}
 		reply, done, err := m.handle(local, msg)
 		if err != nil {
-			if sendErr := conn.Send(transport.Message{Kind: KindError, Payload: []byte(err.Error())}); sendErr != nil {
+			sendErr := transport.SendContext(ctx, conn, transport.Message{Kind: KindError, Payload: []byte(err.Error())}, 0)
+			if sendErr != nil {
 				return fmt.Errorf("federation: member %s reporting %q: %w", m.id, err, sendErr)
 			}
 			continue
 		}
 		if reply != nil {
-			if err := conn.Send(*reply); err != nil {
+			if err := transport.SendContext(ctx, conn, *reply, 0); err != nil {
 				return fmt.Errorf("federation: member %s send: %w", m.id, err)
 			}
 		}

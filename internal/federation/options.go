@@ -4,6 +4,7 @@ import (
 	"sync"
 	"time"
 
+	"gendpr/internal/checkpoint"
 	"gendpr/internal/crand"
 	"gendpr/internal/transport"
 )
@@ -41,6 +42,12 @@ type RunOptions struct {
 	// survivors as long as at least MinQuorum providers (counting the
 	// leader's own shard) remain. Zero aborts on any member failure.
 	MinQuorum int
+	// Checkpoints, when non-nil, makes the leader persist a snapshot at
+	// every phase boundary and seed its run from a compatible existing
+	// snapshot. The store is leader-side state only — members never see it.
+	// With a durable store (checkpoint.FileStore) a leader re-elected after
+	// a crash resumes the assessment instead of recomputing it.
+	Checkpoints checkpoint.Store
 }
 
 func (o RunOptions) dialTimeout() time.Duration {

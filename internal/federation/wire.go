@@ -6,6 +6,7 @@
 package federation
 
 import (
+	"context"
 	"crypto/sha256"
 	"errors"
 	"fmt"
@@ -279,15 +280,22 @@ func attestConn(raw transport.Conn, authority *attest.Authority, enc *enclave.En
 // send and receive must complete within timeout (zero waits forever), so a
 // silent or stalled peer cannot wedge the attesting side.
 func attestConnTimeout(raw transport.Conn, authority *attest.Authority, enc *enclave.Enclave, sendFirst bool, timeout time.Duration) (transport.Conn, error) {
+	return attestConnContext(nil, raw, authority, enc, sendFirst, timeout)
+}
+
+// attestConnContext is attestConnTimeout under a context: cancellation
+// interrupts an in-flight handshake step. A nil or never-canceled context
+// degrades to the plain deadline path.
+func attestConnContext(ctx context.Context, raw transport.Conn, authority *attest.Authority, enc *enclave.Enclave, sendFirst bool, timeout time.Duration) (transport.Conn, error) {
 	hs, err := attest.NewHandshake(authority, enc)
 	if err != nil {
 		return nil, fmt.Errorf("federation: handshake: %w", err)
 	}
 	send := func() error {
-		return transport.SendDeadline(raw, transport.Message{Kind: KindAttestOffer, Payload: encodeOffer(hs.Offer())}, timeout)
+		return transport.SendContext(ctx, raw, transport.Message{Kind: KindAttestOffer, Payload: encodeOffer(hs.Offer())}, timeout)
 	}
 	recv := func() (attest.Offer, error) {
-		m, err := transport.RecvDeadline(raw, timeout)
+		m, err := transport.RecvContext(ctx, raw, timeout)
 		if err != nil {
 			return attest.Offer{}, fmt.Errorf("federation: handshake recv: %w", err)
 		}

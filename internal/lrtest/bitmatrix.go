@@ -77,6 +77,24 @@ func (m *BitMatrix) SizeBytes() int64 {
 	return int64(len(m.bits))*8 + int64(len(m.zero))*8 + int64(len(m.one))*8
 }
 
+// RepsFinite reports whether every column representative (the two decoded
+// log-ratio values per SNP) is a finite number. A NaN or ±Inf representative
+// poisons every score the column touches; the leader's trust-boundary
+// validation rejects member matrices that fail this check.
+func (m *BitMatrix) RepsFinite() bool {
+	for _, v := range m.zero {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return false
+		}
+	}
+	for _, v := range m.one {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return false
+		}
+	}
+	return true
+}
+
 // RowBitSource is an optional Genotypes extension: genotype matrices that
 // expose their packed row words (genome.Matrix does) let BuildBit transpose
 // bits word-by-word instead of through per-cell interface calls.

@@ -1,6 +1,7 @@
 package stats
 
 import (
+	"errors"
 	"math"
 	"testing"
 	"testing/quick"
@@ -224,13 +225,45 @@ func TestLDPValueHighVsLowCorrelation(t *testing.T) {
 	}
 }
 
-func TestLDPValueEmptyStats(t *testing.T) {
-	p, err := LDPValue(genome.PairStats{})
-	if err != nil {
-		t.Fatalf("empty stats: %v", err)
+func TestLDPValueDegeneratePairs(t *testing.T) {
+	cases := []struct {
+		name string
+		s    genome.PairStats
+	}{
+		{"empty pool", genome.PairStats{}},
+		{"monomorphic x (all zero)", genome.PairStats{N: 100, SumY: 50, SumYY: 50, SumXY: 0}},
+		{"monomorphic x (all one)", genome.PairStats{N: 100, SumX: 100, SumXX: 100, SumY: 50, SumYY: 50, SumXY: 50}},
+		{"monomorphic y (all zero)", genome.PairStats{N: 100, SumX: 50, SumXX: 50}},
+		{"monomorphic y (all one)", genome.PairStats{N: 100, SumX: 50, SumXX: 50, SumY: 100, SumYY: 100, SumXY: 50}},
+		{"both monomorphic", genome.PairStats{N: 100, SumX: 100, SumXX: 100, SumY: 100, SumYY: 100, SumXY: 100}},
+		{"single sample", genome.PairStats{N: 1, SumX: 1, SumXX: 1, SumY: 1, SumYY: 1, SumXY: 1}},
 	}
-	if p != 1 {
-		t.Errorf("empty stats p=%v, want 1", p)
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := LDPValue(tc.s); !errors.Is(err, ErrDegeneratePair) {
+				t.Errorf("LDPValue error = %v, want ErrDegeneratePair", err)
+			}
+			if _, err := R2FromStatsChecked(tc.s); !errors.Is(err, ErrDegeneratePair) {
+				t.Errorf("R2FromStatsChecked error = %v, want ErrDegeneratePair", err)
+			}
+			if r2 := R2FromStats(tc.s); r2 != 0 {
+				t.Errorf("R2FromStats = %v, want 0 for degenerate input", r2)
+			}
+		})
+	}
+}
+
+func TestR2FromStatsCheckedPolymorphicPair(t *testing.T) {
+	s := genome.PairStats{N: 1000, SumX: 500, SumY: 500, SumXY: 490, SumXX: 500, SumYY: 500}
+	r2, err := R2FromStatsChecked(s)
+	if err != nil {
+		t.Fatalf("R2FromStatsChecked: %v", err)
+	}
+	if r2 != R2FromStats(s) {
+		t.Errorf("checked r2 %v != unchecked %v", r2, R2FromStats(s))
+	}
+	if math.IsNaN(r2) || r2 <= 0 || r2 > 1 {
+		t.Errorf("r2 = %v out of range", r2)
 	}
 }
 

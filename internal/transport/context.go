@@ -1,0 +1,103 @@
+package transport
+
+import (
+	"context"
+	"time"
+)
+
+// aLongTimeAgo is a non-zero time far in the past, used to immediately expire
+// an in-flight operation when its context is canceled (the same trick the
+// net/http internals use: SetDeadline(past) unblocks pending I/O).
+var aLongTimeAgo = time.Unix(1, 0)
+
+// SendContext sends one message, honoring both the context and the timeout.
+// Cancellation interrupts an in-flight send by smashing the connection
+// deadline into the past; the returned error is then ctx.Err(). A nil or
+// never-canceled context degrades to SendDeadline exactly, so callers that
+// do not use contexts pay nothing.
+func SendContext(ctx context.Context, c Conn, m Message, timeout time.Duration) error {
+	run, finish, ok := contextualize(ctx, c, timeout)
+	if !ok {
+		return SendDeadline(c, m, timeout)
+	}
+	if run != nil {
+		return run
+	}
+	return finish(c.Send(m))
+}
+
+// RecvContext receives one message, honoring both the context and the
+// timeout. Cancellation interrupts an in-flight receive; the returned error
+// is then ctx.Err(). A nil or never-canceled context degrades to
+// RecvDeadline exactly.
+func RecvContext(ctx context.Context, c Conn, timeout time.Duration) (Message, error) {
+	run, finish, ok := contextualize(ctx, c, timeout)
+	if !ok {
+		return RecvDeadline(c, timeout)
+	}
+	if run != nil {
+		return Message{}, run
+	}
+	m, err := c.Recv()
+	if err = finish(err); err != nil {
+		return Message{}, err
+	}
+	return m, nil
+}
+
+// contextualize arms a connection deadline that combines the context with the
+// timeout. It returns ok=false when the plain deadline helpers should be used
+// instead (nil/non-cancelable context, or a connection without deadlines).
+// Otherwise run is a pre-flight error (context already done) or nil, and
+// finish must wrap the operation's error: it disarms the cancel watcher and
+// substitutes ctx.Err() when cancellation is what broke the operation.
+func contextualize(ctx context.Context, c Conn, timeout time.Duration) (run error, finish func(error) error, ok bool) {
+	if ctx == nil || ctx.Done() == nil {
+		return nil, nil, false
+	}
+	if err := ctx.Err(); err != nil {
+		return err, func(e error) error { return e }, true
+	}
+	deadline := time.Time{}
+	if timeout > 0 {
+		deadline = time.Now().Add(timeout)
+	}
+	if d, hasD := ctx.Deadline(); hasD && (deadline.IsZero() || d.Before(deadline)) {
+		deadline = d
+	}
+	if !SetDeadline(c, deadline) {
+		// The connection cannot be interrupted; fall back to the plain
+		// helpers and let the caller notice cancellation afterwards.
+		return nil, nil, false
+	}
+	// Register the cancel watcher only after the base deadline is set, so a
+	// concurrent cancellation cannot have its past-deadline overwritten by
+	// the SetDeadline above.
+	stop := context.AfterFunc(ctx, func() {
+		SetDeadline(c, aLongTimeAgo)
+	})
+	finish = func(opErr error) error {
+		stopped := stop()
+		SetDeadline(c, time.Time{})
+		if opErr == nil {
+			// Even a canceled context does not destroy a completed
+			// operation; deliver the result.
+			return nil
+		}
+		// Report cancellation rather than the induced timeout when the
+		// context is what broke the operation: either the watcher fired
+		// mid-flight, or the armed deadline was the context's own.
+		if err := ctx.Err(); err != nil && (!stopped || IsTimeout(opErr)) {
+			return err
+		}
+		if IsTimeout(opErr) {
+			// The connection's timer can fire a hair before the context's
+			// own; judge by the wall clock, not the racing ctx.Err().
+			if d, hasD := ctx.Deadline(); hasD && !time.Now().Before(d) {
+				return context.DeadlineExceeded
+			}
+		}
+		return opErr
+	}
+	return nil, finish, true
+}

@@ -1,0 +1,143 @@
+package transport
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+func TestRecvContextCancelUnblocks(t *testing.T) {
+	a, b := Pipe()
+	defer a.Close()
+	defer b.Close()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	errc := make(chan error, 1)
+	go func() {
+		_, err := RecvContext(ctx, a, 0)
+		errc <- err
+	}()
+	time.Sleep(20 * time.Millisecond)
+	cancel()
+	select {
+	case err := <-errc:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("RecvContext error = %v, want context.Canceled", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("RecvContext did not unblock on cancellation")
+	}
+}
+
+func TestSendContextPreCanceled(t *testing.T) {
+	a, b := Pipe()
+	defer a.Close()
+	defer b.Close()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if err := SendContext(ctx, a, Message{Kind: 1}, time.Second); !errors.Is(err, context.Canceled) {
+		t.Fatalf("SendContext error = %v, want context.Canceled", err)
+	}
+}
+
+func TestRecvContextDeadlineCombining(t *testing.T) {
+	a, b := Pipe()
+	defer a.Close()
+	defer b.Close()
+
+	// A short context deadline must beat a long explicit timeout.
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err := RecvContext(ctx, a, 10*time.Second)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("RecvContext error = %v, want context.DeadlineExceeded", err)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("RecvContext honored the wrong deadline (%v elapsed)", elapsed)
+	}
+}
+
+func TestRecvContextTimeoutBeatsLongContext(t *testing.T) {
+	a, b := Pipe()
+	defer a.Close()
+	defer b.Close()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	_, err := RecvContext(ctx, a, 30*time.Millisecond)
+	if !IsTimeout(err) {
+		t.Fatalf("RecvContext error = %v, want a timeout", err)
+	}
+	if errors.Is(err, context.DeadlineExceeded) && ctx.Err() != nil {
+		t.Fatal("context expired before the explicit timeout fired")
+	}
+}
+
+func TestContextNilAndBackgroundPassThrough(t *testing.T) {
+	a, b := Pipe()
+	defer a.Close()
+	defer b.Close()
+
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		m, err := RecvContext(context.Background(), b, time.Second)
+		if err != nil || m.Kind != 7 {
+			t.Errorf("RecvContext = (%+v, %v)", m, err)
+		}
+	}()
+	if err := SendContext(nil, a, Message{Kind: 7}, time.Second); err != nil { //nolint:staticcheck // nil ctx passthrough is part of the contract
+		t.Fatalf("SendContext(nil ctx): %v", err)
+	}
+	<-done
+}
+
+func TestRecvContextSuccessDespiteCancel(t *testing.T) {
+	// If the message is already queued, a racing cancel must not destroy a
+	// successful receive.
+	a, b := Pipe()
+	defer a.Close()
+	defer b.Close()
+
+	if err := a.Send(Message{Kind: 3, Payload: []byte("x")}); err != nil {
+		t.Fatalf("Send: %v", err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	go cancel()
+	m, err := RecvContext(ctx, b, time.Second)
+	if err != nil && !errors.Is(err, context.Canceled) {
+		t.Fatalf("RecvContext: %v", err)
+	}
+	if err == nil && m.Kind != 3 {
+		t.Fatalf("RecvContext delivered kind %d, want 3", m.Kind)
+	}
+}
+
+func TestContextClearsDeadlineAfterUse(t *testing.T) {
+	a, b := Pipe()
+	defer a.Close()
+	defer b.Close()
+
+	ctx := context.Background()
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	if err := a.Send(Message{Kind: 1}); err != nil {
+		t.Fatalf("Send: %v", err)
+	}
+	if _, err := RecvContext(ctx, b, 50*time.Millisecond); err != nil {
+		t.Fatalf("RecvContext: %v", err)
+	}
+	// The deadline from the previous call must not linger and time out a
+	// later plain Recv.
+	go func() {
+		time.Sleep(100 * time.Millisecond)
+		a.Send(Message{Kind: 2})
+	}()
+	if _, err := b.Recv(); err != nil {
+		t.Fatalf("follow-up Recv hit a stale deadline: %v", err)
+	}
+}

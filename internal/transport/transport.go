@@ -131,6 +131,7 @@ type pipeConn struct {
 
 	mu       sync.Mutex
 	deadline time.Time
+	changed  chan struct{}
 }
 
 // Pipe returns two connected in-memory endpoints. Messages sent on one are
@@ -140,32 +141,37 @@ func Pipe() (Conn, Conn) {
 	ab := make(chan Message, 1)
 	ba := make(chan Message, 1)
 	shared := &pipeShared{done: make(chan struct{})}
-	a := &pipeConn{out: ab, in: ba, shared: shared}
-	b := &pipeConn{out: ba, in: ab, shared: shared}
+	a := &pipeConn{out: ab, in: ba, shared: shared, changed: make(chan struct{})}
+	b := &pipeConn{out: ba, in: ab, shared: shared, changed: make(chan struct{})}
 	return a, b
 }
 
 // SetDeadline sets an absolute deadline for both Send and Recv. The zero
-// time clears it. The deadline applies to operations started after the call;
-// the in-memory transport does not interrupt an already-blocked operation.
+// time clears it. Like net.Conn deadlines, the call also affects operations
+// already blocked: setting a past deadline immediately times them out, which
+// is how context cancellation interrupts in-flight pipe I/O.
 func (c *pipeConn) SetDeadline(t time.Time) error {
 	c.mu.Lock()
 	c.deadline = t
+	close(c.changed)
+	c.changed = make(chan struct{})
 	c.mu.Unlock()
 	return nil
 }
 
-// expiry returns a channel that fires when the current deadline passes, or
-// nil when no deadline is set. The returned stop func releases the timer.
-func (c *pipeConn) expiry() (<-chan time.Time, func()) {
+// expiry returns a channel that fires when the current deadline passes (nil
+// when no deadline is set), a channel closed when the deadline is changed,
+// and a stop func that releases the timer. Callers re-arm on change.
+func (c *pipeConn) expiry() (<-chan time.Time, <-chan struct{}, func()) {
 	c.mu.Lock()
 	d := c.deadline
+	changed := c.changed
 	c.mu.Unlock()
 	if d.IsZero() {
-		return nil, func() {}
+		return nil, changed, func() {}
 	}
 	t := time.NewTimer(time.Until(d))
-	return t.C, func() { t.Stop() }
+	return t.C, changed, func() { t.Stop() }
 }
 
 func (c *pipeConn) Send(m Message) error {
@@ -174,34 +180,46 @@ func (c *pipeConn) Send(m Message) error {
 		return ErrClosed
 	default:
 	}
-	expired, stop := c.expiry()
-	defer stop()
-	select {
-	case c.out <- m:
-		return nil
-	case <-c.shared.done:
-		return ErrClosed
-	case <-expired:
-		return fmt.Errorf("transport: pipe send: %w", ErrTimeout)
+	for {
+		expired, changed, stop := c.expiry()
+		select {
+		case c.out <- m:
+			stop()
+			return nil
+		case <-c.shared.done:
+			stop()
+			return ErrClosed
+		case <-expired:
+			stop()
+			return fmt.Errorf("transport: pipe send: %w", ErrTimeout)
+		case <-changed:
+			stop()
+		}
 	}
 }
 
 func (c *pipeConn) Recv() (Message, error) {
-	expired, stop := c.expiry()
-	defer stop()
-	select {
-	case m := <-c.in:
-		return m, nil
-	case <-c.shared.done:
-		// Drain any message that raced with close.
+	for {
+		expired, changed, stop := c.expiry()
 		select {
 		case m := <-c.in:
+			stop()
 			return m, nil
-		default:
-			return Message{}, ErrClosed
+		case <-c.shared.done:
+			stop()
+			// Drain any message that raced with close.
+			select {
+			case m := <-c.in:
+				return m, nil
+			default:
+				return Message{}, ErrClosed
+			}
+		case <-expired:
+			stop()
+			return Message{}, fmt.Errorf("transport: pipe recv: %w", ErrTimeout)
+		case <-changed:
+			stop()
 		}
-	case <-expired:
-		return Message{}, fmt.Errorf("transport: pipe recv: %w", ErrTimeout)
 	}
 }
 

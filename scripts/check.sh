@@ -33,6 +33,11 @@ echo "== chaos smoke (short fault sweep) =="
 # fault points visible as their own gate.
 go test -short -run '^TestChaos' ./internal/federation/
 
+echo "== leader-kill smoke (failover + resume) =="
+# Kill the leader at each phase boundary and assert re-election over the
+# survivors, resume from the checkpoint, and a bit-identical selection.
+go test -short -run '^TestChaosLeaderFailover$' ./internal/federation/
+
 echo "== bench smoke (1 iteration, tiny scale) =="
 # One iteration of the Phase-3 suite at a tiny scale: catches benchmarks that
 # no longer compile or crash without paying for a real measurement run.
