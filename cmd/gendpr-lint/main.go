@@ -6,43 +6,79 @@
 //
 // Usage:
 //
-//	gendpr-lint [./...] [dir ...]
+//	gendpr-lint [-run names] [-skip names] [-json] [-v] [./...] [dir ...]
 //
 // With no arguments (or "./..."), the whole module containing the working
 // directory is linted. Directory arguments restrict the report to packages
 // under those paths; the full module is still loaded so cross-package type
-// information stays complete.
+// information stays complete. -run and -skip take comma-separated analyzer
+// names; -json writes the findings as a machine-readable report to stdout
+// (scripts/check.sh archives it as lint-report.json); -v adds per-package
+// load timing and per-analyzer wall time to stderr.
+//
+// Exit status: 0 clean, 1 findings, 2 usage or load failure (including a
+// working directory outside any Go module).
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"path/filepath"
+	"sort"
 	"strings"
 
 	"gendpr/internal/analysis"
 )
 
 func main() {
-	verbose := flag.Bool("v", false, "list analyzers and packages as they run")
+	verbose := flag.Bool("v", false, "list analyzers, packages, and per-analyzer timing")
+	jsonOut := flag.Bool("json", false, "write findings as a JSON report to stdout")
+	runNames := flag.String("run", "", "comma-separated analyzer names to run (default: all)")
+	skipNames := flag.String("skip", "", "comma-separated analyzer names to skip")
 	flag.Parse()
-	if err := run(flag.Args(), *verbose); err != nil {
+	if err := run(flag.Args(), *verbose, *jsonOut, *runNames, *skipNames); err != nil {
 		fmt.Fprintln(os.Stderr, "gendpr-lint:", err)
 		os.Exit(2)
 	}
 }
 
-func run(args []string, verbose bool) error {
+// jsonFinding is one diagnostic in the -json report. File is relative to the
+// module root so the artifact is stable across checkouts.
+type jsonFinding struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Column   int    `json:"column"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+}
+
+// jsonReport is the -json output envelope.
+type jsonReport struct {
+	Module    string             `json:"module"`
+	Analyzers []string           `json:"analyzers"`
+	Findings  []jsonFinding      `json:"findings"`
+	TimingsMS map[string]float64 `json:"timings_ms,omitempty"`
+}
+
+func run(args []string, verbose, jsonOut bool, runNames, skipNames string) error {
 	root, err := moduleRoot()
 	if err != nil {
 		return err
 	}
-	mod, err := analysis.LoadModule(root)
+	var loadLog *os.File
+	if verbose {
+		loadLog = os.Stderr
+	}
+	mod, err := analysis.LoadModuleVerbose(root, loadLog)
 	if err != nil {
 		return err
 	}
-	analyzers := analysis.DefaultAnalyzers()
+	analyzers, err := selectAnalyzers(analysis.DefaultAnalyzers(), runNames, skipNames)
+	if err != nil {
+		return err
+	}
 	if verbose {
 		fmt.Fprintf(os.Stderr, "module %s: %d packages, %d analyzers\n",
 			mod.Path, len(mod.Packages), len(analyzers))
@@ -58,8 +94,16 @@ func run(args []string, verbose bool) error {
 	if err != nil {
 		return err
 	}
-	var findings int
-	for _, d := range analysis.Run(mod, analyzers) {
+	diags, stats := analysis.RunWithStats(mod, analyzers)
+	if verbose {
+		for _, s := range stats {
+			fmt.Fprintf(os.Stderr, "  %-16s %8.1fms  %d finding(s)\n",
+				s.Name, float64(s.Duration.Microseconds())/1000, s.Findings)
+		}
+	}
+
+	var kept []jsonFinding
+	for _, d := range diags {
 		if !keep(d.Pos.Filename) {
 			continue
 		}
@@ -67,14 +111,88 @@ func run(args []string, verbose bool) error {
 		if err != nil {
 			rel = d.Pos.Filename
 		}
-		fmt.Printf("%s:%d:%d: [%s] %s\n", rel, d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message)
-		findings++
+		kept = append(kept, jsonFinding{
+			File: rel, Line: d.Pos.Line, Column: d.Pos.Column,
+			Analyzer: d.Analyzer, Message: d.Message,
+		})
 	}
-	if findings > 0 {
-		fmt.Fprintf(os.Stderr, "gendpr-lint: %d finding(s)\n", findings)
+
+	if jsonOut {
+		report := jsonReport{
+			Module:    mod.Path,
+			Findings:  kept,
+			TimingsMS: make(map[string]float64, len(stats)),
+		}
+		if report.Findings == nil {
+			report.Findings = []jsonFinding{}
+		}
+		for _, s := range stats {
+			report.Analyzers = append(report.Analyzers, s.Name)
+			report.TimingsMS[s.Name] = float64(s.Duration.Microseconds()) / 1000
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(report); err != nil {
+			return err
+		}
+	} else {
+		for _, f := range kept {
+			fmt.Printf("%s:%d:%d: [%s] %s\n", f.File, f.Line, f.Column, f.Analyzer, f.Message)
+		}
+	}
+	if len(kept) > 0 {
+		fmt.Fprintf(os.Stderr, "gendpr-lint: %d finding(s)\n", len(kept))
 		os.Exit(1)
 	}
 	return nil
+}
+
+// selectAnalyzers applies the -run and -skip name filters. Unknown names are
+// an error (listing what exists) so a typo cannot silently disable a gate.
+func selectAnalyzers(all []*analysis.Analyzer, runNames, skipNames string) ([]*analysis.Analyzer, error) {
+	known := make(map[string]*analysis.Analyzer, len(all))
+	var names []string
+	for _, a := range all {
+		known[a.Name] = a
+		names = append(names, a.Name)
+	}
+	sort.Strings(names)
+	parse := func(list string) (map[string]bool, error) {
+		set := make(map[string]bool)
+		for _, n := range strings.Split(list, ",") {
+			n = strings.TrimSpace(n)
+			if n == "" {
+				continue
+			}
+			if known[n] == nil {
+				return nil, fmt.Errorf("unknown analyzer %q (have: %s)", n, strings.Join(names, ", "))
+			}
+			set[n] = true
+		}
+		return set, nil
+	}
+	runSet, err := parse(runNames)
+	if err != nil {
+		return nil, err
+	}
+	skipSet, err := parse(skipNames)
+	if err != nil {
+		return nil, err
+	}
+	var out []*analysis.Analyzer
+	for _, a := range all {
+		if len(runSet) > 0 && !runSet[a.Name] {
+			continue
+		}
+		if skipSet[a.Name] {
+			continue
+		}
+		out = append(out, a)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("the -run/-skip combination selects no analyzers (have: %s)", strings.Join(names, ", "))
+	}
+	return out, nil
 }
 
 // moduleRoot walks up from the working directory to the enclosing go.mod.
@@ -89,7 +207,7 @@ func moduleRoot() (string, error) {
 		}
 		parent := filepath.Dir(dir)
 		if parent == dir {
-			return "", fmt.Errorf("no go.mod above %s", dir)
+			return "", fmt.Errorf("no go.mod above %s: gendpr-lint must run inside the module", dir)
 		}
 		dir = parent
 	}

@@ -80,6 +80,7 @@ func main() {
 	}
 	for l := range want {
 		if sums[l] != want[l] {
+			//gendpr:allow(secretflow): demo cross-check prints aggregates of the synthetic cohort it just generated
 			log.Fatalf("SNP %d: HE aggregate %d != plaintext %d", l, sums[l], want[l])
 		}
 	}

@@ -58,6 +58,7 @@ func main() {
 				exactN++
 			}
 		}
+		//gendpr:allow(secretflow): demo prints error summaries over the synthetic cohort it just generated
 		fmt.Printf("epsilon=%5.1f: %4d exact SNPs (mean abs error %.5f), %4d noised SNPs (mean abs error %.5f)\n",
 			eps, exactN, exactErr/float64(max(exactN, 1)),
 			noisedN, noisedErr/float64(max(noisedN, 1)))

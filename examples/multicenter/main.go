@@ -77,6 +77,7 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
+		//gendpr:allow(secretflow): demo prints assessment figures over the synthetic cohort it just generated
 		fmt.Printf("%-34s %4d SNPs, attack power %.3f\n", label, len(cols), power)
 	}
 

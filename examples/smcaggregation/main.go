@@ -79,6 +79,7 @@ func main() {
 	}
 	for l := range want {
 		if sums[l] != want[l] {
+			//gendpr:allow(secretflow): demo cross-check prints aggregates of the synthetic cohort it just generated
 			log.Fatalf("SNP %d: SMC aggregate %d != plaintext %d", l, sums[l], want[l])
 		}
 	}

@@ -26,6 +26,7 @@ import (
 	"regexp"
 	"sort"
 	"strings"
+	"time"
 )
 
 // Diagnostic is one analyzer finding.
@@ -85,8 +86,11 @@ type Analyzer struct {
 type Pass struct {
 	Analyzer *Analyzer
 	Fset     *token.FileSet
-	Pkg      *Package
-	Files    []*ast.File
+	// Mod is the module the package belongs to; module-global analyzers
+	// (the taint suite) key shared state off it.
+	Mod   *Module
+	Pkg   *Package
+	Files []*ast.File
 
 	diags *[]Diagnostic
 }
@@ -100,8 +104,13 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 	})
 }
 
-// allowDirective matches "//gendpr:allow(name1,name2): reason".
-var allowDirective = regexp.MustCompile(`^//gendpr:allow\(([^)]*)\)(.*)$`)
+// allowDirective matches "//gendpr:allow(name1,name2): reason";
+// allowPrefix catches every comment that tries to be a directive (including
+// a bare "//gendpr:allow") so malformed ones are reported, never ignored.
+var (
+	allowDirective = regexp.MustCompile(`^//gendpr:allow\(([^)]*)\)(.*)$`)
+	allowPrefix    = regexp.MustCompile(`^//gendpr:allow\b`)
+)
 
 // suppressions maps file -> line -> analyzer names allowed on that line.
 type suppressions map[string]map[int][]string
@@ -114,11 +123,19 @@ func collectSuppressions(fset *token.FileSet, files []*ast.File, sup suppression
 	for _, f := range files {
 		for _, cg := range f.Comments {
 			for _, c := range cg.List {
-				m := allowDirective.FindStringSubmatch(c.Text)
-				if m == nil {
+				if !allowPrefix.MatchString(c.Text) {
 					continue
 				}
 				pos := fset.Position(c.Pos())
+				m := allowDirective.FindStringSubmatch(c.Text)
+				if m == nil {
+					*diags = append(*diags, Diagnostic{
+						Pos:      pos,
+						Analyzer: "directive",
+						Message:  "gendpr:allow directive needs analyzer names and a justification: //gendpr:allow(name): reason",
+					})
+					continue
+				}
 				rest := strings.TrimSpace(m[2])
 				if !strings.HasPrefix(rest, ":") || strings.TrimSpace(rest[1:]) == "" {
 					*diags = append(*diags, Diagnostic{
@@ -159,28 +176,58 @@ func (s suppressions) allows(d Diagnostic) bool {
 	return false
 }
 
+// AnalyzerStats records one analyzer's aggregate execution over the module:
+// total wall time across packages and how many findings survived
+// suppression. The first taint analyzer to run pays the one-time engine
+// construction (call graph + fixpoint), which its Duration reflects.
+type AnalyzerStats struct {
+	Name     string
+	Duration time.Duration
+	Findings int
+}
+
 // Run applies every analyzer to every package in the module and returns the
 // unsuppressed findings sorted by position.
 func Run(mod *Module, analyzers []*Analyzer) []Diagnostic {
+	diags, _ := RunWithStats(mod, analyzers)
+	return diags
+}
+
+// RunWithStats is Run plus per-analyzer timing, for -v diagnostics and CI
+// artifacts. Stats are returned in the analyzers' order.
+func RunWithStats(mod *Module, analyzers []*Analyzer) ([]Diagnostic, []AnalyzerStats) {
 	var diags []Diagnostic
 	sup := make(suppressions)
 	for _, pkg := range mod.Packages {
 		collectSuppressions(pkg.Fset, pkg.Files, sup, &diags)
 	}
+	stats := make([]AnalyzerStats, len(analyzers))
+	for i, a := range analyzers {
+		stats[i].Name = a.Name
+	}
 	for _, pkg := range mod.Packages {
-		for _, a := range analyzers {
+		for i, a := range analyzers {
 			files := scopedFiles(a, pkg)
 			if len(files) == 0 {
 				continue
 			}
-			pass := &Pass{Analyzer: a, Fset: pkg.Fset, Pkg: pkg, Files: files, diags: &diags}
+			pass := &Pass{Analyzer: a, Fset: pkg.Fset, Mod: mod, Pkg: pkg, Files: files, diags: &diags}
+			start := time.Now()
 			a.Run(pass)
+			stats[i].Duration += time.Since(start)
 		}
 	}
 	kept := diags[:0]
 	for _, d := range diags {
-		if !sup.allows(d) {
-			kept = append(kept, d)
+		if sup.allows(d) {
+			continue
+		}
+		kept = append(kept, d)
+		for i := range stats {
+			if stats[i].Name == d.Analyzer {
+				stats[i].Findings++
+				break
+			}
 		}
 	}
 	sort.Slice(kept, func(i, j int) bool {
@@ -196,7 +243,7 @@ func Run(mod *Module, analyzers []*Analyzer) []Diagnostic {
 		}
 		return a.Analyzer < b.Analyzer
 	})
-	return kept
+	return kept, stats
 }
 
 func scopedFiles(a *Analyzer, pkg *Package) []*ast.File {
@@ -235,6 +282,7 @@ func DefaultAnalyzers() []*Analyzer {
 		{PathPrefix: "gendpr/internal/lrtest"},
 		{PathPrefix: "gendpr/internal/core"},
 	}
+	taint := NewTaintRegistry(DefaultTaintSpec())
 	return []*Analyzer{
 		NewCryptoRand(privacyCritical),
 		NewLockAcrossSend(nil),
@@ -243,5 +291,8 @@ func DefaultAnalyzers() []*Analyzer {
 		NewWGMisuse(nil),
 		NewNakedRecv([]Scope{{PathPrefix: "gendpr/internal/federation"}}),
 		NewCtxDeadline([]Scope{{PathPrefix: "gendpr/internal/federation"}}),
+		NewSecretFlow(taint),
+		NewLogLeak(taint),
+		NewCheckpointPlain(taint),
 	}
 }

@@ -2,6 +2,7 @@ package analysis
 
 import (
 	"bufio"
+	"errors"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -114,6 +115,24 @@ func TestNakedRecvFixture(t *testing.T) {
 
 func TestCtxDeadlineFixture(t *testing.T) {
 	runFixture(t, NewCtxDeadline(nil), "ctxdeadline")
+}
+
+func TestSecretFlowFixture(t *testing.T) {
+	runFixture(t, NewSecretFlow(NewTaintRegistry(DefaultTaintSpec())), "secretflow")
+}
+
+func TestLogLeakFixture(t *testing.T) {
+	runFixture(t, NewLogLeak(NewTaintRegistry(DefaultTaintSpec())), "logleak")
+}
+
+func TestCheckpointPlainFixture(t *testing.T) {
+	// The fixture cannot import the real checkpoint package, so the test
+	// registers the fixture's own persistence function as the checkpoint
+	// sink and adds the fixture package to the structural scan.
+	spec := DefaultTaintSpec()
+	spec.Sinks["fixture/checkpointplain.saveState"] = SinkSpec{Kind: "a checkpoint (saveState)", ConnArg: -1, Checkpoint: true}
+	spec.CheckpointStructPkgs = append(spec.CheckpointStructPkgs, "fixture/checkpointplain")
+	runFixture(t, NewCheckpointPlain(NewTaintRegistry(spec)), "checkpointplain")
 }
 
 // TestScopeExcludesOtherPackages: an analyzer scoped elsewhere must not
@@ -262,5 +281,182 @@ func TestDefaultSuiteCleanOnTree(t *testing.T) {
 	}
 	for _, d := range Run(mod, DefaultAnalyzers()) {
 		t.Errorf("finding on clean tree: %s", d)
+	}
+}
+
+// TestBareDirectiveIsFinding: "//gendpr:allow" with no analyzer list is
+// malformed and must itself be reported, not silently ignored.
+func TestBareDirectiveIsFinding(t *testing.T) {
+	dir := t.TempDir()
+	src := `package fixture
+
+func f(a, b float64) bool {
+	//gendpr:allow
+	return a == b
+}
+`
+	if err := os.WriteFile(filepath.Join(dir, "f.go"), []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	pkg, err := LoadPackageDir(dir, "fixture/bare")
+	if err != nil {
+		t.Fatal(err)
+	}
+	mod := &Module{Path: "fixture", Dir: dir, Fset: pkg.Fset, Packages: []*Package{pkg}}
+	diags := Run(mod, []*Analyzer{NewFloatEq(nil)})
+	var directive, floateq bool
+	for _, d := range diags {
+		switch d.Analyzer {
+		case "directive":
+			directive = true
+		case "floateq":
+			floateq = true
+		}
+	}
+	if !directive {
+		t.Error("bare //gendpr:allow not reported as a malformed directive")
+	}
+	if !floateq {
+		t.Error("bare directive must not suppress the finding")
+	}
+}
+
+// TestMultiAnalyzerDirective: one directive can name several analyzers; it
+// silences exactly those and leaves others firing.
+func TestMultiAnalyzerDirective(t *testing.T) {
+	dir := t.TempDir()
+	src := `package fixture
+
+//gendpr:allow(cryptorand,floateq): fixture exercises a multi-analyzer directive
+import "math/rand"
+
+func both(a float64) bool {
+	//gendpr:allow(cryptorand,floateq): fixture exercises a multi-analyzer directive
+	return a == rand.Float64()
+}
+`
+	if err := os.WriteFile(filepath.Join(dir, "f.go"), []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	pkg, err := LoadPackageDir(dir, "fixture/multi")
+	if err != nil {
+		t.Fatal(err)
+	}
+	mod := &Module{Path: "fixture", Dir: dir, Fset: pkg.Fset, Packages: []*Package{pkg}}
+	analyzers := []*Analyzer{
+		NewFloatEq(nil),
+		NewCryptoRand([]Scope{{PathPrefix: "fixture/multi"}}),
+	}
+	if diags := Run(mod, analyzers); len(diags) != 0 {
+		t.Errorf("multi-analyzer directives did not suppress everything: %v", diags)
+	}
+
+	// The same package with a directive naming only floateq must keep the
+	// cryptorand finding.
+	dir2 := t.TempDir()
+	src2 := `package fixture
+
+//gendpr:allow(floateq): only the comparison rule is acknowledged here
+import "math/rand"
+
+func one(a float64) bool {
+	//gendpr:allow(floateq): only the comparison rule is acknowledged here
+	return a == rand.Float64()
+}
+`
+	if err := os.WriteFile(filepath.Join(dir2, "f.go"), []byte(src2), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	pkg2, err := LoadPackageDir(dir2, "fixture/multi")
+	if err != nil {
+		t.Fatal(err)
+	}
+	mod2 := &Module{Path: "fixture", Dir: dir2, Fset: pkg2.Fset, Packages: []*Package{pkg2}}
+	var crand bool
+	for _, d := range Run(mod2, analyzers) {
+		if d.Analyzer == "floateq" {
+			t.Errorf("floateq finding survived its directive: %s", d)
+		}
+		if d.Analyzer == "cryptorand" {
+			crand = true
+		}
+	}
+	if !crand {
+		t.Error("directive naming only floateq must leave the cryptorand finding")
+	}
+}
+
+// TestDirectiveDoesNotReachTwoLinesDown: binding is own line or the line
+// directly below — never further.
+func TestDirectiveDoesNotReachTwoLinesDown(t *testing.T) {
+	dir := t.TempDir()
+	src := `package fixture
+
+func f(a, b float64) bool {
+	//gendpr:allow(floateq): the directive is two lines above the comparison
+	_ = a
+	return a == b
+}
+`
+	if err := os.WriteFile(filepath.Join(dir, "f.go"), []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	pkg, err := LoadPackageDir(dir, "fixture/fardirective")
+	if err != nil {
+		t.Fatal(err)
+	}
+	mod := &Module{Path: "fixture", Dir: dir, Fset: pkg.Fset, Packages: []*Package{pkg}}
+	diags := Run(mod, []*Analyzer{NewFloatEq(nil)})
+	var floateq bool
+	for _, d := range diags {
+		if d.Analyzer == "floateq" {
+			floateq = true
+		}
+	}
+	if !floateq {
+		t.Error("a directive two lines above the finding must not suppress it")
+	}
+}
+
+// TestLoadModuleNoGoMod: a directory outside any module fails fast with the
+// ErrNoModule sentinel (gendpr-lint maps it to exit status 2).
+func TestLoadModuleNoGoMod(t *testing.T) {
+	_, err := LoadModule(t.TempDir())
+	if !errors.Is(err, ErrNoModule) {
+		t.Fatalf("want ErrNoModule, got %v", err)
+	}
+}
+
+// TestLoadModuleVerboseTiming: the verbose loader reports one timing line
+// per package.
+func TestLoadModuleVerboseTiming(t *testing.T) {
+	dir := t.TempDir()
+	files := map[string]string{
+		"go.mod": "module fixture/timing\n",
+		"a.go":   "package timing\n\nfunc A() int { return 1 }\n",
+		"b/b.go": "package b\n\nfunc B() int { return 2 }\n",
+	}
+	for name, content := range files {
+		path := filepath.Join(dir, name)
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var buf strings.Builder
+	mod, err := LoadModuleVerbose(dir, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, p := range mod.Packages {
+		if !strings.Contains(out, p.Path) {
+			t.Errorf("no timing line for %s in:\n%s", p.Path, out)
+		}
+	}
+	if !strings.Contains(out, "ms") {
+		t.Errorf("timing lines carry no duration:\n%s", out)
 	}
 }

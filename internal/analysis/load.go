@@ -1,19 +1,27 @@
 package analysis
 
 import (
+	"errors"
 	"fmt"
 	"go/ast"
 	"go/importer"
 	"go/parser"
 	"go/token"
 	"go/types"
+	"io"
 	"os"
 	"path/filepath"
 	"regexp"
 	"sort"
 	"strconv"
 	"strings"
+	"time"
 )
+
+// ErrNoModule reports that the load directory has no go.mod. Callers treat
+// it as a usage error (gendpr-lint exits 2 immediately) rather than an
+// analysis result: without a module root there is nothing to lint.
+var ErrNoModule = errors.New("analysis: not a module root (no go.mod)")
 
 // Package is one parsed (and, when possible, type-checked) package. Test
 // files are excluded: the invariants guard production code, and tests
@@ -55,15 +63,24 @@ var moduleLine = regexp.MustCompile(`(?m)^module\s+(\S+)`)
 // LoadModule parses and type-checks every package of the module rooted at
 // dir (the directory containing go.mod). Type-check failures in one package
 // do not fail the load: they are recorded on the package and checking
-// continues, so syntactic analyzers still see the whole module.
+// continues, so syntactic analyzers still see the whole module. A directory
+// without go.mod fails fast with ErrNoModule.
 func LoadModule(dir string) (*Module, error) {
+	return LoadModuleVerbose(dir, nil)
+}
+
+// LoadModuleVerbose is LoadModule with optional progress logging: when log
+// is non-nil, per-package parse and type-check wall times are written to it
+// (the type-check of a cold module dominates gendpr-lint's runtime, and the
+// per-package split shows where).
+func LoadModuleVerbose(dir string, log io.Writer) (*Module, error) {
 	abs, err := filepath.Abs(dir)
 	if err != nil {
 		return nil, err
 	}
 	modBytes, err := os.ReadFile(filepath.Join(abs, "go.mod"))
 	if err != nil {
-		return nil, fmt.Errorf("analysis: %s is not a module root: %w", dir, err)
+		return nil, fmt.Errorf("%w: %s", ErrNoModule, dir)
 	}
 	m := moduleLine.FindSubmatch(modBytes)
 	if m == nil {
@@ -96,7 +113,7 @@ func LoadModule(dir string) (*Module, error) {
 	}
 
 	mod.Packages = topoSort(byPath)
-	typeCheck(mod, byPath)
+	typeCheck(mod, byPath, log)
 	return mod, nil
 }
 
@@ -208,12 +225,18 @@ func (c *chainImporter) ImportFrom(path, dir string, mode types.ImportMode) (*ty
 }
 
 // typeCheck runs go/types over every package in dependency order, recording
-// rather than propagating failures.
-func typeCheck(mod *Module, byPath map[string]*Package) {
+// rather than propagating failures. A non-nil log receives per-package
+// wall-time lines.
+func typeCheck(mod *Module, byPath map[string]*Package, log io.Writer) {
 	std, _ := importer.ForCompiler(mod.Fset, "source", nil).(types.ImporterFrom)
 	imp := &chainImporter{local: byPath, std: std}
 	for _, pkg := range mod.Packages {
+		start := time.Now()
 		checkPackage(mod.Fset, pkg, imp)
+		if log != nil {
+			fmt.Fprintf(log, "  load %-40s %8.1fms (%d files)\n",
+				pkg.Path, float64(time.Since(start).Microseconds())/1000, len(pkg.Files))
+		}
 	}
 }
 

@@ -1,0 +1,612 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// SecretClass partitions the secrets of the threat model (PAPER.md §4).
+// Aggregate secrets (allele-count vectors, MAF/pair-stat vectors) are
+// cohort-level statistics: they must not reach host-visible sinks in
+// plaintext, but they are legitimate checkpoint content once declared.
+// Per-individual secrets (genotype matrices, LR-matrix rows, key material)
+// additionally may never be persisted through internal/checkpoint at all —
+// even AEAD-sealed — because checkpoints outlive the enclave.
+type SecretClass uint8
+
+const (
+	// ClassAggregate marks cohort-level summary statistics.
+	ClassAggregate SecretClass = 1 << iota
+	// ClassIndividual marks per-individual data and key material.
+	ClassIndividual
+)
+
+func (c SecretClass) String() string {
+	switch {
+	case c&ClassIndividual != 0 && c&ClassAggregate != 0:
+		return "per-individual and aggregate"
+	case c&ClassIndividual != 0:
+		return "per-individual"
+	case c&ClassAggregate != 0:
+		return "aggregate"
+	}
+	return "none"
+}
+
+// taintVal is the engine's abstract value: which secret classes the value
+// carries in plaintext (raw) or AEAD-protected form (sealed), plus — while a
+// function is being summarized — which of its parameters the value depends
+// on, raw or through a sealing declassifier.
+type taintVal struct {
+	raw          SecretClass
+	sealed       SecretClass
+	params       uint64
+	sealedParams uint64
+}
+
+func (t taintVal) empty() bool {
+	return t.raw == 0 && t.sealed == 0 && t.params == 0 && t.sealedParams == 0
+}
+
+func (t taintVal) union(o taintVal) taintVal {
+	return taintVal{
+		raw:          t.raw | o.raw,
+		sealed:       t.sealed | o.sealed,
+		params:       t.params | o.params,
+		sealedParams: t.sealedParams | o.sealedParams,
+	}
+}
+
+// sealTV demotes raw taint to sealed: the value passed through an approved
+// AEAD declassifier, so it may leave the enclave — but a per-individual
+// payload remains banned from checkpoints.
+func (t taintVal) sealTV() taintVal {
+	return taintVal{
+		sealed:       t.raw | t.sealed,
+		sealedParams: t.params | t.sealedParams,
+	}
+}
+
+// anyClass is every class bit the value carries, raw or sealed.
+func (t taintVal) anyClass() SecretClass { return t.raw | t.sealed }
+
+// funcSummary is the transfer function of one module function: how taint
+// moves from its parameters (receiver first) to its results, which
+// parameters reach an egress or checkpoint sink somewhere beneath it, and
+// which struct fields it taints from its parameters.
+type funcSummary struct {
+	nparams int
+	results []taintVal
+
+	// sinkParams: parameters whose raw taint reaches a plaintext-egress
+	// sink (log, error construction, writer, unsecured transport send).
+	sinkParams uint64
+	sinkVia    map[int]string
+
+	// ckptParams: parameters that reach a checkpoint sink, raw or sealed.
+	ckptParams uint64
+	ckptVia    map[int]string
+
+	// fieldWrites: parameter-relative taint flowing into struct fields.
+	fieldWrites map[*types.Var]taintVal
+}
+
+func (s *funcSummary) mergeInto(dst *funcSummary) bool {
+	changed := false
+	for i, r := range s.results {
+		if i >= len(dst.results) {
+			dst.results = append(dst.results, r)
+			changed = true
+			continue
+		}
+		u := dst.results[i].union(r)
+		if u != dst.results[i] {
+			dst.results[i] = u
+			changed = true
+		}
+	}
+	if s.sinkParams&^dst.sinkParams != 0 {
+		dst.sinkParams |= s.sinkParams
+		changed = true
+	}
+	for k, v := range s.sinkVia {
+		if _, ok := dst.sinkVia[k]; !ok {
+			if dst.sinkVia == nil {
+				dst.sinkVia = make(map[int]string)
+			}
+			dst.sinkVia[k] = v
+		}
+	}
+	if s.ckptParams&^dst.ckptParams != 0 {
+		dst.ckptParams |= s.ckptParams
+		changed = true
+	}
+	for k, v := range s.ckptVia {
+		if _, ok := dst.ckptVia[k]; !ok {
+			if dst.ckptVia == nil {
+				dst.ckptVia = make(map[int]string)
+			}
+			dst.ckptVia[k] = v
+		}
+	}
+	for f, v := range s.fieldWrites {
+		u := dst.fieldWrites[f].union(v)
+		if u != dst.fieldWrites[f] {
+			if dst.fieldWrites == nil {
+				dst.fieldWrites = make(map[*types.Var]taintVal)
+			}
+			dst.fieldWrites[f] = u
+			changed = true
+		}
+	}
+	return changed
+}
+
+// funcAnalysis is one intraprocedural pass over a function body (including
+// its nested function literals, which share the local taint environment so
+// closure captures propagate naturally).
+type funcAnalysis struct {
+	eng    *taintEngine
+	fd     *funcDecl
+	report bool
+
+	sig        *types.Signature
+	paramIdx   map[types.Object]int
+	resultIdx  map[types.Object]int
+	obj        map[types.Object]taintVal
+	lits       map[types.Object]*ast.FuncLit
+	litReturns map[*ast.FuncLit][]ast.Expr
+	sum        *funcSummary
+	changed    bool
+}
+
+func newFuncAnalysis(eng *taintEngine, fd *funcDecl, report bool) *funcAnalysis {
+	fa := &funcAnalysis{
+		eng:        eng,
+		fd:         fd,
+		report:     report,
+		paramIdx:   make(map[types.Object]int),
+		resultIdx:  make(map[types.Object]int),
+		obj:        make(map[types.Object]taintVal),
+		lits:       make(map[types.Object]*ast.FuncLit),
+		litReturns: make(map[*ast.FuncLit][]ast.Expr),
+	}
+	sig := fd.fn.Type().(*types.Signature)
+	fa.sig = sig
+	n := 0
+	if recv := sig.Recv(); recv != nil {
+		fa.paramIdx[recv] = 0
+		n = 1
+	}
+	for i := 0; i < sig.Params().Len(); i++ {
+		fa.paramIdx[sig.Params().At(i)] = n
+		n++
+	}
+	fa.sum = &funcSummary{
+		nparams: n,
+		results: make([]taintVal, sig.Results().Len()),
+	}
+	for i := 0; i < sig.Results().Len(); i++ {
+		if v := sig.Results().At(i); v.Name() != "" {
+			fa.resultIdx[v] = i
+		}
+	}
+	// Parameters start tainted with their own bit (for the summary) —
+	// concrete class taint arrives from call sites, annotations, or the
+	// parameter's use of secret fields.
+	for obj, i := range fa.paramIdx {
+		if i < 64 {
+			fa.obj[obj] = taintVal{params: 1 << i}
+		}
+	}
+	return fa
+}
+
+// run iterates the flow-insensitive walk to a local fixpoint and returns the
+// resulting summary.
+func (fa *funcAnalysis) run() *funcSummary {
+	for iter := 0; iter < 12; iter++ {
+		fa.changed = false
+		fa.walk(fa.fd.decl.Body)
+		if !fa.changed {
+			break
+		}
+	}
+	return fa.sum
+}
+
+func (fa *funcAnalysis) info() *types.Info { return fa.fd.pkg.Info }
+
+// errType is the universe error interface: error values never carry taint —
+// leaks into error messages are flagged where the error is constructed
+// (fmt.Errorf/errors.New are sinks), so wrapping and returning errors stays
+// silent.
+var errType = types.Universe.Lookup("error").Type()
+
+func isErrorType(t types.Type) bool {
+	return t != nil && types.Identical(t, errType)
+}
+
+// setObj unions taint into a local object, tracking convergence.
+func (fa *funcAnalysis) setObj(obj types.Object, t taintVal) {
+	if obj == nil || t.empty() || isErrorType(obj.Type()) {
+		return
+	}
+	u := fa.obj[obj].union(t)
+	if u != fa.obj[obj] {
+		fa.obj[obj] = u
+		fa.changed = true
+	}
+}
+
+// walk processes every statement-level construct that moves taint and
+// evaluates every call for its side effects (sinks, field writes).
+func (fa *funcAnalysis) walk(body *ast.BlockStmt) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch s := n.(type) {
+		case *ast.AssignStmt:
+			fa.assign(s)
+		case *ast.ValueSpec:
+			fa.valueSpec(s)
+		case *ast.RangeStmt:
+			if s.X != nil {
+				t := fa.eval(s.X)
+				// Over a slice, array, string or integer the key is a
+				// position — metadata, not data. Map keys and channel
+				// elements do carry the ranged value's taint.
+				if fa.rangeKeyCarries(s.X) {
+					fa.assignLHS(s.Key, t)
+				}
+				fa.assignLHS(s.Value, t)
+			}
+		case *ast.ReturnStmt:
+			fa.returnStmt(s)
+		case *ast.CallExpr:
+			fa.eval(s)
+		case *ast.FuncLit:
+			// The literal's parameters participate in the shared
+			// environment; its body is walked by this same Inspect.
+			fa.litReturns[s] = collectReturns(s)
+		}
+		return true
+	})
+}
+
+// collectReturns gathers the return expressions of a function literal,
+// excluding returns that belong to literals nested inside it.
+func collectReturns(lit *ast.FuncLit) []ast.Expr {
+	var out []ast.Expr
+	var visit func(n ast.Node) bool
+	visit = func(n ast.Node) bool {
+		switch s := n.(type) {
+		case *ast.FuncLit:
+			return s == lit
+		case *ast.ReturnStmt:
+			out = append(out, s.Results...)
+		}
+		return true
+	}
+	ast.Inspect(lit, visit)
+	return out
+}
+
+func (fa *funcAnalysis) assign(s *ast.AssignStmt) {
+	if len(s.Rhs) == 1 && len(s.Lhs) > 1 {
+		// Multi-value: every LHS receives the call/comma-ok taint.
+		t := fa.eval(s.Rhs[0])
+		for _, l := range s.Lhs {
+			fa.assignLHS(l, t)
+		}
+		return
+	}
+	for i, l := range s.Lhs {
+		if i >= len(s.Rhs) {
+			break
+		}
+		t := fa.eval(s.Rhs[i])
+		// Compound assignment (x += y) folds the RHS into the LHS value.
+		fa.assignLHS(l, t)
+		// Track local function-literal bindings for closure calls.
+		if id, ok := ast.Unparen(l).(*ast.Ident); ok {
+			if lit, ok := ast.Unparen(s.Rhs[i]).(*ast.FuncLit); ok {
+				if obj := fa.objectOf(id); obj != nil {
+					fa.lits[obj] = lit
+				}
+			}
+		}
+	}
+}
+
+func (fa *funcAnalysis) valueSpec(s *ast.ValueSpec) {
+	if len(s.Values) == 1 && len(s.Names) > 1 {
+		t := fa.eval(s.Values[0])
+		for _, name := range s.Names {
+			fa.setObj(fa.objectOf(name), t)
+		}
+		return
+	}
+	for i, name := range s.Names {
+		if i >= len(s.Values) {
+			break
+		}
+		t := fa.eval(s.Values[i])
+		fa.setObj(fa.objectOf(name), t)
+		if lit, ok := ast.Unparen(s.Values[i]).(*ast.FuncLit); ok {
+			if obj := fa.objectOf(name); obj != nil {
+				fa.lits[obj] = lit
+			}
+		}
+	}
+}
+
+// assignLHS routes taint into the storage an LHS expression denotes: the
+// local object, the root object of an index/deref chain, and — for field
+// selectors — the module-global field fact the engine propagates.
+func (fa *funcAnalysis) assignLHS(lhs ast.Expr, t taintVal) {
+	if lhs == nil || t.empty() {
+		return
+	}
+	switch l := ast.Unparen(lhs).(type) {
+	case *ast.Ident:
+		fa.setObj(fa.objectOf(l), t)
+	case *ast.SelectorExpr:
+		if fieldVar := fa.fieldOf(l); fieldVar != nil {
+			fa.eng.writeField(fieldVar, t, fa)
+		}
+		fa.assignLHS(l.X, t)
+	case *ast.IndexExpr:
+		fa.assignLHS(l.X, t)
+	case *ast.StarExpr:
+		fa.assignLHS(l.X, t)
+	}
+}
+
+func (fa *funcAnalysis) returnStmt(s *ast.ReturnStmt) {
+	addResult := func(i int, t taintVal) {
+		if i >= len(fa.sum.results) || t.empty() {
+			return
+		}
+		if isErrorType(fa.sig.Results().At(i).Type()) {
+			return
+		}
+		u := fa.sum.results[i].union(t)
+		if u != fa.sum.results[i] {
+			fa.sum.results[i] = u
+			fa.changed = true
+		}
+	}
+	if len(s.Results) == 0 {
+		// Bare return: named results carry the taint.
+		for obj, i := range fa.resultIdx {
+			addResult(i, fa.obj[obj])
+		}
+		return
+	}
+	if len(s.Results) == 1 && len(fa.sum.results) > 1 {
+		t := fa.eval(s.Results[0])
+		for i := range fa.sum.results {
+			addResult(i, t)
+		}
+		return
+	}
+	for i, r := range s.Results {
+		addResult(i, fa.eval(r))
+	}
+}
+
+// rangeKeyCarries reports whether the key variable of a range over x receives
+// the ranged value's taint (maps and channels) or is a clean index/position
+// (slices, arrays, strings, integers).
+func (fa *funcAnalysis) rangeKeyCarries(x ast.Expr) bool {
+	tv, ok := fa.info().Types[x]
+	if !ok || tv.Type == nil {
+		return true
+	}
+	switch tv.Type.Underlying().(type) {
+	case *types.Slice, *types.Array, *types.Pointer, *types.Basic:
+		return false
+	}
+	return true
+}
+
+func (fa *funcAnalysis) objectOf(id *ast.Ident) types.Object {
+	if obj := fa.info().Defs[id]; obj != nil {
+		return obj
+	}
+	return fa.info().Uses[id]
+}
+
+// fieldOf resolves a selector to the struct field it denotes, nil when the
+// selector is not a field access.
+func (fa *funcAnalysis) fieldOf(sel *ast.SelectorExpr) *types.Var {
+	if s, ok := fa.info().Selections[sel]; ok && s.Kind() == types.FieldVal {
+		if v, ok := s.Obj().(*types.Var); ok {
+			return v
+		}
+	}
+	return nil
+}
+
+// eval computes the taint of an expression, processing any embedded calls
+// for their sink and field-write side effects.
+func (fa *funcAnalysis) eval(e ast.Expr) taintVal {
+	switch x := e.(type) {
+	case nil:
+		return taintVal{}
+	case *ast.Ident:
+		return fa.obj[fa.objectOf(x)]
+	case *ast.ParenExpr:
+		return fa.eval(x.X)
+	case *ast.SelectorExpr:
+		if fieldVar := fa.fieldOf(x); fieldVar != nil {
+			// Field reads are field-based, not object-based: the taint of
+			// s.f is what has been observed flowing into f anywhere (plus
+			// its annotation), not the union of everything s holds in
+			// other fields. This keeps "save(s.aggregates)" clean when s
+			// also carries per-individual members.
+			fa.eval(x.X)
+			t := fa.eng.fieldTaint[fieldVar]
+			if cls, ok := fa.eng.secretFields[fieldVar]; ok {
+				t = t.union(taintVal{raw: cls})
+			}
+			// Parameter-relative writes made by the function under
+			// analysis flow back into its own reads.
+			return t.union(fa.sum.fieldWrites[fieldVar])
+		}
+		t := fa.eval(x.X)
+		if obj := fa.info().Uses[x.Sel]; obj != nil {
+			// Qualified identifier (pkg.Var) or method value.
+			t = t.union(fa.obj[obj])
+		}
+		return t
+	case *ast.CallExpr:
+		return fa.call(x)
+	case *ast.IndexExpr:
+		return fa.eval(x.X).union(fa.eval(x.Index))
+	case *ast.SliceExpr:
+		return fa.eval(x.X)
+	case *ast.StarExpr:
+		return fa.eval(x.X)
+	case *ast.UnaryExpr:
+		return fa.eval(x.X)
+	case *ast.BinaryExpr:
+		switch x.Op {
+		case token.EQL, token.NEQ, token.LSS, token.LEQ, token.GTR, token.GEQ,
+			token.LAND, token.LOR:
+			// Comparisons yield booleans; a one-bit predicate is below the
+			// engine's reporting granularity.
+			fa.eval(x.X)
+			fa.eval(x.Y)
+			return taintVal{}
+		}
+		return fa.eval(x.X).union(fa.eval(x.Y))
+	case *ast.CompositeLit:
+		// Struct literals record per-field taint (the field-based reads
+		// above depend on it); the literal value keeps the union so a
+		// whole struct passed to a sink still carries its content.
+		var st *types.Struct
+		if tv, ok := fa.info().Types[x]; ok && tv.Type != nil {
+			under := tv.Type.Underlying()
+			if p, ok := under.(*types.Pointer); ok {
+				under = p.Elem().Underlying()
+			}
+			st, _ = under.(*types.Struct)
+		}
+		var t taintVal
+		for i, el := range x.Elts {
+			var vt taintVal
+			if kv, ok := el.(*ast.KeyValueExpr); ok {
+				vt = fa.eval(kv.Value)
+				if id, ok := kv.Key.(*ast.Ident); ok {
+					if v, ok := fa.info().Uses[id].(*types.Var); ok && v.IsField() {
+						fa.eng.writeField(v, vt, fa)
+					}
+				}
+			} else {
+				vt = fa.eval(el)
+				if st != nil && i < st.NumFields() {
+					fa.eng.writeField(st.Field(i), vt, fa)
+				}
+			}
+			t = t.union(vt)
+		}
+		return t
+	case *ast.TypeAssertExpr:
+		return fa.eval(x.X)
+	case *ast.FuncLit:
+		fa.litReturns[x] = collectReturns(x)
+		return taintVal{}
+	}
+	return taintVal{}
+}
+
+// litCallResult propagates a call through a locally bound function literal:
+// arguments taint the literal's parameters, the result is the union of the
+// literal's return expressions.
+func (fa *funcAnalysis) litCallResult(lit *ast.FuncLit, args []ast.Expr) taintVal {
+	if lit.Type.Params != nil {
+		i := 0
+		for _, field := range lit.Type.Params.List {
+			for _, name := range field.Names {
+				if i < len(args) {
+					fa.setObj(fa.objectOf(name), fa.eval(args[i]))
+				}
+				i++
+			}
+			if len(field.Names) == 0 {
+				i++
+			}
+		}
+	}
+	var t taintVal
+	for _, r := range fa.litReturns[lit] {
+		t = t.union(fa.eval(r))
+	}
+	return t
+}
+
+// argTaints evaluates the receiver-and-argument expressions of a call.
+func (fa *funcAnalysis) argTaints(argExprs []ast.Expr) []taintVal {
+	out := make([]taintVal, len(argExprs))
+	for i, a := range argExprs {
+		out[i] = fa.eval(a)
+	}
+	return out
+}
+
+// paramTaint maps a callee parameter index onto the call-site argument
+// taints, folding variadic overflow onto the last parameter.
+func paramTaint(args []taintVal, nparams, i int) taintVal {
+	if nparams == 0 {
+		return taintVal{}
+	}
+	var t taintVal
+	for j, a := range args {
+		idx := j
+		if idx >= nparams {
+			idx = nparams - 1
+		}
+		if idx == i {
+			t = t.union(a)
+		}
+	}
+	return t
+}
+
+// instantiate resolves a parameter-relative taint value against concrete
+// call-site argument taints.
+func instantiate(t taintVal, args []taintVal, nparams int) taintVal {
+	out := taintVal{raw: t.raw, sealed: t.sealed}
+	for i := 0; i < nparams && i < 64; i++ {
+		if t.params&(1<<i) != 0 {
+			out = out.union(paramTaint(args, nparams, i))
+		}
+		if t.sealedParams&(1<<i) != 0 {
+			out = out.union(paramTaint(args, nparams, i).sealTV())
+		}
+	}
+	return out
+}
+
+// allowed reports whether a gendpr:allow directive for analyzer covers pos.
+// The engine consults directives while summarizing, so a justified sink use
+// does not propagate blame chains into every caller.
+func (fa *funcAnalysis) allowed(analyzer string, positions ...token.Pos) bool {
+	for _, pos := range positions {
+		p := fa.fd.pkg.Fset.Position(pos)
+		if fa.eng.sup.allows(Diagnostic{Pos: p, Analyzer: analyzer}) {
+			return true
+		}
+	}
+	return false
+}
+
+// reportf records an engine finding (only on the reporting pass).
+func (fa *funcAnalysis) reportf(analyzer string, pos token.Pos, format string, args ...any) {
+	if !fa.report {
+		return
+	}
+	fa.eng.addFinding(analyzer, fa.fd.pkg, pos, fmt.Sprintf(format, args...))
+}

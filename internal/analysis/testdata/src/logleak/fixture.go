@@ -1,0 +1,47 @@
+// Package fixture exercises the logleak analyzer: values whose static type
+// can hold secret data must not be formatted into strings, logs or errors —
+// including %v on structs that merely contain a secret field.
+package fixture
+
+import (
+	"fmt"
+	"log"
+)
+
+// record is a per-individual secret record.
+//
+//gendpr:secret
+type record struct {
+	genotype []byte
+}
+
+// wrapper is not itself annotated; it leaks through containment.
+type wrapper struct {
+	id  string
+	rec *record
+}
+
+func logRecord(r *record) {
+	fmt.Printf("record: %v\n", r) // want "can carry per-individual secret data and reaches fmt output"
+}
+
+func logWrapper(w wrapper) {
+	log.Println(w) // want "can carry per-individual secret data and reaches log output"
+}
+
+func sprintLeak(r record) string {
+	return fmt.Sprintf("%v", r) // want "can carry per-individual secret data and reaches fmt.Sprintf"
+}
+
+func errLeak(w wrapper) error {
+	return fmt.Errorf("bad wrapper %v", w) // want "can carry per-individual secret data and reaches an error message"
+}
+
+// Public metadata next to the secret is fine.
+func logMeta(w wrapper) {
+	fmt.Println(w.id)
+}
+
+func describe(n int) string {
+	return fmt.Sprintf("%d records", n)
+}

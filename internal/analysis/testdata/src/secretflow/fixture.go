@@ -1,0 +1,131 @@
+// Package fixture exercises the secretflow interprocedural taint analyzer:
+// direct flows, multi-hop propagation through helpers, interface dispatch,
+// closures, and declassified (sealed) paths that must stay silent.
+package fixture
+
+import (
+	"errors"
+	"fmt"
+	"os"
+)
+
+// Genotypes is the fixture's per-individual secret record. The storage
+// field carries the annotation, so any read of it is tainted.
+type Genotypes struct {
+	//gendpr:secret
+	rows [][]byte
+}
+
+//gendpr:source(individual): loads per-individual genotype rows
+func loadGenotypes() *Genotypes { return &Genotypes{} }
+
+//gendpr:source(aggregate): cohort-level allele counts
+func alleleCounts() []int64 { return nil }
+
+//gendpr:declassifier: stand-in for AEAD sealing
+func sealBytes(b []byte) []byte { return b }
+
+// --- direct flows ---
+
+func direct() {
+	g := loadGenotypes()
+	fmt.Println(g.rows) // want "per-individual secret data reaches fmt output"
+}
+
+func directAgg() error {
+	c := alleleCounts()
+	return fmt.Errorf("counts were %v", c) // want "aggregate secret data reaches an error message"
+}
+
+func errFlow() error {
+	g := loadGenotypes()
+	return errors.New(string(flatten(g))) // want "per-individual secret data reaches an error message"
+}
+
+// --- interprocedural propagation: source -> wrap -> emit (2 hops) ---
+
+func wrap(g *Genotypes) [][]byte { return g.rows }
+
+func emit(rows [][]byte) {
+	fmt.Println(rows)
+}
+
+func twoHop() {
+	g := loadGenotypes()
+	emit(wrap(g)) // want "per-individual secret data reaches fmt output (host-visible) via secretflow.emit"
+}
+
+// --- and through a relay (3 hops), blame chain intact ---
+
+func relay(rows [][]byte) { emit(rows) }
+
+func threeHop() {
+	g := loadGenotypes()
+	relay(g.rows) // want "via secretflow.emit via secretflow.relay"
+}
+
+// --- interface dispatch: the sink is behind a dynamic call ---
+
+type Emitter interface {
+	Emit(rows [][]byte)
+}
+
+type consoleEmitter struct{}
+
+func (consoleEmitter) Emit(rows [][]byte) { fmt.Println(rows) }
+
+func viaInterface(e Emitter) {
+	g := loadGenotypes()
+	e.Emit(g.rows) // want "via (secretflow.consoleEmitter).Emit"
+}
+
+// --- closures: parameter flow and capture ---
+
+func viaClosure() {
+	g := loadGenotypes()
+	sink := func(rows [][]byte) {
+		fmt.Println(rows) // want "per-individual secret data reaches fmt output"
+	}
+	sink(g.rows)
+}
+
+func viaCapture() {
+	g := loadGenotypes()
+	dump := func() {
+		fmt.Println(g.rows) // want "per-individual secret data reaches fmt output"
+	}
+	dump()
+}
+
+// --- declassified path: sealed bytes may leave; no findings here ---
+
+func flatten(g *Genotypes) []byte { return g.rows[0] }
+
+func sealedEgress() error {
+	g := loadGenotypes()
+	blob := sealBytes(flatten(g))
+	return os.WriteFile("out.bin", blob, 0o600)
+}
+
+// --- untainted control: public metadata flows are silent ---
+
+func cleanError(name string, n int) error {
+	return fmt.Errorf("member %s sent %d records", name, n)
+}
+
+// --- suppression binding: a directive above a multi-line call covers the
+// arguments on its continuation lines; no findings in this block ---
+
+func suppressedMultiline() {
+	g := loadGenotypes()
+	//gendpr:allow(secretflow): fixture: the directive above a call binds to every continuation-line argument
+	fmt.Println(
+		"rows:",
+		g.rows,
+	)
+}
+
+func suppressedSameLine() {
+	g := loadGenotypes()
+	fmt.Println(g.rows) //gendpr:allow(secretflow): fixture: a trailing directive binds to its own line
+}

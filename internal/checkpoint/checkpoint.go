@@ -26,7 +26,10 @@ import (
 // Version is the current checkpoint format version. Decoders reject any
 // other value: resuming from a checkpoint written by a different build is a
 // correctness hazard, not a migration opportunity.
-const Version = 1
+//
+// Version 2 replaced the full-membership combination's wire-encoded merged
+// LR-matrix (per-individual data) with the derived admission order.
+const Version = 2
 
 // magic identifies a checkpoint record; anything else is not even parsed.
 const magic = "GDPRCKPT"
@@ -87,12 +90,14 @@ type Combination struct {
 	// Power is the residual identification power (meaningful for the
 	// full-membership combination only).
 	Power float64
-	// Merged holds the wire encoding of the merged LR BitMatrix. It is
-	// retained only for the full-membership combination, whose merged
-	// matrix defines the canonical discriminability order every other
-	// combination shares; resuming leaders re-derive the order from it
-	// without re-fetching member matrices.
-	Merged []byte
+	// Order is the canonical SNP admission order (the discriminability
+	// ranking). It is retained only for the full-membership combination,
+	// whose order every other combination shares; a resuming leader reuses
+	// it without re-fetching member matrices. The order is a derived,
+	// post-aggregation statistic — the merged per-individual LR-matrix it
+	// was computed from is deliberately never persisted (checkpoints
+	// outlive the enclave).
+	Order []int
 }
 
 // State is one checkpoint: everything a leader needs to resume an assessment
@@ -176,7 +181,7 @@ func Encode(st *State) []byte {
 		}
 		e.Ints(c.Safe)
 		e.Float64(c.Power)
-		e.Blob(c.Merged)
+		e.Ints(c.Order)
 	}
 	payload := e.Bytes()
 
@@ -290,7 +295,11 @@ func Decode(b []byte) (*State, error) {
 			Safe:    d.Ints(),
 			Power:   d.Float64(),
 		}
-		c.Merged = append([]byte(nil), d.Blob()...)
+		// Keep the zero value for an absent order so encode/decode round
+		// trips compare equal (only the full-membership record carries one).
+		if o := d.Ints(); len(o) > 0 {
+			c.Order = o
+		}
 		st.Combinations = append(st.Combinations, c)
 	}
 	if err := d.Finish(); err != nil {

@@ -26,7 +26,7 @@ func sampleState() *State {
 			{{A: 1, B: 2, Stats: genome.PairStats{N: 20, SumX: 9, SumY: 9, SumXY: 5, SumXX: 9, SumYY: 9}}},
 		},
 		Combinations: []Combination{
-			{Members: []string{"gdo-0", "gdo-1", "gdo-2"}, Safe: []int{0, 2}, Power: 0.25, Merged: []byte{1, 2, 3}},
+			{Members: []string{"gdo-0", "gdo-1", "gdo-2"}, Safe: []int{0, 2}, Power: 0.25, Order: []int{1, 2, 0}},
 			{Members: []string{"gdo-0", "gdo-2"}, Safe: []int{2}},
 		},
 	}

@@ -108,7 +108,7 @@ func statesEqual(a, b *State) bool {
 				return false
 			}
 		}
-		if !intsEqual(ca.Safe, cb.Safe) || ca.Power != cb.Power || !bytes.Equal(ca.Merged, cb.Merged) {
+		if !intsEqual(ca.Safe, cb.Safe) || ca.Power != cb.Power || !intsEqual(ca.Order, cb.Order) {
 			return false
 		}
 	}

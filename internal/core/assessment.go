@@ -616,22 +616,20 @@ func (r *assessmentRun) phase3LR(subsets [][]int, lDouble []int) ([]int, [][]int
 		refFreq := Frequencies(r.refCounts, r.refN, lDouble)
 		r.addTiming(&r.report.Timings.Indexing, start)
 
-		if rec, ok := r.cs.seededCombination(comboNames); ok && c == 0 {
+		if rec, ok := r.cs.seededCombination(comboNames); ok && c == 0 && len(rec.Order) > 0 {
 			// The full-membership combination anchors every other one: its
-			// merged matrix defines the canonical admission order. Rebuild
-			// the order from the checkpointed matrix; if that fails, fall
-			// through to a full recompute.
-			merged, derr := decodeMerged(rec.Merged)
-			if derr == nil {
-				refLR, berr := BuildLRBitMatrix(r.ref, lDouble, caseFreq, refFreq)
-				if berr == nil {
-					refPattern = refLR
-					order = lrtest.DiscriminabilityOrderBit(merged, refLR)
-					r.markResumed()
-					per[0] = rec.Safe
-					fullPower = rec.Power
-					return r.cs.recordCombination(comboNames, rec.Safe, rec.Power, rec.Merged, false)
-				}
+			// canonical admission order is checkpointed directly (the merged
+			// per-individual matrix never is). Reuse the order; if the
+			// reference pattern cannot be rebuilt, fall through to a full
+			// recompute.
+			refLR, berr := BuildLRBitMatrix(r.ref, lDouble, caseFreq, refFreq)
+			if berr == nil {
+				refPattern = refLR
+				order = append([]int(nil), rec.Order...)
+				r.markResumed()
+				per[0] = rec.Safe
+				fullPower = rec.Power
+				return r.cs.recordCombination(comboNames, rec.Safe, rec.Power, rec.Order, false)
 			}
 		}
 
@@ -711,13 +709,14 @@ func (r *assessmentRun) phase3LR(subsets [][]int, lDouble []int) ([]int, [][]int
 		if c == 0 {
 			fullPower = power
 		}
-		var mergedWire []byte
+		var orderCkpt []int
 		if c == 0 && r.cs != nil {
-			// Only the full-membership matrix is persisted: it is what a
-			// resuming leader needs to re-derive the shared admission order.
-			mergedWire = merged.EncodeWire()
+			// Only the full-membership combination persists its admission
+			// order: that derived ranking is all a resuming leader needs to
+			// anchor the other combinations.
+			orderCkpt = append([]int(nil), order...)
 		}
-		return r.cs.recordCombination(comboNames, safe, power, mergedWire, true)
+		return r.cs.recordCombination(comboNames, safe, power, orderCkpt, true)
 	}
 
 	// The reference pattern lives for the whole phase.

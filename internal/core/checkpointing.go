@@ -13,7 +13,6 @@ import (
 	"sync"
 
 	"gendpr/internal/checkpoint"
-	"gendpr/internal/lrtest"
 )
 
 // AssessmentOptions extends RunAssessment with cancellation and durability.
@@ -291,10 +290,11 @@ func (cs *ckState) recordLD(lDouble []int, perLD [][]int, members []*cachedProvi
 	return cs.saveLocked()
 }
 
-// recordCombination records one completed Phase 3 combination. merged is the
-// wire encoding of the merged LR BitMatrix, retained for the full-membership
-// combination only (it defines the shared admission order).
-func (cs *ckState) recordCombination(members []string, safe []int, power float64, merged []byte, persist bool) error {
+// recordCombination records one completed Phase 3 combination. order is the
+// canonical admission order, retained for the full-membership combination
+// only (every other combination shares it). Only this derived ranking is
+// persisted — never the merged LR-matrix it came from.
+func (cs *ckState) recordCombination(members []string, safe []int, power float64, order []int, persist bool) error {
 	if cs == nil {
 		return nil
 	}
@@ -304,7 +304,7 @@ func (cs *ckState) recordCombination(members []string, safe []int, power float64
 		Members: members,
 		Safe:    safe,
 		Power:   power,
-		Merged:  merged,
+		Order:   order,
 	})
 	if !persist {
 		return nil
@@ -364,19 +364,6 @@ func (cs *ckState) seededCombination(members []string) (checkpoint.Combination, 
 	}
 	c, ok := cs.seedCombos[nameKey(members)]
 	return c, ok
-}
-
-// decodeMerged rebuilds the full-membership merged LR-matrix from its wire
-// encoding (used to re-derive the canonical admission order on resume).
-func decodeMerged(b []byte) (*lrtest.BitMatrix, error) {
-	if len(b) == 0 {
-		return nil, errors.New("core: checkpoint holds no merged matrix")
-	}
-	m, err := lrtest.DecodeWireBit(b)
-	if err != nil {
-		return nil, fmt.Errorf("core: checkpointed merged matrix: %w", err)
-	}
-	return m, nil
 }
 
 // seedPairCaches primes the providers' pair caches from checkpointed records

@@ -90,6 +90,7 @@ func (m *LocalMember) CaseN() (int64, error) {
 // PairStats implements Provider.
 func (m *LocalMember) PairStats(a, b int) (genome.PairStats, error) {
 	if a < 0 || a >= m.shard.L() || b < 0 || b >= m.shard.L() {
+		//gendpr:allow(secretflow): the pair indices echo the requester's own query (protocol metadata), not cohort data
 		return genome.PairStats{}, fmt.Errorf("core: pair (%d,%d) out of range for %d SNPs", a, b, m.shard.L())
 	}
 	cols, counts := m.view()
@@ -125,9 +126,11 @@ func checkLRRequest(g *genome.Matrix, cols []int, caseFreq, refFreq []float64) (
 	seen := make(map[int]bool, len(cols))
 	for _, l := range cols {
 		if l < 0 || l >= g.L() {
+			//gendpr:allow(secretflow): the column index echoes the requester's own query (protocol metadata), not cohort data
 			return lrtest.LogRatios{}, fmt.Errorf("core: column %d out of range for %d SNPs", l, g.L())
 		}
 		if seen[l] {
+			//gendpr:allow(secretflow): the column index echoes the requester's own query (protocol metadata), not cohort data
 			return lrtest.LogRatios{}, fmt.Errorf("core: duplicate column %d in LR request", l)
 		}
 		seen[l] = true
@@ -246,6 +249,7 @@ func (c *cachedProvider) PairStats(a, b int) (genome.PairStats, error) {
 		return genome.PairStats{}, err
 	}
 	if err := validatePairStats(s); err != nil {
+		//gendpr:allow(secretflow): the pair indices echo the requester's own query (protocol metadata), not cohort data
 		return genome.PairStats{}, fmt.Errorf("pair (%d,%d): %w", a, b, err)
 	}
 	c.mu.Lock()
@@ -282,6 +286,7 @@ func (c *cachedProvider) Prefetch(pairs [][2]int) error {
 	}
 	for i, s := range stats {
 		if err := validatePairStats(s); err != nil {
+			//gendpr:allow(secretflow): the pair indices echo the requester's own query (protocol metadata), not cohort data
 			return fmt.Errorf("pair (%d,%d): %w", missing[i][0], missing[i][1], err)
 		}
 	}

@@ -74,6 +74,7 @@ func LDPhase(retained []int, pool PairStatsFunc, assocPValues []float64, cutoff 
 	for _, next := range retained[1:] {
 		ps, err := pool(current, next)
 		if err != nil {
+			//gendpr:allow(secretflow): the pair indices echo the scan's own query (protocol metadata), not cohort data
 			return nil, fmt.Errorf("core: pair stats (%d,%d): %w", current, next, err)
 		}
 		p, err := stats.LDPValue(ps)
@@ -85,6 +86,7 @@ func LDPhase(retained []int, pool PairStatsFunc, assocPValues []float64, cutoff 
 			p, err = 1, nil
 		}
 		if err != nil {
+			//gendpr:allow(secretflow): the pair indices echo the scan's own query (protocol metadata), not cohort data
 			return nil, fmt.Errorf("core: LD p-value (%d,%d): %w", current, next, err)
 		}
 		if p < cutoff {

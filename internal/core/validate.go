@@ -23,12 +23,15 @@ func validateCounts(counts []int64, caseN int64, l int) error {
 	if len(counts) != l {
 		return fmt.Errorf("%w: %d counts, want %d", ErrInvalidPayload, len(counts), l)
 	}
+	// Diagnostics below name positions (SNP index) but never the member's
+	// counts or population: error strings travel to leader logs, and the
+	// secretflow analyzer treats error construction as an egress sink.
 	if caseN < 0 {
-		return fmt.Errorf("%w: negative population %d", ErrInvalidPayload, caseN)
+		return fmt.Errorf("%w: negative population", ErrInvalidPayload)
 	}
 	for snp, c := range counts {
 		if c < 0 || c > caseN {
-			return fmt.Errorf("%w: count %d at SNP %d inconsistent with population %d", ErrInvalidPayload, c, snp, caseN)
+			return fmt.Errorf("%w: count at SNP %d inconsistent with population", ErrInvalidPayload, snp)
 		}
 	}
 	return nil
@@ -39,25 +42,26 @@ func validateCounts(counts []int64, caseN int64, l int) error {
 // sums, marginals stay within the population, and the joint count is bounded
 // by both marginals (and from below by inclusion-exclusion).
 func validatePairStats(s genome.PairStats) error {
+	// As in validateCounts, the messages state which invariant broke but
+	// never the sufficient statistics themselves.
 	if s.N < 0 {
-		return fmt.Errorf("%w: negative pair population %d", ErrInvalidPayload, s.N)
+		return fmt.Errorf("%w: negative pair population", ErrInvalidPayload)
 	}
 	if s.SumX < 0 || s.SumX > s.N || s.SumY < 0 || s.SumY > s.N {
-		return fmt.Errorf("%w: pair marginals (%d,%d) outside population %d", ErrInvalidPayload, s.SumX, s.SumY, s.N)
+		return fmt.Errorf("%w: pair marginals outside population", ErrInvalidPayload)
 	}
 	if s.SumXX != s.SumX || s.SumYY != s.SumY {
-		return fmt.Errorf("%w: pair squares (%d,%d) differ from sums (%d,%d) for binary genotypes",
-			ErrInvalidPayload, s.SumXX, s.SumYY, s.SumX, s.SumY)
+		return fmt.Errorf("%w: pair squares differ from sums for binary genotypes", ErrInvalidPayload)
 	}
 	min := s.SumX
 	if s.SumY < min {
 		min = s.SumY
 	}
 	if s.SumXY < 0 || s.SumXY > min {
-		return fmt.Errorf("%w: joint count %d outside [0,%d]", ErrInvalidPayload, s.SumXY, min)
+		return fmt.Errorf("%w: joint count outside marginal bounds", ErrInvalidPayload)
 	}
 	if lower := s.SumX + s.SumY - s.N; s.SumXY < lower {
-		return fmt.Errorf("%w: joint count %d below inclusion-exclusion bound %d", ErrInvalidPayload, s.SumXY, lower)
+		return fmt.Errorf("%w: joint count below inclusion-exclusion bound", ErrInvalidPayload)
 	}
 	return nil
 }
@@ -68,7 +72,9 @@ func validatePairStats(s genome.PairStats) error {
 // produce a NaN or ±Inf cell).
 func validateLRMatrix(lr *lrtest.BitMatrix, rows int64, cols int) error {
 	if int64(lr.Rows()) != rows {
-		return fmt.Errorf("%w: LR-matrix has %d rows, population is %d", ErrInvalidPayload, lr.Rows(), rows)
+		// The expected row count is the member's population: name the
+		// mismatch, not the number.
+		return fmt.Errorf("%w: LR-matrix row count differs from member population", ErrInvalidPayload)
 	}
 	if lr.Cols() != cols {
 		return fmt.Errorf("%w: LR-matrix has %d columns, want %d", ErrInvalidPayload, lr.Cols(), cols)
@@ -87,7 +93,7 @@ func validateFrequencies(freq []float64, cols int) error {
 	}
 	for i, f := range freq {
 		if math.IsNaN(f) || f < 0 || f > 1 {
-			return fmt.Errorf("%w: frequency %g at column %d", ErrInvalidPayload, f, i)
+			return fmt.Errorf("%w: non-finite or out-of-range frequency at column %d", ErrInvalidPayload, i)
 		}
 	}
 	return nil

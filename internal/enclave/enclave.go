@@ -126,12 +126,14 @@ func (e *Enclave) Measurement() Measurement { return e.measurement }
 // be exceeded. Callers pair it with Free; the peak is reported by MemoryPeak.
 func (e *Enclave) Alloc(n int64) error {
 	if n < 0 {
-		return fmt.Errorf("enclave: negative allocation %d", n)
+		// Allocation sizes derive from member populations; the accounting
+		// numbers stay out of error strings.
+		return errors.New("enclave: negative allocation")
 	}
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	if e.memUsed+n > e.memLimit {
-		return fmt.Errorf("%w: %d used + %d requested > %d limit", ErrOutOfMemory, e.memUsed, n, e.memLimit)
+		return fmt.Errorf("%w: request exceeds the %d-byte enclave budget", ErrOutOfMemory, e.memLimit)
 	}
 	e.memUsed += n
 	if e.memUsed > e.memPeak {

@@ -99,7 +99,7 @@ func (l *Leader) RunLinksContext(ctx context.Context, links []MemberLink, refere
 			ctx:    ctx,
 			opts:   opts,
 			redial: link.Redial,
-			attest: func(raw transport.Conn) (transport.Conn, error) {
+			attest: func(raw transport.Conn) (*transport.SecureConn, error) {
 				return attestConnContext(ctx, raw, l.authority, l.enclave, true, opts.RPCTimeout)
 			},
 		}
@@ -111,7 +111,9 @@ func (l *Leader) RunLinksContext(ctx context.Context, links []MemberLink, refere
 			}
 			// Degradation is on: carry the member in the failed state so the
 			// assessment can exclude it instead of aborting the federation.
-			r.conn = link.Conn
+			// r.conn stays nil — a member without an attested channel is
+			// never sent anything (the health gate precedes every exchange),
+			// and the caller keeps ownership of the raw connection.
 			r.health = HealthFailed
 			r.failCause = err
 		} else {
@@ -175,10 +177,15 @@ type remoteProvider struct {
 	ctx    context.Context // run context; nil means never canceled
 	opts   RunOptions
 	redial func() (transport.Conn, error)
-	attest func(raw transport.Conn) (transport.Conn, error)
+	attest func(raw transport.Conn) (*transport.SecureConn, error)
 
-	mu        sync.Mutex
-	conn      transport.Conn
+	mu sync.Mutex
+	// conn is the attested AEAD channel. Its static type is deliberately
+	// *transport.SecureConn, never the bare Conn interface: every payload a
+	// remoteProvider sends carries privacy-bearing intermediates, and the
+	// secretflow analyzer uses this type as the proof they leave encrypted.
+	// It is nil exactly when health is HealthFailed from construction.
+	conn      *transport.SecureConn
 	owned     bool // conn was created by reconnect, not by the caller
 	health    Health
 	failCause error
@@ -280,6 +287,7 @@ func (r *remoteProvider) exchangeLocked(req transport.Message, wantKind uint16) 
 		return nil, fmt.Errorf("federation: member %s recv: %w", r.name, err)
 	}
 	if reply.Kind == KindError {
+		//gendpr:allow(secretflow): a KindError payload is the member's own error string, redacted member-side before sending
 		return nil, fmt.Errorf("%w: member %s: %s", ErrMemberReported, r.name, reply.Payload)
 	}
 	if reply.Kind != wantKind {

@@ -32,7 +32,10 @@ type Matrix struct {
 	n      int
 	l      int
 	stride int // words per row
-	words  []uint64
+	// words is the raw per-individual genotype storage; the secretflow
+	// analyzer taints every read of it (STATIC_ANALYSIS.md).
+	//gendpr:secret(individual)
+	words []uint64
 }
 
 // NewMatrix allocates an n-by-l genotype matrix initialized to the major
@@ -211,6 +214,7 @@ func (m *Matrix) SelectColumns(cols []int) *Matrix {
 	out := NewMatrix(m.n, len(cols))
 	for j, l := range cols {
 		if l < 0 || l >= m.l {
+			//gendpr:allow(secretflow): the panic names the caller's requested SNP index and the matrix shape (caller bug), not genotype content
 			panic(fmt.Sprintf("genome: SNP %d out of range for %d columns", l, m.l))
 		}
 		w, mask := l/wordBits, uint64(1)<<(uint(l)%wordBits)
@@ -350,6 +354,7 @@ func getUint64(b []byte) uint64 {
 type ColumnBits struct {
 	n, l int
 	wpc  int // words per column: (n+63)/64
+	//gendpr:secret(individual)
 	bits []uint64
 }
 

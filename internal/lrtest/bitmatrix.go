@@ -28,10 +28,16 @@ import (
 // to the dense path.
 type BitMatrix struct {
 	rows, cols int
-	wpc        int       // words per column: (rows+63)/64
-	zero       []float64 // per-column value decoded for a clear bit
-	one        []float64 // per-column value decoded for a set bit
-	bits       []uint64  // column-major cell bits, cols*wpc words
+	wpc        int // words per column: (rows+63)/64
+	// zero/one are per-column decode values derived from the candidate
+	// release's frequencies: cohort-level, aggregate-class secrets.
+	//gendpr:secret(aggregate)
+	zero []float64 // per-column value decoded for a clear bit
+	//gendpr:secret(aggregate)
+	one []float64 // per-column value decoded for a set bit
+	// bits carries one cell per individual per SNP: per-individual secret.
+	//gendpr:secret(individual)
+	bits []uint64 // column-major cell bits, cols*wpc words
 }
 
 // NewBitMatrix allocates a rows-by-cols bit-packed LR-matrix whose cells all

@@ -32,7 +32,10 @@ var ErrShapeMismatch = errors.New("lrtest: matrix shape mismatch")
 // Matrix is a dense individuals-by-SNPs matrix of LR contributions.
 type Matrix struct {
 	rows, cols int
-	data       []float64
+	// data holds one LR contribution per individual per SNP; reads are
+	// tainted per-individual by the secretflow analyzer.
+	//gendpr:secret(individual)
+	data []float64
 }
 
 // NewMatrix allocates a rows-by-cols LR-matrix of zeros.

@@ -97,7 +97,9 @@ func lFunction(u, n *big.Int) *big.Int {
 // Encrypt produces a ciphertext of m in [0, N).
 func (pub *PublicKey) Encrypt(random io.Reader, m *big.Int) (*big.Int, error) {
 	if m.Sign() < 0 || m.Cmp(pub.N) >= 0 {
-		return nil, fmt.Errorf("%w: %v", ErrMessageRange, m)
+		// The out-of-range message IS the plaintext being encrypted; the
+		// error must not carry it.
+		return nil, ErrMessageRange
 	}
 	r, err := pub.randomUnit(random)
 	if err != nil {
@@ -165,7 +167,7 @@ func (pub *PublicKey) AddPlain(c, k *big.Int) (*big.Int, error) {
 		return nil, err
 	}
 	if k.Sign() < 0 || k.Cmp(pub.N) >= 0 {
-		return nil, fmt.Errorf("%w: %v", ErrMessageRange, k)
+		return nil, ErrMessageRange
 	}
 	gk := new(big.Int).Mul(k, pub.N)
 	gk.Add(gk, one)
@@ -180,7 +182,7 @@ func (pub *PublicKey) MulPlain(c, k *big.Int) (*big.Int, error) {
 		return nil, err
 	}
 	if k.Sign() < 0 {
-		return nil, fmt.Errorf("%w: %v", ErrMessageRange, k)
+		return nil, ErrMessageRange
 	}
 	return new(big.Int).Exp(c, k, pub.NSquared), nil
 }
@@ -190,7 +192,7 @@ func (pub *PublicKey) EncryptVector(random io.Reader, counts []int64) ([]*big.In
 	out := make([]*big.Int, len(counts))
 	for i, v := range counts {
 		if v < 0 {
-			return nil, fmt.Errorf("%w: negative count %d", ErrMessageRange, v)
+			return nil, fmt.Errorf("%w: negative count", ErrMessageRange)
 		}
 		c, err := pub.Encrypt(random, big.NewInt(v))
 		if err != nil {

@@ -71,7 +71,9 @@ func Share(value int64, n int, random io.Reader) ([]uint64, error) {
 		return nil, fmt.Errorf("%w: n=%d", ErrShareCount, n)
 	}
 	if value < 0 || uint64(value) >= Modulus/2 {
-		return nil, fmt.Errorf("%w: %d", ErrValueRange, value)
+		// The out-of-range value IS the secret being shared; the error
+		// must not carry it.
+		return nil, ErrValueRange
 	}
 	if random == nil {
 		random = rand.Reader
@@ -98,12 +100,14 @@ func Combine(shares []uint64) (int64, error) {
 	acc := uint64(0)
 	for _, s := range shares {
 		if s >= Modulus {
-			return 0, fmt.Errorf("secshare: share %d outside the field", s)
+			return 0, errors.New("secshare: share outside the field")
 		}
 		acc = addMod(acc, s)
 	}
 	if acc >= Modulus/2 {
-		return 0, fmt.Errorf("%w: reconstructed %d", ErrValueRange, acc)
+		// The reconstructed value is the pre-release aggregate; the error
+		// must not carry it.
+		return 0, ErrValueRange
 	}
 	return int64(acc), nil
 }

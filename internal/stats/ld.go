@@ -42,7 +42,9 @@ func R2FromStatsChecked(s genome.PairStats) (float64, error) {
 	vx := n*float64(s.SumXX) - float64(s.SumX)*float64(s.SumX)
 	vy := n*float64(s.SumYY) - float64(s.SumY)*float64(s.SumY)
 	if vx <= 0 || vy <= 0 {
-		return 0, fmt.Errorf("%w: variance (%g, %g)", ErrDegeneratePair, vx, vy)
+		// The variances are derived from pre-release pair sums; the error
+		// string travels to leader logs and must not carry their values.
+		return 0, fmt.Errorf("%w: non-positive variance", ErrDegeneratePair)
 	}
 	r2 := num * num / (vx * vy)
 	if r2 > 1 {

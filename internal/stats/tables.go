@@ -1,7 +1,7 @@
 package stats
 
 import (
-	"fmt"
+	"errors"
 	"math"
 )
 
@@ -18,8 +18,9 @@ type SingleTable struct {
 // counts.
 func NewSingleTable(caseN, caseMinor, controlN, controlMinor int64) (SingleTable, error) {
 	if caseMinor < 0 || controlMinor < 0 || caseMinor > caseN || controlMinor > controlN {
-		return SingleTable{}, fmt.Errorf("stats: inconsistent counts: case %d/%d control %d/%d",
-			caseMinor, caseN, controlMinor, controlN)
+		// The counts are pre-release aggregates: the message must not
+		// carry them (error strings are host-visible).
+		return SingleTable{}, errors.New("stats: inconsistent case/control counts")
 	}
 	return SingleTable{
 		CaseMinor:    caseMinor,

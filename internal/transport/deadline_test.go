@@ -110,7 +110,7 @@ func TestSecureConnForwardsDeadline(t *testing.T) {
 	key := bytes.Repeat([]byte{0x42}, 32)
 	sa, sb := NewSecure(a, key), NewSecure(b, key)
 
-	if _, ok := sa.(Deadliner); !ok {
+	if _, ok := Conn(sa).(Deadliner); !ok {
 		t.Fatal("secure conn does not implement Deadliner")
 	}
 	if _, err := RecvDeadline(sb, 30*time.Millisecond); !IsTimeout(err) {

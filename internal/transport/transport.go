@@ -353,9 +353,17 @@ func (l *Listener) Close() error { return l.l.Close() }
 
 // --- Encrypted transport ---
 
-type secureConn struct {
+// SecureConn is the AEAD-protected channel. It is a distinct named type —
+// not an anonymous Conn — on purpose: holding a *SecureConn is static proof
+// that every payload sent through it leaves the enclave encrypted, and the
+// secretflow analyzer (STATIC_ANALYSIS.md) exempts sends on this type from
+// the plaintext-egress sink check. Code that sends privacy-bearing payloads
+// should keep its connections typed *SecureConn, not Conn, so the proof
+// survives refactors.
+type SecureConn struct {
 	inner Conn
-	key   []byte
+	//gendpr:secret
+	key []byte
 
 	sendMu  sync.Mutex
 	sendSeq uint64
@@ -363,16 +371,16 @@ type secureConn struct {
 	recvSeq uint64
 }
 
-var _ Conn = (*secureConn)(nil)
+var _ Conn = (*SecureConn)(nil)
 
 // NewSecure wraps a connection so every payload is encrypted and
 // authenticated with AES-256-GCM under the session key. The message kind and
 // a per-direction sequence number are bound as additional data, so replayed,
 // reordered, or re-typed ciphertexts are rejected.
-func NewSecure(inner Conn, key []byte) Conn {
+func NewSecure(inner Conn, key []byte) *SecureConn {
 	k := make([]byte, len(key))
 	copy(k, key)
-	return &secureConn{inner: inner, key: k}
+	return &SecureConn{inner: inner, key: k}
 }
 
 func secureAAD(kind uint16, seq uint64) []byte {
@@ -382,7 +390,7 @@ func secureAAD(kind uint16, seq uint64) []byte {
 	return aad[:]
 }
 
-func (s *secureConn) Send(m Message) error {
+func (s *SecureConn) Send(m Message) error {
 	s.sendMu.Lock()
 	defer s.sendMu.Unlock()
 	ct, err := seal.Encrypt(s.key, m.Payload, secureAAD(m.Kind, s.sendSeq))
@@ -400,7 +408,7 @@ func (s *secureConn) Send(m Message) error {
 	return nil
 }
 
-func (s *secureConn) Recv() (Message, error) {
+func (s *SecureConn) Recv() (Message, error) {
 	s.recvMu.Lock()
 	defer s.recvMu.Unlock()
 	// Mirror of Send: the receive order must match the sequence-number
@@ -418,10 +426,10 @@ func (s *secureConn) Recv() (Message, error) {
 	return Message{Kind: m.Kind, Payload: pt}, nil
 }
 
-func (s *secureConn) Close() error { return s.inner.Close() }
+func (s *SecureConn) Close() error { return s.inner.Close() }
 
 // SetDeadline forwards to the wrapped connection when it supports deadlines.
-func (s *secureConn) SetDeadline(t time.Time) error {
+func (s *SecureConn) SetDeadline(t time.Time) error {
 	if d, ok := s.inner.(Deadliner); ok {
 		return d.SetDeadline(t)
 	}

@@ -20,8 +20,38 @@ go vet ./...
 echo "== go build =="
 go build ./...
 
+echo "== analysis fast path =="
+# The lint suite's own unit and fixture tests, -short so the whole-module
+# self-lint is skipped: a broken analyzer fails here in seconds, before the
+# full gendpr-lint run pays for module-wide type-checking.
+go test -short ./internal/analysis/
+
 echo "== gendpr-lint =="
-go run ./cmd/gendpr-lint ./...
+# The JSON report is the CI artifact: machine-readable findings plus
+# per-analyzer timings, written even when the step fails.
+go run ./cmd/gendpr-lint -json ./... > lint-report.json || {
+    echo "gendpr-lint findings (see lint-report.json):" >&2
+    go run ./cmd/gendpr-lint ./... >&2 || true
+    exit 1
+}
+
+echo "== suppression budget =="
+# Every //gendpr:allow directive needs a justification in source (enforced
+# by the lint itself) AND must fit the recorded budget in STATIC_ANALYSIS.md.
+# Growing the count without raising the budget there fails CI, so each new
+# suppression is a reviewed documentation change, never a drive-by.
+allows=$(grep -rE --include='*.go' -e '//gendpr:allow\(' . | grep -v '/testdata/' | grep -v '_test.go' | wc -l | tr -d ' ')
+budget=$(sed -n 's/.*<!-- suppression-budget: \([0-9][0-9]*\) -->.*/\1/p' STATIC_ANALYSIS.md)
+if [ -z "$budget" ]; then
+    echo "STATIC_ANALYSIS.md is missing its '<!-- suppression-budget: N -->' marker" >&2
+    exit 1
+fi
+if [ "$allows" -gt "$budget" ]; then
+    echo "suppression budget exceeded: $allows //gendpr:allow directives, budget $budget" >&2
+    echo "new suppressions must be justified in STATIC_ANALYSIS.md and the budget raised there" >&2
+    exit 1
+fi
+echo "$allows directive(s) within budget $budget"
 
 echo "== go test -race =="
 go test -race ./...
