@@ -1,0 +1,54 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+// baselineKey identifies a finding for baseline comparison. Line and column
+// are deliberately excluded: edits elsewhere in a file shift positions, and
+// an acknowledged finding that merely moved is not new debt. Two identical
+// messages in the same file are distinguished by count (multiset semantics),
+// so introducing a second instance of a baselined finding still fails.
+func baselineKey(f jsonFinding) string {
+	return f.File + "\x00" + f.Analyzer + "\x00" + f.Message
+}
+
+// loadBaseline reads a previous -json report and returns the multiset of its
+// finding keys.
+func loadBaseline(path string) (map[string]int, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("baseline: %w", err)
+	}
+	var report jsonReport
+	if err := json.Unmarshal(data, &report); err != nil {
+		return nil, fmt.Errorf("baseline %s: %w", path, err)
+	}
+	base := make(map[string]int, len(report.Findings))
+	for _, f := range report.Findings {
+		base[baselineKey(f)]++
+	}
+	return base, nil
+}
+
+// newFindings returns the findings not covered by the baseline multiset.
+// Each baseline entry absorbs at most one current finding; the findings'
+// position-sorted order is preserved.
+func newFindings(kept []jsonFinding, base map[string]int) []jsonFinding {
+	remaining := make(map[string]int, len(base))
+	for k, n := range base {
+		remaining[k] = n
+	}
+	var out []jsonFinding
+	for _, f := range kept {
+		k := baselineKey(f)
+		if remaining[k] > 0 {
+			remaining[k]--
+			continue
+		}
+		out = append(out, f)
+	}
+	return out
+}

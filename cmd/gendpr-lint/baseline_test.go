@@ -1,0 +1,95 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func find(file, analyzer, msg string, line int) jsonFinding {
+	return jsonFinding{File: file, Line: line, Column: 1, Analyzer: analyzer, Message: msg}
+}
+
+func TestNewFindingsIgnoresLineDrift(t *testing.T) {
+	base := map[string]int{
+		baselineKey(find("a.go", "secretflow", "leak", 10)): 1,
+	}
+	// Same finding, different line: edits above it moved the position.
+	got := newFindings([]jsonFinding{find("a.go", "secretflow", "leak", 42)}, base)
+	if len(got) != 0 {
+		t.Fatalf("moved finding reported as new: %+v", got)
+	}
+}
+
+func TestNewFindingsMultiset(t *testing.T) {
+	base := map[string]int{
+		baselineKey(find("a.go", "secretflow", "leak", 10)): 1,
+	}
+	// A second instance of a baselined finding is new debt.
+	kept := []jsonFinding{
+		find("a.go", "secretflow", "leak", 10),
+		find("a.go", "secretflow", "leak", 20),
+	}
+	got := newFindings(kept, base)
+	if len(got) != 1 || got[0].Line != 20 {
+		t.Fatalf("want exactly the second instance flagged, got %+v", got)
+	}
+}
+
+func TestNewFindingsDistinguishes(t *testing.T) {
+	base := map[string]int{
+		baselineKey(find("a.go", "secretflow", "leak", 10)): 1,
+	}
+	for _, f := range []jsonFinding{
+		find("b.go", "secretflow", "leak", 10),      // different file
+		find("a.go", "divergentfloat", "leak", 10),  // different analyzer
+		find("a.go", "secretflow", "other msg", 10), // different message
+	} {
+		if got := newFindings([]jsonFinding{f}, base); len(got) != 1 {
+			t.Fatalf("finding %+v should be new, got %d findings", f, len(got))
+		}
+	}
+}
+
+func TestLoadBaselineRoundTrip(t *testing.T) {
+	report := jsonReport{
+		Module: "gendpr",
+		Findings: []jsonFinding{
+			find("a.go", "secretflow", "leak", 10),
+			find("a.go", "secretflow", "leak", 20),
+			find("b.go", "floateq", "exact compare", 3),
+		},
+	}
+	data, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "lint-report.json")
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	base, err := loadBaseline(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base[baselineKey(report.Findings[0])] != 2 {
+		t.Fatalf("duplicate finding should count twice, got %d", base[baselineKey(report.Findings[0])])
+	}
+	if got := newFindings(report.Findings, base); len(got) != 0 {
+		t.Fatalf("report compared against its own baseline should be clean, got %+v", got)
+	}
+}
+
+func TestLoadBaselineErrors(t *testing.T) {
+	if _, err := loadBaseline(filepath.Join(t.TempDir(), "missing.json")); err == nil {
+		t.Fatal("missing baseline file should error")
+	}
+	path := filepath.Join(t.TempDir(), "bad.json")
+	if err := os.WriteFile(path, []byte("not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := loadBaseline(path); err == nil {
+		t.Fatal("malformed baseline should error")
+	}
+}

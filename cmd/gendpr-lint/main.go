@@ -6,7 +6,7 @@
 //
 // Usage:
 //
-//	gendpr-lint [-run names] [-skip names] [-json] [-v] [./...] [dir ...]
+//	gendpr-lint [-run names] [-skip names] [-json] [-v] [-baseline report.json] [./...] [dir ...]
 //
 // With no arguments (or "./..."), the whole module containing the working
 // directory is linted. Directory arguments restrict the report to packages
@@ -14,7 +14,10 @@
 // information stays complete. -run and -skip take comma-separated analyzer
 // names; -json writes the findings as a machine-readable report to stdout
 // (scripts/check.sh archives it as lint-report.json); -v adds per-package
-// load timing and per-analyzer wall time to stderr.
+// load timing, per-analyzer wall time, and parallel speedup to stderr.
+// -baseline takes a previous -json report and fails only on findings absent
+// from it (matched by file, analyzer, and message — not line, so unrelated
+// edits shifting positions do not resurface acknowledged debt).
 //
 // Exit status: 0 clean, 1 findings, 2 usage or load failure (including a
 // working directory outside any Go module).
@@ -26,8 +29,10 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
 	"sort"
 	"strings"
+	"time"
 
 	"gendpr/internal/analysis"
 )
@@ -37,8 +42,9 @@ func main() {
 	jsonOut := flag.Bool("json", false, "write findings as a JSON report to stdout")
 	runNames := flag.String("run", "", "comma-separated analyzer names to run (default: all)")
 	skipNames := flag.String("skip", "", "comma-separated analyzer names to skip")
+	baseline := flag.String("baseline", "", "path to a previous -json report; only findings absent from it fail the run")
 	flag.Parse()
-	if err := run(flag.Args(), *verbose, *jsonOut, *runNames, *skipNames); err != nil {
+	if err := run(flag.Args(), *verbose, *jsonOut, *runNames, *skipNames, *baseline); err != nil {
 		fmt.Fprintln(os.Stderr, "gendpr-lint:", err)
 		os.Exit(2)
 	}
@@ -62,7 +68,7 @@ type jsonReport struct {
 	TimingsMS map[string]float64 `json:"timings_ms,omitempty"`
 }
 
-func run(args []string, verbose, jsonOut bool, runNames, skipNames string) error {
+func run(args []string, verbose, jsonOut bool, runNames, skipNames, baselinePath string) error {
 	root, err := moduleRoot()
 	if err != nil {
 		return err
@@ -94,12 +100,19 @@ func run(args []string, verbose, jsonOut bool, runNames, skipNames string) error
 	if err != nil {
 		return err
 	}
+	runStart := time.Now()
 	diags, stats := analysis.RunWithStats(mod, analyzers)
+	runWall := time.Since(runStart)
 	if verbose {
+		var cpu time.Duration
 		for _, s := range stats {
 			fmt.Fprintf(os.Stderr, "  %-16s %8.1fms  %d finding(s)\n",
 				s.Name, float64(s.Duration.Microseconds())/1000, s.Findings)
+			cpu += s.Duration
 		}
+		fmt.Fprintf(os.Stderr, "  analyzers total %.1fms wall, %.1fms cpu (%d workers, %.1fx)\n",
+			float64(runWall.Microseconds())/1000, float64(cpu.Microseconds())/1000,
+			runtime.GOMAXPROCS(0), float64(cpu)/float64(runWall))
 	}
 
 	var kept []jsonFinding
@@ -115,6 +128,20 @@ func run(args []string, verbose, jsonOut bool, runNames, skipNames string) error
 			File: rel, Line: d.Pos.Line, Column: d.Pos.Column,
 			Analyzer: d.Analyzer, Message: d.Message,
 		})
+	}
+
+	// With -baseline, only findings absent from the previous report fail the
+	// run; known debt is suppressed (matched by file+analyzer+message so a
+	// finding does not count as new just because edits above it moved the
+	// line). The -json report still carries every finding, so archiving it
+	// regenerates the full baseline rather than shrinking it run over run.
+	fail := kept
+	if baselinePath != "" {
+		base, err := loadBaseline(baselinePath)
+		if err != nil {
+			return err
+		}
+		fail = newFindings(kept, base)
 	}
 
 	if jsonOut {
@@ -136,12 +163,19 @@ func run(args []string, verbose, jsonOut bool, runNames, skipNames string) error
 			return err
 		}
 	} else {
-		for _, f := range kept {
+		for _, f := range fail {
 			fmt.Printf("%s:%d:%d: [%s] %s\n", f.File, f.Line, f.Column, f.Analyzer, f.Message)
 		}
 	}
-	if len(kept) > 0 {
-		fmt.Fprintf(os.Stderr, "gendpr-lint: %d finding(s)\n", len(kept))
+	if baselined := len(kept) - len(fail); baselined > 0 {
+		fmt.Fprintf(os.Stderr, "gendpr-lint: %d baselined finding(s) suppressed (%s)\n", baselined, baselinePath)
+	}
+	if len(fail) > 0 {
+		if baselinePath != "" {
+			fmt.Fprintf(os.Stderr, "gendpr-lint: %d finding(s) not in baseline\n", len(fail))
+		} else {
+			fmt.Fprintf(os.Stderr, "gendpr-lint: %d finding(s)\n", len(fail))
+		}
 		os.Exit(1)
 	}
 	return nil

@@ -24,8 +24,10 @@ import (
 	"go/token"
 	"path/filepath"
 	"regexp"
+	"runtime"
 	"sort"
 	"strings"
+	"sync"
 	"time"
 )
 
@@ -195,6 +197,15 @@ func Run(mod *Module, analyzers []*Analyzer) []Diagnostic {
 
 // RunWithStats is Run plus per-analyzer timing, for -v diagnostics and CI
 // artifacts. Stats are returned in the analyzers' order.
+//
+// Packages fan out across a GOMAXPROCS-bounded pool; within one package the
+// analyzers run serially. Each task reports into its own diagnostic slice
+// (merged in package order, then position-sorted, so the output is identical
+// to a serial run). Analyzer state shared across packages — the taint
+// registry's lazily built engine — is guarded by its own mutex; an
+// analyzer's Duration therefore includes any time spent blocked on that
+// one-time construction, same as the serial accounting charged it to the
+// first analyzer to run.
 func RunWithStats(mod *Module, analyzers []*Analyzer) ([]Diagnostic, []AnalyzerStats) {
 	var diags []Diagnostic
 	sup := make(suppressions)
@@ -205,18 +216,54 @@ func RunWithStats(mod *Module, analyzers []*Analyzer) ([]Diagnostic, []AnalyzerS
 	for i, a := range analyzers {
 		stats[i].Name = a.Name
 	}
-	for _, pkg := range mod.Packages {
-		for i, a := range analyzers {
-			files := scopedFiles(a, pkg)
-			if len(files) == 0 {
-				continue
+
+	type pkgResult struct {
+		diags []Diagnostic
+		durs  []time.Duration
+	}
+	results := make([]pkgResult, len(mod.Packages))
+	workers := runtime.GOMAXPROCS(0)
+	if workers > len(mod.Packages) {
+		workers = len(mod.Packages)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	idx := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := range idx {
+				pkg := mod.Packages[j]
+				res := &results[j]
+				res.durs = make([]time.Duration, len(analyzers))
+				for i, a := range analyzers {
+					files := scopedFiles(a, pkg)
+					if len(files) == 0 {
+						continue
+					}
+					pass := &Pass{Analyzer: a, Fset: pkg.Fset, Mod: mod, Pkg: pkg, Files: files, diags: &res.diags}
+					start := time.Now()
+					a.Run(pass)
+					res.durs[i] += time.Since(start)
+				}
 			}
-			pass := &Pass{Analyzer: a, Fset: pkg.Fset, Mod: mod, Pkg: pkg, Files: files, diags: &diags}
-			start := time.Now()
-			a.Run(pass)
-			stats[i].Duration += time.Since(start)
+		}()
+	}
+	for j := range mod.Packages {
+		idx <- j
+	}
+	close(idx)
+	wg.Wait()
+	for j := range results {
+		diags = append(diags, results[j].diags...)
+		for i := range analyzers {
+			stats[i].Duration += results[j].durs[i]
 		}
 	}
+
 	kept := diags[:0]
 	for _, d := range diags {
 		if sup.allows(d) {
@@ -294,5 +341,7 @@ func DefaultAnalyzers() []*Analyzer {
 		NewSecretFlow(taint),
 		NewLogLeak(taint),
 		NewCheckpointPlain(taint),
+		NewObliviousFlow(taint),
+		NewDivergentFloat(taint),
 	}
 }

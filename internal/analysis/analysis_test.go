@@ -135,6 +135,23 @@ func TestCheckpointPlainFixture(t *testing.T) {
 	runFixture(t, NewCheckpointPlain(NewTaintRegistry(spec)), "checkpointplain")
 }
 
+func TestObliviousFlowFixture(t *testing.T) {
+	// The fixture package stands in for the access-pattern-critical scope.
+	// No Barriers table entries: ctSelect/ctEq earn barrier status purely
+	// through their //gendpr:oblivious annotations.
+	spec := DefaultTaintSpec()
+	spec.Oblivious = &ObliviousSpec{Scopes: []Scope{{PathPrefix: "fixture/obliviousflow"}}}
+	runFixture(t, NewObliviousFlow(NewTaintRegistry(spec)), "obliviousflow")
+}
+
+func TestDivergentFloatFixture(t *testing.T) {
+	// The fixture cannot import the real stats package, so the test
+	// registers the fixture's own statistic as an order-sensitive sink.
+	spec := DefaultTaintSpec()
+	spec.OrderSinks["fixture/divergentfloat.statMAF"] = "statMAF (fixture statistic)"
+	runFixture(t, NewDivergentFloat(NewTaintRegistry(spec)), "divergentfloat")
+}
+
 // TestScopeExcludesOtherPackages: an analyzer scoped elsewhere must not
 // fire on the fixture.
 func TestScopeExcludesOtherPackages(t *testing.T) {

@@ -58,6 +58,43 @@ func (fa *funcAnalysis) call(call *ast.CallExpr) taintVal {
 	}
 	key := fa.eng.cg.name(fn)
 
+	// Order-sensitive statistic sinks are checked before sources and
+	// declassifiers: most of them (lrtest.NewLogRatios, stats.MAF, the
+	// selection entry points) are ALSO aggregate sources or release
+	// boundaries, which would otherwise swallow the unordered bit first.
+	if desc, ok := fa.eng.spec.OrderSinks[key]; ok {
+		for _, a := range argExprs {
+			t := fa.eval(a)
+			if fa.allowed("divergentfloat", a.Pos(), call.Pos()) {
+				continue
+			}
+			if t.raw&ClassUnordered != 0 {
+				fa.reportf("divergentfloat", a.Pos(),
+					"order-nondeterministic value (map iteration, select race or goroutine fan-in) reaches %s; sort or merge by index first so every member computes bit-identical statistics", desc)
+			}
+			fa.noteOrd(t.params, desc)
+		}
+	}
+
+	// Ordering barriers re-establish a canonical order: an in-place sort
+	// scrubs the unordered bit from its argument, and any barrier's result
+	// is order-deterministic by declaration. The scrub wraps the normal call
+	// handling below, so a barrier that is also a source, sink or module
+	// function keeps its other semantics.
+	if fa.eng.orderBarrier(fn, key) {
+		res := fa.callResolved(call, fn, impls, key, argExprs)
+		if inPlaceSorts[key] && len(argExprs) > 0 {
+			fa.clearUnordered(argExprs[0])
+		}
+		res.raw &^= ClassUnordered
+		return res
+	}
+	return fa.callResolved(call, fn, impls, key, argExprs)
+}
+
+// callResolved handles a call whose callee resolved to fn: declassifiers,
+// sources, sinks, format functions, and module summaries.
+func (fa *funcAnalysis) callResolved(call *ast.CallExpr, fn *types.Func, impls []*types.Func, key string, argExprs []ast.Expr) taintVal {
 	// Declassifiers override everything: sealing demotes raw taint to
 	// sealed, release/aggregation boundaries drop it, unsealing restores it.
 	if mode, ok := fa.eng.declassifierFor(fn, key); ok {
@@ -130,6 +167,30 @@ func (fa *funcAnalysis) applySummary(ns *namedSummary, call *ast.CallExpr, argEx
 	}
 	for i := 0; i < s.nparams && i < 64; i++ {
 		bit := uint64(1) << i
+		if s.obvParams&bit != 0 && !fa.obvBarrier {
+			pos := fa.argPos(call, argExprs, s.nparams, i)
+			if !fa.allowed("obliviousflow", pos, call.Pos()) {
+				t := paramTaint(args, s.nparams, i)
+				via := s.obvVia[i]
+				if fa.obvScope && t.raw&ClassIndividual != 0 {
+					fa.reportf("obliviousflow", pos,
+						"per-individual data %s via %s; oblivious code must not hand secrets to data-dependent callees", via, shortFuncName(ns.name))
+				}
+				fa.noteObv(t.params, via+" via "+shortFuncName(ns.name))
+			}
+		}
+		if s.ordParams&bit != 0 {
+			pos := fa.argPos(call, argExprs, s.nparams, i)
+			if !fa.allowed("divergentfloat", pos, call.Pos()) {
+				t := paramTaint(args, s.nparams, i)
+				via := s.ordVia[i]
+				if t.raw&ClassUnordered != 0 {
+					fa.reportf("divergentfloat", pos,
+						"order-nondeterministic value reaches %s via %s; sort or merge by index first so every member computes bit-identical statistics", via, shortFuncName(ns.name))
+				}
+				fa.noteOrd(t.params, via+" via "+shortFuncName(ns.name))
+			}
+		}
 		if s.sinkParams&bit != 0 {
 			pos := fa.argPos(call, argExprs, s.nparams, i)
 			if fa.allowed("secretflow", pos, call.Pos()) {
@@ -137,9 +198,9 @@ func (fa *funcAnalysis) applySummary(ns *namedSummary, call *ast.CallExpr, argEx
 			}
 			t := paramTaint(args, s.nparams, i)
 			via := s.sinkVia[i]
-			if t.raw != 0 {
+			if t.raw&classSecret != 0 {
 				fa.reportf("secretflow", pos,
-					"%s secret data reaches %s via %s", t.raw, via, shortFuncName(ns.name))
+					"%s secret data reaches %s via %s", t.raw&classSecret, via, shortFuncName(ns.name))
 			}
 			fa.noteSink(t.params, via+" via "+shortFuncName(ns.name))
 		}
@@ -210,8 +271,8 @@ func (fa *funcAnalysis) sinkCall(call *ast.CallExpr, sk SinkSpec, argExprs []ast
 		if fa.allowed("secretflow", a.Pos(), call.Pos()) {
 			continue
 		}
-		if t.raw != 0 {
-			fa.reportf("secretflow", a.Pos(), "%s secret data reaches %s in plaintext", t.raw, sk.Kind)
+		if t.raw&classSecret != 0 {
+			fa.reportf("secretflow", a.Pos(), "%s secret data reaches %s in plaintext", t.raw&classSecret, sk.Kind)
 		} else if sk.LogLeak {
 			fa.checkTypeLeak("logleak", a, sk.Kind)
 		} else {
@@ -267,6 +328,91 @@ func (fa *funcAnalysis) noteSink(params uint64, via string) {
 			if _, ok := fa.sum.sinkVia[i]; !ok {
 				fa.sum.sinkVia[i] = via
 			}
+		}
+	}
+}
+
+// noteObv records that parameters of the function under analysis steer
+// control flow or memory addressing somewhere beneath it. Barrier functions
+// never record: their body is the sanctioned primitive.
+func (fa *funcAnalysis) noteObv(params uint64, via string) {
+	if params == 0 || fa.obvBarrier {
+		return
+	}
+	if fa.sum.obvParams|params != fa.sum.obvParams {
+		fa.sum.obvParams |= params
+		fa.changed = true
+	}
+	if fa.sum.obvVia == nil {
+		fa.sum.obvVia = make(map[int]string)
+	}
+	for i := 0; i < 64; i++ {
+		if params&(1<<i) != 0 {
+			if _, ok := fa.sum.obvVia[i]; !ok {
+				fa.sum.obvVia[i] = via
+			}
+		}
+	}
+}
+
+// noteOrd records that parameters reach an order-sensitive statistic sink.
+func (fa *funcAnalysis) noteOrd(params uint64, via string) {
+	if params == 0 {
+		return
+	}
+	if fa.sum.ordParams|params != fa.sum.ordParams {
+		fa.sum.ordParams |= params
+		fa.changed = true
+	}
+	if fa.sum.ordVia == nil {
+		fa.sum.ordVia = make(map[int]string)
+	}
+	for i := 0; i < 64; i++ {
+		if params&(1<<i) != 0 {
+			if _, ok := fa.sum.ordVia[i]; !ok {
+				fa.sum.ordVia[i] = via
+			}
+		}
+	}
+}
+
+// inPlaceSorts lists the ordering barriers that sort their first argument in
+// place: the canonical collect-keys/sort/indexed-read idiom mutates the
+// slice, so the barrier must scrub the unordered bit from the argument
+// itself, not only from the (empty) result.
+var inPlaceSorts = map[string]bool{
+	"sort.Float64s":         true,
+	"sort.Ints":             true,
+	"sort.Strings":          true,
+	"sort.Slice":            true,
+	"sort.SliceStable":      true,
+	"sort.Sort":             true,
+	"sort.Stable":           true,
+	"slices.Sort":           true,
+	"slices.SortFunc":       true,
+	"slices.SortStableFunc": true,
+}
+
+// clearUnordered strong-updates the root object behind an in-place sort
+// argument, dropping the unordered class. The walk is AST-ordered, so the
+// final state of a collect-sort-read sequence is deterministic; summaries
+// stay union-monotone because parameter bits are untouched.
+func (fa *funcAnalysis) clearUnordered(arg ast.Expr) {
+	switch x := ast.Unparen(arg).(type) {
+	case *ast.Ident:
+		obj := fa.objectOf(x)
+		if obj == nil {
+			return
+		}
+		t := fa.obj[obj]
+		if t.raw&ClassUnordered != 0 {
+			t.raw &^= ClassUnordered
+			fa.obj[obj] = t
+		}
+	case *ast.CallExpr:
+		// sort.Sort(sort.Float64Slice(keys)): unwrap the conversion.
+		if tv, ok := fa.info().Types[x.Fun]; ok && tv.IsType() && len(x.Args) == 1 {
+			fa.clearUnordered(x.Args[0])
 		}
 	}
 }
@@ -327,8 +473,8 @@ func (fa *funcAnalysis) builtin(name string, call *ast.CallExpr) taintVal {
 			if fa.allowed("secretflow", a.Pos(), call.Pos()) {
 				continue
 			}
-			if t.raw != 0 {
-				fa.reportf("secretflow", a.Pos(), "%s secret data reaches built-in %s (host-visible output)", t.raw, name)
+			if t.raw&classSecret != 0 {
+				fa.reportf("secretflow", a.Pos(), "%s secret data reaches built-in %s (host-visible output)", t.raw&classSecret, name)
 			} else {
 				fa.checkTypeLeak("logleak", a, "built-in "+name)
 			}
@@ -338,18 +484,39 @@ func (fa *funcAnalysis) builtin(name string, call *ast.CallExpr) taintVal {
 	case "panic":
 		for _, a := range call.Args {
 			t := fa.eval(a)
+			// Whether a panic fires at all is control flow: secret-decided
+			// aborts are visible to the host adversary.
+			fa.checkObliviousTaint(a, t, "feeds a panic")
 			if fa.allowed("secretflow", a.Pos(), call.Pos()) {
 				continue
 			}
-			if t.raw != 0 {
-				fa.reportf("secretflow", a.Pos(), "%s secret data reaches a panic message (host-visible)", t.raw)
+			if t.raw&classSecret != 0 {
+				fa.reportf("secretflow", a.Pos(), "%s secret data reaches a panic message (host-visible)", t.raw&classSecret)
 			} else {
 				fa.checkTypeLeak("logleak", a, "a panic message")
 			}
 			fa.noteSink(t.params, "a panic message")
 		}
 		return taintVal{}
-	case "len", "cap", "make", "new", "delete", "clear", "close":
+	case "make":
+		// The size arguments become observable allocation behavior.
+		for i, a := range call.Args {
+			t := fa.eval(a)
+			if i > 0 {
+				fa.checkObliviousTaint(a, t, "sizes an allocation")
+			}
+		}
+		return taintVal{}
+	case "delete":
+		// Deleting by key is a map access at a data-dependent address.
+		for i, a := range call.Args {
+			t := fa.eval(a)
+			if i == 1 {
+				fa.checkObliviousTaint(a, t, "indexes memory")
+			}
+		}
+		return taintVal{}
+	case "len", "cap", "new", "clear", "close":
 		for _, a := range call.Args {
 			fa.eval(a)
 		}

@@ -12,9 +12,11 @@ import (
 	"os"
 	"path/filepath"
 	"regexp"
+	"runtime"
 	"sort"
 	"strconv"
 	"strings"
+	"sync"
 	"time"
 )
 
@@ -224,19 +226,119 @@ func (c *chainImporter) ImportFrom(path, dir string, mode types.ImportMode) (*ty
 	return c.std.ImportFrom(path, dir, mode)
 }
 
-// typeCheck runs go/types over every package in dependency order, recording
-// rather than propagating failures. A non-nil log receives per-package
-// wall-time lines.
+// lockedImporter serializes access to go/importer's "source" importer, which
+// is not safe for concurrent use. Intra-module imports never reach it (the
+// chainImporter answers those from already-checked packages), so the lock
+// only gates standard-library resolution — and the importer caches each std
+// package after its first load, so contention fades as the check warms up.
+type lockedImporter struct {
+	mu  sync.Mutex
+	imp types.ImporterFrom
+}
+
+func (l *lockedImporter) Import(path string) (*types.Package, error) {
+	return l.ImportFrom(path, "", 0)
+}
+
+func (l *lockedImporter) ImportFrom(path, dir string, mode types.ImportMode) (*types.Package, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.imp.ImportFrom(path, dir, mode)
+}
+
+// typeCheck runs go/types over every package, scheduling a package as soon
+// as its intra-module imports are checked (a wavefront over the dependency
+// DAG) and fanning the ready set across a GOMAXPROCS-bounded pool. Failures
+// are recorded on the package rather than propagated. A non-nil log receives
+// per-package wall-time lines plus a cpu-vs-wall summary.
 func typeCheck(mod *Module, byPath map[string]*Package, log io.Writer) {
 	std, _ := importer.ForCompiler(mod.Fset, "source", nil).(types.ImporterFrom)
-	imp := &chainImporter{local: byPath, std: std}
+	imp := &chainImporter{local: byPath, std: &lockedImporter{imp: std}}
+
+	// pending counts each package's unchecked intra-module imports;
+	// dependents inverts the edge so a completion can release its importers.
+	pending := make(map[string]int, len(mod.Packages))
+	dependents := make(map[string][]*Package)
 	for _, pkg := range mod.Packages {
-		start := time.Now()
-		checkPackage(mod.Fset, pkg, imp)
+		n := 0
+		for _, dep := range pkg.imports() {
+			if dep != pkg.Path && byPath[dep] != nil {
+				n++
+				dependents[dep] = append(dependents[dep], pkg)
+			}
+		}
+		pending[pkg.Path] = n
+	}
+
+	workers := runtime.GOMAXPROCS(0)
+	if workers > len(mod.Packages) {
+		workers = len(mod.Packages)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+
+	type result struct {
+		pkg *Package
+		dur time.Duration
+	}
+	ready := make(chan *Package, len(mod.Packages))
+	done := make(chan result, len(mod.Packages))
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for pkg := range ready {
+				start := time.Now()
+				checkPackage(mod.Fset, pkg, imp)
+				done <- result{pkg, time.Since(start)}
+			}
+		}()
+	}
+
+	// The coordinator owns pending and the log writer; workers only check
+	// packages. Channel hand-off orders a dependency's published Types
+	// before any dependent's read.
+	wallStart := time.Now()
+	scheduled := 0
+	for _, pkg := range mod.Packages {
+		if pending[pkg.Path] == 0 {
+			scheduled++
+			ready <- pkg
+		}
+	}
+	var cpu time.Duration
+	for finished := 0; finished < scheduled; finished++ {
+		res := <-done
+		cpu += res.dur
 		if log != nil {
 			fmt.Fprintf(log, "  load %-40s %8.1fms (%d files)\n",
-				pkg.Path, float64(time.Since(start).Microseconds())/1000, len(pkg.Files))
+				res.pkg.Path, float64(res.dur.Microseconds())/1000, len(res.pkg.Files))
 		}
+		for _, dep := range dependents[res.pkg.Path] {
+			pending[dep.Path]--
+			if pending[dep.Path] == 0 {
+				scheduled++
+				ready <- dep
+			}
+		}
+	}
+	close(ready)
+	wg.Wait()
+
+	// Import-cycle residue never reaches pending == 0; check it here so the
+	// packages still record their errors, as the serial loop did.
+	for _, pkg := range mod.Packages {
+		if pending[pkg.Path] > 0 {
+			checkPackage(mod.Fset, pkg, imp)
+		}
+	}
+	if log != nil {
+		wall := time.Since(wallStart)
+		fmt.Fprintf(log, "  load total %.1fms wall, %.1fms cpu across %d packages (%d workers, %.1fx)\n",
+			float64(wall.Microseconds())/1000, float64(cpu.Microseconds())/1000,
+			len(mod.Packages), workers, float64(cpu)/float64(wall))
 	}
 }
 

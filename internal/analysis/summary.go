@@ -21,7 +21,17 @@ const (
 	ClassAggregate SecretClass = 1 << iota
 	// ClassIndividual marks per-individual data and key material.
 	ClassIndividual
+	// ClassUnordered marks values whose bits depend on a scheduling or
+	// iteration order Go leaves unspecified (map ranges, select races,
+	// goroutine fan-in). Such values are not secret — they must simply never
+	// reach a cross-member-deterministic statistic without an ordering
+	// barrier. The divergentfloat analyzer owns this class.
+	ClassUnordered
 )
+
+// classSecret masks the confidentiality classes: the egress and checkpoint
+// sinks care about secrets, never about the determinism-only unordered bit.
+const classSecret = ClassAggregate | ClassIndividual
 
 func (c SecretClass) String() string {
 	switch {
@@ -31,6 +41,8 @@ func (c SecretClass) String() string {
 		return "per-individual"
 	case c&ClassAggregate != 0:
 		return "aggregate"
+	case c&ClassUnordered != 0:
+		return "order-nondeterministic"
 	}
 	return "none"
 }
@@ -89,6 +101,19 @@ type funcSummary struct {
 	ckptParams uint64
 	ckptVia    map[int]string
 
+	// obvParams: parameters that decide a branch, bound a loop, index
+	// memory, size an allocation or feed a panic somewhere beneath this
+	// function (outside oblivious barriers). An oblivious-scope caller
+	// passing per-individual data here voids the access-pattern guarantee.
+	obvParams uint64
+	obvVia    map[int]string
+
+	// ordParams: parameters that reach an order-sensitive statistic sink
+	// (the Table-4/Table-5 figures that must be bit-identical across
+	// members) without an ordering barrier in between.
+	ordParams uint64
+	ordVia    map[int]string
+
 	// fieldWrites: parameter-relative taint flowing into struct fields.
 	fieldWrites map[*types.Var]taintVal
 }
@@ -131,6 +156,30 @@ func (s *funcSummary) mergeInto(dst *funcSummary) bool {
 			dst.ckptVia[k] = v
 		}
 	}
+	if s.obvParams&^dst.obvParams != 0 {
+		dst.obvParams |= s.obvParams
+		changed = true
+	}
+	for k, v := range s.obvVia {
+		if _, ok := dst.obvVia[k]; !ok {
+			if dst.obvVia == nil {
+				dst.obvVia = make(map[int]string)
+			}
+			dst.obvVia[k] = v
+		}
+	}
+	if s.ordParams&^dst.ordParams != 0 {
+		dst.ordParams |= s.ordParams
+		changed = true
+	}
+	for k, v := range s.ordVia {
+		if _, ok := dst.ordVia[k]; !ok {
+			if dst.ordVia == nil {
+				dst.ordVia = make(map[int]string)
+			}
+			dst.ordVia[k] = v
+		}
+	}
 	for f, v := range s.fieldWrites {
 		u := dst.fieldWrites[f].union(v)
 		if u != dst.fieldWrites[f] {
@@ -160,6 +209,18 @@ type funcAnalysis struct {
 	litReturns map[*ast.FuncLit][]ast.Expr
 	sum        *funcSummary
 	changed    bool
+
+	// obvScope: the function lives in an access-pattern-critical scope and
+	// is not a sanctioned barrier — per-individual taint must not steer
+	// control flow or memory addressing here. obvBarrier functions skip both
+	// the checks and the obvParams bookkeeping (their body IS the sanctioned
+	// constant-time or ORAM primitive).
+	obvScope   bool
+	obvBarrier bool
+
+	// fanIn holds the channel objects this function fans goroutine results
+	// into without an index: receives from them are order-nondeterministic.
+	fanIn map[types.Object]bool
 }
 
 func newFuncAnalysis(eng *taintEngine, fd *funcDecl, report bool) *funcAnalysis {
@@ -201,7 +262,110 @@ func newFuncAnalysis(eng *taintEngine, fd *funcDecl, report bool) *funcAnalysis 
 			fa.obj[obj] = taintVal{params: 1 << i}
 		}
 	}
+	if eng.spec.Oblivious != nil {
+		fa.obvBarrier = eng.obliviousBarrier(fd.fn)
+		fa.obvScope = !fa.obvBarrier && eng.obliviousScope(fd)
+	}
+	// Inside an oblivious scope a parameter whose static type can hold
+	// per-individual data is assumed to carry it: the scope exists because
+	// such data is processed there, and waiting for a concretely tainted
+	// call site would leave intra-scope leaks (a branch on a genotype bit in
+	// the ORAM loader) invisible when every caller lives outside the scope.
+	// Reporting pass only — seeding summaries would smear concrete class
+	// taint onto every caller module-wide.
+	if report && fa.obvScope {
+		for obj := range fa.paramIdx {
+			if cls := eng.typeSecretClass(obj.Type()) & ClassIndividual; cls != 0 {
+				t := fa.obj[obj]
+				t.raw |= cls
+				fa.obj[obj] = t
+			}
+		}
+	}
+	fa.scanFanIn()
 	return fa
+}
+
+// scanFanIn finds channels this function body sends to from more than one
+// unordered producer: two or more go-launched literals, or one launched
+// inside a loop. Receives from such a channel observe a scheduling order Go
+// does not define.
+func (fa *funcAnalysis) scanFanIn() {
+	body := fa.fd.decl.Body
+	if body == nil {
+		return
+	}
+	// Loop extents (including loops inside literals) decide whether a single
+	// go statement stands for many goroutines.
+	type span struct{ lo, hi token.Pos }
+	var loops []span
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n.(type) {
+		case *ast.ForStmt, *ast.RangeStmt:
+			loops = append(loops, span{n.Pos(), n.End()})
+		}
+		return true
+	})
+	inLoop := func(pos token.Pos) bool {
+		for _, l := range loops {
+			if l.lo <= pos && pos < l.hi {
+				return true
+			}
+		}
+		return false
+	}
+	senders := make(map[types.Object]int)
+	ast.Inspect(body, func(n ast.Node) bool {
+		g, ok := n.(*ast.GoStmt)
+		if !ok {
+			return true
+		}
+		lit, ok := ast.Unparen(g.Call.Fun).(*ast.FuncLit)
+		if !ok {
+			return true
+		}
+		weight := 1
+		if inLoop(g.Pos()) {
+			weight = 2
+		}
+		ast.Inspect(lit.Body, func(m ast.Node) bool {
+			send, ok := m.(*ast.SendStmt)
+			if !ok {
+				return true
+			}
+			if obj := fa.chanObj(send.Chan); obj != nil {
+				w := weight
+				if inLoop(send.Pos()) {
+					w = 2
+				}
+				senders[obj] += w
+			}
+			return true
+		})
+		return true
+	})
+	for obj, n := range senders {
+		if n >= 2 {
+			if fa.fanIn == nil {
+				fa.fanIn = make(map[types.Object]bool)
+			}
+			fa.fanIn[obj] = true
+		}
+	}
+}
+
+// chanObj resolves a channel expression to the object anchoring it: a local
+// or package variable, or the struct field it is stored in.
+func (fa *funcAnalysis) chanObj(e ast.Expr) types.Object {
+	switch x := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		return fa.objectOf(x)
+	case *ast.SelectorExpr:
+		if f := fa.fieldOf(x); f != nil {
+			return f
+		}
+	}
+	return nil
 }
 
 // run iterates the flow-insensitive walk to a local fixpoint and returns the
@@ -253,6 +417,12 @@ func (fa *funcAnalysis) walk(body *ast.BlockStmt) {
 		case *ast.RangeStmt:
 			if s.X != nil {
 				t := fa.eval(s.X)
+				// Iterating a map (or a fan-in channel) observes an order
+				// the language does not define: the key and value pick up
+				// the unordered class on top of the container's taint.
+				if fa.unorderedRange(s.X) {
+					t.raw |= ClassUnordered
+				}
 				// Over a slice, array, string or integer the key is a
 				// position — metadata, not data. Map keys and channel
 				// elements do carry the ranged value's taint.
@@ -265,6 +435,21 @@ func (fa *funcAnalysis) walk(body *ast.BlockStmt) {
 			fa.returnStmt(s)
 		case *ast.CallExpr:
 			fa.eval(s)
+		case *ast.IfStmt:
+			fa.checkOblivious(s.Cond, "decides a branch")
+		case *ast.ForStmt:
+			fa.checkOblivious(s.Cond, "bounds a loop")
+		case *ast.SwitchStmt:
+			fa.checkOblivious(s.Tag, "decides a switch")
+			for _, c := range s.Body.List {
+				if cc, ok := c.(*ast.CaseClause); ok {
+					for _, e := range cc.List {
+						fa.checkOblivious(e, "decides a switch")
+					}
+				}
+			}
+		case *ast.SelectStmt:
+			fa.selectStmt(s)
 		case *ast.FuncLit:
 			// The literal's parameters participate in the shared
 			// environment; its body is walked by this same Inspect.
@@ -272,6 +457,76 @@ func (fa *funcAnalysis) walk(body *ast.BlockStmt) {
 		}
 		return true
 	})
+}
+
+// selectStmt marks values received in a multi-way select as unordered: which
+// ready case wins is a scheduler race, so downstream statistics built from
+// them can diverge across members.
+func (fa *funcAnalysis) selectStmt(s *ast.SelectStmt) {
+	comm := 0
+	for _, c := range s.Body.List {
+		if cc, ok := c.(*ast.CommClause); ok && cc.Comm != nil {
+			comm++
+		}
+	}
+	if comm < 2 {
+		return
+	}
+	for _, c := range s.Body.List {
+		cc, ok := c.(*ast.CommClause)
+		if !ok {
+			continue
+		}
+		if assign, ok := cc.Comm.(*ast.AssignStmt); ok {
+			for _, l := range assign.Lhs {
+				fa.assignLHS(l, taintVal{raw: ClassUnordered})
+			}
+		}
+	}
+}
+
+// unorderedRange reports whether ranging over x observes an unspecified
+// order: any map, or a channel multiple goroutines fan into.
+func (fa *funcAnalysis) unorderedRange(x ast.Expr) bool {
+	tv, ok := fa.info().Types[x]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	switch tv.Type.Underlying().(type) {
+	case *types.Map:
+		return true
+	case *types.Chan:
+		return fa.fanIn[fa.chanObj(x)]
+	}
+	return false
+}
+
+// checkOblivious guards one control-flow or addressing position inside an
+// oblivious scope: concrete per-individual taint is a finding, parameter-
+// relative taint becomes an obvParams summary bit so in-scope callers are
+// flagged at the call site instead.
+func (fa *funcAnalysis) checkOblivious(e ast.Expr, what string) {
+	if e == nil || fa.eng.spec.Oblivious == nil || fa.obvBarrier {
+		return
+	}
+	fa.checkObliviousTaint(e, fa.eval(e), what)
+}
+
+func (fa *funcAnalysis) checkObliviousTaint(e ast.Expr, t taintVal, what string) {
+	if fa.eng.spec.Oblivious == nil || fa.obvBarrier {
+		return
+	}
+	if t.raw&ClassIndividual == 0 && t.params == 0 {
+		return
+	}
+	if fa.allowed("obliviousflow", e.Pos()) {
+		return
+	}
+	if fa.obvScope && t.raw&ClassIndividual != 0 {
+		fa.reportf("obliviousflow", e.Pos(),
+			"per-individual data %s in oblivious code; route it through a constant-time primitive (internal/oblivious/ct) or a declared //gendpr:oblivious barrier", what)
+	}
+	fa.noteObv(t.params, what)
 }
 
 // collectReturns gathers the return expressions of a function literal,
@@ -357,6 +612,9 @@ func (fa *funcAnalysis) assignLHS(lhs ast.Expr, t taintVal) {
 		}
 		fa.assignLHS(l.X, t)
 	case *ast.IndexExpr:
+		// Storing THROUGH a tainted index reveals the address just like a
+		// read does.
+		fa.checkObliviousTaint(l.Index, fa.eval(l.Index), "indexes memory")
 		fa.assignLHS(l.X, t)
 	case *ast.StarExpr:
 		fa.assignLHS(l.X, t)
@@ -394,6 +652,12 @@ func (fa *funcAnalysis) returnStmt(s *ast.ReturnStmt) {
 	for i, r := range s.Results {
 		addResult(i, fa.eval(r))
 	}
+}
+
+// isNilExpr reports whether e is the predeclared nil.
+func (fa *funcAnalysis) isNilExpr(e ast.Expr) bool {
+	tv, ok := fa.info().Types[e]
+	return ok && tv.IsNil()
 }
 
 // rangeKeyCarries reports whether the key variable of a range over x receives
@@ -464,21 +728,56 @@ func (fa *funcAnalysis) eval(e ast.Expr) taintVal {
 	case *ast.CallExpr:
 		return fa.call(x)
 	case *ast.IndexExpr:
-		return fa.eval(x.X).union(fa.eval(x.Index))
+		if tv, ok := fa.info().Types[x.Index]; ok && tv.IsType() {
+			// Generic instantiation, not an element access.
+			return fa.eval(x.X)
+		}
+		it := fa.eval(x.Index)
+		fa.checkObliviousTaint(x.Index, it, "indexes memory")
+		return fa.eval(x.X).union(it)
 	case *ast.SliceExpr:
+		for _, idx := range []ast.Expr{x.Low, x.High, x.Max} {
+			if idx != nil {
+				fa.checkObliviousTaint(idx, fa.eval(idx), "indexes memory")
+			}
+		}
 		return fa.eval(x.X)
 	case *ast.StarExpr:
 		return fa.eval(x.X)
 	case *ast.UnaryExpr:
-		return fa.eval(x.X)
+		t := fa.eval(x.X)
+		if x.Op == token.ARROW && fa.fanIn[fa.chanObj(x.X)] {
+			// Receiving from a fan-in channel: arrival order is a race.
+			t.raw |= ClassUnordered
+		}
+		return t
 	case *ast.BinaryExpr:
 		switch x.Op {
 		case token.EQL, token.NEQ, token.LSS, token.LEQ, token.GTR, token.GEQ,
 			token.LAND, token.LOR:
-			// Comparisons yield booleans; a one-bit predicate is below the
-			// engine's reporting granularity.
-			fa.eval(x.X)
-			fa.eval(x.Y)
+			l := fa.eval(x.X)
+			r := fa.eval(x.Y)
+			if fa.isNilExpr(x.X) || fa.isNilExpr(x.Y) {
+				// Comparing against nil observes presence, not content: a
+				// `shard == nil` guard is uniform across cohorts and below
+				// every analyzer's granularity.
+				return taintVal{}
+			}
+			if x.Op == token.LAND || x.Op == token.LOR {
+				// Short-circuit: evaluating the right operand is itself a
+				// branch decided by the left one.
+				fa.checkObliviousTaint(x.X, l, "decides a branch")
+			}
+			if fa.obvScope {
+				// Inside oblivious scopes the one-bit predicate IS the
+				// side channel: keep the per-individual component (and its
+				// parameter relativity) so `ok := g == 1; if ok` and
+				// branchy helper functions are still caught.
+				u := l.union(r)
+				return taintVal{raw: u.raw & ClassIndividual, params: u.params}
+			}
+			// Elsewhere a one-bit predicate is below the engine's
+			// reporting granularity.
 			return taintVal{}
 		}
 		return fa.eval(x.X).union(fa.eval(x.Y))

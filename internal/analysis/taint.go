@@ -4,6 +4,7 @@ import (
 	"go/ast"
 	"go/token"
 	"go/types"
+	"path/filepath"
 	"regexp"
 	"sort"
 	"sync"
@@ -78,6 +79,71 @@ type TaintSpec struct {
 	// structurally checked: no field may be able to hold per-individual
 	// data.
 	CheckpointStructPkgs []string
+	// Oblivious, when non-nil, enables the obliviousflow analyzer: inside
+	// its Scopes, per-individual data must not steer control flow or memory
+	// addressing except through a declared barrier.
+	Oblivious *ObliviousSpec
+	// OrderSinks maps function keys to a description of the order-sensitive
+	// statistic they compute: order-nondeterministic values (map iteration,
+	// select races, goroutine fan-in) must not reach them, because every
+	// federation member must derive bit-identical Table-4/Table-5 figures.
+	OrderSinks map[string]string
+	// OrderBarriers lists functions whose result is order-deterministic
+	// regardless of input ordering (sorts, indexed merges). The
+	// //gendpr:ordered annotation extends this table in source.
+	OrderBarriers map[string]bool
+}
+
+// ObliviousSpec configures the obliviousflow analyzer.
+type ObliviousSpec struct {
+	// Scopes are the access-pattern-critical regions: packages (and
+	// optionally specific files) whose code executes where the paper's §2
+	// host adversary observes control flow and memory addresses.
+	Scopes []Scope
+	// Barriers are the sanctioned data-oblivious primitives, keyed like
+	// every other engine table by types.Func.FullName. Their bodies are
+	// exempt (the branch/index inside IS the constant-time or ORAM
+	// implementation) and taint handed to them does not propagate blame to
+	// callers. The //gendpr:oblivious annotation extends this table.
+	Barriers map[string]bool
+}
+
+// DefaultObliviousSpec returns GenDPR's oblivious-execution policy: the
+// enclave-resident packages that implement Path ORAM, secret sharing,
+// Paillier and the oblivious Provider, with the ORAM access path and the
+// constant-time select/compare helpers as sanctioned barriers.
+func DefaultObliviousSpec() *ObliviousSpec {
+	return &ObliviousSpec{
+		Scopes: []Scope{
+			{PathPrefix: "gendpr/internal/oram"},
+			{PathPrefix: "gendpr/internal/oblivious"},
+			{PathPrefix: "gendpr/internal/secshare"},
+			{PathPrefix: "gendpr/internal/paillier"},
+			{PathPrefix: "gendpr/internal/enclave"},
+			{PathPrefix: "gendpr/internal/core", Files: []string{"oblivious_member.go"}},
+		},
+		Barriers: map[string]bool{
+			// The ORAM access path: its stash walk and position-map reads
+			// are the oblivious storage primitive itself; every real access
+			// touches a full root-to-leaf path regardless of the index.
+			"(*gendpr/internal/oram.ORAM).access": true,
+			"(*gendpr/internal/oram.ORAM).Read":   true,
+			"(*gendpr/internal/oram.ORAM).Write":  true,
+			"(*gendpr/internal/oram.Store).Get":   true,
+			"(*gendpr/internal/oram.Store).Put":   true,
+			// Constant-time selection over secret operands.
+			"gendpr/internal/oblivious.Select64":    true,
+			"gendpr/internal/oblivious.SelectFloat": true,
+			"gendpr/internal/oblivious.LessBit":     true,
+			// The ct helper set: branchless select/compare over uint64
+			// masks. Each also carries a //gendpr:oblivious annotation; the
+			// table entries keep the spec authoritative on its own.
+			"gendpr/internal/oblivious/ct.Select": true,
+			"gendpr/internal/oblivious/ct.Eq":     true,
+			"gendpr/internal/oblivious/ct.Less":   true,
+			"gendpr/internal/oblivious/ct.Bit":    true,
+		},
+	}
 }
 
 // DefaultTaintSpec returns GenDPR's policy: the secret types and accessors
@@ -102,8 +168,13 @@ func DefaultTaintSpec() *TaintSpec {
 		},
 		SourceFuncs: map[string]SecretClass{
 			// Per-individual sources: generators, decoders, key material.
-			"gendpr/internal/genome.Generate":            ClassIndividual,
-			"gendpr/internal/genome.MatrixFromBytes":     ClassIndividual,
+			"gendpr/internal/genome.Generate":        ClassIndividual,
+			"gendpr/internal/genome.MatrixFromBytes": ClassIndividual,
+			// Single-genotype accessors: their result IS one individual's
+			// allele, the unit the oblivious machinery exists to hide.
+			"(*gendpr/internal/genome.Matrix).Get":       ClassIndividual,
+			"(*gendpr/internal/genome.Matrix).GetBit":    ClassIndividual,
+			"(*gendpr/internal/genome.Matrix).RowWords":  ClassIndividual,
 			"gendpr/internal/lrtest.FromBytes":           ClassIndividual,
 			"gendpr/internal/lrtest.DecodeWire":          ClassIndividual,
 			"gendpr/internal/lrtest.DecodeWireBit":       ClassIndividual,
@@ -277,13 +348,46 @@ func DefaultTaintSpec() *TaintSpec {
 		},
 		NoCkptSinkPkgs:       []string{"gendpr/internal/checkpoint"},
 		CheckpointStructPkgs: []string{"gendpr/internal/checkpoint"},
+		Oblivious:            DefaultObliviousSpec(),
+		OrderSinks: map[string]string{
+			// Table-4/Table-5 statistic constructors: every member must feed
+			// them identically-ordered inputs or the federated floats drift.
+			"gendpr/internal/stats.MAF":                       "stats.MAF (minor allele frequency)",
+			"gendpr/internal/stats.NewSingleTable":            "stats.NewSingleTable (per-SNP contingency table)",
+			"gendpr/internal/stats.LDPValue":                  "stats.LDPValue (LD chi-square p-value)",
+			"gendpr/internal/stats.ChiSquareSurvival":         "stats.ChiSquareSurvival",
+			"gendpr/internal/lrtest.NewLogRatios":             "lrtest.NewLogRatios (Table-4 LR vector)",
+			"gendpr/internal/lrtest.Evaluate":                 "lrtest.Evaluate (detection-power figure)",
+			"gendpr/internal/lrtest.EvaluateBit":              "lrtest.EvaluateBit (detection-power figure)",
+			"gendpr/internal/lrtest.Threshold":                "lrtest.Threshold (LR decision threshold)",
+			"gendpr/internal/lrtest.Power":                    "lrtest.Power (detection-power figure)",
+			"gendpr/internal/lrtest.SelectSafe":               "lrtest.SelectSafe (released SNP selection)",
+			"gendpr/internal/lrtest.SelectSafeWithOrder":      "lrtest.SelectSafeWithOrder (released SNP selection)",
+			"gendpr/internal/lrtest.SelectSafeBit":            "lrtest.SelectSafeBit (released SNP selection)",
+			"gendpr/internal/lrtest.SelectSafeBitWithOrder":   "lrtest.SelectSafeBitWithOrder (released SNP selection)",
+			"gendpr/internal/lrtest.DiscriminabilityOrder":    "lrtest.DiscriminabilityOrder (greedy LD scan order)",
+			"gendpr/internal/lrtest.DiscriminabilityOrderBit": "lrtest.DiscriminabilityOrderBit (greedy LD scan order)",
+		},
+		OrderBarriers: map[string]bool{
+			"sort.Float64s":         true,
+			"sort.Ints":             true,
+			"sort.Strings":          true,
+			"sort.Slice":            true,
+			"sort.SliceStable":      true,
+			"sort.Sort":             true,
+			"sort.Stable":           true,
+			"slices.Sort":           true,
+			"slices.SortFunc":       true,
+			"slices.SortStableFunc": true,
+		},
 	}
 	return spec
 }
 
-// annotationDirective matches //gendpr:secret, //gendpr:source(class) and
-// //gendpr:declassifier[(mode)] with an optional trailing ": note".
-var annotationDirective = regexp.MustCompile(`^//gendpr:(secret|source|declassifier)(?:\(([a-z]+)\))?(?:\s*:.*)?$`)
+// annotationDirective matches //gendpr:secret, //gendpr:source(class),
+// //gendpr:declassifier[(mode)], //gendpr:oblivious and //gendpr:ordered,
+// each with an optional trailing ": note".
+var annotationDirective = regexp.MustCompile(`^//gendpr:(secret|source|declassifier|oblivious|ordered)(?:\(([a-z]+)\))?(?:\s*:.*)?$`)
 
 func classFromArg(arg string) SecretClass {
 	switch arg {
@@ -315,6 +419,8 @@ type taintEngine struct {
 	secretTypes  map[*types.TypeName]SecretClass
 	srcAnnot     map[*types.Func]SecretClass
 	declAnnot    map[*types.Func]DeclassMode
+	obvAnnot     map[*types.Func]bool
+	ordAnnot     map[*types.Func]bool
 
 	// Module-level fixpoint state.
 	summaries  map[*types.Func]*funcSummary
@@ -353,6 +459,8 @@ func newTaintEngine(mod *Module, spec *TaintSpec) *taintEngine {
 		secretTypes:   make(map[*types.TypeName]SecretClass),
 		srcAnnot:      make(map[*types.Func]SecretClass),
 		declAnnot:     make(map[*types.Func]DeclassMode),
+		obvAnnot:      make(map[*types.Func]bool),
+		ordAnnot:      make(map[*types.Func]bool),
 		summaries:     make(map[*types.Func]*funcSummary),
 		fieldTaint:    make(map[*types.Var]taintVal),
 		typeClass:     make(map[types.Type]SecretClass),
@@ -401,6 +509,10 @@ func (eng *taintEngine) collectAnnotations() {
 						eng.srcAnnot[fn] = classFromArg(arg)
 					case "declassifier":
 						eng.declAnnot[fn] = declassModeFromArg(arg)
+					case "oblivious":
+						eng.obvAnnot[fn] = true
+					case "ordered":
+						eng.ordAnnot[fn] = true
 					}
 				case *ast.GenDecl:
 					eng.collectTypeAnnotations(pkg, decl)
@@ -569,6 +681,42 @@ func (eng *taintEngine) summariesFor(fn *types.Func, impls []*types.Func) []*nam
 		}
 	}
 	return out
+}
+
+// obliviousBarrier reports whether fn is a sanctioned data-oblivious
+// primitive: its body is exempt from oblivious-flow checks (the branch or
+// table walk inside IS the constant-time implementation) and per-individual
+// taint handed to it does not propagate blame to callers.
+func (eng *taintEngine) obliviousBarrier(fn *types.Func) bool {
+	if fn == nil || eng.spec.Oblivious == nil {
+		return false
+	}
+	return eng.spec.Oblivious.Barriers[eng.cg.name(fn)] || eng.obvAnnot[fn]
+}
+
+// obliviousScope reports whether fd's body executes inside an
+// access-pattern-critical region, where the host adversary observes control
+// flow and memory addresses.
+func (eng *taintEngine) obliviousScope(fd *funcDecl) bool {
+	if eng.spec.Oblivious == nil {
+		return false
+	}
+	base := filepath.Base(fd.pkg.Fset.Position(fd.decl.Pos()).Filename)
+	for _, s := range eng.spec.Oblivious.Scopes {
+		if s.matches(fd.pkg.Path, base) {
+			return true
+		}
+	}
+	return false
+}
+
+// orderBarrier reports whether a call to fn (engine table key `key`) yields
+// order-deterministic output regardless of input arrival order.
+func (eng *taintEngine) orderBarrier(fn *types.Func, key string) bool {
+	if eng.spec.OrderBarriers[key] {
+		return true
+	}
+	return fn != nil && eng.ordAnnot[fn]
 }
 
 func (eng *taintEngine) declassifierFor(fn *types.Func, key string) (DeclassMode, bool) {
@@ -806,5 +954,26 @@ func NewLogLeak(reg *TaintRegistry) *Analyzer {
 func NewCheckpointPlain(reg *TaintRegistry) *Analyzer {
 	return taintAnalyzer("checkpointplain",
 		"checkpoints must contain only declared post-aggregation state; per-individual data is never persisted, even encrypted",
+		reg)
+}
+
+// NewObliviousFlow reports per-individual data steering control flow or
+// memory addressing inside the access-pattern-critical packages: a
+// ClassIndividual-tainted value must not decide a branch, bound a loop,
+// index memory, size an allocation or feed a panic, except inside a declared
+// oblivious barrier (constant-time selects, the ORAM access path).
+func NewObliviousFlow(reg *TaintRegistry) *Analyzer {
+	return taintAnalyzer("obliviousflow",
+		"inside enclave-resident oblivious code, per-individual data must not decide branches, bound loops, or address memory except through declared constant-time or ORAM barriers",
+		reg)
+}
+
+// NewDivergentFloat reports order-nondeterministic values (map iteration,
+// select races, unordered goroutine fan-in) flowing into the Table-4/Table-5
+// statistics that every federation member must reproduce bit-identically,
+// unless the value passed an ordering barrier (sort, indexed merge).
+func NewDivergentFloat(reg *TaintRegistry) *Analyzer {
+	return taintAnalyzer("divergentfloat",
+		"order-nondeterministic values must pass an ordering barrier before feeding statistics that members must derive bit-identically",
 		reg)
 }

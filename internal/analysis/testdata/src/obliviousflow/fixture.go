@@ -1,0 +1,176 @@
+// Package fixture exercises the obliviousflow analyzer: inside an
+// access-pattern-critical scope (the test registers this package as one),
+// per-individual data must not decide branches, bound loops, index memory,
+// size allocations or feed panics — except through a declared oblivious
+// barrier (the annotated ctSelect/ctEq below stand in for
+// internal/oblivious/ct).
+package fixture
+
+//gendpr:source(individual): one genotype value
+func genotype() uint64 { return 1 }
+
+//gendpr:source(aggregate): cohort-level count
+func cohortCount() uint64 { return 42 }
+
+// ctSelect is the fixture's constant-time select: a declared barrier, so its
+// body is exempt and handing secrets to it is sanctioned.
+//
+//gendpr:oblivious: mask arithmetic stand-in for ct.Select
+func ctSelect(choose, a, b uint64) uint64 {
+	mask := -(choose & 1)
+	return b ^ (mask & (a ^ b))
+}
+
+// ctEq is the fixture's constant-time equality.
+//
+//gendpr:oblivious: mask arithmetic stand-in for ct.Eq
+func ctEq(a, b uint64) uint64 {
+	x := a ^ b
+	return ((x | -x) >> 63) ^ 1
+}
+
+// plainBranch: the direct violation ctSelect exists to avoid.
+func plainBranch() uint64 {
+	g := genotype()
+	if g == 1 { // want "per-individual data decides a branch"
+		return 7
+	}
+	return 9
+}
+
+// maskedSelect computes the same result through the barrier: silent, even
+// with the call split across lines.
+func maskedSelect() uint64 {
+	g := genotype()
+	return ctSelect(
+		ctEq(g, 1),
+		7,
+		9,
+	)
+}
+
+// predicate: a stored one-bit predicate still carries the secret.
+func predicate() uint64 {
+	g := genotype()
+	ok := g == 1
+	if ok { // want "per-individual data decides a branch"
+		return 1
+	}
+	return 0
+}
+
+// loopBound: iteration count reveals the value.
+func loopBound() uint64 {
+	g := genotype()
+	var acc uint64
+	for i := uint64(0); i < g; i++ { // want "per-individual data bounds a loop"
+		acc++
+	}
+	return acc
+}
+
+// indexed: a secret-derived address is visible to the host.
+func indexed(table []uint64) uint64 {
+	g := genotype()
+	return table[g] // want "per-individual data indexes memory"
+}
+
+// sliced: slice bounds are addresses too.
+func sliced(table []uint64) []uint64 {
+	g := genotype()
+	return table[g:] // want "per-individual data indexes memory"
+}
+
+// sized: allocation size is observable host behavior.
+func sized() []uint64 {
+	g := genotype()
+	return make([]uint64, g) // want "per-individual data sizes an allocation"
+}
+
+// aborted: whether a panic fires is control flow.
+func aborted() {
+	g := genotype()
+	panic(g) // want "per-individual data feeds a panic"
+}
+
+// switched: switch tags and case expressions decide multi-way branches.
+func switched() int {
+	g := genotype()
+	switch g { // want "per-individual data decides a switch"
+	case 1:
+		return 1
+	}
+	return 0
+}
+
+// shortCircuit: evaluating the right operand of && is itself a branch
+// decided by the left.
+func shortCircuit(pub bool) bool {
+	g := genotype()
+	return g == 1 && pub // want "per-individual data decides a branch"
+}
+
+// twoHop: the branch sits two calls beneath the secret — the summary chain
+// carries the blame back to the in-scope call site.
+func hop2(x uint64) uint64 {
+	if x == 1 { // parameter-relative here: blamed at the tainted call site
+		return 1
+	}
+	return 0
+}
+
+func hop1(x uint64) uint64 { return hop2(x) }
+
+func twoHop() uint64 {
+	g := genotype()
+	return hop1(g) // want "per-individual data decides a branch"
+}
+
+// chooser dispatches the decision through an interface: the may-call
+// summaries of the implementations still carry the blame.
+type chooser interface {
+	pick(x uint64) uint64
+}
+
+type branchy struct{}
+
+func (branchy) pick(x uint64) uint64 {
+	if x == 1 {
+		return 1
+	}
+	return 0
+}
+
+func dispatched(c chooser) uint64 {
+	g := genotype()
+	return c.pick(g) // want "per-individual data decides a branch"
+}
+
+// captured: a closure capturing the secret branches on it.
+func captured() uint64 {
+	g := genotype()
+	pick := func() uint64 {
+		if g == 1 { // want "per-individual data decides a branch"
+			return 1
+		}
+		return 0
+	}
+	return pick()
+}
+
+// aggregateBranch: cohort-level statistics are not per-individual data; the
+// LD cutoff comparison in phase code is legitimate control flow.
+func aggregateBranch() uint64 {
+	c := cohortCount()
+	if c > 40 {
+		return 1
+	}
+	return 0
+}
+
+// justified: a reviewed exception stays silent and binds to its own line.
+func justified(table []uint64) uint64 {
+	g := genotype()
+	//gendpr:allow(obliviousflow): fixture exercises the suppression path
+	return table[g]
+}

@@ -468,6 +468,45 @@ func (r *assessmentRun) subsetPairStats(subset []int) PairStatsFunc {
 	}
 }
 
+// ldBatchWindow is how many upcoming survivor-chain pairs one batch hint
+// covers. Chains longer than the window re-announce; a window of one would
+// degenerate to the per-pair path with extra round trips.
+const ldBatchWindow = 16
+
+// subsetPrefetch returns the survivor-chain batch hook for one combination:
+// announced pairs are fetched from the combination's members in parallel,
+// one batched request each, and land in the same caches the pooled
+// PairStatsFunc reads.
+func (r *assessmentRun) subsetPrefetch(subset []int) PairBatchFunc {
+	return func(pairs [][2]int) error {
+		for _, key := range pairs {
+			r.pairMu.Lock()
+			fresh := !r.pairsSeen[key]
+			if fresh {
+				r.pairsSeen[key] = true
+			}
+			r.pairMu.Unlock()
+			if fresh {
+				if err := r.alloc(bytesPerPairStat * int64(len(r.members))); err != nil {
+					return err
+				}
+			}
+		}
+		errs := make([]error, len(subset))
+		var wg sync.WaitGroup
+		for slot, i := range subset {
+			slot, i := slot, i
+			r.pool.Go(&wg, func() {
+				if err := r.members[i].Prefetch(pairs); err != nil {
+					errs[slot] = memberErr(i, PhaseLD, "survivor-chain prefetch: %w", err)
+				}
+			})
+		}
+		wg.Wait()
+		return errors.Join(errs...)
+	}
+}
+
 // prefetchAdjacentPairs warms every member's pair cache with the adjacent
 // pairs of L' in one batched request per member. The greedy LD scan examines
 // exactly these pairs when no SNP is removed; removals trigger lazy
@@ -545,7 +584,8 @@ func (r *assessmentRun) phase2LD(subsets [][]int, lPrime []int) ([]int, [][]int,
 	per := make([][]int, len(subsets))
 	err = r.forEachSubset(subsets, func(c int, subset []int) error {
 		start := time.Now()
-		lDouble, err := LDPhase(lPrime, r.subsetPairStats(subset), pvals, r.cfg.LDCutoff)
+		lDouble, err := LDPhaseBatch(lPrime, r.subsetPairStats(subset),
+			r.subsetPrefetch(subset), ldBatchWindow, pvals, r.cfg.LDCutoff)
 		r.addTiming(&r.report.Timings.LD, start)
 		if err != nil {
 			return err

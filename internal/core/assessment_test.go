@@ -4,6 +4,7 @@ import (
 	"errors"
 	"math/rand"
 	"strings"
+	"sync"
 	"testing"
 
 	"gendpr/internal/enclave"
@@ -401,6 +402,63 @@ func TestSelectionHelpers(t *testing.T) {
 	}
 	if s.Equal(Selection{}) {
 		t.Error("distinct selections compare equal")
+	}
+}
+
+// countingBatchMember wraps a LocalMember and counts which pair-statistics
+// path the leader exercises: lazy single-pair fetches vs batched requests.
+type countingBatchMember struct {
+	*LocalMember
+	mu      sync.Mutex
+	singles int
+	batches int
+}
+
+func (c *countingBatchMember) PairStats(a, b int) (genome.PairStats, error) {
+	c.mu.Lock()
+	c.singles++
+	c.mu.Unlock()
+	return c.LocalMember.PairStats(a, b)
+}
+
+func (c *countingBatchMember) PairStatsBatch(pairs [][2]int) ([]genome.PairStats, error) {
+	c.mu.Lock()
+	c.batches++
+	c.mu.Unlock()
+	return c.LocalMember.PairStatsBatch(pairs)
+}
+
+// TestPhase2LDUsesBatchPath is the survivor-chain batching regression test:
+// every pair the LD scan examines — the adjacent pairs warmed up front AND
+// the non-adjacent survivor-chain pairs a dependence removal creates — must
+// reach members through PairStatsBatch, never through per-pair fallbacks.
+func TestPhase2LDUsesBatchPath(t *testing.T) {
+	cohort := testCohort(t, 150, 360, 17)
+	members := make([]Provider, 0, 3)
+	var counters []*countingBatchMember
+	for _, shard := range shardsOf(t, cohort, 3) {
+		c := &countingBatchMember{LocalMember: NewLocalMember(shard)}
+		counters = append(counters, c)
+		members = append(members, c)
+	}
+	report, err := RunAssessment(members, cohort.Reference, DefaultConfig(), CollusionPolicy{}, nil)
+	if err != nil {
+		t.Fatalf("RunAssessment: %v", err)
+	}
+	if len(report.Selection.AfterLD) >= len(report.Selection.AfterMAF) {
+		t.Fatal("degenerate test data: LD phase pruned nothing, no survivor chain to batch")
+	}
+	for i, c := range counters {
+		c.mu.Lock()
+		singles, batches := c.singles, c.batches
+		c.mu.Unlock()
+		if singles != 0 {
+			t.Errorf("member %d: %d single-pair request(s) escaped the batch path", i, singles)
+		}
+		// At least the adjacency warm-up plus one survivor-chain hint.
+		if batches < 2 {
+			t.Errorf("member %d: %d batched request(s), want >= 2 (warm-up + survivor chain)", i, batches)
+		}
 	}
 }
 

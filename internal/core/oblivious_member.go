@@ -48,10 +48,11 @@ func NewObliviousMember(shard *genome.Matrix, rng oram.Rand) (*ObliviousMember, 
 		for i := range buf {
 			buf[i] = 0
 		}
+		// Fold each genotype bit in with mask arithmetic: a conditional
+		// store here would make the write trace depend on allele values,
+		// which is exactly what routing columns through the ORAM hides.
 		for i := 0; i < shard.N(); i++ {
-			if shard.Get(i, l) {
-				buf[i/8] |= 1 << (uint(i) % 8)
-			}
+			buf[i/8] |= shard.GetBit(i, l) << (uint(i) % 8)
 		}
 		if err := store.Put(l, buf); err != nil {
 			return nil, fmt.Errorf("core: oblivious member column %d: %w", l, err)

@@ -56,6 +56,13 @@ func AssociationPValues(caseCounts []int64, caseN int64, refCounts []int64, refN
 	return pvals, nil
 }
 
+// PairBatchFunc announces pairs the LD scan is about to examine, so a
+// distributed pair-statistics provider can fetch them in one round trip per
+// member instead of one request per pair. Implementations may over-fetch
+// (announced pairs are a lookahead window, not a promise) and must tolerate
+// pairs they have already seen.
+type PairBatchFunc func(pairs [][2]int) error
+
 // LDPhase is Phase 2: a greedy scan over the retained SNPs in positional
 // order. The current survivor is tested against the next SNP using pooled
 // correlation statistics; when the pair's independence p-value falls below
@@ -63,6 +70,19 @@ func AssociationPValues(caseCounts []int64, caseN int64, refCounts []int64, refN
 // association p-value, ties to the lower index) survives. The result L”
 // contains pairwise-independent SNPs in ascending order.
 func LDPhase(retained []int, pool PairStatsFunc, assocPValues []float64, cutoff float64) ([]int, error) {
+	return LDPhaseBatch(retained, pool, nil, 0, assocPValues, cutoff)
+}
+
+// LDPhaseBatch is LDPhase with a survivor-chain batch hint. The adjacent
+// pairs of the retained list are assumed prefetched (phase2LD warms them
+// before the scan); the pairs that miss that warm-up are the survivor
+// chains — after a dependence removal the survivor is re-tested against each
+// following SNP, and those pairs are not adjacent in the original list. When
+// a chain starts, the scan announces up to window upcoming (survivor, next)
+// pairs through prefetch so the provider can batch them, re-announcing if a
+// chain outlives its window. A nil prefetch or zero window degrades to the
+// lazy per-pair path.
+func LDPhaseBatch(retained []int, pool PairStatsFunc, prefetch PairBatchFunc, window int, assocPValues []float64, cutoff float64) ([]int, error) {
 	switch len(retained) {
 	case 0:
 		return []int{}, nil
@@ -71,7 +91,23 @@ func LDPhase(retained []int, pool PairStatsFunc, assocPValues []float64, cutoff 
 	}
 	out := make([]int, 0, len(retained))
 	current := retained[0]
-	for _, next := range retained[1:] {
+	hinted := 0 // retained index (exclusive) covered by the current chain's announcements
+	for idx := 1; idx < len(retained); idx++ {
+		next := retained[idx]
+		if prefetch != nil && window > 0 && current != retained[idx-1] && idx >= hinted {
+			end := idx + window
+			if end > len(retained) {
+				end = len(retained)
+			}
+			pairs := make([][2]int, 0, end-idx)
+			for j := idx; j < end; j++ {
+				pairs = append(pairs, [2]int{current, retained[j]})
+			}
+			if err := prefetch(pairs); err != nil {
+				return nil, fmt.Errorf("core: survivor-chain prefetch: %w", err)
+			}
+			hinted = end
+		}
 		ps, err := pool(current, next)
 		if err != nil {
 			//gendpr:allow(secretflow): the pair indices echo the scan's own query (protocol metadata), not cohort data
@@ -91,11 +127,17 @@ func LDPhase(retained []int, pool PairStatsFunc, assocPValues []float64, cutoff 
 		}
 		if p < cutoff {
 			// Dependent: keep the most-ranked SNP and continue scanning
-			// with it as the survivor.
-			current = mostRanked(current, next, assocPValues)
+			// with it as the survivor. A change of survivor starts a new
+			// chain, so the announcement window resets.
+			survivor := mostRanked(current, next, assocPValues)
+			if survivor != current {
+				hinted = 0
+			}
+			current = survivor
 		} else {
 			out = append(out, current)
 			current = next
+			hinted = 0
 		}
 	}
 	return append(out, current), nil

