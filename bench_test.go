@@ -209,6 +209,39 @@ func BenchmarkTable5Collusion(b *testing.B) {
 			})
 		}
 	}
+
+	// The G=10 tiers exist because of the combination lattice: conservative
+	// mode evaluates 2^10−1 subsets, far past what the per-combination path
+	// could sustain. They run with parallel combinations, the intended
+	// deployment mode at this federation size.
+	parCfg := core.DefaultConfig()
+	parCfg.ParallelCombinations = true
+	for _, p := range []struct {
+		label  string
+		policy core.CollusionPolicy
+	}{
+		{"f1", core.CollusionPolicy{F: 1}},
+		{"fAll", core.CollusionPolicy{Conservative: true}},
+	} {
+		p := p
+		b.Run(fmt.Sprintf("G10_%s", p.label), func(b *testing.B) {
+			b.ReportAllocs()
+			var safe, combos int
+			var lrPeak int64
+			for i := 0; i < b.N; i++ {
+				rep, err := bench.RunGenDPRConfig(w, 10, p.policy, parCfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				safe = len(rep.Selection.Safe)
+				combos = rep.Combinations
+				lrPeak = rep.PeakLRMatrixBytes
+			}
+			b.ReportMetric(float64(safe), "safe-snps")
+			b.ReportMetric(float64(combos), "combinations")
+			b.ReportMetric(float64(lrPeak), "lr-matrix-bytes")
+		})
+	}
 }
 
 // --- Ablation benches (design choices called out in DESIGN.md) ---

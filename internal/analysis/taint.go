@@ -178,6 +178,7 @@ func DefaultTaintSpec() *TaintSpec {
 			"gendpr/internal/lrtest.FromBytes":           ClassIndividual,
 			"gendpr/internal/lrtest.DecodeWire":          ClassIndividual,
 			"gendpr/internal/lrtest.DecodeWireBit":       ClassIndividual,
+			"gendpr/internal/lrtest.DecodePatternWire":   ClassIndividual,
 			"gendpr/internal/lrtest.BitFromDense":        ClassIndividual,
 			"gendpr/internal/seal.NewKey":                ClassIndividual,
 			"gendpr/internal/seal.HKDF":                  ClassIndividual,

@@ -2,12 +2,27 @@
 // collusion tolerance: with G federation members of which up to f may
 // collude, every phase is re-evaluated over each of the C(G, G−f) subsets of
 // presumed-honest members (Section 5.6).
+//
+// Two enumeration orders are provided. Iter visits subsets lexicographically
+// — the order results are reported and checkpointed in. RevolvingDoor visits
+// the same subsets in a Gray-code order where consecutive subsets differ by
+// exactly one exchanged member, which is what lets the assessment driver
+// evaluate a subset incrementally from its predecessor instead of from
+// scratch.
 package combin
 
-import "fmt"
+import (
+	"fmt"
+	"math"
+	"math/bits"
+)
 
-// Binomial returns C(n, k). It returns an error on invalid input or overflow
-// of int64 arithmetic.
+// Binomial returns C(n, k). It returns an error on invalid input or when the
+// result overflows int64. Intermediate products are computed in 128 bits, so
+// every representable C(n, k) is returned exactly — the guard rejects only
+// results that genuinely exceed int64 (the seed implementation checked the
+// 64-bit product before dividing and so rejected representable values like
+// C(66, 33)).
 func Binomial(n, k int) (int64, error) {
 	if n < 0 || k < 0 || k > n {
 		return 0, fmt.Errorf("combin: C(%d,%d) undefined", n, k)
@@ -15,22 +30,155 @@ func Binomial(n, k int) (int64, error) {
 	if k > n-k {
 		k = n - k
 	}
-	var c int64 = 1
+	var c uint64 = 1
 	for i := 0; i < k; i++ {
-		next := c * int64(n-i)
-		if next/int64(n-i) != c {
+		// c holds C(n, i); the next value is c*(n-i)/(i+1), exact because
+		// C(n, i+1) is an integer. The 128-bit product keeps the intermediate
+		// exact; Div64 requires hi < divisor, which also detects quotients
+		// beyond 64 bits.
+		hi, lo := bits.Mul64(c, uint64(n-i))
+		if hi >= uint64(i+1) {
 			return 0, fmt.Errorf("combin: C(%d,%d) overflows int64", n, k)
 		}
-		c = next / int64(i+1)
+		q, _ := bits.Div64(hi, lo, uint64(i+1))
+		c = q
 	}
-	return c, nil
+	if c > math.MaxInt64 {
+		return 0, fmt.Errorf("combin: C(%d,%d) overflows int64", n, k)
+	}
+	return int64(c), nil
+}
+
+func validateSizes(n, k int) error {
+	if n < 0 || k < 0 || k > n {
+		return fmt.Errorf("combin: C(%d,%d) undefined", n, k)
+	}
+	return nil
+}
+
+// Iter streams every k-subset of {0,…,n−1} in lexicographic order without
+// materializing the enumeration. The yielded slice is reused between calls
+// and must be copied if retained. Iteration stops early when fn returns an
+// error, which is returned unchanged.
+func Iter(n, k int, fn func(sub []int) error) error {
+	if err := validateSizes(n, k); err != nil {
+		return err
+	}
+	idx := make([]int, k)
+	for i := range idx {
+		idx[i] = i
+	}
+	for {
+		if err := fn(idx); err != nil {
+			return err
+		}
+		// Advance to the next combination.
+		i := k - 1
+		for i >= 0 && idx[i] == n-k+i {
+			i--
+		}
+		if i < 0 {
+			return nil
+		}
+		idx[i]++
+		for j := i + 1; j < k; j++ {
+			idx[j] = idx[j-1] + 1
+		}
+	}
+}
+
+// RevolvingDoor streams every k-subset of {0,…,n−1} in revolving-door Gray
+// order: consecutive subsets differ by exactly one exchange, reported as the
+// (removed, added) member pair. The first call yields the lexicographically
+// first subset {0,…,k−1} with removed = added = −1. The yielded subset is
+// sorted ascending, reused between calls, and must be copied if retained.
+// Iteration stops early when fn returns an error, which is returned
+// unchanged.
+//
+// The order is the classic recursive scheme A(n,k) = A(n−1,k) followed by
+// reverse(A(n−1,k−1)) with n−1 appended: both seams exchange a single
+// member, so a consumer can maintain per-subset state by applying one
+// member's contribution delta per step.
+func RevolvingDoor(n, k int, fn func(sub []int, removed, added int) error) error {
+	if err := validateSizes(n, k); err != nil {
+		return err
+	}
+	cur := make([]int, k)
+	for i := range cur {
+		cur[i] = i
+	}
+	if err := fn(cur, -1, -1); err != nil {
+		return err
+	}
+	g := doorGen{cur: cur, fn: fn}
+	return g.walk(n, k, true)
+}
+
+// doorGen carries the revolving-door recursion state: cur is the current
+// subset, kept sorted, and every exchange step reports through fn.
+type doorGen struct {
+	cur []int
+	fn  func(sub []int, removed, added int) error
+}
+
+// step exchanges removed for added in the sorted current subset and yields.
+func (g *doorGen) step(removed, added int) error {
+	i := 0
+	for g.cur[i] != removed {
+		i++
+	}
+	// Slide the gap toward added's sorted position.
+	for i+1 < len(g.cur) && g.cur[i+1] < added {
+		g.cur[i] = g.cur[i+1]
+		i++
+	}
+	for i > 0 && g.cur[i-1] > added {
+		g.cur[i] = g.cur[i-1]
+		i--
+	}
+	g.cur[i] = added
+	return g.fn(g.cur, removed, added)
+}
+
+// walk emits the exchange steps that traverse A(n,k) forward from its first
+// subset {0,…,k−1} (fwd) or backward from its last subset {0,…,k−2, n−1}
+// (!fwd), assuming cur currently holds that endpoint. A(n,0) and A(n,n) are
+// single subsets, so they emit no steps.
+func (g *doorGen) walk(n, k int, fwd bool) error {
+	if k == 0 || k == n {
+		return nil
+	}
+	// The seam between A(n−1,k) (ending {0,…,k−2, n−2}) and
+	// reverse(A(n−1,k−1))+{n−1} (starting {0,…,k−3, n−2, n−1}) exchanges
+	// one member: k−2 out, n−1 in (for k == 1: n−2 out, n−1 in).
+	out := k - 2
+	if k == 1 {
+		out = n - 2
+	}
+	if fwd {
+		if err := g.walk(n-1, k, true); err != nil {
+			return err
+		}
+		if err := g.step(out, n-1); err != nil {
+			return err
+		}
+		return g.walk(n-1, k-1, false)
+	}
+	if err := g.walk(n-1, k-1, true); err != nil {
+		return err
+	}
+	if err := g.step(n-1, out); err != nil {
+		return err
+	}
+	return g.walk(n-1, k, false)
 }
 
 // Combinations returns every k-subset of {0,…,n−1} in lexicographic order.
 // The result shares no memory between subsets. It returns an error for
 // invalid sizes or when the enumeration would be unreasonably large
 // (> 1<<20 subsets), which a caller misconfiguring f would otherwise turn
-// into an out-of-memory condition inside the enclave.
+// into an out-of-memory condition inside the enclave. Callers that only need
+// to stream the subsets should use Iter, which has no such bound.
 func Combinations(n, k int) ([][]int, error) {
 	count, err := Binomial(n, k)
 	if err != nil {
@@ -39,32 +187,44 @@ func Combinations(n, k int) ([][]int, error) {
 	if count > 1<<20 {
 		return nil, fmt.Errorf("combin: C(%d,%d)=%d subsets exceed the enumeration bound", n, k, count)
 	}
-	if k == 0 {
-		return [][]int{{}}, nil
-	}
 	out := make([][]int, 0, count)
-	idx := make([]int, k)
-	for i := range idx {
-		idx[i] = i
-	}
-	for {
-		sub := make([]int, k)
-		copy(sub, idx)
-		out = append(out, sub)
-		// Advance to the next combination.
-		i := k - 1
-		for i >= 0 && idx[i] == n-k+i {
-			i--
-		}
-		if i < 0 {
-			break
-		}
-		idx[i]++
-		for j := i + 1; j < k; j++ {
-			idx[j] = idx[j-1] + 1
-		}
+	err = Iter(n, k, func(sub []int) error {
+		out = append(out, append([]int(nil), sub...))
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return out, nil
+}
+
+// LexRank returns the position of a sorted k-subset of {0,…,n−1} in the
+// lexicographic enumeration Iter visits — the combinatorial number system.
+// The revolving-door driver uses it to map Gray-order evaluation back onto
+// lexicographic result slots.
+func LexRank(n int, sub []int) (int64, error) {
+	k := len(sub)
+	if err := validateSizes(n, k); err != nil {
+		return 0, err
+	}
+	var rank int64
+	prev := -1
+	for i, c := range sub {
+		if c <= prev || c >= n {
+			return 0, fmt.Errorf("combin: subset %v is not a sorted subset of {0..%d}", sub, n-1)
+		}
+		for v := prev + 1; v < c; v++ {
+			// Subsets whose element i is v < c precede sub; the remaining
+			// k−1−i elements come from {v+1,…,n−1}.
+			c2, err := Binomial(n-1-v, k-1-i)
+			if err != nil {
+				return 0, err
+			}
+			rank += c2
+		}
+		prev = c
+	}
+	return rank, nil
 }
 
 // HonestSubsets returns the subsets of presumed-honest members for a

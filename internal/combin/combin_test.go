@@ -1,6 +1,7 @@
 package combin
 
 import (
+	"fmt"
 	"testing"
 	"testing/quick"
 )
@@ -158,4 +159,210 @@ func TestConservativeSubsets(t *testing.T) {
 	if _, err := ConservativeSubsets(1); err == nil {
 		t.Error("g=1 must fail")
 	}
+}
+
+func TestBinomialBoundary(t *testing.T) {
+	// C(66,33) is the largest central binomial coefficient representable in
+	// int64; the seed implementation's overflow guard checked the 64-bit
+	// intermediate product and falsely rejected it.
+	got, err := Binomial(66, 33)
+	if err != nil {
+		t.Fatalf("C(66,33): %v", err)
+	}
+	if want := int64(7219428434016265740); got != want {
+		t.Errorf("C(66,33)=%d, want %d", got, want)
+	}
+	// One row further the value genuinely exceeds int64.
+	for _, tc := range [][2]int{{67, 33}, {67, 34}, {67, 30}, {68, 34}, {100, 50}} {
+		if _, err := Binomial(tc[0], tc[1]); err == nil {
+			t.Errorf("C(%d,%d) must overflow", tc[0], tc[1])
+		}
+	}
+	// Asymmetric cases near the boundary still work exactly.
+	if got, err := Binomial(67, 29); err != nil || got != 7886597962249166160 {
+		t.Errorf("C(67,29)=%d (%v), want 7886597962249166160", got, err)
+	}
+	if got, err := Binomial(70, 25); err != nil || got != 6455761770304780752 {
+		t.Errorf("C(70,25)=%d (%v), want 6455761770304780752", got, err)
+	}
+}
+
+func TestIterMatchesCombinations(t *testing.T) {
+	for n := 0; n <= 9; n++ {
+		for k := 0; k <= n; k++ {
+			want, err := Combinations(n, k)
+			if err != nil {
+				t.Fatal(err)
+			}
+			i := 0
+			err = Iter(n, k, func(sub []int) error {
+				if i >= len(want) {
+					t.Fatalf("Iter(%d,%d) yielded more than %d subsets", n, k, len(want))
+				}
+				for j := range sub {
+					if sub[j] != want[i][j] {
+						t.Fatalf("Iter(%d,%d) subset %d = %v, want %v", n, k, i, sub, want[i])
+					}
+				}
+				i++
+				return nil
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if i != len(want) {
+				t.Fatalf("Iter(%d,%d) yielded %d subsets, want %d", n, k, i, len(want))
+			}
+		}
+	}
+}
+
+func TestIterEarlyStop(t *testing.T) {
+	wantErr := errStop
+	n := 0
+	err := Iter(5, 2, func([]int) error {
+		n++
+		if n == 3 {
+			return wantErr
+		}
+		return nil
+	})
+	if err != wantErr || n != 3 {
+		t.Fatalf("early stop: err=%v after %d subsets", err, n)
+	}
+}
+
+func TestRevolvingDoorVisitsLexSet(t *testing.T) {
+	for n := 0; n <= 9; n++ {
+		for k := 0; k <= n; k++ {
+			lex, err := Combinations(n, k)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := map[string]bool{}
+			for _, s := range lex {
+				want[subsetKey(s)] = true
+			}
+			var prev []int
+			count := 0
+			err = RevolvingDoor(n, k, func(sub []int, removed, added int) error {
+				count++
+				// Sorted, in range, no duplicates.
+				last := -1
+				for _, v := range sub {
+					if v <= last || v < 0 || v >= n {
+						t.Fatalf("RevolvingDoor(%d,%d) subset %v not sorted in range", n, k, sub)
+					}
+					last = v
+				}
+				key := subsetKey(sub)
+				if !want[key] {
+					t.Fatalf("RevolvingDoor(%d,%d) repeated or foreign subset %v", n, k, sub)
+				}
+				delete(want, key)
+				if prev == nil {
+					if removed != -1 || added != -1 {
+						t.Fatalf("first subset reported delta (%d,%d)", removed, added)
+					}
+					for i, v := range sub {
+						if v != i {
+							t.Fatalf("first subset %v, want {0..%d}", sub, k-1)
+						}
+					}
+				} else {
+					if err := checkExchange(prev, sub, removed, added); err != nil {
+						t.Fatalf("RevolvingDoor(%d,%d): %v", n, k, err)
+					}
+				}
+				prev = append(prev[:0], sub...)
+				return nil
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if count != len(lex) || len(want) != 0 {
+				t.Fatalf("RevolvingDoor(%d,%d) visited %d subsets, want %d (missed %d)", n, k, count, len(lex), len(want))
+			}
+		}
+	}
+}
+
+// checkExchange verifies that cur is prev with exactly removed swapped out
+// and added swapped in.
+func checkExchange(prev, cur []int, removed, added int) error {
+	have := map[int]bool{}
+	for _, v := range cur {
+		have[v] = true
+	}
+	if have[removed] || !have[added] {
+		return errExchange(prev, cur, removed, added)
+	}
+	diff := 0
+	for _, v := range prev {
+		if !have[v] {
+			diff++
+			if v != removed {
+				return errExchange(prev, cur, removed, added)
+			}
+		}
+	}
+	if diff != 1 {
+		return errExchange(prev, cur, removed, added)
+	}
+	return nil
+}
+
+func TestRevolvingDoorEarlyStop(t *testing.T) {
+	n := 0
+	err := RevolvingDoor(6, 3, func([]int, int, int) error {
+		n++
+		if n == 4 {
+			return errStop
+		}
+		return nil
+	})
+	if err != errStop || n != 4 {
+		t.Fatalf("early stop: err=%v after %d subsets", err, n)
+	}
+}
+
+func TestLexRank(t *testing.T) {
+	for n := 0; n <= 9; n++ {
+		for k := 0; k <= n; k++ {
+			lex, err := Combinations(n, k)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i, s := range lex {
+				r, err := LexRank(n, s)
+				if err != nil {
+					t.Fatalf("LexRank(%d, %v): %v", n, s, err)
+				}
+				if r != int64(i) {
+					t.Errorf("LexRank(%d, %v)=%d, want %d", n, s, r, i)
+				}
+			}
+		}
+	}
+	if _, err := LexRank(4, []int{2, 1}); err == nil {
+		t.Error("unsorted subset must fail")
+	}
+	if _, err := LexRank(4, []int{1, 4}); err == nil {
+		t.Error("out-of-range subset must fail")
+	}
+}
+
+// errStop is a sentinel for early-termination tests.
+var errStop = fmt.Errorf("stop")
+
+func subsetKey(s []int) string {
+	key := ""
+	for _, v := range s {
+		key += string(rune('a'+v)) + ","
+	}
+	return key
+}
+
+func errExchange(prev, cur []int, removed, added int) error {
+	return fmt.Errorf("step %v -> %v is not the single exchange (-%d,+%d)", prev, cur, removed, added)
 }

@@ -85,6 +85,18 @@ func RunAssessmentWithOptions(members []Provider, reference *genome.Matrix, cfg 
 		run.members[i] = newCachedProvider(m)
 	}
 
+	chainsPerBlock := 1
+	if cfg.ParallelCombinations {
+		chainsPerBlock = run.pool.size()
+	}
+	plan, err := buildLatticePlan(g, policy, chainsPerBlock)
+	if err != nil {
+		return nil, err
+	}
+	if plan.count != len(subsets) {
+		return nil, fmt.Errorf("core: lattice plan covers %d subsets, want %d", plan.count, len(subsets))
+	}
+
 	if opts.Checkpoints != nil {
 		if len(opts.ProviderNames) != g {
 			return nil, fmt.Errorf("core: %d provider names for %d members (checkpointing needs stable identities)", len(opts.ProviderNames), g)
@@ -102,15 +114,15 @@ func RunAssessmentWithOptions(members []Provider, reference *genome.Matrix, cfg 
 	if err := run.collectSummaries(); err != nil {
 		return nil, err
 	}
-	lPrime, perMAF, err := run.phase1MAF(subsets)
+	lPrime, perMAF, err := run.phase1MAF(plan)
 	if err != nil {
 		return nil, err
 	}
-	lDouble, perLD, err := run.phase2LD(subsets, lPrime)
+	lDouble, perLD, err := run.phase2LD(plan, lPrime)
 	if err != nil {
 		return nil, err
 	}
-	safe, perSafe, power, err := run.phase3LR(subsets, lDouble)
+	safe, perSafe, power, err := run.phase3LR(plan, lDouble)
 	if err != nil {
 		return nil, err
 	}
@@ -181,7 +193,13 @@ type assessmentRun struct {
 
 	timingMu  sync.Mutex
 	pairMu    sync.Mutex
-	pairsSeen map[[2]int]bool
+	pairsSeen map[uint64]bool
+	// pairWarm maps a pair to the bitmask of members already asked to warm it
+	// (guarded by pairMu, nil for federations past 64 members). Evaluation
+	// chains consult it before forwarding an announcement, so a member
+	// receives each pair at most once per assessment no matter how many
+	// chains' survivor windows cover it.
+	pairWarm map[uint64]uint64
 
 	lrMu    sync.Mutex
 	lrBytes int64
@@ -252,30 +270,18 @@ func (r *assessmentRun) freeLR(n int64) {
 	r.lrMu.Unlock()
 }
 
-// forEachSubset runs one evaluation per combination, sequentially by
-// default or concurrently when the configuration enables the paper's
-// parallel-combination optimization. Concurrency goes through the shared
-// worker pool: C(G, G−f) grows fast, and a goroutine per combination (each
-// spawning per-member fetches of its own) oversubscribes the leader.
-func (r *assessmentRun) forEachSubset(subsets [][]int, eval func(c int, subset []int) error) error {
-	if !r.cfg.ParallelCombinations || len(subsets) == 1 {
-		for c, subset := range subsets {
-			if err := eval(c, subset); err != nil {
-				return err
-			}
-		}
-		return nil
+// notePair marks a pair as touched by this assessment, reporting whether it
+// was fresh — the signal for accounting the leader-side pair-statistics
+// footprint exactly once per pair.
+func (r *assessmentRun) notePair(a, b int) bool {
+	key := pairKey(a, b)
+	r.pairMu.Lock()
+	fresh := !r.pairsSeen[key]
+	if fresh {
+		r.pairsSeen[key] = true
 	}
-	errs := make([]error, len(subsets))
-	var wg sync.WaitGroup
-	for c, subset := range subsets {
-		c, subset := c, subset
-		r.pool.Go(&wg, func() {
-			errs[c] = eval(c, subset)
-		})
-	}
-	wg.Wait()
-	return errors.Join(errs...)
+	r.pairMu.Unlock()
+	return fresh
 }
 
 // collectSummaries gathers each member's count vector and population size —
@@ -344,7 +350,10 @@ func (r *assessmentRun) collectSummaries() error {
 		r.refCounts[snp] = r.refCols.AlleleCount(snp)
 	}
 	r.refN = int64(r.ref.N())
-	r.pairsSeen = make(map[[2]int]bool)
+	r.pairsSeen = make(map[uint64]bool)
+	if len(r.members) <= 64 {
+		r.pairWarm = make(map[uint64]uint64)
+	}
 	return nil
 }
 
@@ -365,28 +374,43 @@ func (r *assessmentRun) subsetCounts(subset []int) ([]int64, int64) {
 	return sum, n
 }
 
-func (r *assessmentRun) phase1MAF(subsets [][]int) ([]int, [][]int, error) {
+func (r *assessmentRun) phase1MAF(plan *latticePlan) ([]int, [][]int, error) {
 	if err := r.ctxErr(); err != nil {
 		return nil, nil, err
 	}
-	if lPrime, perMAF, ok := r.cs.seededMAF(); ok && len(perMAF) == len(subsets) {
+	if lPrime, perMAF, ok := r.cs.seededMAF(); ok && len(perMAF) == plan.count {
 		r.resumed = true
 		if err := r.cs.recordMAF(lPrime, perMAF, false); err != nil {
 			return nil, nil, err
 		}
 		return lPrime, perMAF, nil
 	}
-	per := make([][]int, len(subsets))
-	err := r.forEachSubset(subsets, func(c int, subset []int) error {
-		counts, n := r.subsetCounts(subset)
-		start := time.Now()
-		lPrime, err := MAFPhase(counts, n, r.refCounts, r.refN, r.cfg.MAFCutoff)
-		r.addTiming(&r.report.Timings.Indexing, start)
-		if err != nil {
-			return err
-		}
-		per[c] = lPrime
-		return nil
+	per := make([][]int, plan.count)
+	err := r.runChains(plan.chains, func(ch *latticeChain) error {
+		// The chain's running aggregates: a revolving-door step updates them
+		// by one member's delta — exact, because counts are integers.
+		var counts []int64
+		var n int64
+		return ch.walk(func(pos, slot int, subset []int, rem, add int) error {
+			if pos == 0 {
+				counts, n = r.subsetCounts(subset)
+			} else {
+				aggStart := time.Now()
+				for l, c := range r.counts[add] {
+					counts[l] += c - r.counts[rem][l]
+				}
+				n += r.caseNs[add] - r.caseNs[rem]
+				r.addTiming(&r.report.Timings.DataAggregation, aggStart)
+			}
+			start := time.Now()
+			lPrime, err := MAFPhase(counts, n, r.refCounts, r.refN, r.cfg.MAFCutoff)
+			r.addTiming(&r.report.Timings.Indexing, start)
+			if err != nil {
+				return err
+			}
+			per[slot] = lPrime
+			return nil
+		})
 	})
 	if err != nil {
 		return nil, nil, err
@@ -400,19 +424,67 @@ func (r *assessmentRun) phase1MAF(subsets [][]int) ([]int, [][]int, error) {
 	return intersected, per, nil
 }
 
-// subsetPairStats returns the pooled pair-statistics function for one
-// combination: member contributions (fetched in parallel) plus the reference
-// panel.
-func (r *assessmentRun) subsetPairStats(subset []int) PairStatsFunc {
-	return func(a, b int) (genome.PairStats, error) {
-		key := [2]int{a, b}
+// ldBatchWindow is how many upcoming survivor-chain pairs one batch hint
+// covers. Chains longer than the window re-announce; a window of one would
+// degenerate to the per-pair path with extra round trips.
+const ldBatchWindow = 16
+
+// prefetchAdjacentPairs warms every member's pair cache with the adjacent
+// pairs of L' in one batched request per member. The greedy LD scan examines
+// exactly these pairs when no SNP is removed; removals trigger lazy
+// single-pair fetches for the survivor chains.
+func (r *assessmentRun) prefetchAdjacentPairs(lPrime []int) error {
+	if len(lPrime) < 2 {
+		return nil
+	}
+	start := time.Now()
+	defer r.addTiming(&r.report.Timings.DataAggregation, start)
+
+	allMembers := uint64(1)<<uint(len(r.members)) - 1
+	pairs := make([][2]int, 0, len(lPrime)-1)
+	for i := 0; i+1 < len(lPrime); i++ {
+		pairs = append(pairs, [2]int{lPrime[i], lPrime[i+1]})
+		key := pairKey(lPrime[i], lPrime[i+1])
 		r.pairMu.Lock()
 		fresh := !r.pairsSeen[key]
 		if fresh {
 			r.pairsSeen[key] = true
 		}
+		if r.pairWarm != nil {
+			// Every member receives the adjacent pairs below, so later
+			// survivor-window announcements need not forward them again.
+			r.pairWarm[key] = allMembers
+		}
 		r.pairMu.Unlock()
 		if fresh {
+			if err := r.alloc(bytesPerPairStat * int64(len(r.members))); err != nil {
+				return err
+			}
+		}
+	}
+	errs := make([]error, len(r.members))
+	var wg sync.WaitGroup
+	for i, m := range r.members {
+		i, m := i, m
+		r.pool.Go(&wg, func() {
+			if err := m.Prefetch(pairs); err != nil {
+				errs[i] = memberErr(i, PhaseLD, "pair prefetch: %w", err)
+			}
+		})
+	}
+	wg.Wait()
+	return errors.Join(errs...)
+}
+
+// subsetPairStats returns the chain-free pooled pair-statistics function for
+// one combination: member contributions (fetched in parallel) plus the
+// reference panel, with nothing cached leader-side beyond the providers' own
+// pair caches. Single-combination chains use it — they have no later
+// positions to share a decomposition with, so the chain cache would only add
+// leader memory.
+func (r *assessmentRun) subsetPairStats(subset []int) PairStatsFunc {
+	return func(a, b int) (genome.PairStats, error) {
+		if r.notePair(a, b) {
 			if err := r.alloc(bytesPerPairStat * int64(len(r.members))); err != nil {
 				return genome.PairStats{}, err
 			}
@@ -468,36 +540,58 @@ func (r *assessmentRun) subsetPairStats(subset []int) PairStatsFunc {
 	}
 }
 
-// ldBatchWindow is how many upcoming survivor-chain pairs one batch hint
-// covers. Chains longer than the window re-announce; a window of one would
-// degenerate to the per-pair path with extra round trips.
-const ldBatchWindow = 16
-
-// subsetPrefetch returns the survivor-chain batch hook for one combination:
-// announced pairs are fetched from the combination's members in parallel,
-// one batched request each, and land in the same caches the pooled
-// PairStatsFunc reads.
+// subsetPrefetch returns the chain-free survivor-chain batch hook for one
+// combination: announced pairs are fetched from the combination's members in
+// parallel, one batched request each, and land in the providers' caches where
+// the pooled PairStatsFunc reads them.
 func (r *assessmentRun) subsetPrefetch(subset []int) PairBatchFunc {
 	return func(pairs [][2]int) error {
-		for _, key := range pairs {
-			r.pairMu.Lock()
-			fresh := !r.pairsSeen[key]
-			if fresh {
+		fresh := 0
+		var perMember map[int][][2]int
+		r.pairMu.Lock()
+		for _, p := range pairs {
+			key := pairKey(p[0], p[1])
+			if !r.pairsSeen[key] {
 				r.pairsSeen[key] = true
+				fresh++
 			}
-			r.pairMu.Unlock()
-			if fresh {
-				if err := r.alloc(bytesPerPairStat * int64(len(r.members))); err != nil {
-					return err
+			var mask uint64
+			if r.pairWarm != nil {
+				mask = r.pairWarm[key]
+			}
+			for _, i := range subset {
+				if mask&(1<<uint(i)) != 0 {
+					continue
 				}
+				mask |= 1 << uint(i)
+				if perMember == nil {
+					perMember = make(map[int][][2]int, len(subset))
+				}
+				perMember[i] = append(perMember[i], p)
+			}
+			if r.pairWarm != nil {
+				r.pairWarm[key] = mask
 			}
 		}
-		errs := make([]error, len(subset))
+		r.pairMu.Unlock()
+		if fresh > 0 {
+			if err := r.alloc(bytesPerPairStat * int64(len(r.members)) * int64(fresh)); err != nil {
+				return err
+			}
+		}
+		if len(perMember) == 0 {
+			return nil
+		}
+		idx := make([]int, 0, len(perMember))
+		for i := range perMember {
+			idx = append(idx, i)
+		}
+		errs := make([]error, len(idx))
 		var wg sync.WaitGroup
-		for slot, i := range subset {
+		for slot, i := range idx {
 			slot, i := slot, i
 			r.pool.Go(&wg, func() {
-				if err := r.members[i].Prefetch(pairs); err != nil {
+				if err := r.members[i].Prefetch(perMember[i]); err != nil {
 					errs[slot] = memberErr(i, PhaseLD, "survivor-chain prefetch: %w", err)
 				}
 			})
@@ -507,52 +601,11 @@ func (r *assessmentRun) subsetPrefetch(subset []int) PairBatchFunc {
 	}
 }
 
-// prefetchAdjacentPairs warms every member's pair cache with the adjacent
-// pairs of L' in one batched request per member. The greedy LD scan examines
-// exactly these pairs when no SNP is removed; removals trigger lazy
-// single-pair fetches for the survivor chains.
-func (r *assessmentRun) prefetchAdjacentPairs(lPrime []int) error {
-	if len(lPrime) < 2 {
-		return nil
-	}
-	start := time.Now()
-	defer r.addTiming(&r.report.Timings.DataAggregation, start)
-
-	pairs := make([][2]int, 0, len(lPrime)-1)
-	for i := 0; i+1 < len(lPrime); i++ {
-		key := [2]int{lPrime[i], lPrime[i+1]}
-		pairs = append(pairs, key)
-		r.pairMu.Lock()
-		fresh := !r.pairsSeen[key]
-		if fresh {
-			r.pairsSeen[key] = true
-		}
-		r.pairMu.Unlock()
-		if fresh {
-			if err := r.alloc(bytesPerPairStat * int64(len(r.members))); err != nil {
-				return err
-			}
-		}
-	}
-	errs := make([]error, len(r.members))
-	var wg sync.WaitGroup
-	for i, m := range r.members {
-		i, m := i, m
-		r.pool.Go(&wg, func() {
-			if err := m.Prefetch(pairs); err != nil {
-				errs[i] = memberErr(i, PhaseLD, "pair prefetch: %w", err)
-			}
-		})
-	}
-	wg.Wait()
-	return errors.Join(errs...)
-}
-
-func (r *assessmentRun) phase2LD(subsets [][]int, lPrime []int) ([]int, [][]int, error) {
+func (r *assessmentRun) phase2LD(plan *latticePlan, lPrime []int) ([]int, [][]int, error) {
 	if err := r.ctxErr(); err != nil {
 		return nil, nil, err
 	}
-	if lDouble, perLD, pairs, ok := r.cs.seededLD(); ok && len(perLD) == len(subsets) {
+	if lDouble, perLD, pairs, ok := r.cs.seededLD(); ok && len(perLD) == plan.count {
 		// Resume: Phase 2 outputs come from the checkpoint; the aggregated
 		// pair statistics seed the provider caches so any residual pooled
 		// query (Phase 3 never issues one, but callers may) replays locally.
@@ -573,7 +626,7 @@ func (r *assessmentRun) phase2LD(subsets [][]int, lPrime []int) ([]int, [][]int,
 	// pair statistics; only the tie-break between two dependent SNPs uses
 	// the canonical ranking, which keeps the per-combination survivor
 	// chains aligned.
-	fullCounts, fullN := r.subsetCounts(subsets[0])
+	fullCounts, fullN := r.subsetCounts(plan.chains[0].head)
 	start := time.Now()
 	pvals, err := AssociationPValues(fullCounts, fullN, r.refCounts, r.refN, r.cfg.PaperChiSquare)
 	r.addTiming(&r.report.Timings.Indexing, start)
@@ -581,17 +634,35 @@ func (r *assessmentRun) phase2LD(subsets [][]int, lPrime []int) ([]int, [][]int,
 		return nil, nil, err
 	}
 
-	per := make([][]int, len(subsets))
-	err = r.forEachSubset(subsets, func(c int, subset []int) error {
-		start := time.Now()
-		lDouble, err := LDPhaseBatch(lPrime, r.subsetPairStats(subset),
-			r.subsetPrefetch(subset), ldBatchWindow, pvals, r.cfg.LDCutoff)
-		r.addTiming(&r.report.Timings.LD, start)
-		if err != nil {
-			return err
+	per := make([][]int, plan.count)
+	err = r.runChains(plan.chains, func(ch *latticeChain) error {
+		// The chain-local pooling cache survives across the chain's
+		// combinations: each Gray step adds at most one member's
+		// contributions to the decompositions already on hand. A chain with
+		// a single position has nothing to share across steps, so it runs
+		// the chain-free path and carries no extra leader memory — this
+		// keeps the no-collusion footprint identical to the pre-lattice
+		// protocol.
+		single := ch.length() == 1
+		var cache *chainPairCache
+		if !single {
+			cache = newChainPairCache(r)
+			defer cache.release()
 		}
-		per[c] = lDouble
-		return nil
+		return ch.walk(func(pos, slot int, subset []int, rem, add int) error {
+			pooled, prefetch := r.subsetPairStats(subset), r.subsetPrefetch(subset)
+			if !single {
+				pooled, prefetch = cache.pooledFunc(subset), cache.prefetchFunc(subset)
+			}
+			start := time.Now()
+			lDouble, err := LDPhaseBatch(lPrime, pooled, prefetch, ldBatchWindow, pvals, r.cfg.LDCutoff)
+			r.addTiming(&r.report.Timings.LD, start)
+			if err != nil {
+				return err
+			}
+			per[slot] = lDouble
+			return nil
+		})
 	})
 	if err != nil {
 		return nil, nil, err
@@ -612,14 +683,14 @@ func bitLRBytes(rows, cols int64) int64 {
 	return lrMatrixOverhead + 8*((rows+63)/64)*cols + 16*cols
 }
 
-func (r *assessmentRun) phase3LR(subsets [][]int, lDouble []int) ([]int, [][]int, float64, error) {
+func (r *assessmentRun) phase3LR(plan *latticePlan, lDouble []int) ([]int, [][]int, float64, error) {
 	if err := r.ctxErr(); err != nil {
 		return nil, nil, 0, err
 	}
-	per := make([][]int, len(subsets))
+	per := make([][]int, plan.count)
 	var fullPower float64
 	// The admission order is derived once, from the full-membership
-	// evaluation (subsets[0]), and shared with every collusion combination;
+	// evaluation (slot 0), and shared with every collusion combination;
 	// see LRPhaseBitOrdered.
 	var order []int
 
@@ -633,6 +704,47 @@ func (r *assessmentRun) phase3LR(subsets [][]int, lDouble []int) ([]int, [][]int
 	cols := int64(len(lDouble))
 	reskinBytes := 16 * cols // a reskin allocates only two representatives per column
 
+	// The incremental path needs every member to ship genotype patterns;
+	// a single provider without the capability drops the whole run to the
+	// per-combination legacy path (mixed-mode merging would reintroduce the
+	// rebuild it exists to avoid).
+	patterned := true
+	for _, m := range r.members {
+		if !m.supportsPatterns() {
+			patterned = false
+			break
+		}
+	}
+
+	// The reference pattern lives for the whole phase.
+	refBytes := bitLRBytes(r.refN, cols)
+	if err := r.allocLR(refBytes); err != nil {
+		return nil, nil, 0, err
+	}
+	defer r.freeLR(refBytes)
+
+	if patterned {
+		if err := r.phase3Lattice(plan, lDouble, per, &order, &refPattern, &fullPower, reskinBytes); err != nil {
+			return nil, nil, 0, err
+		}
+	} else {
+		if err := r.phase3Legacy(plan, lDouble, per, &order, &refPattern, &fullPower, reskinBytes); err != nil {
+			return nil, nil, 0, err
+		}
+	}
+
+	start := time.Now()
+	intersected := IntersectSorted(per...)
+	r.addTiming(&r.report.Timings.LRTest, start)
+	return intersected, per, fullPower, nil
+}
+
+// phase3Legacy is the per-combination Phase 3: every subset fetches its
+// members' frequency-skinned LR-matrices and merges them from scratch. It
+// remains the path for providers that cannot ship genotype patterns, and the
+// equivalence baseline the lattice path is tested against.
+func (r *assessmentRun) phase3Legacy(plan *latticePlan, lDouble []int, per [][]int, order *[]int, refPattern **lrtest.BitMatrix, fullPower *float64, reskinBytes int64) error {
+	cols := int64(len(lDouble))
 	evalSubset := func(c int, subset []int) error {
 		if err := r.ctxErr(); err != nil {
 			return err
@@ -664,11 +776,11 @@ func (r *assessmentRun) phase3LR(subsets [][]int, lDouble []int) ([]int, [][]int
 			// recompute.
 			refLR, berr := BuildLRBitMatrix(r.ref, lDouble, caseFreq, refFreq)
 			if berr == nil {
-				refPattern = refLR
-				order = append([]int(nil), rec.Order...)
+				*refPattern = refLR
+				*order = append([]int(nil), rec.Order...)
 				r.markResumed()
 				per[0] = rec.Safe
-				fullPower = rec.Power
+				*fullPower = rec.Power
 				return r.cs.recordCombination(comboNames, rec.Safe, rec.Power, rec.Order, false)
 			}
 		}
@@ -726,62 +838,277 @@ func (r *assessmentRun) phase3LR(subsets [][]int, lDouble []int) ([]int, [][]int
 			if err != nil {
 				return err
 			}
-			refPattern = refLR
+			*refPattern = refLR
 		} else {
 			ratios, rerr := lrtest.NewLogRatios(caseFreq, refFreq)
 			if rerr != nil {
 				return fmt.Errorf("core: log ratios: %w", rerr)
 			}
-			refLR, err = refPattern.Reskin(ratios)
+			refLR, err = (*refPattern).Reskin(ratios)
 			if err != nil {
 				return err
 			}
 		}
 		if c == 0 {
-			order = lrtest.DiscriminabilityOrderBit(merged, refLR)
+			*order = lrtest.DiscriminabilityOrderBit(merged, refLR)
 		}
-		safe, power, err := LRPhaseBitOrdered(lDouble, merged, refLR, r.cfg.LR, order)
+		safe, power, err := LRPhaseBitOrdered(lDouble, merged, refLR, r.cfg.LR, *order)
 		r.addTiming(&r.report.Timings.LRTest, start)
 		if err != nil {
 			return err
 		}
 		per[c] = safe
 		if c == 0 {
-			fullPower = power
+			*fullPower = power
 		}
 		var orderCkpt []int
 		if c == 0 && r.cs != nil {
 			// Only the full-membership combination persists its admission
 			// order: that derived ranking is all a resuming leader needs to
 			// anchor the other combinations.
-			orderCkpt = append([]int(nil), order...)
+			orderCkpt = append([]int(nil), *order...)
 		}
 		return r.cs.recordCombination(comboNames, safe, power, orderCkpt, true)
 	}
 
-	// The reference pattern lives for the whole phase.
-	refBytes := bitLRBytes(r.refN, cols)
-	if err := r.allocLR(refBytes); err != nil {
-		return nil, nil, 0, err
-	}
-	defer r.freeLR(refBytes)
-
 	// The full-membership subset runs first (it defines the canonical
 	// order); the combinations may then run sequentially or in parallel.
-	if err := evalSubset(0, subsets[0]); err != nil {
-		return nil, nil, 0, err
+	if err := evalSubset(0, plan.chains[0].head); err != nil {
+		return err
 	}
-	if len(subsets) > 1 {
-		err := r.forEachSubset(subsets[1:], func(c int, subset []int) error {
-			return evalSubset(c+1, subset)
+	if len(plan.chains) > 1 {
+		return r.runChains(plan.chains[1:], func(ch *latticeChain) error {
+			return ch.walk(func(pos, slot int, subset []int, rem, add int) error {
+				return evalSubset(slot, subset)
+			})
 		})
-		if err != nil {
-			return nil, nil, 0, err
-		}
+	}
+	return nil
+}
+
+// phase3Lattice is the incremental Phase 3 over the combination lattice.
+// Each member ships its genotype bit-pattern once; every combination's
+// merged per-individual matrix is then derived leader-side by stacking
+// patterns and reskinning with the combination's pooled frequencies. Along a
+// Gray chain the stack updates by a single remove/push per step.
+//
+// Selections are bit-identical to the legacy path. For collusion
+// combinations (c > 0) every consumer — per-individual scores, the exact
+// k-th order statistic threshold, the power ratio — is invariant under row
+// permutation of the case matrix, so the stack's slide-down row order is
+// immaterial; the full-membership combination, whose discriminability order
+// IS row-order sensitive, is built in canonical member order from a fresh
+// concatenation. See DESIGN.md's subset-lattice section for the full
+// argument.
+func (r *assessmentRun) phase3Lattice(plan *latticePlan, lDouble []int, per [][]int, order *[]int, refPattern **lrtest.BitMatrix, fullPower *float64, reskinBytes int64) error {
+	cols := int64(len(lDouble))
+	ps := newPatternSet(r, lDouble)
+	defer ps.release()
+	var totalRows int64
+	for _, n := range r.caseNs {
+		totalRows += n
 	}
 
-	start := time.Now()
-	intersected := IntersectSorted(per...)
-	r.addTiming(&r.report.Timings.LRTest, start)
-	return intersected, per, fullPower, nil
+	// Slot 0: the full membership, always first and sequential — it anchors
+	// the canonical admission order and the reference pattern.
+	evalFull := func(subset []int) error {
+		if err := r.ctxErr(); err != nil {
+			return err
+		}
+		var comboNames []string
+		if r.cs != nil {
+			comboNames = subsetNames(r.cs.names, subset)
+		}
+		counts, n := r.subsetCounts(subset)
+
+		start := time.Now()
+		caseFreq := Frequencies(counts, n, lDouble)
+		refFreq := Frequencies(r.refCounts, r.refN, lDouble)
+		r.addTiming(&r.report.Timings.Indexing, start)
+
+		if rec, ok := r.cs.seededCombination(comboNames); ok && len(rec.Order) > 0 {
+			refLR, berr := BuildLRBitMatrix(r.ref, lDouble, caseFreq, refFreq)
+			if berr == nil {
+				*refPattern = refLR
+				*order = append([]int(nil), rec.Order...)
+				r.markResumed()
+				per[0] = rec.Safe
+				*fullPower = rec.Power
+				return r.cs.recordCombination(comboNames, rec.Safe, rec.Power, rec.Order, false)
+			}
+		}
+
+		// Fetch every member's pattern concurrently — the only member
+		// contact the whole phase makes.
+		start = time.Now()
+		parts := make([]*lrtest.BitMatrix, len(subset))
+		errs := make([]error, len(subset))
+		var wg sync.WaitGroup
+		for slot, i := range subset {
+			slot, i := slot, i
+			r.pool.Go(&wg, func() {
+				p, err := ps.get(i)
+				if err != nil {
+					errs[slot] = err
+					return
+				}
+				parts[slot] = p
+			})
+		}
+		wg.Wait()
+		if err := errors.Join(errs...); err != nil {
+			return err
+		}
+		// Canonical member order and exact stride: the discriminability
+		// order derived from this matrix is row-order sensitive.
+		concat, err := lrtest.ConcatBitPatterns(parts...)
+		r.addTiming(&r.report.Timings.DataAggregation, start)
+		if err != nil {
+			return fmt.Errorf("core: concatenate genotype patterns: %w", err)
+		}
+		lrBytes := bitLRBytes(totalRows, cols) + reskinBytes
+		if err := r.allocLR(lrBytes); err != nil {
+			return err
+		}
+		defer r.freeLR(lrBytes)
+
+		start = time.Now()
+		ratios, err := lrtest.NewLogRatios(caseFreq, refFreq)
+		if err != nil {
+			return fmt.Errorf("core: log ratios: %w", err)
+		}
+		merged, err := concat.Reskin(ratios)
+		if err != nil {
+			return err
+		}
+		refLR, err := BuildLRBitMatrix(r.ref, lDouble, caseFreq, refFreq)
+		if err != nil {
+			return err
+		}
+		*refPattern = refLR
+		*order = lrtest.DiscriminabilityOrderBit(merged, refLR)
+		safe, power, err := LRPhaseBitOrdered(lDouble, merged, refLR, r.cfg.LR, *order)
+		r.addTiming(&r.report.Timings.LRTest, start)
+		if err != nil {
+			return err
+		}
+		per[0] = safe
+		*fullPower = power
+		var orderCkpt []int
+		if r.cs != nil {
+			orderCkpt = append([]int(nil), *order...)
+		}
+		return r.cs.recordCombination(comboNames, safe, power, orderCkpt, true)
+	}
+	if err := evalFull(plan.chains[0].head); err != nil {
+		return err
+	}
+	if len(plan.chains) == 1 {
+		return nil
+	}
+
+	// Collusion chains: one pattern stack, one selector, and one running
+	// count vector per chain, each updated by one member's delta per Gray
+	// step. Seeded (checkpoint-replayed) steps update only the counts and
+	// mark the stack stale — no member contact, no splicing — and the next
+	// live step rebuilds the stack from the patterns already on hand.
+	return r.runChains(plan.chains[1:], func(ch *latticeChain) error {
+		sel := lrtest.NewSelector()
+		var stack *lrtest.PatternStack
+		var stackBytes int64
+		stale := true
+		var counts []int64
+		var n int64
+		defer func() { r.freeLR(stackBytes) }()
+		return ch.walk(func(pos, slot int, subset []int, rem, add int) error {
+			if err := r.ctxErr(); err != nil {
+				return err
+			}
+			if pos == 0 {
+				counts, n = r.subsetCounts(subset)
+			} else {
+				aggStart := time.Now()
+				for l, c := range r.counts[add] {
+					counts[l] += c - r.counts[rem][l]
+				}
+				n += r.caseNs[add] - r.caseNs[rem]
+				r.addTiming(&r.report.Timings.DataAggregation, aggStart)
+			}
+			var comboNames []string
+			if r.cs != nil {
+				comboNames = subsetNames(r.cs.names, subset)
+			}
+			if rec, ok := r.cs.seededCombination(comboNames); ok {
+				r.markResumed()
+				per[slot] = rec.Safe
+				stale = true
+				return r.cs.recordCombination(comboNames, rec.Safe, rec.Power, nil, false)
+			}
+
+			idxStart := time.Now()
+			caseFreq := Frequencies(counts, n, lDouble)
+			refFreq := Frequencies(r.refCounts, r.refN, lDouble)
+			r.addTiming(&r.report.Timings.Indexing, idxStart)
+
+			aggStart := time.Now()
+			if stack == nil {
+				stack = lrtest.NewPatternStack(int(totalRows), len(lDouble))
+				bytes := bitLRBytes(totalRows, cols)
+				if err := r.allocLR(bytes); err != nil {
+					return err
+				}
+				stackBytes = bytes
+			}
+			if stale {
+				stack.Reset()
+				for _, i := range subset {
+					p, err := ps.get(i)
+					if err != nil {
+						return err
+					}
+					if err := stack.Push(i, p); err != nil {
+						return err
+					}
+				}
+				stale = false
+			} else {
+				if err := stack.Remove(rem); err != nil {
+					return err
+				}
+				p, err := ps.get(add)
+				if err != nil {
+					return err
+				}
+				if err := stack.Push(add, p); err != nil {
+					return err
+				}
+			}
+			r.addTiming(&r.report.Timings.DataAggregation, aggStart)
+
+			lrStart := time.Now()
+			if err := r.allocLR(2 * reskinBytes); err != nil {
+				return err
+			}
+			defer r.freeLR(2 * reskinBytes)
+			ratios, err := lrtest.NewLogRatios(caseFreq, refFreq)
+			if err != nil {
+				return fmt.Errorf("core: log ratios: %w", err)
+			}
+			caseLR, err := stack.Matrix().Reskin(ratios)
+			if err != nil {
+				return err
+			}
+			refLR, err := (*refPattern).Reskin(ratios)
+			if err != nil {
+				return err
+			}
+			safe, power, err := LRPhaseBitSelector(lDouble, caseLR, refLR, r.cfg.LR, *order, sel)
+			r.addTiming(&r.report.Timings.LRTest, lrStart)
+			if err != nil {
+				return err
+			}
+			per[slot] = safe
+			return r.cs.recordCombination(comboNames, safe, power, nil, true)
+		})
+	})
 }

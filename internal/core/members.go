@@ -41,6 +41,21 @@ type BatchPairProvider interface {
 	PairStatsBatch(pairs [][2]int) ([]genome.PairStats, error)
 }
 
+// PatternProvider is an optional Provider extension: the member ships its
+// genotype bit-pattern over the retained columns — the frequency-independent
+// cell bits of its LR-matrix, with zero representatives. A collusion-tolerant
+// Phase 3 evaluates many combinations over the same columns, and each
+// combination differs only in its pooled frequency vectors; with the pattern
+// in hand the leader derives every combination's member contribution locally
+// via Reskin, so each member is contacted once per assessment instead of once
+// per combination. Providers that cannot ship patterns fall back to the
+// per-combination LRMatrix path.
+type PatternProvider interface {
+	// LRPattern returns the member's genotype bit-pattern over the given
+	// columns (original SNP indices).
+	LRPattern(cols []int) (*lrtest.BitMatrix, error)
+}
+
 // LocalMember is an in-process Provider over a private genotype shard.
 type LocalMember struct {
 	shard *genome.Matrix
@@ -53,6 +68,7 @@ type LocalMember struct {
 var (
 	_ Provider          = (*LocalMember)(nil)
 	_ BatchPairProvider = (*LocalMember)(nil)
+	_ PatternProvider   = (*LocalMember)(nil)
 )
 
 // NewLocalMember wraps a genotype shard.
@@ -115,6 +131,37 @@ func (m *LocalMember) LRMatrix(cols []int, caseFreq, refFreq []float64) (*lrtest
 	return BuildLRBitMatrix(m.shard, cols, caseFreq, refFreq)
 }
 
+// LRPattern implements PatternProvider.
+func (m *LocalMember) LRPattern(cols []int) (*lrtest.BitMatrix, error) {
+	if err := checkPatternRequest(m.shard.L(), cols); err != nil {
+		return nil, err
+	}
+	p, err := lrtest.BuildBitPattern(m.shard.SelectColumns(cols))
+	if err != nil {
+		return nil, fmt.Errorf("core: build genotype pattern: %w", err)
+	}
+	return p, nil
+}
+
+// checkPatternRequest validates a pattern request's column list the way
+// checkLRRequest validates a full Phase 3 broadcast: members distrust the
+// leader symmetrically even when no frequencies travel.
+func checkPatternRequest(l int, cols []int) error {
+	seen := make(map[int]bool, len(cols))
+	for _, c := range cols {
+		if c < 0 || c >= l {
+			//gendpr:allow(secretflow): the column index echoes the requester's own query (protocol metadata), not cohort data
+			return fmt.Errorf("core: column %d out of range for %d SNPs", c, l)
+		}
+		if seen[c] {
+			//gendpr:allow(secretflow): the column index echoes the requester's own query (protocol metadata), not cohort data
+			return fmt.Errorf("core: duplicate column %d in pattern request", c)
+		}
+		seen[c] = true
+	}
+	return nil
+}
+
 // checkLRRequest validates the leader's Phase 3 broadcast against the shard.
 // Members distrust the leader symmetrically: out-of-range or duplicate
 // columns and non-finite frequencies are rejected before any local genotype
@@ -123,17 +170,8 @@ func checkLRRequest(g *genome.Matrix, cols []int, caseFreq, refFreq []float64) (
 	if len(cols) != len(caseFreq) || len(cols) != len(refFreq) {
 		return lrtest.LogRatios{}, fmt.Errorf("core: %d columns vs %d/%d frequencies", len(cols), len(caseFreq), len(refFreq))
 	}
-	seen := make(map[int]bool, len(cols))
-	for _, l := range cols {
-		if l < 0 || l >= g.L() {
-			//gendpr:allow(secretflow): the column index echoes the requester's own query (protocol metadata), not cohort data
-			return lrtest.LogRatios{}, fmt.Errorf("core: column %d out of range for %d SNPs", l, g.L())
-		}
-		if seen[l] {
-			//gendpr:allow(secretflow): the column index echoes the requester's own query (protocol metadata), not cohort data
-			return lrtest.LogRatios{}, fmt.Errorf("core: duplicate column %d in LR request", l)
-		}
-		seen[l] = true
+	if err := checkPatternRequest(g.L(), cols); err != nil {
+		return lrtest.LogRatios{}, err
 	}
 	if err := validateFrequencies(caseFreq, len(cols)); err != nil {
 		return lrtest.LogRatios{}, fmt.Errorf("core: case frequencies: %w", err)
@@ -185,6 +223,13 @@ func BuildLRBitMatrix(g *genome.Matrix, cols []int, caseFreq, refFreq []float64)
 // the leader evaluates many collusion combinations over it. It is safe for
 // concurrent use: the assessment driver queries members (and, in parallel-
 // combination mode, combinations) concurrently.
+// pairKey packs a column pair into one word. The pair maps are the LD
+// phase's hottest data structure — one probe per announced pair per member —
+// and an 8-byte key hashes and compares in registers where the [2]int form
+// pays a 16-byte hash plus memequal per probe. Column indices are
+// non-negative and far below 2³², so the packing is lossless.
+func pairKey(a, b int) uint64 { return uint64(uint32(a))<<32 | uint64(uint32(b)) }
+
 type cachedProvider struct {
 	inner Provider
 
@@ -192,13 +237,22 @@ type cachedProvider struct {
 	counts []int64
 	caseN  int64
 	loaded bool
-	pairs  map[[2]int]genome.PairStats
+	pairs  map[uint64]genome.PairStats
+
+	// Pattern cache: a genotype bit-pattern depends only on the column list,
+	// and Phase 3 asks for exactly one column list per assessment, so a single
+	// slot keyed by column equality suffices. Guarded by patMu, not mu: the
+	// fetch can be a wide-area round trip and must not block the pair-cache
+	// fast path.
+	patMu   sync.Mutex
+	patCols []int
+	pattern *lrtest.BitMatrix
 }
 
 var _ BatchPairProvider = (*cachedProvider)(nil)
 
 func newCachedProvider(p Provider) *cachedProvider {
-	return &cachedProvider{inner: p, pairs: make(map[[2]int]genome.PairStats)}
+	return &cachedProvider{inner: p, pairs: make(map[uint64]genome.PairStats)}
 }
 
 // load fetches the summary statistics once; callers must hold c.mu.
@@ -237,7 +291,7 @@ func (c *cachedProvider) CaseN() (int64, error) {
 }
 
 func (c *cachedProvider) PairStats(a, b int) (genome.PairStats, error) {
-	key := [2]int{a, b}
+	key := pairKey(a, b)
 	c.mu.Lock()
 	if s, ok := c.pairs[key]; ok {
 		c.mu.Unlock()
@@ -269,7 +323,7 @@ func (c *cachedProvider) Prefetch(pairs [][2]int) error {
 	c.mu.Lock()
 	missing := make([][2]int, 0, len(pairs))
 	for _, p := range pairs {
-		if _, ok := c.pairs[p]; !ok {
+		if _, ok := c.pairs[pairKey(p[0], p[1])]; !ok {
 			missing = append(missing, p)
 		}
 	}
@@ -292,7 +346,7 @@ func (c *cachedProvider) Prefetch(pairs [][2]int) error {
 	}
 	c.mu.Lock()
 	for i, p := range missing {
-		c.pairs[p] = stats[i]
+		c.pairs[pairKey(p[0], p[1])] = stats[i]
 	}
 	c.mu.Unlock()
 	return nil
@@ -323,7 +377,7 @@ func (c *cachedProvider) PairStatsBatch(pairs [][2]int) ([]genome.PairStats, err
 // the cache synchronously avoids a goroutine dispatch per member per pair.
 func (c *cachedProvider) cachedPair(a, b int) (genome.PairStats, bool) {
 	c.mu.Lock()
-	s, ok := c.pairs[[2]int{a, b}]
+	s, ok := c.pairs[pairKey(a, b)]
 	c.mu.Unlock()
 	return s, ok
 }
@@ -333,6 +387,57 @@ func (c *cachedProvider) LRMatrix(cols []int, caseFreq, refFreq []float64) (*lrt
 	// so they are not cached; each is requested exactly once per
 	// combination anyway.
 	return c.inner.LRMatrix(cols, caseFreq, refFreq)
+}
+
+// supportsPatterns reports whether the wrapped provider can ship genotype
+// bit-patterns. The probe recurses through nested cachedProviders: the
+// resilient driver wraps a member once so survivor data replays across
+// restarts, and the assessment driver wraps again — the capability must shine
+// through both layers.
+func (c *cachedProvider) supportsPatterns() bool {
+	switch p := c.inner.(type) {
+	case *cachedProvider:
+		return p.supportsPatterns()
+	case PatternProvider:
+		return true
+	default:
+		return false
+	}
+}
+
+// LRPattern implements PatternProvider over the single-slot pattern cache.
+// The mutex is held across the fetch deliberately: concurrent evaluation
+// chains all want the same pattern, and single-flighting the round trip keeps
+// the member's work at one pattern build per assessment.
+func (c *cachedProvider) LRPattern(cols []int) (*lrtest.BitMatrix, error) {
+	p, ok := c.inner.(PatternProvider)
+	if !ok {
+		return nil, fmt.Errorf("core: provider cannot ship genotype patterns")
+	}
+	c.patMu.Lock()
+	defer c.patMu.Unlock()
+	if c.pattern != nil && intsEqual(c.patCols, cols) {
+		return c.pattern, nil
+	}
+	pat, err := p.LRPattern(cols)
+	if err != nil {
+		return nil, err
+	}
+	c.patCols = append([]int(nil), cols...)
+	c.pattern = pat
+	return pat, nil
+}
+
+func intsEqual(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
 }
 
 // seedSummary primes the summary cache from a checkpoint, so a resumed run
@@ -347,7 +452,7 @@ func (c *cachedProvider) seedSummary(counts []int64, caseN int64) {
 // seedPair primes one pair-statistics cache entry from a checkpoint.
 func (c *cachedProvider) seedPair(a, b int, s genome.PairStats) {
 	c.mu.Lock()
-	c.pairs[[2]int{a, b}] = s
+	c.pairs[pairKey(a, b)] = s
 	c.mu.Unlock()
 }
 
@@ -357,7 +462,7 @@ func (c *cachedProvider) snapshotPairs() ([][2]int, []genome.PairStats) {
 	c.mu.Lock()
 	keys := make([][2]int, 0, len(c.pairs))
 	for k := range c.pairs {
-		keys = append(keys, k)
+		keys = append(keys, [2]int{int(k >> 32), int(uint32(k))})
 	}
 	c.mu.Unlock()
 	sort.Slice(keys, func(i, j int) bool {
@@ -369,7 +474,7 @@ func (c *cachedProvider) snapshotPairs() ([][2]int, []genome.PairStats) {
 	out := make([]genome.PairStats, len(keys))
 	c.mu.Lock()
 	for i, k := range keys {
-		out[i] = c.pairs[k]
+		out[i] = c.pairs[pairKey(k[0], k[1])]
 	}
 	c.mu.Unlock()
 	return keys, out

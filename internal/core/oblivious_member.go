@@ -22,7 +22,10 @@ type ObliviousMember struct {
 	caseCount int64
 }
 
-var _ Provider = (*ObliviousMember)(nil)
+var (
+	_ Provider        = (*ObliviousMember)(nil)
+	_ PatternProvider = (*ObliviousMember)(nil)
+)
 
 // NewObliviousMember loads a genotype shard into an ORAM store, one block
 // per SNP column. The rng drives ORAM leaf remapping; production code must
@@ -140,6 +143,20 @@ func (m *ObliviousMember) LRMatrix(cols []int, caseFreq, refFreq []float64) (*lr
 		return nil, fmt.Errorf("core: log ratios: %w", err)
 	}
 	return lrtest.BuildBitFromColumnBytes(m.n, ratios, func(j int) ([]byte, error) {
+		return m.column(cols[j])
+	})
+}
+
+// LRPattern implements PatternProvider: the same ORAM column walk as
+// LRMatrix, packed with zero representatives. The access trace is identical
+// to an LRMatrix request over the same columns, so shipping a pattern leaks
+// nothing an LR-matrix would not.
+func (m *ObliviousMember) LRPattern(cols []int) (*lrtest.BitMatrix, error) {
+	if err := checkPatternRequest(m.l, cols); err != nil {
+		return nil, err
+	}
+	zero := make([]float64, len(cols))
+	return lrtest.BuildBitFromColumnBytes(m.n, lrtest.LogRatios{Minor: zero, Major: zero}, func(j int) ([]byte, error) {
 		return m.column(cols[j])
 	})
 }

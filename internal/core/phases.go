@@ -60,8 +60,15 @@ func AssociationPValues(caseCounts []int64, caseN int64, refCounts []int64, refN
 // distributed pair-statistics provider can fetch them in one round trip per
 // member instead of one request per pair. Implementations may over-fetch
 // (announced pairs are a lookahead window, not a promise) and must tolerate
-// pairs they have already seen.
+// pairs they have already seen. The slice is only valid for the duration of
+// the call — the scan reuses the buffer between announcements.
 type PairBatchFunc func(pairs [][2]int) error
+
+// ldBatchRamp is the lookahead of a survivor chain's first announcement.
+// Most chains end after a removal or two, so announcing the full window up
+// front warms mostly-unused pairs into every member's cache; the ramp bounds
+// that waste while a chain that persists past it still gets full windows.
+const ldBatchRamp = 4
 
 // LDPhase is Phase 2: a greedy scan over the retained SNPs in positional
 // order. The current survivor is tested against the next SNP using pooled
@@ -92,14 +99,31 @@ func LDPhaseBatch(retained []int, pool PairStatsFunc, prefetch PairBatchFunc, wi
 	out := make([]int, 0, len(retained))
 	current := retained[0]
 	hinted := 0 // retained index (exclusive) covered by the current chain's announcements
+	// The announcement buffer is reused across windows: hooks receive a view
+	// that is only valid for the duration of the call (PairBatchFunc's
+	// contract), so the scan does not allocate per chain.
+	var pairs [][2]int
+	lastCur := -1 // survivor of the most recent announcement
 	for idx := 1; idx < len(retained); idx++ {
 		next := retained[idx]
 		if prefetch != nil && window > 0 && current != retained[idx-1] && idx >= hinted {
-			end := idx + window
+			// Ramp the window: most survivor chains end after one or two
+			// removals, so a chain's first announcement covers only
+			// ldBatchRamp pairs; re-announcements for a chain that outlives
+			// it use the full window. This keeps the over-fetch of short
+			// chains bounded without costing long chains round trips.
+			w := window
+			if current != lastCur {
+				if w > ldBatchRamp {
+					w = ldBatchRamp
+				}
+				lastCur = current
+			}
+			end := idx + w
 			if end > len(retained) {
 				end = len(retained)
 			}
-			pairs := make([][2]int, 0, end-idx)
+			pairs = pairs[:0]
 			for j := idx; j < end; j++ {
 				pairs = append(pairs, [2]int{current, retained[j]})
 			}
@@ -206,6 +230,33 @@ func LRPhaseBitOrdered(cols []int, caseLR, refLR *lrtest.BitMatrix, params lrtes
 		order = lrtest.DiscriminabilityOrderBit(caseLR, refLR)
 	}
 	res, err := lrtest.SelectSafeBitWithOrder(caseLR, refLR, params, order)
+	if err != nil {
+		return nil, 0, fmt.Errorf("core: LR-test: %w", err)
+	}
+	safe := make([]int, len(res.Safe))
+	for i, j := range res.Safe {
+		safe[i] = cols[j]
+	}
+	return safe, res.Power, nil
+}
+
+// LRPhaseBitSelector is LRPhaseBitOrdered evaluating through a caller-owned
+// lrtest.Selector, so a chain of combinations reuses the selection scratch
+// buffers (and the power evaluator's per-individual score cache) instead of
+// reallocating them per combination. Results are identical to
+// LRPhaseBitOrdered; a nil selector falls back to it.
+func LRPhaseBitSelector(cols []int, caseLR, refLR *lrtest.BitMatrix, params lrtest.Params, order []int, sel *lrtest.Selector) ([]int, float64, error) {
+	if sel == nil {
+		return LRPhaseBitOrdered(cols, caseLR, refLR, params, order)
+	}
+	if caseLR.Cols() != len(cols) || refLR.Cols() != len(cols) {
+		return nil, 0, fmt.Errorf("core: LR matrices have %d/%d columns, want %d",
+			caseLR.Cols(), refLR.Cols(), len(cols))
+	}
+	if order == nil {
+		order = lrtest.DiscriminabilityOrderBit(caseLR, refLR)
+	}
+	res, err := sel.SelectSafeBitWithOrder(caseLR, refLR, params, order)
 	if err != nil {
 		return nil, 0, fmt.Errorf("core: LR-test: %w", err)
 	}

@@ -53,6 +53,13 @@ func (f *phaseFaultProvider) LRMatrix(cols []int, caseFreq, refFreq []float64) (
 	return f.LocalMember.LRMatrix(cols, caseFreq, refFreq)
 }
 
+func (f *phaseFaultProvider) LRPattern(cols []int) (*lrtest.BitMatrix, error) {
+	if f.failPhase == PhaseLR {
+		return nil, f.fail()
+	}
+	return f.LocalMember.LRPattern(cols)
+}
+
 // resilienceFixture builds a 4-member federation where member `bad` fails at
 // `phase`, plus the expected degraded selection over the 3 survivors.
 func resilienceFixture(t *testing.T, bad int, phase string, fatal bool) ([]Provider, *genome.Matrix, *Report) {

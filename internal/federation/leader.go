@@ -200,6 +200,7 @@ type remoteProvider struct {
 var (
 	_ core.Provider          = (*remoteProvider)(nil)
 	_ core.BatchPairProvider = (*remoteProvider)(nil)
+	_ core.PatternProvider   = (*remoteProvider)(nil)
 )
 
 // Health returns the member's current health state.
@@ -434,4 +435,25 @@ func (r *remoteProvider) LRMatrix(cols []int, caseFreq, refFreq []float64) (*lrt
 		return nil, fmt.Errorf("federation: member %s LR-matrix: %w", r.name, err)
 	}
 	return m, nil
+}
+
+// LRPattern implements core.PatternProvider over the existing Phase 3 wire
+// kinds: a frequency-free KindLRRequest asks for the genotype bit-pattern.
+func (r *remoteProvider) LRPattern(cols []int) (*lrtest.BitMatrix, error) {
+	if len(cols) == 0 {
+		// A zero-column pattern request is indistinguishable on the wire from
+		// an empty LR-matrix request, and the replies agree shape-for-shape
+		// (an LR-matrix with no columns carries no representatives), so reuse
+		// the matrix path.
+		return r.LRMatrix(nil, nil, nil)
+	}
+	payload, err := r.roundTrip(transport.Message{Kind: KindLRRequest, Payload: encodeLRRequest(cols, nil, nil)}, KindLRReply)
+	if err != nil {
+		return nil, err
+	}
+	p, err := lrtest.DecodePatternWire(payload)
+	if err != nil {
+		return nil, fmt.Errorf("federation: member %s genotype pattern: %w", r.name, err)
+	}
+	return p, nil
 }

@@ -160,6 +160,17 @@ func (m *Member) handle(local *core.LocalMember, msg transport.Message) (*transp
 		if err != nil {
 			return nil, false, err
 		}
+		if len(caseFreq) == 0 && len(refFreq) == 0 && len(cols) > 0 {
+			// A frequency-free request over a non-empty column list asks for
+			// the genotype bit-pattern: the combination-lattice leader skins
+			// it locally per collusion combination instead of requesting one
+			// full LR-matrix per combination.
+			p, err := local.LRPattern(cols)
+			if err != nil {
+				return nil, false, err
+			}
+			return &transport.Message{Kind: KindLRReply, Payload: p.EncodePatternWire()}, false, nil
+		}
 		lr, err := local.LRMatrix(cols, caseFreq, refFreq)
 		if err != nil {
 			return nil, false, err

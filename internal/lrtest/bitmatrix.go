@@ -190,6 +190,24 @@ func (m *BitMatrix) addColumn(dst, base []float64, j int) {
 	}
 }
 
+// addColumnCount is addColumn fused with the Power numerator: it writes
+// base + column j into dst and returns how many written scores exceed tau,
+// saving the admission loop a second pass over the case rows. The counted
+// comparisons are exactly Power's `score > tau` on the same values.
+func (m *BitMatrix) addColumnCount(dst, base []float64, j int, tau float64) int {
+	v := [2]float64{m.zero[j], m.one[j]}
+	w := m.bits[j*m.wpc : (j+1)*m.wpc]
+	hits := 0
+	for i := 0; i < m.rows; i++ {
+		s := base[i] + v[(w[i>>6]>>(uint(i)&63))&1]
+		dst[i] = s
+		if s > tau {
+			hits++
+		}
+	}
+	return hits
+}
+
 // Column returns a copy of column j as dense values.
 func (m *BitMatrix) Column(j int) []float64 {
 	if j < 0 || j >= m.cols {

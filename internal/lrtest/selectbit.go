@@ -12,7 +12,10 @@ import (
 // reusing its scratch buffers: the seed implementation allocated and fully
 // sorted a fresh copy of the reference scores for every candidate, turning
 // the search into O(L·N log N) with 2L allocations; this evaluator is
-// O(L·N) with none.
+// O(L·N) with none. On the bit-matrix path only oblivious mode still routes
+// through it — direct mode uses the sorted-base selection in
+// selectSafeBitOrdered — but the quickselect branch is kept as the generic
+// fallback.
 type powerEval struct {
 	params  Params
 	scratch []float64       // quickselect working copy of the reference scores
@@ -77,6 +80,60 @@ func SelectSafeBit(caseLR, refLR *BitMatrix, params Params) (Result, error) {
 // same sequential row order as the dense kernel, so every power — and hence
 // the selected subset — is bit-for-bit identical.
 func SelectSafeBitWithOrder(caseLR, refLR *BitMatrix, params Params, order []int) (Result, error) {
+	return new(Selector).SelectSafeBitWithOrder(caseLR, refLR, params, order)
+}
+
+// Selector runs the greedy admission search while reusing its scratch
+// buffers — score vectors, candidate vectors and the threshold machinery —
+// across calls. The collusion driver evaluates hundreds of combinations back
+// to back over same-shaped matrices; per-call allocation of the row-sized
+// slices was a measurable slice of the Phase 3 profile. A Selector is not
+// safe for concurrent use; the sharded driver keeps one per evaluation
+// chain. Results are bit-identical to the allocate-per-call path: buffers
+// are (re)sized and the accumulated score prefixes zeroed on entry, and the
+// threshold is the exact k-th order statistic either way.
+type Selector struct {
+	caseScores, refScores []float64
+	candCase, candRef     []float64
+	ord                   *refOrder
+	eval                  *powerEval
+	evalRows              int
+	evalParams            Params
+}
+
+// NewSelector returns an empty Selector; buffers grow on first use.
+func NewSelector() *Selector { return new(Selector) }
+
+// sized returns buf resized to n, reusing capacity.
+func sized(buf []float64, n int) []float64 {
+	if cap(buf) < n {
+		return make([]float64, n)
+	}
+	return buf[:n]
+}
+
+// powerEval returns the cached threshold evaluator, rebuilding it when the
+// reference height or the parameters changed since the last call.
+func (s *Selector) powerEval(params Params, refRows int) *powerEval {
+	if s.eval == nil || s.evalRows != refRows || !paramsIdentical(s.evalParams, params) {
+		s.eval = newPowerEval(params, refRows)
+		s.evalRows = refRows
+		s.evalParams = params
+	}
+	return s.eval
+}
+
+// paramsIdentical compares parameters by representation: any difference
+// invalidates the cached evaluator's quantile rank and scratch sizing.
+func paramsIdentical(a, b Params) bool {
+	return math.Float64bits(a.Alpha) == math.Float64bits(b.Alpha) &&
+		math.Float64bits(a.PowerThreshold) == math.Float64bits(b.PowerThreshold) &&
+		a.Oblivious == b.Oblivious
+}
+
+// SelectSafeBitWithOrder is the package-level function over this Selector's
+// reusable scratch.
+func (s *Selector) SelectSafeBitWithOrder(caseLR, refLR *BitMatrix, params Params, order []int) (Result, error) {
 	if err := params.Validate(); err != nil {
 		return Result{}, err
 	}
@@ -90,12 +147,19 @@ func SelectSafeBitWithOrder(caseLR, refLR *BitMatrix, params Params, order []int
 	if err := validateOrder(order, cols); err != nil {
 		return Result{}, err
 	}
+	if !params.Oblivious {
+		return s.selectSafeBitOrdered(caseLR, refLR, params, order), nil
+	}
 
-	caseScores := make([]float64, caseLR.Rows())
-	refScores := make([]float64, refLR.Rows())
-	candCase := make([]float64, caseLR.Rows())
-	candRef := make([]float64, refLR.Rows())
-	eval := newPowerEval(params, refLR.Rows())
+	caseScores := sized(s.caseScores, caseLR.Rows())
+	refScores := sized(s.refScores, refLR.Rows())
+	candCase := sized(s.candCase, caseLR.Rows())
+	candRef := sized(s.candRef, refLR.Rows())
+	// The accumulated bases start at zero; the candidate buffers are fully
+	// overwritten by addColumn before being read.
+	clear(caseScores)
+	clear(refScores)
+	eval := s.powerEval(params, refLR.Rows())
 
 	res := Result{Safe: make([]int, 0, cols)}
 	for _, j := range order {
@@ -110,8 +174,214 @@ func SelectSafeBitWithOrder(caseLR, refLR *BitMatrix, params Params, order []int
 			res.Power = power
 		}
 	}
+	s.caseScores, s.candCase = caseScores, candCase
+	s.refScores, s.candRef = refScores, candRef
 	sort.Ints(res.Safe)
 	return res, nil
+}
+
+// selectSafeBitOrdered is the direct-mode admission loop. Instead of
+// re-deriving every candidate threshold by quickselect over a fresh copy of
+// the reference scores — the dominant cost of Phase 3 under collusion — it
+// keeps the accumulated reference scores sorted: a candidate column shifts
+// each score by one of just two representatives, so the candidate's score
+// multiset is the disjoint union of two value-shifted sorted runs and its
+// exact (1−α)-quantile comes from a two-sorted-runs order-statistic search.
+// Admitting a candidate is a buffer swap. The case side keeps the dense
+// branchless accumulate-and-count kernels — its per-candidate work is two
+// stride-1 passes either way, and those kernels vectorize where the sorted
+// machinery's data-dependent branches do not.
+//
+// The result is bit-identical to the quickselect path: every row's score is
+// produced by the same sequence of float additions (base plus one
+// representative per admitted column, in admission order), and the k-th
+// order statistic of a multiset is a single well-defined value no matter
+// how it is found. The oblivious path keeps the streaming top-k filter —
+// this loop's comparisons branch on score values, which oblivious mode
+// forbids.
+func (s *Selector) selectSafeBitOrdered(caseLR, refLR *BitMatrix, params Params, order []int) Result {
+	caseScores := sized(s.caseScores, caseLR.Rows())
+	candCase := sized(s.candCase, caseLR.Rows())
+	clear(caseScores)
+	refN := refLR.Rows()
+	var k int
+	var refOrd *refOrder
+	if refN > 0 {
+		k = thresholdIndex(refN, params.Alpha)
+		if s.ord == nil {
+			s.ord = new(refOrder)
+		}
+		refOrd = s.ord
+		refOrd.reset(refN)
+	}
+
+	res := Result{Safe: make([]int, 0, caseLR.Cols())}
+	for _, j := range order {
+		tau := math.Inf(1)
+		if refN > 0 {
+			refOrd.split(refLR, j)
+			tau = refOrd.kth(k)
+		}
+		hits := caseLR.addColumnCount(candCase, caseScores, j, tau)
+		var power float64
+		if len(candCase) > 0 {
+			power = float64(hits) / float64(len(candCase))
+		}
+		res.Iterations++
+		if power < params.PowerThreshold {
+			caseScores, candCase = candCase, caseScores
+			if refN > 0 {
+				refOrd.admit()
+			}
+			res.Safe = append(res.Safe, j)
+			res.Power = power
+		}
+	}
+	s.caseScores, s.candCase = caseScores, candCase
+	sort.Ints(res.Safe)
+	return res
+}
+
+// refOrder is the sorted view of the admission loop's accumulated reference
+// scores, held as two ascending runs (valsA/rowsA and valsB/rowsB) whose
+// merge — ties resolved A-first — is the sorted score vector. split
+// merge-walks the runs while repartitioning by the candidate column's bits,
+// emitting each position's candidate score (the same base-plus-
+// representative addition the dense kernel performs for that row) into the
+// candidate run for its bit. The runs never need materializing into one
+// array: kth binary-searches the two candidate runs directly, and admitting
+// a candidate is a buffer swap — the candidate runs simply become the
+// state. Everything is contiguous, nothing is re-sorted.
+type refOrder struct {
+	valsA, valsB         []float64 // accumulated scores, two ascending runs
+	rowsA, rowsB         []int32   // original row of each run position
+	nA, nB               int
+	candValsA, candValsB []float64 // candidate runs from the last split
+	candRowsA, candRowsB []int32
+	candNA, candNB       int
+}
+
+// reset prepares the state for n accumulated-zero scores: one run holding
+// all rows in identity order (ties never matter — only the value multiset
+// does), the other empty.
+func (o *refOrder) reset(n int) {
+	o.valsA = sized(o.valsA, n)
+	clear(o.valsA)
+	o.rowsA = sizedInt32(o.rowsA, n)
+	for t := range o.rowsA {
+		o.rowsA[t] = int32(t)
+	}
+	o.valsB = sized(o.valsB, n)
+	o.rowsB = sizedInt32(o.rowsB, n)
+	o.nA, o.nB = n, 0
+	o.candValsA = sized(o.candValsA, n)
+	o.candValsB = sized(o.candValsB, n)
+	o.candRowsA = sizedInt32(o.candRowsA, n)
+	o.candRowsB = sizedInt32(o.candRowsB, n)
+	o.candNA, o.candNB = 0, 0
+}
+
+func sizedInt32(buf []int32, n int) []int32 {
+	if cap(buf) < n {
+		return make([]int32, n)
+	}
+	return buf[:n]
+}
+
+// split walks the state runs in merged (ascending) order and partitions the
+// positions by column j's cell bit into the candidate runs, each value
+// shifted by its bit's representative. Both candidate runs inherit the
+// walk's ascending order.
+func (o *refOrder) split(m *BitMatrix, j int) {
+	w := m.bits[j*m.wpc : (j+1)*m.wpc]
+	z, one := m.zero[j], m.one[j]
+	a, b := o.valsA[:o.nA], o.valsB[:o.nB]
+	ra, rb := o.rowsA[:o.nA], o.rowsB[:o.nB]
+	cvA, cvB := o.candValsA, o.candValsB
+	crA, crB := o.candRowsA, o.candRowsB
+	ca, cb := 0, 0
+	emit := func(v float64, r int32) {
+		if (w[uint32(r)>>6]>>(uint32(r)&63))&1 == 0 {
+			cvA[ca], crA[ca] = v+z, r
+			ca++
+		} else {
+			cvB[cb], crB[cb] = v+one, r
+			cb++
+		}
+	}
+	ia, ib := 0, 0
+	for ia < len(a) && ib < len(b) {
+		if a[ia] <= b[ib] {
+			emit(a[ia], ra[ia])
+			ia++
+		} else {
+			emit(b[ib], rb[ib])
+			ib++
+		}
+	}
+	for ; ia < len(a); ia++ {
+		emit(a[ia], ra[ia])
+	}
+	for ; ib < len(b); ib++ {
+		emit(b[ib], rb[ib])
+	}
+	o.candNA, o.candNB = ca, cb
+}
+
+// kth returns the k-th smallest (0-indexed) of the candidate score multiset
+// candValsA ∪ candValsB: both runs ascend, so a binary search over how many
+// elements the first run contributes finds the exact order statistic
+// without materializing the merge.
+func (o *refOrder) kth(k int) float64 {
+	a, b := o.candValsA[:o.candNA], o.candValsB[:o.candNB]
+	aV := func(i int) float64 {
+		switch {
+		case i < 0:
+			return math.Inf(-1)
+		case i >= len(a):
+			return math.Inf(1)
+		}
+		return a[i]
+	}
+	bV := func(i int) float64 {
+		switch {
+		case i < 0:
+			return math.Inf(-1)
+		case i >= len(b):
+			return math.Inf(1)
+		}
+		return b[i]
+	}
+	// i elements come from a and k+1−i from b; find the largest feasible i.
+	// The lower bound is always feasible (its boundary value is a −∞/+∞
+	// sentinel), and at the largest feasible i the complementary boundary
+	// condition holds by maximality, so the partition is exact.
+	lo, hi := k+1-len(b), len(a)
+	if lo < 0 {
+		lo = 0
+	}
+	if hi > k+1 {
+		hi = k + 1
+	}
+	for lo < hi {
+		i := int(uint(lo+hi+1) >> 1)
+		if aV(i-1) <= bV(k+1-i) {
+			lo = i
+		} else {
+			hi = i - 1
+		}
+	}
+	return math.Max(aV(lo-1), bV(k-lo))
+}
+
+// admit makes the candidate runs from the last split the accumulated state:
+// a four-way buffer swap, no data movement.
+func (o *refOrder) admit() {
+	o.valsA, o.candValsA = o.candValsA, o.valsA
+	o.valsB, o.candValsB = o.candValsB, o.valsB
+	o.rowsA, o.candRowsA = o.candRowsA, o.rowsA
+	o.rowsB, o.candRowsB = o.candRowsB, o.rowsB
+	o.nA, o.nB = o.candNA, o.candNB
 }
 
 // DiscriminabilityOrderBit ranks columns exactly as DiscriminabilityOrder

@@ -1,0 +1,165 @@
+package lrtest
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+// mergeRuns materializes a refOrder's two-run state into one sorted
+// value/row sequence, merging exactly as split walks it (ties A-first).
+func mergeRuns(o *refOrder) ([]float64, []int32) {
+	a, b := o.valsA[:o.nA], o.valsB[:o.nB]
+	ra, rb := o.rowsA[:o.nA], o.rowsB[:o.nB]
+	vals := make([]float64, 0, o.nA+o.nB)
+	rows := make([]int32, 0, o.nA+o.nB)
+	ia, ib := 0, 0
+	for ia < len(a) || ib < len(b) {
+		if ib >= len(b) || (ia < len(a) && a[ia] <= b[ib]) {
+			vals, rows = append(vals, a[ia]), append(rows, ra[ia])
+			ia++
+		} else {
+			vals, rows = append(vals, b[ib]), append(rows, rb[ib])
+			ib++
+		}
+	}
+	return vals, rows
+}
+
+// TestRefOrderMatchesSort pins the sorted-base threshold machinery — split,
+// the two-sorted-lists order statistic, and the admission merge — against a
+// naive sort of the same score multiset, across random admission sequences
+// with heavy ties, degenerate all-zero/all-one columns, equal
+// representatives, and boundary ranks.
+func TestRefOrderMatchesSort(t *testing.T) {
+	rng := rand.New(rand.NewSource(43))
+	// A small value set forces duplicate sums; no value can produce -0.
+	reps := []float64{-2.5, -1.25, 0, 0.5, 0.5, 1.75, 3}
+	ord := new(refOrder)
+	for trial := 0; trial < 300; trial++ {
+		n := 1 + rng.Intn(96)
+		cols := 1 + rng.Intn(12)
+		m := NewBitMatrix(n, cols)
+		for j := 0; j < cols; j++ {
+			m.zero[j] = reps[rng.Intn(len(reps))]
+			m.one[j] = reps[rng.Intn(len(reps))]
+			if rng.Intn(5) == 0 {
+				m.one[j] = m.zero[j]
+			}
+			switch rng.Intn(5) {
+			case 0: // all-zero column: bits stay clear
+			case 1: // all-one column
+				for i := 0; i < n; i++ {
+					m.bits[j*m.wpc+i>>6] |= 1 << (uint(i) & 63)
+				}
+			default:
+				for i := 0; i < n; i++ {
+					if rng.Intn(2) == 1 {
+						m.bits[j*m.wpc+i>>6] |= 1 << (uint(i) & 63)
+					}
+				}
+			}
+		}
+
+		ord.reset(n)
+		naive := make([]float64, n)
+		cand := make([]float64, n)
+		for j := 0; j < cols; j++ {
+			ord.split(m, j)
+			if ord.candNA+ord.candNB != n {
+				t.Fatalf("trial %d col %d: split covers %d+%d of %d positions",
+					trial, j, ord.candNA, ord.candNB, n)
+			}
+			for i := 0; i < n; i++ {
+				if m.bit(i, j) != 0 {
+					cand[i] = naive[i] + m.one[j]
+				} else {
+					cand[i] = naive[i] + m.zero[j]
+				}
+			}
+			sorted := append([]float64(nil), cand...)
+			sort.Float64s(sorted)
+			for _, k := range []int{0, n - 1, rng.Intn(n)} {
+				if got := ord.kth(k); math.Float64bits(got) != math.Float64bits(sorted[k]) {
+					t.Fatalf("trial %d col %d: kth(%d)=%v, sort gives %v", trial, j, k, got, sorted[k])
+				}
+			}
+			if rng.Intn(2) == 1 {
+				ord.admit()
+				naive, cand = cand, naive
+				vals, rows := mergeRuns(ord)
+				for p := 0; p < n; p++ {
+					if math.Float64bits(vals[p]) != math.Float64bits(sorted[p]) {
+						t.Fatalf("trial %d col %d: admitted vals[%d]=%v, sorted %v",
+							trial, j, p, vals[p], sorted[p])
+					}
+					if got := naive[rows[p]]; math.Float64bits(got) != math.Float64bits(vals[p]) {
+						t.Fatalf("trial %d col %d: rows[%d]=%d carries %v, vals %v",
+							trial, j, p, rows[p], got, vals[p])
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestSelectorDirectMatchesQuickselect pins the direct-mode sorted-base
+// admission loop against the quickselect evaluator it replaced, per
+// candidate: same safe set, same iteration count, bit-identical power.
+func TestSelectorDirectMatchesQuickselect(t *testing.T) {
+	for _, seed := range []int64{3, 17, 51} {
+		cohort, ratios := testRatios(t, 60, 240, seed)
+		caseBit, err := BuildBit(cohort.Case, ratios)
+		if err != nil {
+			t.Fatal(err)
+		}
+		refBit, err := BuildBit(cohort.Reference, ratios)
+		if err != nil {
+			t.Fatal(err)
+		}
+		params := DefaultParams()
+		order := DiscriminabilityOrderBit(caseBit, refBit)
+
+		got, err := new(Selector).SelectSafeBitWithOrder(caseBit, refBit, params, order)
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		// Reference run through the quickselect evaluator, mirroring the
+		// pre-sorted-base loop.
+		n := refBit.Rows()
+		caseScores := make([]float64, caseBit.Rows())
+		refScores := make([]float64, n)
+		candCase := make([]float64, caseBit.Rows())
+		candRef := make([]float64, n)
+		eval := newPowerEval(params, n)
+		want := Result{Safe: []int{}}
+		for _, j := range order {
+			caseBit.addColumn(candCase, caseScores, j)
+			refBit.addColumn(candRef, refScores, j)
+			power := eval.power(candCase, candRef)
+			want.Iterations++
+			if power < params.PowerThreshold {
+				caseScores, candCase = candCase, caseScores
+				refScores, candRef = candRef, refScores
+				want.Safe = append(want.Safe, j)
+				want.Power = power
+			}
+		}
+		sort.Ints(want.Safe)
+
+		if len(got.Safe) != len(want.Safe) || got.Iterations != want.Iterations {
+			t.Fatalf("seed %d: got %d safe/%d iters, want %d/%d",
+				seed, len(got.Safe), got.Iterations, len(want.Safe), want.Iterations)
+		}
+		for i := range want.Safe {
+			if got.Safe[i] != want.Safe[i] {
+				t.Fatalf("seed %d: selection differs at %d: %d vs %d", seed, i, got.Safe[i], want.Safe[i])
+			}
+		}
+		if math.Float64bits(got.Power) != math.Float64bits(want.Power) {
+			t.Fatalf("seed %d: power %v vs %v not bit-identical", seed, got.Power, want.Power)
+		}
+	}
+}

@@ -78,6 +78,12 @@ echo "== leader-kill smoke (failover + resume) =="
 # survivors, resume from the checkpoint, and a bit-identical selection.
 go test -short -run '^TestChaosLeaderFailover$' ./internal/federation/
 
+echo "== lattice-vs-legacy smoke =="
+# The combination lattice's equivalence contract: the incremental Gray-chain
+# Phase 3 must match the legacy per-combination path bit for bit, across
+# federation sizes, policies, and scheduling modes.
+go test -short -run '^(TestLatticeMatchesLegacyGolden|TestLatticeResumeConservativeParallel)$' ./internal/core/
+
 echo "== bench smoke (1 iteration, tiny scale) =="
 # One iteration of the Phase-3 suite at a tiny scale: catches benchmarks that
 # no longer compile or crash without paying for a real measurement run.
