@@ -15,12 +15,14 @@ package main
 import (
 	"context"
 	"encoding/hex"
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
 	"os"
 	"os/signal"
 	"strings"
+	"sync"
 	"syscall"
 
 	"gendpr/internal/checkpoint"
@@ -55,6 +57,9 @@ func run(args []string) error {
 		minQuorum    = fs.Int("min-quorum", 0, "minimum surviving GDOs (leader included) to finish without failed members; 0 aborts on any failure")
 		ckptDir      = fs.String("checkpoint-dir", "", "directory for phase-boundary snapshots; an interrupted run can be continued with -resume")
 		resume       = fs.Bool("resume", false, "seed the run from a compatible snapshot left in -checkpoint-dir by an interrupted leader")
+		byzantine    = fs.Bool("byzantine", false, "quarantine members whose answers fail plausibility checks or change across deliveries, with blame records, instead of aborting")
+		allowRejoin  = fs.Bool("allow-rejoin", false, "let a crash-failed member re-attest and rejoin at the next phase boundary (equivocators stay barred)")
+		logJSON      = fs.Bool("log-json", false, "emit one-line JSON member health-transition events on stderr")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -92,6 +97,11 @@ func run(args []string) error {
 		DialTimeout: *dialTimeout,
 		MaxRetries:  *retries,
 		MinQuorum:   *minQuorum,
+		Byzantine:   *byzantine,
+		AllowRejoin: *allowRejoin,
+	}
+	if *logJSON {
+		opts.OnEvent = jsonEventLogger("gendpr-leader")
 	}
 	if *ckptDir != "" {
 		store, err := checkpoint.NewFileStore(*ckptDir)
@@ -152,10 +162,20 @@ func run(args []string) error {
 	if report.Resumed {
 		fmt.Printf("resumed from checkpoint in %s\n", *ckptDir)
 	}
+	if report.CorruptionRecovered {
+		fmt.Printf("checkpoint store recovered from a corrupt snapshot (quarantined alongside the live generations)\n")
+	}
 	fmt.Printf("selection: %s\n", report.Selection)
 	for _, e := range report.Excluded {
 		// Provider index 0 is the leader's own shard; members start at 1.
 		fmt.Printf("excluded: member %s failed mid-run and was dropped under quorum degradation\n", addrs[e-1])
+	}
+	for _, r := range report.Rejoined {
+		fmt.Printf("rejoined: member %s was excluded mid-run, re-attested, and rejoined at a phase boundary\n", addrs[r-1])
+	}
+	for _, b := range report.Blamed {
+		fmt.Printf("blamed: member %s, %s during %s (query %s, evidence %s/%s)\n",
+			b.Member, b.Kind, b.Phase, b.Query, digestPrefix(b.Prior), digestPrefix(b.Observed))
 	}
 	fmt.Printf("residual identification power: %.3f\n", report.Selection.Power)
 	fmt.Printf("combinations evaluated: %d\n", report.Combinations)
@@ -163,6 +183,36 @@ func run(args []string) error {
 	fmt.Printf("timings: aggregation %v, indexing %v, LD %v, LR-test %v, total %v\n",
 		t.DataAggregation, t.Indexing, t.LD, t.LRTest, t.Total())
 	return nil
+}
+
+// jsonEventLogger returns a RunOptions.OnEvent sink that writes one JSON
+// object per line to stderr, keeping stdout for the result report.
+func jsonEventLogger(run string) func(federation.MemberEvent) {
+	var mu sync.Mutex
+	enc := json.NewEncoder(os.Stderr)
+	return func(e federation.MemberEvent) {
+		mu.Lock()
+		defer mu.Unlock()
+		_ = enc.Encode(struct {
+			Event      string `json:"event"`
+			Run        string `json:"run"`
+			Member     string `json:"member"`
+			Transition string `json:"transition"`
+			Phase      string `json:"phase,omitempty"`
+		}{"member-health", run, e.Member, e.Event, e.Phase})
+	}
+}
+
+// digestPrefix renders blame evidence compactly; the digests are hashes of
+// wire payloads, never the payloads themselves.
+func digestPrefix(d []byte) string {
+	if len(d) == 0 {
+		return "-"
+	}
+	if len(d) > 4 {
+		d = d[:4]
+	}
+	return hex.EncodeToString(d)
 }
 
 func readVCF(path string) (*genome.Matrix, error) {

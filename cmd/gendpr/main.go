@@ -12,9 +12,11 @@ package main
 
 import (
 	"encoding/hex"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"sync"
 
 	"gendpr"
 	"gendpr/internal/seal"
@@ -42,6 +44,11 @@ func run(args []string) error {
 		refFile      = fs.String("reference", "", "reference-panel VCF file (required with -case)")
 		releaseOut   = fs.String("release", "", "write the signed GWAS statistics release to this JSON file (key written alongside as <file>.pub)")
 		studyID      = fs.String("study", "gendpr-study", "study identifier embedded in the release")
+		retries      = fs.Int("retries", 0, "reconnect-and-retry attempts per failed member exchange")
+		minQuorum    = fs.Int("min-quorum", 0, "minimum surviving GDOs (leader included) to finish without failed members; 0 aborts on any failure")
+		byzantine    = fs.Bool("byzantine", false, "quarantine members whose answers fail plausibility checks or change across deliveries, with blame records")
+		allowRejoin  = fs.Bool("allow-rejoin", false, "let a crash-failed member re-attest and rejoin at the next phase boundary (equivocators stay barred)")
+		logJSON      = fs.Bool("log-json", false, "emit one-line JSON member health-transition events on stderr")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -61,10 +68,26 @@ func run(args []string) error {
 	fmt.Printf("federation: %d GDOs, %d case genomes, %d reference genomes, %d SNPs\n",
 		*gdos, cohort.Case.N(), cohort.Reference.N(), cohort.SNPs())
 
+	opts := gendpr.RunOptions{
+		MaxRetries:  *retries,
+		MinQuorum:   *minQuorum,
+		Byzantine:   *byzantine,
+		AllowRejoin: *allowRejoin,
+	}
+	if *logJSON {
+		opts.OnEvent = jsonEventLogger(*studyID)
+	}
+	faultAware := opts.MaxRetries > 0 || opts.MinQuorum > 0 || opts.Byzantine || opts.AllowRejoin || opts.OnEvent != nil
+
 	var res *gendpr.FederationResult
-	if *overTCP {
+	switch {
+	case *overTCP && faultAware:
+		res, err = gendpr.AssessFederatedTCPWithOptions(shards, cohort.Reference, cfg, policy, opts)
+	case *overTCP:
 		res, err = gendpr.AssessFederatedTCP(shards, cohort.Reference, cfg, policy)
-	} else {
+	case faultAware:
+		res, err = gendpr.AssessFederatedWithOptions(shards, cohort.Reference, cfg, policy, opts)
+	default:
 		res, err = gendpr.AssessFederated(shards, cohort.Reference, cfg, policy)
 	}
 	if err != nil {
@@ -73,6 +96,15 @@ func run(args []string) error {
 
 	rep := res.Report
 	fmt.Printf("leader: gdo-%d (randomly elected)\n", res.LeaderIndex)
+	for _, e := range res.Excluded {
+		fmt.Printf("excluded: gdo-%d failed mid-run and was dropped under quorum degradation\n", e)
+	}
+	for _, r := range res.Rejoined {
+		fmt.Printf("rejoined: gdo-%d was excluded mid-run, re-attested, and rejoined at a phase boundary\n", r)
+	}
+	for _, b := range rep.Blamed {
+		fmt.Printf("blamed: member %s, %s during %s (query %s)\n", b.Member, b.Kind, b.Phase, b.Query)
+	}
 	fmt.Printf("selection: %s\n", rep.Selection)
 	fmt.Printf("residual identification power: %.3f\n", rep.Selection.Power)
 	fmt.Printf("combinations evaluated: %d\n", rep.Combinations)
@@ -127,6 +159,24 @@ func writeRelease(path, studyID string, cohort *gendpr.Cohort, rep *gendpr.Repor
 	fmt.Printf("release: %d SNP statistics written to %s (verification key %s)\n",
 		len(doc.Statistics), path, pubPath)
 	return nil
+}
+
+// jsonEventLogger returns a RunOptions.OnEvent sink that writes one JSON
+// object per line to stderr, keeping stdout for the result report.
+func jsonEventLogger(run string) func(gendpr.MemberEvent) {
+	var mu sync.Mutex
+	enc := json.NewEncoder(os.Stderr)
+	return func(e gendpr.MemberEvent) {
+		mu.Lock()
+		defer mu.Unlock()
+		_ = enc.Encode(struct {
+			Event      string `json:"event"`
+			Run        string `json:"run"`
+			Member     string `json:"member"`
+			Transition string `json:"transition"`
+			Phase      string `json:"phase,omitempty"`
+		}{"member-health", run, e.Member, e.Event, e.Phase})
+	}
 }
 
 func loadOrGenerate(caseFile, refFile string, snps, genomes int, seed int64) (*gendpr.Cohort, error) {

@@ -68,6 +68,12 @@ type (
 	// and quorum-based degradation. The zero value reproduces the base
 	// protocol (no deadlines, no retries, abort on any member failure).
 	RunOptions = federation.RunOptions
+	// MemberEvent is one member health transition observed through
+	// RunOptions.OnEvent.
+	MemberEvent = federation.MemberEvent
+	// Blame is a structured misbehavior attribution from a Byzantine-aware
+	// run (Report.Blamed).
+	Blame = core.Blame
 )
 
 // DefaultConfig returns the paper's evaluation settings: MAF cutoff 0.05,

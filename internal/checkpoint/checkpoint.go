@@ -28,7 +28,10 @@ import (
 // correctness hazard, not a migration opportunity.
 //
 // Version 2 replaced the full-membership combination's wire-encoded merged
-// LR-matrix (per-individual data) with the derived admission order.
+// LR-matrix (per-individual data) with the derived admission order. Version 2
+// records may additionally carry a trailing blame section (absent in records
+// written before it existed); decoders treat a missing section as empty, so
+// both generations round-trip under one version.
 const Version = 2
 
 // magic identifies a checkpoint record; anything else is not even parsed.
@@ -100,6 +103,30 @@ type Combination struct {
 	Order []int
 }
 
+// BlameRecord is one attribution of detectably-wrong member behavior —
+// equivocation across retries or a payload that failed leader-side
+// validation. Blame is part of the checkpoint so a re-elected leader still
+// reports which member a degraded run quarantined, and why.
+//
+// Prior and Observed are SHA-256 digests over the canonical wire encoding of
+// the two conflicting payloads (one-way hashes of aggregate statistics, the
+// same class of content as Counts below).
+type BlameRecord struct {
+	// Member is the provider identity name (names, not slot indices: a new
+	// leader enumerates providers in a different order).
+	Member string
+	// Phase is the protocol phase the bad contribution targeted.
+	Phase string
+	// Query fingerprints which request the member answered inconsistently.
+	Query string
+	// Kind classifies the fault: "equivocation" or "invalid-payload".
+	Kind string
+	// Prior and Observed are the conflicting payload digests (equivocation
+	// only; empty for validation failures, which have a single bad payload).
+	Prior    []byte
+	Observed []byte
+}
+
 // State is one checkpoint: everything a leader needs to resume an assessment
 // at the recorded stage. Per-provider arrays (Counts, CaseNs, Pairs) are
 // indexed like Providers; a resuming leader remaps them onto its own
@@ -130,6 +157,9 @@ type State struct {
 	Pairs [][]PairRecord
 	// Combinations lists the Phase 3 combinations completed so far.
 	Combinations []Combination
+	// Blamed lists the members quarantined for detectably-wrong behavior up
+	// to this boundary, so attribution survives leader failover.
+	Blamed []BlameRecord
 }
 
 // maxElems bounds decoded element counts before allocation so a hostile
@@ -182,6 +212,15 @@ func Encode(st *State) []byte {
 		e.Ints(c.Safe)
 		e.Float64(c.Power)
 		e.Ints(c.Order)
+	}
+	e.Uint64(uint64(len(st.Blamed)))
+	for _, b := range st.Blamed {
+		e.String(b.Member)
+		e.String(b.Phase)
+		e.String(b.Query)
+		e.String(b.Kind)
+		e.Blob(b.Prior)
+		e.Blob(b.Observed)
 	}
 	payload := e.Bytes()
 
@@ -302,6 +341,27 @@ func Decode(b []byte) (*State, error) {
 		}
 		st.Combinations = append(st.Combinations, c)
 	}
+	// The blame section trails the record and is optional: records written
+	// before it existed simply end here.
+	if d.Remaining() > 0 {
+		nBlamed, ok := decodeLen(d)
+		if !ok {
+			return nil, fmt.Errorf("%w: blame length", ErrCorrupt)
+		}
+		if nBlamed > 0 {
+			st.Blamed = make([]BlameRecord, 0, nBlamed)
+		}
+		for i := 0; i < nBlamed; i++ {
+			st.Blamed = append(st.Blamed, BlameRecord{
+				Member:   d.String(),
+				Phase:    d.String(),
+				Query:    d.String(),
+				Kind:     d.String(),
+				Prior:    copyBytes(d.Blob()),
+				Observed: copyBytes(d.Blob()),
+			})
+		}
+	}
 	if err := d.Finish(); err != nil {
 		return nil, fmt.Errorf("%w: payload: %v", ErrCorrupt, err)
 	}
@@ -332,6 +392,15 @@ func (st *State) validate() error {
 		}
 	}
 	return nil
+}
+
+// copyBytes detaches a decoded blob from the payload buffer, keeping the
+// zero value for an absent blob so encode/decode round trips compare equal.
+func copyBytes(b []byte) []byte {
+	if len(b) == 0 {
+		return nil
+	}
+	return append([]byte(nil), b...)
 }
 
 func decodeLen(d *wire.Decoder) (int, bool) {

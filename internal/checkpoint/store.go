@@ -70,44 +70,183 @@ func (s *MemStore) Clear() error {
 	return nil
 }
 
-// FileStore persists the checkpoint as one file in a directory, writing via
-// a temporary file plus rename so a crash mid-save leaves either the old
-// checkpoint or the new one, never a torn record (the CRC catches torn
-// writes the filesystem lets through anyway).
-type FileStore struct {
-	path string
+// Recoverer is implemented by stores that can transparently fall back past a
+// corrupt or missing current snapshot to an older valid boundary. Callers
+// that care (the resume path surfaces a CorruptionRecovered marker in the
+// report) probe it with a type assertion after a successful Load.
+type Recoverer interface {
+	// RecoveredCorruption describes the most recent Load's fallback, or
+	// returns false when the last Load read the current snapshot cleanly.
+	RecoveredCorruption() (string, bool)
 }
 
-// checkpointFile is the file name used inside the store directory.
-const checkpointFile = "assessment.ckpt"
+// FileStore persists the checkpoint in a directory, keeping the current
+// snapshot plus the previous boundary as a fallback generation. Saves write
+// a temporary file, fsync it, rotate current → previous, rename the
+// temporary into place, and fsync the directory, so a crash or power loss at
+// any instant leaves at least one valid, durable boundary on disk. A Load
+// that finds the current snapshot corrupt (torn write, bit rot, version
+// skew) quarantines it under a ".corrupt" name for post-mortem inspection
+// and falls back to the previous boundary instead of failing the run.
+type FileStore struct {
+	path string
+	dir  string
+
+	mu        sync.Mutex
+	recovered string
+	faultHook func(op string) error
+}
+
+// File names used inside the store directory.
+const (
+	checkpointFile = "assessment.ckpt"
+	tmpSuffix      = ".tmp"
+	prevSuffix     = ".prev"
+	corruptSuffix  = ".corrupt"
+)
 
 // NewFileStore opens (creating if needed) a directory-backed store.
 func NewFileStore(dir string) (*FileStore, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("checkpoint: %w", err)
 	}
-	return &FileStore{path: filepath.Join(dir, checkpointFile)}, nil
+	return &FileStore{path: filepath.Join(dir, checkpointFile), dir: dir}, nil
 }
 
-// Path returns the checkpoint file location.
+// Path returns the current checkpoint file location.
 func (s *FileStore) Path() string { return s.path }
 
-// Save implements Store with an atomic-rename write.
+// SetFaultHook installs a hook called before each durability-relevant step
+// of Save ("write", "rotate", "rename", "sync"); a non-nil return aborts the
+// save with that error. Tests use it to simulate disk-full and torn-write
+// conditions at exact points of the persistence sequence.
+func (s *FileStore) SetFaultHook(hook func(op string) error) {
+	s.mu.Lock()
+	s.faultHook = hook
+	s.mu.Unlock()
+}
+
+func (s *FileStore) fault(op string) error {
+	s.mu.Lock()
+	hook := s.faultHook
+	s.mu.Unlock()
+	if hook == nil {
+		return nil
+	}
+	return hook(op)
+}
+
+// Save implements Store with a fsync'd write-rotate-rename sequence.
 func (s *FileStore) Save(st *State) error {
-	tmp := s.path + ".tmp"
-	if err := os.WriteFile(tmp, Encode(st), 0o644); err != nil {
+	tmp := s.path + tmpSuffix
+	if err := s.fault("write"); err != nil {
+		return fmt.Errorf("checkpoint: %w", err)
+	}
+	if err := writeFileSync(tmp, Encode(st)); err != nil {
+		_ = os.Remove(tmp)
+		return fmt.Errorf("checkpoint: %w", err)
+	}
+	// Rotate the old current snapshot into the fallback slot before the new
+	// one lands: between the two renames the previous boundary is still the
+	// newest valid snapshot, so no crash instant loses both generations.
+	if err := s.fault("rotate"); err != nil {
+		_ = os.Remove(tmp)
+		return fmt.Errorf("checkpoint: %w", err)
+	}
+	if _, err := os.Stat(s.path); err == nil {
+		if err := os.Rename(s.path, s.path+prevSuffix); err != nil {
+			_ = os.Remove(tmp)
+			return fmt.Errorf("checkpoint: %w", err)
+		}
+	}
+	if err := s.fault("rename"); err != nil {
+		_ = os.Remove(tmp)
 		return fmt.Errorf("checkpoint: %w", err)
 	}
 	if err := os.Rename(tmp, s.path); err != nil {
 		_ = os.Remove(tmp)
 		return fmt.Errorf("checkpoint: %w", err)
 	}
+	if err := s.fault("sync"); err != nil {
+		return fmt.Errorf("checkpoint: %w", err)
+	}
+	// The renames only become durable once the directory entry updates hit
+	// disk; without this a power loss can make a saved snapshot vanish.
+	return s.syncDir()
+}
+
+// writeFileSync writes b and flushes file contents to stable storage before
+// returning, so the subsequent rename can only ever expose complete bytes.
+func writeFileSync(path string, b []byte) error {
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(b); err != nil {
+		_ = f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		_ = f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+func (s *FileStore) syncDir() error {
+	d, err := os.Open(s.dir)
+	if err != nil {
+		return fmt.Errorf("checkpoint: %w", err)
+	}
+	defer d.Close()
+	if err := d.Sync(); err != nil {
+		return fmt.Errorf("checkpoint: sync directory: %w", err)
+	}
 	return nil
 }
 
-// Load implements Store.
+// Load implements Store. A corrupt current snapshot is quarantined (renamed
+// with a ".corrupt" suffix) and the previous boundary is returned instead;
+// RecoveredCorruption reports the fallback. Only when no generation decodes
+// does Load surface the corruption error.
 func (s *FileStore) Load() (*State, error) {
-	b, err := os.ReadFile(s.path)
+	s.mu.Lock()
+	s.recovered = ""
+	s.mu.Unlock()
+
+	st, err := loadFile(s.path)
+	switch {
+	case err == nil:
+		return st, nil
+	case errors.Is(err, ErrNotFound):
+		// A crash between Save's two renames leaves only the rotated
+		// previous boundary; an empty store leaves neither.
+		st, perr := loadFile(s.path + prevSuffix)
+		if perr != nil {
+			return nil, ErrNotFound
+		}
+		s.setRecovered("current snapshot missing; resumed from previous boundary")
+		return st, nil
+	case errors.Is(err, ErrCorrupt) || errors.Is(err, ErrVersion):
+		// Keep the bad bytes for post-mortem inspection, out of the way of
+		// future saves.
+		_ = os.Rename(s.path, s.path+corruptSuffix)
+		st, perr := loadFile(s.path + prevSuffix)
+		if perr == nil {
+			s.setRecovered("quarantined corrupt snapshot; resumed from previous boundary")
+			return st, nil
+		}
+		if !errors.Is(perr, ErrNotFound) {
+			_ = os.Rename(s.path+prevSuffix, s.path+prevSuffix+corruptSuffix)
+		}
+		return nil, err
+	default:
+		return nil, err
+	}
+}
+
+func loadFile(path string) (*State, error) {
+	b, err := os.ReadFile(path)
 	if errors.Is(err, fs.ErrNotExist) {
 		return nil, ErrNotFound
 	}
@@ -117,11 +256,26 @@ func (s *FileStore) Load() (*State, error) {
 	return Decode(b)
 }
 
-// Clear implements Store.
+func (s *FileStore) setRecovered(desc string) {
+	s.mu.Lock()
+	s.recovered = desc
+	s.mu.Unlock()
+}
+
+// RecoveredCorruption implements Recoverer.
+func (s *FileStore) RecoveredCorruption() (string, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.recovered, s.recovered != ""
+}
+
+// Clear implements Store, removing every live generation. Quarantined
+// ".corrupt" files are evidence, not state, and are deliberately kept.
 func (s *FileStore) Clear() error {
-	err := os.Remove(s.path)
-	if err != nil && !errors.Is(err, fs.ErrNotExist) {
-		return fmt.Errorf("checkpoint: %w", err)
+	for _, p := range []string{s.path, s.path + prevSuffix, s.path + tmpSuffix} {
+		if err := os.Remove(p); err != nil && !errors.Is(err, fs.ErrNotExist) {
+			return fmt.Errorf("checkpoint: %w", err)
+		}
 	}
 	return nil
 }

@@ -106,7 +106,9 @@ func RunAssessmentWithOptions(members []Provider, reference *genome.Matrix, cfg 
 		if err != nil {
 			return nil, err
 		}
+		run.cs.adoptBlames(opts.blamed)
 	}
+	run.audit = opts.auditSummaries
 
 	if err := run.ctxErr(); err != nil {
 		return nil, err
@@ -144,6 +146,8 @@ func RunAssessmentWithOptions(members []Provider, reference *genome.Matrix, cfg 
 	}
 	run.report.PeakLRMatrixBytes = run.lrPeak
 	run.report.Resumed = run.resumed
+	run.report.Blamed = run.cs.allBlames()
+	run.report.CorruptionRecovered = run.cs.recoveredCorruption()
 	run.cs.finish()
 	return run.report, nil
 }
@@ -184,6 +188,9 @@ type assessmentRun struct {
 	pool    *workPool
 	cs      *ckState
 	resumed bool
+	// audit challenges auditable members to reproduce their checkpointed
+	// summaries on resume (the equivocation probe of Byzantine-aware runs).
+	audit bool
 
 	counts    [][]int64
 	caseNs    []int64
@@ -297,6 +304,13 @@ func (r *assessmentRun) collectSummaries() error {
 	if counts, caseNs, ok := r.cs.seededSummaries(); ok {
 		// Resume: the checkpoint holds validated summaries for every
 		// provider — prime the caches and skip the federation round trip.
+		// Byzantine-aware runs first challenge each auditable member to
+		// reproduce the summary it reported to the previous leader: an
+		// honest member is deterministic over its fixed cohort, so a digest
+		// mismatch is equivocation, not drift.
+		if err := r.auditSeededSummaries(counts, caseNs); err != nil {
+			return err
+		}
 		r.counts = counts
 		r.caseNs = caseNs
 		seedSummaryCaches(r.members, counts, caseNs)
@@ -331,8 +345,9 @@ func (r *assessmentRun) collectSummaries() error {
 	}
 
 	// Leader-side validation: malformed or impossible contributions are the
-	// tampering the trusted module must detect. Invalid payloads are
-	// run-fatal MemberErrors — never retried, never degraded away.
+	// tampering the trusted module must detect. Invalid payloads are never
+	// retried — a plain run fails outright, a Byzantine-aware resilient run
+	// quarantines the member with a blame record and restarts over survivors.
 	for i := range r.members {
 		if err := validateCounts(r.counts[i], r.caseNs[i], l); err != nil {
 			return memberErr(i, PhaseSummary, "%w", err)
@@ -353,6 +368,34 @@ func (r *assessmentRun) collectSummaries() error {
 	r.pairsSeen = make(map[uint64]bool)
 	if len(r.members) <= 64 {
 		r.pairWarm = make(map[uint64]uint64)
+	}
+	return nil
+}
+
+// auditSeededSummaries is the resume-time equivocation probe: each member
+// whose provider chain can bypass its caches (SummaryAuditor) re-answers the
+// summary query, and the reply's digest must match the checkpointed one.
+// Members inside the leader's trust domain (LocalMember shards) have no
+// auditor and are skipped.
+func (r *assessmentRun) auditSeededSummaries(counts [][]int64, caseNs []int64) error {
+	if !r.audit || len(counts) != len(r.members) || len(caseNs) != len(r.members) {
+		return nil
+	}
+	for i, m := range r.members {
+		fresh, caseN, err := m.AuditSummary()
+		if errors.Is(err, errAuditUnsupported) {
+			continue
+		}
+		if err != nil {
+			return memberErr(i, PhaseSummary, "summary audit: %w", err)
+		}
+		prior := DigestSummary(counts[i], caseNs[i])
+		observed := DigestSummary(fresh, caseN)
+		if prior != observed {
+			return memberErr(i, PhaseSummary, "resume audit: %w", &EquivocationError{
+				Phase: PhaseSummary, Query: "summary", Prior: prior[:], Observed: observed[:],
+			})
+		}
 	}
 	return nil
 }

@@ -30,6 +30,15 @@ type AssessmentOptions struct {
 	// Checkpoints, when non-nil, persists phase boundaries to the store and
 	// seeds the run from a compatible existing checkpoint.
 	Checkpoints checkpoint.Store
+
+	// blamed carries the resilient runner's accumulated blame records into
+	// the attempt so they persist at every checkpoint boundary and survive a
+	// leader failover.
+	blamed []Blame
+	// auditSummaries challenges every auditable member to reproduce its
+	// checkpointed summary when the run resumes from a seed — the resumed
+	// leader's equivocation probe.
+	auditSummaries bool
 }
 
 // Fingerprint binds a checkpoint to one run shape: every input that changes
@@ -93,6 +102,12 @@ type ckState struct {
 	// oldCombos maps combination indices of the current enumeration onto the
 	// seed's per-combination arrays (PerMAF/PerLD are positional).
 	oldCombos []int
+	// recovered reports that the store fell back past a corrupt or missing
+	// current snapshot to serve the adopted seed.
+	recovered bool
+	// seedBlames are the blame records the adopted seed carried: quarantines
+	// from before the failover, which the resumed run must not forget.
+	seedBlames []Blame
 
 	mu sync.Mutex
 	ck checkpoint.State
@@ -133,8 +148,67 @@ func newCkState(store checkpoint.Store, names []string, fp []byte, g int, policy
 	for _, c := range remapped.Combinations {
 		cs.seedCombos[nameKey(c.Members)] = c
 	}
+	cs.seedBlames = blamesFromRecords(remapped.Blamed)
+	// Only a run that actually adopts the seed reports the store's fallback:
+	// the recovery marker describes how *this* resume obtained its state.
+	if rec, ok := store.(checkpoint.Recoverer); ok {
+		if _, r := rec.RecoveredCorruption(); r {
+			cs.recovered = true
+		}
+	}
 	return cs, nil
 }
+
+// blameRecords converts runner blame to the checkpoint codec's record type.
+func blameRecords(bs []Blame) []checkpoint.BlameRecord {
+	if len(bs) == 0 {
+		return nil
+	}
+	out := make([]checkpoint.BlameRecord, len(bs))
+	for i, b := range bs {
+		out[i] = checkpoint.BlameRecord{Member: b.Member, Phase: b.Phase, Query: b.Query, Kind: b.Kind, Prior: b.Prior, Observed: b.Observed}
+	}
+	return out
+}
+
+// blamesFromRecords is the inverse of blameRecords.
+func blamesFromRecords(rs []checkpoint.BlameRecord) []Blame {
+	if len(rs) == 0 {
+		return nil
+	}
+	out := make([]Blame, len(rs))
+	for i, r := range rs {
+		out[i] = Blame{Member: r.Member, Phase: r.Phase, Query: r.Query, Kind: r.Kind, Prior: r.Prior, Observed: r.Observed}
+	}
+	return out
+}
+
+// adoptBlames merges the runner-carried and seed-carried blame records into
+// the state under construction, so every subsequent boundary save persists
+// the full quarantine history across leader failovers.
+func (cs *ckState) adoptBlames(blamed []Blame) {
+	if cs == nil {
+		return
+	}
+	merged := mergeBlames(append([]Blame(nil), cs.seedBlames...), blamed)
+	cs.mu.Lock()
+	cs.ck.Blamed = blameRecords(merged)
+	cs.mu.Unlock()
+}
+
+// allBlames returns the blame records the run carries (seed and current).
+func (cs *ckState) allBlames() []Blame {
+	if cs == nil {
+		return nil
+	}
+	cs.mu.Lock()
+	defer cs.mu.Unlock()
+	return blamesFromRecords(cs.ck.Blamed)
+}
+
+// recoveredCorruption reports whether the adopted seed came from a storage
+// fallback.
+func (cs *ckState) recoveredCorruption() bool { return cs != nil && cs.recovered }
 
 // remapState reorders a prior state's per-provider arrays onto the current
 // provider order (matching by identity name) and its per-combination arrays
@@ -220,6 +294,8 @@ func remapState(prior *checkpoint.State, names []string, g int, policy Collusion
 		return nil, false
 	}
 	out.Combinations = prior.Combinations
+	// Blame records are keyed by member name, not slot — no remap needed.
+	out.Blamed = prior.Blamed
 	return out, true
 }
 

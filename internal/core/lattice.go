@@ -444,6 +444,12 @@ func (ps *patternSet) get(i int) (*lrtest.BitMatrix, error) {
 	if !p.IsPattern() {
 		return nil, memberErr(i, PhaseLR, "%w: genotype pattern carries non-zero representatives", ErrInvalidPayload)
 	}
+	// Patterns are genotype-oriented, so each column's popcount must equal
+	// the minor-allele count the member reported in Phase 1 — a flipped bit
+	// passes every shape check but not this one.
+	if err := validatePatternCounts(p, ps.cols, r.counts[i]); err != nil {
+		return nil, memberErr(i, PhaseLR, "%w", err)
+	}
 
 	ps.mu.Lock()
 	defer ps.mu.Unlock()

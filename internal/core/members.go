@@ -1,6 +1,7 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 	"sync"
@@ -306,10 +307,27 @@ func (c *cachedProvider) PairStats(a, b int) (genome.PairStats, error) {
 		//gendpr:allow(secretflow): the pair indices echo the requester's own query (protocol metadata), not cohort data
 		return genome.PairStats{}, fmt.Errorf("pair (%d,%d): %w", a, b, err)
 	}
+	if err := c.pairConsistency(a, b, s); err != nil {
+		return genome.PairStats{}, err
+	}
 	c.mu.Lock()
 	c.pairs[key] = s
 	c.mu.Unlock()
 	return s, nil
+}
+
+// pairConsistency cross-checks freshly fetched pair statistics against the
+// member's cached summary (when one is loaded): a marginal that contradicts
+// the member's own counts is a Byzantine contribution no single-payload
+// invariant can catch.
+func (c *cachedProvider) pairConsistency(a, b int, s genome.PairStats) error {
+	c.mu.Lock()
+	loaded, counts, caseN := c.loaded, c.counts, c.caseN
+	c.mu.Unlock()
+	if !loaded {
+		return nil
+	}
+	return validatePairConsistency(s, a, b, counts, caseN)
 }
 
 // Prefetch warms the pair cache with one batched request when the member
@@ -342,6 +360,9 @@ func (c *cachedProvider) Prefetch(pairs [][2]int) error {
 		if err := validatePairStats(s); err != nil {
 			//gendpr:allow(secretflow): the pair indices echo the requester's own query (protocol metadata), not cohort data
 			return fmt.Errorf("pair (%d,%d): %w", missing[i][0], missing[i][1], err)
+		}
+		if err := c.pairConsistency(missing[i][0], missing[i][1], s); err != nil {
+			return err
 		}
 	}
 	c.mu.Lock()
@@ -478,4 +499,50 @@ func (c *cachedProvider) snapshotPairs() ([][2]int, []genome.PairStats) {
 	}
 	c.mu.Unlock()
 	return keys, out
+}
+
+// AuditSummary implements SummaryAuditor by forwarding through the cache to
+// the wrapped provider — stacked cachedProviders recurse until a real auditor
+// (or its absence) is found, so the capability shines through both wrapping
+// layers just like batching and patterns do.
+func (c *cachedProvider) AuditSummary() ([]int64, int64, error) {
+	if a, ok := c.inner.(SummaryAuditor); ok {
+		return a.AuditSummary()
+	}
+	return nil, 0, errAuditUnsupported
+}
+
+// rejoin re-establishes an excluded member's session and challenges it to
+// stand by the summary it reported before the exclusion. A digest mismatch is
+// equivocation: the member changed its story across the gap, and re-admitting
+// it would let it fork the assessment.
+func (c *cachedProvider) rejoin() error {
+	rj, ok := c.inner.(RejoinableProvider)
+	if !ok {
+		return errRejoinUnsupported
+	}
+	if err := rj.Rejoin(); err != nil {
+		return err
+	}
+	fresh, caseN, err := c.AuditSummary()
+	if errors.Is(err, errAuditUnsupported) {
+		return nil
+	}
+	if err != nil {
+		return err
+	}
+	c.mu.Lock()
+	loaded, counts, prevN := c.loaded, c.counts, c.caseN
+	c.mu.Unlock()
+	if !loaded {
+		// The member dropped before its summary was cached; the next attempt
+		// fetches and validates it from scratch.
+		return nil
+	}
+	prior := DigestSummary(counts, prevN)
+	observed := DigestSummary(fresh, caseN)
+	if prior != observed {
+		return &EquivocationError{Phase: PhaseSummary, Query: "summary", Prior: prior[:], Observed: observed[:]}
+	}
+	return nil
 }

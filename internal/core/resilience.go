@@ -19,10 +19,11 @@ const (
 
 // ErrMemberFailed marks a member as unreachable after the transport layer
 // exhausted its retry budget. Providers wrap their terminal transport errors
-// with it; the resilient runner treats any other member-attributed error
-// (protocol violations, tampered payloads) as run-fatal, because excluding a
-// member that misbehaves — rather than one that merely disappeared — would
-// mask an attack.
+// with it. Without Resilience.Byzantine, the resilient runner treats any
+// other member-attributed error (protocol violations, tampered payloads) as
+// run-fatal, because silently excluding a member that misbehaves — rather
+// than one that merely disappeared — would mask an attack; with it, such
+// members are quarantined with an attributing blame record instead.
 var ErrMemberFailed = errors.New("member unreachable")
 
 // ErrQuorumLost is returned when excluding failed members would leave fewer
@@ -52,13 +53,29 @@ func memberErr(member int, phase string, format string, args ...any) *MemberErro
 	return &MemberError{Member: member, Phase: phase, Err: fmt.Errorf(format, args...)}
 }
 
-// Resilience configures quorum-based graceful degradation.
+// Resilience configures quorum-based graceful degradation and, optionally,
+// Byzantine quarantine and member rejoin.
 type Resilience struct {
 	// MinQuorum is the minimum number of members that must survive for the
 	// assessment to continue after exclusions. Zero (or negative) disables
 	// degradation entirely: any member failure aborts the run, matching the
 	// base protocol.
 	MinQuorum int
+	// Byzantine enables misbehavior quarantine: a member caught equivocating
+	// or delivering an invalid payload is excluded with a structured blame
+	// record and the assessment re-runs over the survivors, instead of the
+	// whole run aborting. Detection also turns on summary audits when a
+	// restarted leader resumes from a checkpoint.
+	Byzantine bool
+	// AllowRejoin permits a crash-failed member (never one blamed for
+	// misbehavior) one attempt to re-attest and rejoin at the next restart
+	// boundary, after passing a summary audit against its pre-exclusion
+	// answers.
+	AllowRejoin bool
+	// OnTransition, when set, observes membership health transitions: event
+	// is "excluded", "byzantine", or "rejoined", with the member's name (or
+	// formatted index) and the phase the evidence surfaced in.
+	OnTransition func(member, event, phase string)
 }
 
 // Enabled reports whether degradation is configured.
@@ -95,6 +112,113 @@ func FailedMembers(err error) []int {
 		out = append(out, i)
 	}
 	sort.Ints(out)
+	return out
+}
+
+// byzantineFault is one member-attributed misbehavior extracted from an
+// assessment error: enough evidence to quarantine and blame the member.
+type byzantineFault struct {
+	slot            int
+	phase           string
+	query           string
+	kind            string
+	prior, observed []byte
+}
+
+// byzantineFaults walks an assessment error and returns the quarantinable
+// misbehavior evidence — equivocations and invalid payloads — one fault per
+// implicated slot, sorted. Like FailedMembers it stops at the MemberError
+// layer, so nested attributions are never double-counted.
+func byzantineFaults(err error) []byzantineFault {
+	var out []byzantineFault
+	seen := make(map[int]bool)
+	var walk func(error)
+	walk = func(e error) {
+		if e == nil {
+			return
+		}
+		if me, ok := e.(*MemberError); ok {
+			if seen[me.Member] {
+				return
+			}
+			var eq *EquivocationError
+			switch {
+			case errors.As(me.Err, &eq):
+				seen[me.Member] = true
+				out = append(out, byzantineFault{
+					slot: me.Member, phase: me.Phase, query: eq.Query,
+					kind: BlameEquivocation, prior: eq.Prior, observed: eq.Observed,
+				})
+			case errors.Is(me.Err, ErrInvalidPayload):
+				seen[me.Member] = true
+				// The validation message names the violated invariant (and
+				// only the invariant) — it doubles as the query description.
+				out = append(out, byzantineFault{
+					slot: me.Member, phase: me.Phase, query: me.Err.Error(),
+					kind: BlameInvalidPayload,
+				})
+			}
+			return
+		}
+		switch x := e.(type) {
+		case interface{ Unwrap() error }:
+			walk(x.Unwrap())
+		case interface{ Unwrap() []error }:
+			for _, sub := range x.Unwrap() {
+				walk(sub)
+			}
+		}
+	}
+	walk(err)
+	sort.Slice(out, func(i, j int) bool { return out[i].slot < out[j].slot })
+	return out
+}
+
+// memberPhases maps each member slot attributed in err to the phase its
+// first-seen failure surfaced in (for health-transition events).
+func memberPhases(err error) map[int]string {
+	phases := make(map[int]string)
+	var walk func(error)
+	walk = func(e error) {
+		if e == nil {
+			return
+		}
+		if me, ok := e.(*MemberError); ok {
+			if _, ok := phases[me.Member]; !ok {
+				phases[me.Member] = me.Phase
+			}
+			return
+		}
+		switch x := e.(type) {
+		case interface{ Unwrap() error }:
+			walk(x.Unwrap())
+		case interface{ Unwrap() []error }:
+			for _, sub := range x.Unwrap() {
+				walk(sub)
+			}
+		}
+	}
+	walk(err)
+	return phases
+}
+
+// mergeBlames appends the new records to base, dropping duplicates by
+// (member, phase, query, kind) — a blame replayed from a checkpoint seed and
+// re-raised by the runner must land in the report once.
+func mergeBlames(base, add []Blame) []Blame {
+	type key struct{ member, phase, query, kind string }
+	seen := make(map[key]bool, len(base))
+	for _, b := range base {
+		seen[key{b.Member, b.Phase, b.Query, b.Kind}] = true
+	}
+	out := base
+	for _, b := range add {
+		k := key{b.Member, b.Phase, b.Query, b.Kind}
+		if !seen[k] {
+			seen[k] = true
+			out = append(out, b)
+		}
+	}
 	return out
 }
 
@@ -138,7 +262,25 @@ func RunAssessmentResilientWithOptions(members []Provider, reference *genome.Mat
 	for i := range alive {
 		alive[i] = i
 	}
-	var excluded []int
+	var excluded, rejoined []int
+	var blames []Blame
+	// exclusionKind records why each excluded member is out: a blame kind for
+	// quarantined members (permanently barred), "" for crash failures (one
+	// rejoin attempt each when AllowRejoin is set).
+	exclusionKind := make(map[int]string)
+	rejoinSpent := make(map[int]bool)
+
+	memberName := func(id int) string {
+		if len(opts.ProviderNames) == len(members) {
+			return opts.ProviderNames[id]
+		}
+		return fmt.Sprintf("member %d", id)
+	}
+	emit := func(id int, event, phase string) {
+		if res.OnTransition != nil {
+			res.OnTransition(memberName(id), event, phase)
+		}
+	}
 
 	for {
 		current := make([]Provider, len(alive))
@@ -146,6 +288,8 @@ func RunAssessmentResilientWithOptions(members []Provider, reference *genome.Mat
 			current[slot] = stable[id]
 		}
 		attempt := opts
+		attempt.blamed = blames
+		attempt.auditSummaries = res.Byzantine
 		if len(opts.ProviderNames) == len(members) {
 			names := make([]string, len(alive))
 			for slot, id := range alive {
@@ -156,38 +300,119 @@ func RunAssessmentResilientWithOptions(members []Provider, reference *genome.Mat
 		report, err := RunAssessmentWithOptions(current, reference, cfg, policy, leaderEnclave, attempt)
 		if err == nil {
 			report.Excluded = append([]int(nil), excluded...)
+			report.Blamed = mergeBlames(report.Blamed, blames)
+			report.Rejoined = append([]int(nil), rejoined...)
 			return report, nil
 		}
 		if opts.Context != nil && opts.Context.Err() != nil {
 			// Cancellation is never a member failure; surface it directly.
 			return nil, opts.Context.Err()
 		}
+		var byz []byzantineFault
+		if res.Byzantine {
+			byz = byzantineFaults(err)
+		}
+		byzSlots := make(map[int]bool, len(byz))
+		for _, f := range byz {
+			byzSlots[f.slot] = true
+		}
 		failed := FailedMembers(err)
-		if len(failed) == 0 {
+		// A slot implicated both ways is quarantined, not merely dropped.
+		crashed := failed[:0]
+		for _, slot := range failed {
+			if !byzSlots[slot] {
+				crashed = append(crashed, slot)
+			}
+		}
+		if len(crashed) == 0 && len(byz) == 0 {
 			return nil, err
 		}
-		survivors := len(alive) - len(failed)
-		if survivors < res.MinQuorum {
-			return nil, fmt.Errorf("%w: %d survivors after excluding %d member(s), need %d: %v",
-				ErrQuorumLost, survivors, len(excluded)+len(failed), res.MinQuorum, err)
-		}
-		if perr := policy.Validate(survivors); perr != nil {
-			return nil, fmt.Errorf("core: collusion policy unsatisfiable over %d survivors: %w (member failure: %v)", survivors, perr, err)
-		}
+		phases := memberPhases(err)
+
 		// Map slot indices of this attempt back to original member identities
 		// and drop them from the roster.
-		drop := make(map[int]bool, len(failed))
-		for _, slot := range failed {
+		drop := make(map[int]bool, len(crashed)+len(byz))
+		for _, f := range byz {
+			id := alive[f.slot]
+			drop[f.slot] = true
+			exclusionKind[id] = f.kind
+			blames = append(blames, Blame{
+				Member: memberName(id), Phase: f.phase, Query: f.query,
+				Kind: f.kind, Prior: f.prior, Observed: f.observed,
+			})
+			emit(id, "byzantine", f.phase)
+		}
+		for _, slot := range crashed {
+			id := alive[slot]
 			drop[slot] = true
-			excluded = append(excluded, alive[slot])
+			exclusionKind[id] = ""
+			emit(id, "excluded", phases[slot])
 		}
 		next := alive[:0]
 		for slot, id := range alive {
-			if !drop[slot] {
+			if drop[slot] {
+				excluded = append(excluded, id)
+				rejoined = removeID(rejoined, id)
+			} else {
 				next = append(next, id)
 			}
 		}
 		alive = next
 		sort.Ints(excluded)
+
+		// Rejoin pass: the restart is a phase boundary, so crash-failed
+		// members with rejoin budget left may re-attest now. Re-admission
+		// requires the summary audit to pass — a member that changed its
+		// story across the gap is upgraded to a quarantine instead.
+		if res.AllowRejoin {
+			still := excluded[:0]
+			for _, id := range excluded {
+				if exclusionKind[id] != "" || rejoinSpent[id] {
+					still = append(still, id)
+					continue
+				}
+				rejoinSpent[id] = true
+				rerr := stable[id].rejoin()
+				if rerr == nil {
+					alive = append(alive, id)
+					rejoined = append(rejoined, id)
+					emit(id, "rejoined", PhaseSummary)
+					continue
+				}
+				still = append(still, id)
+				var eq *EquivocationError
+				if errors.As(rerr, &eq) {
+					exclusionKind[id] = BlameEquivocation
+					blames = append(blames, Blame{
+						Member: memberName(id), Phase: eq.Phase, Query: eq.Query,
+						Kind: BlameEquivocation, Prior: eq.Prior, Observed: eq.Observed,
+					})
+					emit(id, "byzantine", eq.Phase)
+				}
+			}
+			excluded = still
+			sort.Ints(alive)
+			sort.Ints(rejoined)
+		}
+
+		survivors := len(alive)
+		if survivors < res.MinQuorum {
+			return nil, fmt.Errorf("%w: %d survivors after excluding %d member(s), need %d: %v",
+				ErrQuorumLost, survivors, len(excluded), res.MinQuorum, err)
+		}
+		if perr := policy.Validate(survivors); perr != nil {
+			return nil, fmt.Errorf("core: collusion policy unsatisfiable over %d survivors: %w (member failure: %v)", survivors, perr, err)
+		}
 	}
+}
+
+// removeID returns s without id, preserving order.
+func removeID(s []int, id int) []int {
+	out := s[:0]
+	for _, v := range s {
+		if v != id {
+			out = append(out, v)
+		}
+	}
+	return out
 }

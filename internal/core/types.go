@@ -102,4 +102,18 @@ type Report struct {
 	// instead of recomputed — set when a (re-elected or restarted) leader
 	// seeded the run from a compatible snapshot.
 	Resumed bool
+	// Blamed holds the structured misbehavior attributions collected during
+	// the run: one record per quarantined contribution (equivocation or
+	// invalid payload), carried across restarts and checkpoints. Only ever
+	// populated by Byzantine-aware resilient runs.
+	Blamed []Blame
+	// Rejoined lists the members (by their original indices) that were
+	// excluded mid-run and later re-admitted at a phase boundary after
+	// re-attesting and passing the summary audit. Such members do not appear
+	// in Excluded.
+	Rejoined []int
+	// CorruptionRecovered reports that the resumed-from checkpoint store
+	// detected a corrupt or missing current snapshot and transparently fell
+	// back to an older valid boundary.
+	CorruptionRecovered bool
 }

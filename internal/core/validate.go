@@ -11,10 +11,13 @@ import (
 
 // ErrInvalidPayload marks a member contribution that fails the leader's
 // trust-boundary validation: counts exceeding the population, inconsistent or
-// non-finite sufficient statistics, mismatched vector lengths. Unlike a
-// transport failure (ErrMemberFailed), an invalid payload is evidence of
-// tampering or corruption, so it is run-fatal and never retried or degraded
-// away — excluding a member that misbehaves would mask an attack.
+// non-finite sufficient statistics, mismatched vector lengths, or a payload
+// that contradicts the member's own earlier contributions. Unlike a transport
+// failure (ErrMemberFailed), an invalid payload is evidence of tampering or
+// corruption, so it is never retried. A plain run fails outright; a
+// Byzantine-aware resilient run instead quarantines the member with a blame
+// record and re-runs the assessment over the survivors — silent exclusion
+// would mask an attack, attributed quarantine documents it.
 var ErrInvalidPayload = errors.New("invalid payload")
 
 // validateCounts checks a member's Phase 1 summary: one count per SNP, a
@@ -62,6 +65,48 @@ func validatePairStats(s genome.PairStats) error {
 	}
 	if lower := s.SumX + s.SumY - s.N; s.SumXY < lower {
 		return fmt.Errorf("%w: joint count below inclusion-exclusion bound", ErrInvalidPayload)
+	}
+	return nil
+}
+
+// validatePairConsistency cross-checks a member's Phase 2 pair statistics
+// against the summary it already delivered: for binary genotypes the pair
+// marginals are exactly the member's own per-SNP counts and the pair
+// population its reported population. A skewed marginal can satisfy every
+// single-payload invariant, so only this cross-payload check catches a
+// Byzantine member that keeps its lies internally consistent.
+func validatePairConsistency(s genome.PairStats, a, b int, counts []int64, caseN int64) error {
+	// As elsewhere, messages name which invariant broke and the queried SNP
+	// positions (protocol metadata), never the statistics themselves.
+	if s.N != caseN {
+		return fmt.Errorf("%w: pair population differs from reported summary", ErrInvalidPayload)
+	}
+	if a >= 0 && a < len(counts) && s.SumX != counts[a] {
+		//gendpr:allow(secretflow): the SNP index echoes the requester's own query, not cohort data
+		return fmt.Errorf("%w: pair marginal at SNP %d differs from reported count", ErrInvalidPayload, a)
+	}
+	if b >= 0 && b < len(counts) && s.SumY != counts[b] {
+		//gendpr:allow(secretflow): the SNP index echoes the requester's own query, not cohort data
+		return fmt.Errorf("%w: pair marginal at SNP %d differs from reported count", ErrInvalidPayload, b)
+	}
+	return nil
+}
+
+// validatePatternCounts cross-checks a genotype bit-pattern against the
+// member's reported Phase 1 counts: a pattern column's popcount is the
+// member's minor-allele carrier count for that SNP. Valid only for
+// genotype-oriented patterns (the LRPattern contract); the dense LRMatrix
+// path cannot use it because that representation's bit polarity is arbitrary.
+func validatePatternCounts(p *lrtest.BitMatrix, cols []int, counts []int64) error {
+	for j, snp := range cols {
+		if snp < 0 || snp >= len(counts) {
+			// Dimension errors are validateLRMatrix's concern.
+			continue
+		}
+		if int64(p.ColumnOnes(j)) != counts[snp] {
+			//gendpr:allow(secretflow): the SNP index echoes the leader's own column request, not cohort data
+			return fmt.Errorf("%w: pattern column for SNP %d disagrees with reported count", ErrInvalidPayload, snp)
+		}
 	}
 	return nil
 }

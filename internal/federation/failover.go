@@ -91,7 +91,7 @@ func runInProcessFailover(ctx context.Context, shards []*genome.Matrix, referenc
 		if hook != nil {
 			attemptOpts.Checkpoints = hook(attempt, leaderIdx, cancel, opts.Checkpoints)
 		}
-		res, err := runWithLeader(runCtx, leader, authority, leaderIdx, shards, reference, cfg, policy, attemptOpts, false, nil)
+		res, err := runWithLeader(runCtx, leader, authority, leaderIdx, shards, reference, cfg, policy, attemptOpts, false, nil, nil)
 		cancel()
 		if err == nil {
 			res.FormerLeaders = append([]int(nil), former...)

@@ -30,6 +30,10 @@ type Result struct {
 	// excluded under quorum degradation (empty unless RunOptions.MinQuorum
 	// allowed the run to degrade).
 	Excluded []int
+	// Rejoined lists the shard positions of members that were excluded
+	// mid-run and re-admitted at a later phase boundary under
+	// RunOptions.AllowRejoin. A rejoined member never appears in Excluded.
+	Rejoined []int
 	// FormerLeaders lists, oldest first, the shard positions of leaders that
 	// died mid-run and were replaced by re-election before this result was
 	// produced. Empty unless the failover runner had to re-elect.
@@ -127,6 +131,11 @@ func assembleResult(report *core.Report, leaderIdx int, g int, members []*Member
 			res.Excluded = append(res.Excluded, memberShards[e-1])
 		}
 	}
+	for _, e := range report.Rejoined {
+		if e >= 1 && e <= len(memberShards) {
+			res.Rejoined = append(res.Rejoined, memberShards[e-1])
+		}
+	}
 	return res
 }
 
@@ -152,6 +161,11 @@ func RunInProcessWithOptions(shards []*genome.Matrix, reference *genome.Matrix, 
 // chaos harness installs one via the package-internal test hook.
 type faultInjector func(shardIdx int, conn transport.Conn) transport.Conn
 
+// memberPrep optionally adjusts a freshly built member node before it starts
+// serving — the chaos harness uses it to install a Byzantine provider
+// wrapper via Member.WrapProvider. Production runs pass nil.
+type memberPrep func(shardIdx int, m *Member)
+
 func runInProcess(shards []*genome.Matrix, reference *genome.Matrix, cfg core.Config, policy core.CollusionPolicy, opts RunOptions, strict bool) (*Result, error) {
 	return runInProcessInjected(shards, reference, cfg, policy, opts, strict, nil)
 }
@@ -161,11 +175,17 @@ func runInProcess(shards []*genome.Matrix, reference *genome.Matrix, cfg core.Co
 // end, below attestation and encryption, so injected faults exercise the
 // full recovery path including re-attestation.
 func runInProcessInjected(shards []*genome.Matrix, reference *genome.Matrix, cfg core.Config, policy core.CollusionPolicy, opts RunOptions, strict bool, inject faultInjector) (*Result, error) {
+	return runInProcessPrepared(shards, reference, cfg, policy, opts, strict, inject, nil)
+}
+
+// runInProcessPrepared is runInProcessInjected with an additional member
+// preparation hook, the deepest of the chaos-harness entry points.
+func runInProcessPrepared(shards []*genome.Matrix, reference *genome.Matrix, cfg core.Config, policy core.CollusionPolicy, opts RunOptions, strict bool, inject faultInjector, prep memberPrep) (*Result, error) {
 	leader, authority, leaderIdx, err := electedLeader(shards)
 	if err != nil {
 		return nil, err
 	}
-	return runWithLeader(nil, leader, authority, leaderIdx, shards, reference, cfg, policy, opts, strict, inject)
+	return runWithLeader(nil, leader, authority, leaderIdx, shards, reference, cfg, policy, opts, strict, inject, prep)
 }
 
 // runWithLeader executes one in-process federation run under an
@@ -173,7 +193,7 @@ func runInProcessInjected(shards []*genome.Matrix, reference *genome.Matrix, cfg
 // drives the protocol. The failover runner calls it repeatedly — once per
 // elected leader — with a cancellable context standing in for the leader's
 // process lifetime.
-func runWithLeader(ctx context.Context, leader *Leader, authority *attest.Authority, leaderIdx int, shards []*genome.Matrix, reference *genome.Matrix, cfg core.Config, policy core.CollusionPolicy, opts RunOptions, strict bool, inject faultInjector) (*Result, error) {
+func runWithLeader(ctx context.Context, leader *Leader, authority *attest.Authority, leaderIdx int, shards []*genome.Matrix, reference *genome.Matrix, cfg core.Config, policy core.CollusionPolicy, opts RunOptions, strict bool, inject faultInjector, prep memberPrep) (*Result, error) {
 	g := len(shards)
 
 	var (
@@ -196,6 +216,9 @@ func runWithLeader(ctx context.Context, leader *Leader, authority *attest.Author
 		member, err := NewMember(fmt.Sprintf("gdo-%d", i), shards[i], platform, authority)
 		if err != nil {
 			return nil, err
+		}
+		if prep != nil {
+			prep(i, member)
 		}
 		members = append(members, member)
 		memberShards = append(memberShards, i)

@@ -2,6 +2,7 @@ package federation
 
 import (
 	"context"
+	"crypto/sha256"
 	"errors"
 	"fmt"
 	"strconv"
@@ -103,6 +104,12 @@ func (l *Leader) RunLinksContext(ctx context.Context, links []MemberLink, refere
 				return attestConnContext(ctx, raw, l.authority, l.enclave, true, opts.RPCTimeout)
 			},
 		}
+		if opts.OnEvent != nil {
+			name := link.Name
+			r.emit = func(event string) {
+				opts.OnEvent(MemberEvent{Member: name, Event: event})
+			}
+		}
 		conn, err := r.attest(link.Conn)
 		if err != nil {
 			err = fmt.Errorf("federation: leader attesting member %s: %w", link.Name, err)
@@ -136,8 +143,34 @@ func (l *Leader) RunLinksContext(ctx context.Context, links []MemberLink, refere
 		names = append(names, r.name)
 	}
 
+	byName := make(map[string]*remoteProvider, len(remotes))
+	for _, r := range remotes {
+		byName[r.name] = r
+	}
+	resilience := core.Resilience{
+		MinQuorum:   opts.MinQuorum,
+		Byzantine:   opts.Byzantine,
+		AllowRejoin: opts.AllowRejoin,
+	}
+	if opts.Byzantine || opts.AllowRejoin || opts.OnEvent != nil {
+		resilience.OnTransition = func(member, event, phase string) {
+			if event == "byzantine" {
+				// Quarantine the connection too: the result broadcast must
+				// skip it and a rejoin attempt must be refused even if the
+				// equivocation was detected runner-side (plausibility checks)
+				// rather than on this provider's own digest ledger.
+				if r, ok := byName[member]; ok {
+					r.markByzantine(phase)
+				}
+			}
+			if opts.OnEvent != nil {
+				opts.OnEvent(MemberEvent{Member: member, Event: event, Phase: phase})
+			}
+		}
+	}
+
 	report, err := core.RunAssessmentResilientWithOptions(providers, reference, cfg, policy, l.enclave,
-		core.Resilience{MinQuorum: opts.MinQuorum},
+		resilience,
 		core.AssessmentOptions{Context: ctx, ProviderNames: names, Checkpoints: opts.Checkpoints})
 	if err != nil {
 		return nil, err
@@ -178,6 +211,9 @@ type remoteProvider struct {
 	opts   RunOptions
 	redial func() (transport.Conn, error)
 	attest func(raw transport.Conn) (*transport.SecureConn, error)
+	// emit, when non-nil, reports transport-level health transitions
+	// ("retrying", "healthy", "failed"). It may be called with r.mu held.
+	emit func(event string)
 
 	mu sync.Mutex
 	// conn is the attested AEAD channel. Its static type is deliberately
@@ -195,12 +231,29 @@ type remoteProvider struct {
 	summaryLoaded bool
 	counts        []int64
 	caseN         int64
+
+	// ledger maps every request the member has answered to the digest of
+	// its reply. A member must answer the same query identically across
+	// deliveries — the payloads are pure functions of its immutable shard —
+	// so a second delivery (retry after redial, post-reconnect audit,
+	// resume replay) with a different digest is equivocation: the member is
+	// quarantined and the mismatching digests become the blame evidence.
+	ledger map[ledgerKey][sha256.Size]byte
+}
+
+// ledgerKey identifies one member query: the wire kind plus the digest of
+// the request payload.
+type ledgerKey struct {
+	kind uint16
+	req  [sha256.Size]byte
 }
 
 var (
-	_ core.Provider          = (*remoteProvider)(nil)
-	_ core.BatchPairProvider = (*remoteProvider)(nil)
-	_ core.PatternProvider   = (*remoteProvider)(nil)
+	_ core.Provider           = (*remoteProvider)(nil)
+	_ core.BatchPairProvider  = (*remoteProvider)(nil)
+	_ core.PatternProvider    = (*remoteProvider)(nil)
+	_ core.SummaryAuditor     = (*remoteProvider)(nil)
+	_ core.RejoinableProvider = (*remoteProvider)(nil)
 )
 
 // Health returns the member's current health state.
@@ -215,9 +268,22 @@ func (r *remoteProvider) Health() Health {
 func (r *remoteProvider) closeOwned() {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	if r.owned {
+	if r.owned && r.conn != nil {
 		_ = r.conn.Close()
 	}
+}
+
+// markByzantine quarantines the connection after the resilient runner blamed
+// this member: every further request, the result broadcast, and any rejoin
+// attempt are refused.
+func (r *remoteProvider) markByzantine(phase string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.health == HealthByzantine {
+		return
+	}
+	r.health = HealthByzantine
+	r.failCause = fmt.Errorf("federation: member %s quarantined as byzantine during %s", r.name, phase)
 }
 
 // memberFailed wraps the terminal cause so core.FailedMembers recognizes the
@@ -228,11 +294,14 @@ func (r *remoteProvider) memberFailed(cause error) error {
 
 // retryable reports whether a retry on a fresh connection could change the
 // outcome. Member-reported and protocol-violation errors are deterministic
-// or adversarial, and cancellation is the caller telling the run to stop;
-// only transport-level failures are worth retrying.
+// or adversarial, cancellation is the caller telling the run to stop, an
+// authentication failure means the channel carried a forged or tampered
+// frame (retrying hands the adversary another attempt), and equivocation is
+// the member caught lying; only transport-level failures are worth retrying.
 func retryable(err error) bool {
 	return !errors.Is(err, ErrMemberReported) && !errors.Is(err, ErrProtocol) &&
-		!errors.Is(err, context.Canceled) && !errors.Is(err, context.DeadlineExceeded)
+		!errors.Is(err, context.Canceled) && !errors.Is(err, context.DeadlineExceeded) &&
+		!errors.Is(err, transport.ErrAuth) && !errors.Is(err, core.ErrEquivocation)
 }
 
 // sleepCtx sleeps for d unless the context is canceled first.
@@ -256,7 +325,9 @@ func sleepCtx(ctx context.Context, d time.Duration) error {
 // faulted message its AEAD sequence numbers are desynchronized, so replies
 // could never authenticate again.
 func (r *remoteProvider) reconnectLocked() error {
-	_ = r.conn.Close()
+	if r.conn != nil {
+		_ = r.conn.Close()
+	}
 	raw, err := r.redial()
 	if err != nil {
 		return fmt.Errorf("redial: %w", err)
@@ -299,8 +370,13 @@ func (r *remoteProvider) exchangeLocked(req transport.Message, wantKind uint16) 
 
 // roundTripLocked is the retry engine: exchange, and on transport failure
 // back off, redial, re-attest, and re-issue until the budget runs out and
-// the member is declared failed. Callers hold r.mu.
+// the member is declared failed. Every successful reply passes through the
+// digest ledger, and every reconnect replays an already-answered query as an
+// equivocation audit. Callers hold r.mu.
 func (r *remoteProvider) roundTripLocked(req transport.Message, wantKind uint16) ([]byte, error) {
+	if r.health == HealthByzantine {
+		return nil, r.failCause
+	}
 	if r.health == HealthFailed {
 		return nil, r.memberFailed(r.failCause)
 	}
@@ -310,7 +386,11 @@ func (r *remoteProvider) roundTripLocked(req transport.Message, wantKind uint16)
 			if r.redial == nil || attempt > r.opts.MaxRetries {
 				r.health = HealthFailed
 				r.failCause = lastErr
+				r.emitEvent("failed")
 				return nil, r.memberFailed(lastErr)
+			}
+			if r.health != HealthRetrying {
+				r.emitEvent("retrying")
 			}
 			r.health = HealthRetrying
 			if err := sleepCtx(r.ctx, backoffDelay(r.opts, attempt)); err != nil {
@@ -322,16 +402,130 @@ func (r *remoteProvider) roundTripLocked(req transport.Message, wantKind uint16)
 				lastErr = err
 				continue
 			}
+			if err := r.auditReconnectLocked(); err != nil {
+				if !retryable(err) {
+					return nil, err
+				}
+				lastErr = err
+				continue
+			}
 		}
 		payload, err := r.exchangeLocked(req, wantKind)
 		if err == nil {
+			if lerr := r.checkLedgerLocked(req, payload); lerr != nil {
+				return nil, lerr
+			}
+			if r.health == HealthRetrying {
+				r.emitEvent("healthy")
+			}
 			r.health = HealthHealthy
 			return payload, nil
+		}
+		if errors.Is(err, transport.ErrAuth) {
+			// A frame that fails AEAD authentication is tampering, not loss:
+			// declare the member failed (degradable under quorum) instead of
+			// handing the adversary retry attempts.
+			r.health = HealthFailed
+			r.failCause = err
+			r.emitEvent("failed")
+			return nil, r.memberFailed(err)
 		}
 		if !retryable(err) {
 			return nil, err
 		}
 		lastErr = err
+	}
+}
+
+// emitEvent reports a transport-level health transition, if anyone listens.
+func (r *remoteProvider) emitEvent(event string) {
+	if r.emit != nil {
+		r.emit(event)
+	}
+}
+
+// payloadDigest computes the equivocation-ledger commitment for one wire
+// payload.
+//
+//gendpr:declassifier(release): a SHA-256 digest is preimage-resistant commitment evidence — blame records carry it to prove an answer changed, never to reveal what the answer was
+func payloadDigest(b []byte) [sha256.Size]byte {
+	return sha256.Sum256(b)
+}
+
+// checkLedgerLocked records the reply digest for a query on first sight and
+// verifies it on every later delivery. A mismatch quarantines the member and
+// returns the equivocation evidence. Callers hold r.mu.
+func (r *remoteProvider) checkLedgerLocked(req transport.Message, payload []byte) error {
+	key := ledgerKey{kind: req.Kind, req: payloadDigest(req.Payload)}
+	observed := payloadDigest(payload)
+	if r.ledger == nil {
+		r.ledger = make(map[ledgerKey][sha256.Size]byte)
+	}
+	prior, seen := r.ledger[key]
+	if !seen {
+		r.ledger[key] = observed
+		return nil
+	}
+	if prior == observed {
+		return nil
+	}
+	eq := &core.EquivocationError{
+		Phase:    phaseForKind(req.Kind),
+		Query:    fmt.Sprintf("%s:%x", queryLabel(req.Kind), key.req[:4]),
+		Prior:    prior[:],
+		Observed: observed[:],
+	}
+	err := fmt.Errorf("federation: member %s: %w", r.name, eq)
+	r.health = HealthByzantine
+	r.failCause = err
+	return err
+}
+
+// auditReconnectLocked re-issues an already-answered query on the freshly
+// attested channel before trusting it with new work: a member (or an
+// on-path adversary holding its keys) that answered honestly before the
+// redial and differently after is caught here, not silently re-admitted.
+// The summary query is the cheapest replay and is always the first thing a
+// member ever answered. Callers hold r.mu.
+func (r *remoteProvider) auditReconnectLocked() error {
+	if !r.summaryLoaded {
+		return nil
+	}
+	payload, err := r.exchangeLocked(transport.Message{Kind: KindCountsRequest}, KindCountsReply)
+	if err != nil {
+		return err
+	}
+	return r.checkLedgerLocked(transport.Message{Kind: KindCountsRequest}, payload)
+}
+
+// phaseForKind maps a request kind to the protocol phase it serves, for
+// blame attribution.
+func phaseForKind(kind uint16) string {
+	switch kind {
+	case KindCountsRequest:
+		return core.PhaseSummary
+	case KindPairRequest, KindPairBatchRequest:
+		return core.PhaseLD
+	case KindLRRequest:
+		return core.PhaseLR
+	default:
+		return fmt.Sprintf("kind %d", kind)
+	}
+}
+
+// queryLabel names a request kind in blame records.
+func queryLabel(kind uint16) string {
+	switch kind {
+	case KindCountsRequest:
+		return "counts"
+	case KindPairRequest:
+		return "pair"
+	case KindPairBatchRequest:
+		return "pair-batch"
+	case KindLRRequest:
+		return "lr"
+	default:
+		return fmt.Sprintf("kind-%d", kind)
 	}
 }
 
@@ -347,7 +541,7 @@ func (r *remoteProvider) roundTrip(req transport.Message, wantKind uint16) ([]by
 func (r *remoteProvider) notify(msgs ...transport.Message) error {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	if r.health == HealthFailed {
+	if r.health == HealthFailed || r.health == HealthByzantine {
 		return r.memberFailed(r.failCause)
 	}
 	for _, m := range msgs {
@@ -357,6 +551,45 @@ func (r *remoteProvider) notify(msgs ...transport.Message) error {
 		}
 	}
 	return nil
+}
+
+// Rejoin implements core.RejoinableProvider: a crash-failed member gets one
+// fresh redialed and re-attested channel and a clean health slate, so the
+// resilient runner can audit it and re-admit it at the next phase boundary.
+// A quarantined (byzantine) member is refused outright.
+func (r *remoteProvider) Rejoin() error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.health == HealthByzantine {
+		return fmt.Errorf("federation: member %s is quarantined and barred from rejoining: %w", r.name, core.ErrEquivocation)
+	}
+	if r.redial == nil {
+		return fmt.Errorf("federation: member %s cannot rejoin: no redial path", r.name)
+	}
+	if err := r.reconnectLocked(); err != nil {
+		return fmt.Errorf("federation: member %s rejoin: %w", r.name, err)
+	}
+	r.health = HealthHealthy
+	r.failCause = nil
+	return nil
+}
+
+// AuditSummary implements core.SummaryAuditor: it re-asks the member for its
+// summary over the live channel, bypassing the local cache. The reply passes
+// through the digest ledger, so a member that changed its story since the
+// first delivery is caught as an equivocator right here.
+func (r *remoteProvider) AuditSummary() ([]int64, int64, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	payload, err := r.roundTripLocked(transport.Message{Kind: KindCountsRequest}, KindCountsReply)
+	if err != nil {
+		return nil, 0, err
+	}
+	counts, n, err := decodeCounts(payload)
+	if err != nil {
+		return nil, 0, err
+	}
+	return counts, n, nil
 }
 
 // loadSummaryLocked fetches the member's counts/population reply once; both

@@ -25,6 +25,12 @@ type Member struct {
 
 	mu     sync.Mutex
 	result *core.Selection
+	// prov is the shard provider shared by every serving session: redials
+	// reach the same provider state, so a wrapper's behavior (fault
+	// injection counters, caches) survives reconnection like a real member
+	// process would.
+	prov core.Provider
+	wrap func(core.Provider) core.Provider
 }
 
 // NewMember creates a member node. The enclave is loaded on the member's
@@ -43,6 +49,32 @@ func NewMember(id string, shard *genome.Matrix, platform *enclave.Platform, auth
 
 // ID returns the member identifier.
 func (m *Member) ID() string { return m.id }
+
+// WrapProvider installs a hook that wraps the member's shard provider the
+// first time a serving session needs it. The chaos harness uses it to splice
+// a core.ByzantineProvider under the wire layer; production members never
+// call it. It must be set before serving begins and resets any provider
+// already built.
+func (m *Member) WrapProvider(wrap func(core.Provider) core.Provider) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.wrap = wrap
+	m.prov = nil
+}
+
+// provider returns the shared shard provider, building it on first use.
+func (m *Member) provider() core.Provider {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.prov == nil {
+		var p core.Provider = core.NewLocalMember(m.shard)
+		if m.wrap != nil {
+			p = m.wrap(p)
+		}
+		m.prov = p
+	}
+	return m.prov
+}
 
 // LastResult returns the final selection broadcast by the leader, if the
 // protocol completed.
@@ -87,7 +119,7 @@ func (m *Member) ServeContext(ctx context.Context, raw transport.Conn, opts Serv
 	if err != nil {
 		return fmt.Errorf("federation: member %s: %w", m.id, err)
 	}
-	local := core.NewLocalMember(m.shard)
+	local := m.provider()
 	for {
 		msg, err := transport.RecvContext(ctx, conn, opts.IdleTimeout)
 		if err != nil {
@@ -120,7 +152,7 @@ func (m *Member) ServeContext(ctx context.Context, raw transport.Conn, opts Serv
 
 // handle dispatches one leader request. It returns the reply (nil when the
 // message needs none) and whether the serving loop should end.
-func (m *Member) handle(local *core.LocalMember, msg transport.Message) (*transport.Message, bool, error) {
+func (m *Member) handle(local core.Provider, msg transport.Message) (*transport.Message, bool, error) {
 	switch msg.Kind {
 	case KindCountsRequest:
 		counts, err := local.Counts()
@@ -149,7 +181,7 @@ func (m *Member) handle(local *core.LocalMember, msg transport.Message) (*transp
 		if err != nil {
 			return nil, false, err
 		}
-		stats, err := local.PairStatsBatch(pairs)
+		stats, err := pairStatsBatch(local, pairs)
 		if err != nil {
 			return nil, false, err
 		}
@@ -165,7 +197,11 @@ func (m *Member) handle(local *core.LocalMember, msg transport.Message) (*transp
 			// the genotype bit-pattern: the combination-lattice leader skins
 			// it locally per collusion combination instead of requesting one
 			// full LR-matrix per combination.
-			p, err := local.LRPattern(cols)
+			pp, ok := local.(core.PatternProvider)
+			if !ok {
+				return nil, false, fmt.Errorf("member %s cannot serve genotype patterns", m.id)
+			}
+			p, err := pp.LRPattern(cols)
 			if err != nil {
 				return nil, false, err
 			}
@@ -193,4 +229,21 @@ func (m *Member) handle(local *core.LocalMember, msg transport.Message) (*transp
 	default:
 		return nil, false, fmt.Errorf("%w: unexpected message kind %d", ErrProtocol, msg.Kind)
 	}
+}
+
+// pairStatsBatch answers a batch request through the provider's batch fast
+// path when it has one, or pair by pair otherwise.
+func pairStatsBatch(p core.Provider, pairs [][2]int) ([]genome.PairStats, error) {
+	if bp, ok := p.(core.BatchPairProvider); ok {
+		return bp.PairStatsBatch(pairs)
+	}
+	out := make([]genome.PairStats, len(pairs))
+	for i, pr := range pairs {
+		s, err := p.PairStats(pr[0], pr[1])
+		if err != nil {
+			return nil, err
+		}
+		out[i] = s
+	}
+	return out, nil
 }

@@ -48,6 +48,36 @@ type RunOptions struct {
 	// With a durable store (checkpoint.FileStore) a leader re-elected after
 	// a crash resumes the assessment instead of recomputing it.
 	Checkpoints checkpoint.Store
+	// Byzantine enables semantic fault containment on top of quorum
+	// degradation: a member whose answers fail cross-member plausibility
+	// checks, or that answers the same query differently across deliveries
+	// (equivocation), is quarantined with an attributing blame record in
+	// Report.Blamed instead of aborting the run. Requires MinQuorum > 0 to
+	// have any effect beyond attribution.
+	Byzantine bool
+	// AllowRejoin permits a member excluded for a crash-class failure to
+	// re-attest and rejoin at the next phase boundary (once per member per
+	// run). Members blamed for equivocation or invalid payloads are barred.
+	// Implies the Byzantine classification machinery.
+	AllowRejoin bool
+	// OnEvent, when set, observes member health transitions as they happen:
+	// transport-level degradation ("retrying", "healthy", "failed") and
+	// runner-level membership changes ("excluded", "byzantine", "rejoined").
+	// The callback may fire from the leader's RPC path while internal locks
+	// are held: it must be fast and must not call back into the federation.
+	OnEvent func(MemberEvent)
+}
+
+// MemberEvent is one member health transition reported via RunOptions.OnEvent.
+type MemberEvent struct {
+	// Member is the member's link name.
+	Member string
+	// Event is the transition: "retrying", "healthy", "failed" at the
+	// transport layer; "excluded", "byzantine", "rejoined" at the runner.
+	Event string
+	// Phase is the protocol phase implicated by a runner-level event; empty
+	// for transport-level transitions.
+	Phase string
 }
 
 func (o RunOptions) dialTimeout() time.Duration {
@@ -109,6 +139,10 @@ const (
 	// HealthFailed means the retry budget is exhausted; the member is
 	// declared failed and every further request fails immediately.
 	HealthFailed
+	// HealthByzantine means the member was caught equivocating or serving
+	// implausible payloads: it is quarantined — never retried, never sent
+	// the result broadcast, and barred from rejoining.
+	HealthByzantine
 )
 
 func (h Health) String() string {
@@ -117,6 +151,8 @@ func (h Health) String() string {
 		return "healthy"
 	case HealthRetrying:
 		return "retrying"
+	case HealthByzantine:
+		return "byzantine"
 	default:
 		return "failed"
 	}

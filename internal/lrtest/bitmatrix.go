@@ -208,6 +208,29 @@ func (m *BitMatrix) addColumnCount(dst, base []float64, j int, tau float64) int 
 	return hits
 }
 
+// ColumnOnes returns the number of set bits in column j. On matrices whose
+// bits carry genotype orientation (the LRPattern contract: a set bit records
+// the minor allele) this is the column's minor-allele carrier count, which
+// the leader cross-checks against the member's reported Phase 1 counts. The
+// count is representation-dependent and meaningless on matrices from
+// BitFromDense, whose bit polarity follows row-scan first-seen order.
+func (m *BitMatrix) ColumnOnes(j int) int {
+	if j < 0 || j >= m.cols {
+		panic(fmt.Sprintf("lrtest: column %d out of range for %d columns", j, m.cols))
+	}
+	return popcount(m.bits[j*m.wpc : (j+1)*m.wpc])
+}
+
+// FlipBit inverts the cell bit at (i, j). It exists for fault injection —
+// Byzantine harnesses perturb a single genotype bit to exercise the leader's
+// cross-payload checks; production code never mutates a built matrix.
+func (m *BitMatrix) FlipBit(i, j int) {
+	if i < 0 || i >= m.rows || j < 0 || j >= m.cols {
+		panic(fmt.Sprintf("lrtest: index (%d,%d) out of range for %dx%d bit matrix", i, j, m.rows, m.cols))
+	}
+	m.bits[j*m.wpc+i>>6] ^= 1 << (uint(i) & 63)
+}
+
 // Column returns a copy of column j as dense values.
 func (m *BitMatrix) Column(j int) []float64 {
 	if j < 0 || j >= m.cols {

@@ -46,6 +46,11 @@ const (
 	// FaultDelay sleeps for Delay before performing the operation, long
 	// enough to trip a configured deadline.
 	FaultDelay
+	// FaultCorrupt flips a payload byte and lets the message through,
+	// simulating in-flight tampering or a bit-flipping link. Injected below
+	// the secure layer it hands the peer a ciphertext whose AEAD tag no
+	// longer verifies, so the authenticated channel must reject the frame.
+	FaultCorrupt
 )
 
 func (k FaultKind) String() string {
@@ -56,6 +61,8 @@ func (k FaultKind) String() string {
 		return "close"
 	case FaultDrop:
 		return "drop"
+	case FaultCorrupt:
+		return "corrupt"
 	default:
 		return "delay"
 	}
@@ -157,9 +164,24 @@ func (f *Fault) Send(m Message) error {
 			if err := f.overran(); err != nil {
 				return err
 			}
+		case FaultCorrupt:
+			return f.inner.Send(Message{Kind: m.Kind, Payload: corruptPayload(m.Payload)})
 		}
 	}
 	return f.inner.Send(m)
+}
+
+// corruptPayload returns a copy of p with one byte flipped. The last byte is
+// targeted so that under the secure transport the flip lands in the AEAD tag
+// region, guaranteeing an authentication failure rather than a decode error.
+func corruptPayload(p []byte) []byte {
+	out := make([]byte, len(p))
+	copy(out, p)
+	if len(out) == 0 {
+		return []byte{0xff}
+	}
+	out[len(out)-1] ^= 0xff
+	return out
 }
 
 func (f *Fault) Recv() (Message, error) {
@@ -185,6 +207,8 @@ func (f *Fault) Recv() (Message, error) {
 			if err := f.overran(); err != nil {
 				return Message{}, err
 			}
+		case FaultCorrupt:
+			return Message{Kind: m.Kind, Payload: corruptPayload(m.Payload)}, nil
 		}
 	}
 	return m, err

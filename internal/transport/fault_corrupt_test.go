@@ -1,0 +1,90 @@
+package transport
+
+import (
+	"errors"
+	"testing"
+
+	"gendpr/internal/seal"
+)
+
+// TestFaultCorruptRecvAuthError proves the secure channel rejects a frame
+// tampered with in flight using a non-retryable authentication error — not a
+// timeout. The receiver must be able to tell adversarial modification apart
+// from a slow or partitioned peer, because the two demand opposite responses
+// (quarantine vs. retry).
+func TestFaultCorruptRecvAuthError(t *testing.T) {
+	key, err := seal.NewKey()
+	if err != nil {
+		t.Fatal(err)
+	}
+	aInner, bInner := Pipe()
+	defer aInner.Close()
+	defer bInner.Close()
+	a := NewSecure(aInner, key)
+	// The fault sits below the AEAD layer on the receive path, so the flip
+	// lands in ciphertext the secure receiver must authenticate.
+	fault := NewFault(bInner, FaultPoint{Op: FaultRecv, Kind: FaultCorrupt})
+	b := NewSecure(fault, key)
+
+	go func() {
+		if err := a.Send(Message{Kind: 1, Payload: []byte("counts")}); err != nil {
+			t.Errorf("Send: %v", err)
+		}
+	}()
+	_, err = b.Recv()
+	if err == nil {
+		t.Fatal("tampered frame accepted")
+	}
+	if !errors.Is(err, ErrAuth) {
+		t.Fatalf("Recv error = %v, want ErrAuth", err)
+	}
+	if IsTimeout(err) {
+		t.Fatalf("tampering misreported as a timeout: %v", err)
+	}
+	if !fault.Fired() {
+		t.Fatal("corrupt fault never fired")
+	}
+}
+
+// TestFaultCorruptSendAuthError covers the sender-side injection point: a
+// frame corrupted before it leaves must be rejected by the remote secure
+// endpoint with the same authentication error.
+func TestFaultCorruptSendAuthError(t *testing.T) {
+	key, err := seal.NewKey()
+	if err != nil {
+		t.Fatal(err)
+	}
+	aInner, bInner := Pipe()
+	defer aInner.Close()
+	defer bInner.Close()
+	a := NewSecure(NewFault(aInner, FaultPoint{Op: FaultSend, Kind: FaultCorrupt}), key)
+	b := NewSecure(bInner, key)
+
+	go func() {
+		// The corrupting sender itself sees success: tampering is invisible
+		// at the point of injection.
+		if err := a.Send(Message{Kind: 2, Payload: []byte("pair stats")}); err != nil {
+			t.Errorf("Send: %v", err)
+		}
+	}()
+	if _, err := b.Recv(); !errors.Is(err, ErrAuth) {
+		t.Fatalf("Recv error = %v, want ErrAuth", err)
+	}
+}
+
+// TestCorruptPayloadEmptyFrame pins the degenerate case: corrupting an empty
+// payload still changes the frame instead of silently passing it through.
+func TestCorruptPayloadEmptyFrame(t *testing.T) {
+	got := corruptPayload(nil)
+	if len(got) == 0 {
+		t.Fatal("empty payload passed through uncorrupted")
+	}
+	orig := []byte{1, 2, 3}
+	got = corruptPayload(orig)
+	if &got[0] == &orig[0] {
+		t.Fatal("corruptPayload must not mutate the caller's buffer")
+	}
+	if got[2] == orig[2] {
+		t.Fatal("no byte was flipped")
+	}
+}

@@ -35,6 +35,12 @@ var (
 	// completes. It aliases os.ErrDeadlineExceeded so errors.Is matches both
 	// pipe timeouts and net.Conn deadline errors uniformly.
 	ErrTimeout = os.ErrDeadlineExceeded
+
+	// ErrAuth is returned when a received frame fails AEAD authentication:
+	// the ciphertext, its kind, or its sequence number was tampered with in
+	// flight. Unlike a timeout this is not a transient condition — the
+	// channel's integrity is gone and retrying on it cannot help.
+	ErrAuth = errors.New("transport: message authentication failed")
 )
 
 // IsTimeout reports whether err was caused by an expired deadline, on either
@@ -420,7 +426,7 @@ func (s *SecureConn) Recv() (Message, error) {
 	}
 	pt, err := seal.Decrypt(s.key, m.Payload, secureAAD(m.Kind, s.recvSeq))
 	if err != nil {
-		return Message{}, fmt.Errorf("transport: authenticate message %d: %w", s.recvSeq, err)
+		return Message{}, fmt.Errorf("%w: message %d: %v", ErrAuth, s.recvSeq, err)
 	}
 	s.recvSeq++
 	return Message{Kind: m.Kind, Payload: pt}, nil

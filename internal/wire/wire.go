@@ -120,6 +120,16 @@ func (d *Decoder) Finish() error {
 	return nil
 }
 
+// Remaining reports how many payload bytes are still unread. Decoders of
+// formats with optional trailing sections probe it before Finish; after a
+// decoding error it reports zero so error handling stays single-pathed.
+func (d *Decoder) Remaining() int {
+	if d.err != nil {
+		return 0
+	}
+	return len(d.buf) - d.off
+}
+
 func (d *Decoder) take(n int) []byte {
 	if d.err != nil {
 		return nil

@@ -73,6 +73,18 @@ echo "== chaos smoke (short fault sweep) =="
 # fault points visible as their own gate.
 go test -short -run '^TestChaos' ./internal/federation/
 
+echo "== chaos soak (short, fixed seed) =="
+# A fixed-seed slice of the randomized fault-composition soak: transport
+# faults, Byzantine perturbations, leader kills, and checkpoint corruption
+# drawn from one PRNG so every failure reproduces exactly (scripts/soak.sh
+# runs the full-length version). The seed and the blame/class summary are
+# archived in soak-report.txt next to lint-report.json.
+go test -short -count=1 -run '^TestChaosSoak$' -v ./internal/federation/ > soak-report.txt 2>&1 || {
+    cat soak-report.txt >&2
+    exit 1
+}
+grep -E "soak seed" soak-report.txt || true
+
 echo "== leader-kill smoke (failover + resume) =="
 # Kill the leader at each phase boundary and assert re-election over the
 # survivors, resume from the checkpoint, and a bit-identical selection.

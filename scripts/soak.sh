@@ -1,0 +1,26 @@
+#!/usr/bin/env bash
+# Randomized fault-composition soak for the federation: transport faults,
+# Byzantine perturbations (overflowing counts, skewed pair statistics,
+# flipped pattern bits, equivocation), leader kills, and on-disk checkpoint
+# corruption, all composed from ONE PRNG seed so any failure reproduces
+# exactly by re-running with the seed the failing run printed.
+#
+# Every iteration must end bit-identical to the fault-free selection or as a
+# correct degradation: the right member excluded, an accurate blame record,
+# and the survivors' baseline selection. See internal/federation/soak_test.go
+# for the scenario classes and DESIGN.md §7 for the fault table.
+#
+# Usage:
+#   scripts/soak.sh                 # fixed default seed, 25 iterations
+#   scripts/soak.sh 17              # seed 17
+#   scripts/soak.sh 17 200          # seed 17, 200 iterations
+#   scripts/soak.sh "$RANDOM" 100   # randomized exploration run
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+seed="${1:-${GENDPR_SOAK_SEED:-20260807}}"
+n="${2:-${GENDPR_SOAK_N:-25}}"
+
+echo "chaos soak: seed=$seed iterations=$n (re-run with the same arguments to reproduce a failure)"
+GENDPR_SOAK_SEED="$seed" GENDPR_SOAK_N="$n" \
+    go test -count=1 -run '^TestChaosSoak$' -v ./internal/federation/
