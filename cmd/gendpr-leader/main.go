@@ -9,30 +9,40 @@
 // which replays the completed phases from the snapshot instead of recomputing
 // them.
 //
-// See cmd/gendpr-node for the full deployment walkthrough.
+// With -serve the leader becomes an always-on assessment daemon instead of a
+// one-shot runner: it exposes an HTTP API (POST /assess, GET /stats, GET
+// /healthz) over the same attested federation, admits concurrent requests
+// under bounded queueing and per-tenant quotas, deduplicates identical
+// in-flight requests, resumes identical repeats from retained checkpoints,
+// and drains gracefully on SIGINT/SIGTERM — finishing or checkpointing every
+// in-flight run before exiting.
+//
+// See cmd/gendpr-node for the full deployment walkthrough and cmd/gendpr-load
+// for the daemon's load harness.
 package main
 
 import (
 	"context"
 	"encoding/hex"
-	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
+	"net"
+	"net/http"
 	"os"
 	"os/signal"
 	"strings"
-	"sync"
 	"syscall"
+	"time"
 
 	"gendpr/internal/checkpoint"
+	"gendpr/internal/cliutil"
 	"gendpr/internal/core"
 	"gendpr/internal/enclave"
-	"gendpr/internal/enclave/attest"
 	"gendpr/internal/federation"
 	"gendpr/internal/genome"
+	"gendpr/internal/service"
 	"gendpr/internal/transport"
-	"gendpr/internal/vcf"
 )
 
 func main() {
@@ -51,16 +61,19 @@ func run(args []string) error {
 		authority    = fs.String("authority", "", "attestation-authority seed file (required)")
 		colluders    = fs.Int("f", 0, "tolerated colluding members")
 		conservative = fs.Bool("conservative", false, "tolerate every f in 1..G-1")
-		rpcTimeout   = fs.Duration("rpc-timeout", 0, "deadline per member exchange (0 waits forever)")
-		dialTimeout  = fs.Duration("dial-timeout", 0, "deadline per member (re)connection (0 uses the transport default)")
-		retries      = fs.Int("retries", 0, "reconnect-and-retry attempts per failed member exchange")
-		minQuorum    = fs.Int("min-quorum", 0, "minimum surviving GDOs (leader included) to finish without failed members; 0 aborts on any failure")
 		ckptDir      = fs.String("checkpoint-dir", "", "directory for phase-boundary snapshots; an interrupted run can be continued with -resume")
-		resume       = fs.Bool("resume", false, "seed the run from a compatible snapshot left in -checkpoint-dir by an interrupted leader")
-		byzantine    = fs.Bool("byzantine", false, "quarantine members whose answers fail plausibility checks or change across deliveries, with blame records, instead of aborting")
-		allowRejoin  = fs.Bool("allow-rejoin", false, "let a crash-failed member re-attest and rejoin at the next phase boundary (equivocators stay barred)")
-		logJSON      = fs.Bool("log-json", false, "emit one-line JSON member health-transition events on stderr")
+		resume       = fs.Bool("resume", false, "seed the run from a compatible snapshot left in -checkpoint-dir by an interrupted leader (daemon mode: keep retained snapshots)")
+
+		serveAddr   = fs.String("serve", "", "run as an always-on assessment daemon on this HTTP address instead of a one-shot assessment")
+		slots       = fs.Int("slots", 1, "daemon: concurrent federation runs")
+		queueDepth  = fs.Int("queue-depth", 16, "daemon: bounded admission-queue depth; a full queue sheds immediately")
+		tenantRate  = fs.Float64("tenant-rate", 0, "daemon: per-tenant sustained admissions per second (0 disables rate quotas)")
+		tenantBurst = fs.Int("tenant-burst", 0, "daemon: per-tenant admission burst (0 derives from -tenant-rate)")
+		tenantConc  = fs.Int("tenant-concurrency", 0, "daemon: per-tenant cap on admitted-but-unfinished requests (0 disables)")
+		defDeadline = fs.Duration("default-deadline", 0, "daemon: deadline for requests that do not carry one (0 leaves them unbounded)")
+		drainGrace  = fs.Duration("drain-grace", 10*time.Second, "daemon: how long a drain lets in-flight runs finish before canceling them at the next phase boundary")
 	)
+	ff := cliutil.RegisterFaultFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -71,15 +84,15 @@ func run(args []string) error {
 		return fmt.Errorf("-resume needs -checkpoint-dir")
 	}
 
-	shard, err := readVCF(*caseFile)
+	shard, err := cliutil.ReadVCF(*caseFile)
 	if err != nil {
 		return err
 	}
-	reference, err := readVCF(*refFile)
+	reference, err := cliutil.ReadVCF(*refFile)
 	if err != nil {
 		return err
 	}
-	auth, err := loadAuthority(*authority)
+	auth, err := cliutil.LoadAuthority(*authority)
 	if err != nil {
 		return err
 	}
@@ -92,44 +105,66 @@ func run(args []string) error {
 		return err
 	}
 
-	opts := federation.RunOptions{
-		RPCTimeout:  *rpcTimeout,
-		DialTimeout: *dialTimeout,
-		MaxRetries:  *retries,
-		MinQuorum:   *minQuorum,
-		Byzantine:   *byzantine,
-		AllowRejoin: *allowRejoin,
-	}
-	if *logJSON {
-		opts.OnEvent = jsonEventLogger("gendpr-leader")
-	}
+	opts := ff.Options("gendpr-leader")
+	var store *checkpoint.FileStore
 	if *ckptDir != "" {
-		store, err := checkpoint.NewFileStore(*ckptDir)
+		store, err = checkpoint.NewFileStore(*ckptDir)
 		if err != nil {
 			return err
 		}
 		if !*resume {
-			// Without -resume a leftover snapshot is stale by declaration:
-			// start the run from scratch rather than silently continuing it.
-			if err := store.Clear(); err != nil {
+			// Without -resume leftover snapshots are stale by declaration:
+			// remove the root snapshot and every retained daemon namespace
+			// rather than silently continuing from them.
+			if err := store.ClearAll(); err != nil {
 				return err
 			}
 		}
+	}
+	addrs := make([]string, 0)
+	for _, raw := range strings.Split(*members, ",") {
+		addrs = append(addrs, strings.TrimSpace(raw))
+	}
+	policy := core.CollusionPolicy{F: *colluders, Conservative: *conservative}
+
+	if *serveAddr != "" {
+		cfg := service.Config{
+			Slots:             *slots,
+			QueueDepth:        *queueDepth,
+			TenantRate:        *tenantRate,
+			TenantBurst:       *tenantBurst,
+			TenantConcurrency: *tenantConc,
+			DefaultDeadline:   *defDeadline,
+			DrainGrace:        *drainGrace,
+		}
+		if store != nil {
+			cfg.Checkpoints = store
+		}
+		if ff.LogJSON {
+			cfg.OnEvent = cliutil.ServiceEventLogger("gendpr-leader")
+		}
+		return runDaemon(*serveAddr, leader, addrs, reference, opts, cfg)
+	}
+	return runOnce(leader, shard, reference, addrs, policy, opts, store, *ckptDir)
+}
+
+// runOnce drives a single assessment, exactly as the pre-daemon CLI did.
+func runOnce(leader *federation.Leader, shard, reference *genome.Matrix, addrs []string, policy core.CollusionPolicy, opts federation.RunOptions, store *checkpoint.FileStore, ckptDir string) error {
+	if store != nil {
 		opts.Checkpoints = store
 	}
-	dt := *dialTimeout
+	dt := opts.DialTimeout
 	if dt <= 0 {
 		dt = transport.DefaultDialTimeout
 	}
-	addrs := strings.Split(*members, ",")
 	links := make([]federation.MemberLink, 0, len(addrs))
 	defer func() {
 		for _, l := range links {
 			_ = l.Conn.Close()
 		}
 	}()
-	for _, raw := range addrs {
-		addr := strings.TrimSpace(raw)
+	for _, addr := range addrs {
+		addr := addr
 		conn, err := transport.DialTimeout(addr, dt)
 		if err != nil {
 			return err
@@ -151,16 +186,15 @@ func run(args []string) error {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
-	report, err := leader.RunLinksContext(ctx, links, reference, core.DefaultConfig(),
-		core.CollusionPolicy{F: *colluders, Conservative: *conservative}, opts)
+	report, err := leader.RunLinksContext(ctx, links, reference, core.DefaultConfig(), policy, opts)
 	if err != nil {
-		if errors.Is(err, context.Canceled) && *ckptDir != "" {
-			return fmt.Errorf("interrupted; completed phases are snapshotted in %s — rerun with -resume to continue: %w", *ckptDir, err)
+		if errors.Is(err, context.Canceled) && ckptDir != "" {
+			return fmt.Errorf("interrupted; completed phases are snapshotted in %s — rerun with -resume to continue: %w", ckptDir, err)
 		}
 		return err
 	}
 	if report.Resumed {
-		fmt.Printf("resumed from checkpoint in %s\n", *ckptDir)
+		fmt.Printf("resumed from checkpoint in %s\n", ckptDir)
 	}
 	if report.CorruptionRecovered {
 		fmt.Printf("checkpoint store recovered from a corrupt snapshot (quarantined alongside the live generations)\n")
@@ -185,22 +219,59 @@ func run(args []string) error {
 	return nil
 }
 
-// jsonEventLogger returns a RunOptions.OnEvent sink that writes one JSON
-// object per line to stderr, keeping stdout for the result report.
-func jsonEventLogger(run string) func(federation.MemberEvent) {
-	var mu sync.Mutex
-	enc := json.NewEncoder(os.Stderr)
-	return func(e federation.MemberEvent) {
-		mu.Lock()
-		defer mu.Unlock()
-		_ = enc.Encode(struct {
-			Event      string `json:"event"`
-			Run        string `json:"run"`
-			Member     string `json:"member"`
-			Transition string `json:"transition"`
-			Phase      string `json:"phase,omitempty"`
-		}{"member-health", run, e.Member, e.Event, e.Phase})
+// runDaemon serves assessments over the federation until SIGINT/SIGTERM, then
+// drains: admission stops, queued requests are shed with a structured
+// rejection, in-flight runs get the grace period to finish (or are canceled
+// at their next phase boundary, checkpoint saved), and every admitted request
+// resolves before the process exits.
+func runDaemon(addr string, leader *federation.Leader, addrs []string, reference *genome.Matrix, opts federation.RunOptions, cfg service.Config) error {
+	cfg.Backend = &service.FederationBackend{
+		Leader:      leader,
+		Dial:        service.NewTCPDialer(addrs, opts.DialTimeout),
+		Reference:   reference,
+		MemberNames: addrs,
+		Options:     opts,
 	}
+	srv, err := service.NewServer(cfg)
+	if err != nil {
+		return err
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("daemon: listening on %s (%d members, %d slots, queue %d)\n",
+		ln.Addr(), len(addrs), cfg.Slots, cfg.QueueDepth)
+
+	httpSrv := &http.Server{Handler: srv.Handler()}
+	served := make(chan error, 1)
+	go func() { served <- httpSrv.Serve(ln) }()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	select {
+	case err := <-served:
+		return err
+	case <-ctx.Done():
+	}
+	stop()
+
+	fmt.Println("daemon: draining — admission stopped, waiting for in-flight runs")
+	if err := srv.Drain(context.Background()); err != nil {
+		return err
+	}
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	_ = httpSrv.Shutdown(shutdownCtx)
+
+	st := srv.Stats()
+	fmt.Printf("daemon: drained — admitted %d, completed %d, failed %d, shed %d (post-admission %d), coalesced %d, reused %d\n",
+		st.Admitted, st.Completed, st.Failed, st.TotalShed(), st.ShedAfterAdmission, st.Coalesced, st.Reused)
+	if st.Latency.Count > 0 {
+		fmt.Printf("daemon: latency p50 %v, p95 %v, p99 %v over %d completed\n",
+			st.Latency.P50, st.Latency.P95, st.Latency.P99, st.Latency.Count)
+	}
+	return nil
 }
 
 // digestPrefix renders blame evidence compactly; the digests are hashes of
@@ -213,29 +284,4 @@ func digestPrefix(d []byte) string {
 		d = d[:4]
 	}
 	return hex.EncodeToString(d)
-}
-
-func readVCF(path string) (*genome.Matrix, error) {
-	f, err := os.Open(path)
-	if err != nil {
-		return nil, err
-	}
-	defer f.Close()
-	m, err := vcf.Read(f)
-	if err != nil {
-		return nil, fmt.Errorf("%s: %w", path, err)
-	}
-	return m, nil
-}
-
-func loadAuthority(path string) (*attest.Authority, error) {
-	raw, err := os.ReadFile(path)
-	if err != nil {
-		return nil, err
-	}
-	seed, err := hex.DecodeString(strings.TrimSpace(string(raw)))
-	if err != nil {
-		return nil, fmt.Errorf("%s: undecodable authority seed: %w", path, err)
-	}
-	return attest.NewAuthorityFromSeed(seed)
 }

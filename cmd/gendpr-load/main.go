@@ -1,0 +1,508 @@
+// Command gendpr-load replays a mixed assessment workload against the
+// always-on service and publishes the resulting throughput, latency
+// percentiles, and shed/reuse counters as a JSON artifact (alongside the
+// kernel benchmarks, see scripts/load.sh).
+//
+// By default it assembles an in-process federation (generated cohort, one
+// leader, G-1 member nodes over in-memory pipes) and drives the service
+// embedded directly — the same internal/service.Server the daemon runs. With
+// -daemon it targets a running gendpr-leader -serve over HTTP instead.
+//
+// The workload mixes tenants, collusion policies, cutoffs, deadlines, and
+// deliberately duplicated request shapes, so admission control, per-tenant
+// quotas, single-flight coalescing, checkpoint reuse, and deadline expiry are
+// all exercised; -drain-after additionally triggers a mid-run graceful drain.
+// Every request resolves — completed, structurally shed, or failed — and the
+// harness fails loudly if the server leaks a slot or a queue entry.
+//
+// Usage:
+//
+//	gendpr-load -requests 1000 -workers 16 -slots 2
+//	gendpr-load -requests 2000 -tenant-rate 50 -drain-after 1500 -out load.json
+//	gendpr-load -daemon 127.0.0.1:8080 -requests 500
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"syscall"
+	"time"
+
+	"gendpr/internal/checkpoint"
+	"gendpr/internal/cliutil"
+	"gendpr/internal/core"
+	"gendpr/internal/federation"
+	"gendpr/internal/genome"
+	"gendpr/internal/service"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "gendpr-load:", err)
+		os.Exit(1)
+	}
+}
+
+type options struct {
+	requests   int
+	workers    int
+	tenants    int
+	shapes     int
+	deadline   time.Duration
+	shortEvery int
+	drainAfter int
+	out        string
+	daemon     string
+
+	snps, genomes, gdos int
+	seed                int64
+	slots, queueDepth   int
+	tenantRate          float64
+	tenantBurst         int
+	tenantConc          int
+	ckptDir             string
+	logJSON             bool
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("gendpr-load", flag.ContinueOnError)
+	var o options
+	fs.IntVar(&o.requests, "requests", 1000, "total requests to replay")
+	fs.IntVar(&o.workers, "workers", 16, "concurrent client workers")
+	fs.IntVar(&o.tenants, "tenants", 4, "distinct tenants cycled through the workload")
+	fs.IntVar(&o.shapes, "shapes", 8, "distinct request shapes; duplicates exercise coalescing and checkpoint reuse")
+	fs.DurationVar(&o.deadline, "deadline", 30*time.Second, "per-request deadline for ordinary requests")
+	fs.IntVar(&o.shortEvery, "short-every", 0, "give every Nth request a 1ms deadline to exercise expiry (0 disables)")
+	fs.IntVar(&o.drainAfter, "drain-after", 0, "trigger a graceful drain after this many submissions (0 disables; in-process only)")
+	fs.StringVar(&o.out, "out", "", "write the JSON load artifact to this file")
+	fs.StringVar(&o.daemon, "daemon", "", "target a running gendpr-leader -serve at this address instead of an in-process federation")
+	fs.IntVar(&o.snps, "snps", 96, "in-process: SNP positions to generate")
+	fs.IntVar(&o.genomes, "genomes", 120, "in-process: case genomes to generate")
+	fs.IntVar(&o.gdos, "gdos", 3, "in-process: federation size")
+	fs.Int64Var(&o.seed, "seed", 42, "in-process: generator seed")
+	fs.IntVar(&o.slots, "slots", 2, "in-process: concurrent federation runs")
+	fs.IntVar(&o.queueDepth, "queue-depth", 32, "in-process: admission queue depth")
+	fs.Float64Var(&o.tenantRate, "tenant-rate", 0, "in-process: per-tenant admissions per second (0 disables)")
+	fs.IntVar(&o.tenantBurst, "tenant-burst", 0, "in-process: per-tenant admission burst")
+	fs.IntVar(&o.tenantConc, "tenant-concurrency", 0, "in-process: per-tenant in-flight cap (0 disables)")
+	fs.StringVar(&o.ckptDir, "checkpoint-dir", "", "in-process: directory for the shared checkpoint store (default: in-memory)")
+	fs.BoolVar(&o.logJSON, "log-json", false, "emit one-line JSON service lifecycle events on stderr")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if o.requests <= 0 || o.workers <= 0 || o.tenants <= 0 || o.shapes <= 0 {
+		return fmt.Errorf("-requests, -workers, -tenants and -shapes must be positive")
+	}
+	if o.daemon != "" {
+		return runAgainstDaemon(o)
+	}
+	return runInProcess(o)
+}
+
+// shapeRequest builds the request for one workload slot: the shape index
+// fixes the assessment identity (fingerprint), the request index picks the
+// tenant and the deadline treatment.
+func shapeRequest(o options, i int) service.Request {
+	shape := i % o.shapes
+	cfg := core.DefaultConfig()
+	cfg.MAFCutoff = 0.02 + float64(shape%4)*0.01
+	req := service.Request{
+		Tenant:   fmt.Sprintf("tenant-%d", i%o.tenants),
+		Config:   cfg,
+		Policy:   core.CollusionPolicy{F: shape % 2},
+		Deadline: o.deadline,
+	}
+	if o.shortEvery > 0 && i%o.shortEvery == o.shortEvery-1 {
+		req.Deadline = time.Millisecond
+	}
+	return req
+}
+
+// outcome tallies the client-observed fates of the workload.
+type outcome struct {
+	mu        sync.Mutex
+	completed int64
+	resumed   int64
+	coalesced int64
+	failed    int64
+	shed      map[string]int64
+	latencies []time.Duration
+}
+
+func (c *outcome) record(resp *service.Response, err error, elapsed time.Duration) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var ov *service.OverloadError
+	switch {
+	case errors.As(err, &ov):
+		if c.shed == nil {
+			c.shed = make(map[string]int64)
+		}
+		c.shed[ov.Reason]++
+	case err != nil:
+		c.failed++
+	default:
+		c.completed++
+		c.latencies = append(c.latencies, elapsed)
+		if resp.Reused {
+			c.resumed++
+		}
+		if resp.Coalesced {
+			c.coalesced++
+		}
+	}
+}
+
+func runInProcess(o options) error {
+	cohort, err := genome.Generate(genome.DefaultGeneratorConfig(o.snps, o.genomes, o.seed))
+	if err != nil {
+		return err
+	}
+	shards, err := cohort.Partition(o.gdos)
+	if err != nil {
+		return err
+	}
+	backend, err := service.NewInProcessBackend(shards, cohort.Reference, federation.RunOptions{})
+	if err != nil {
+		return err
+	}
+	var store checkpoint.Store = checkpoint.NewMemStore()
+	if o.ckptDir != "" {
+		fst, err := checkpoint.NewFileStore(o.ckptDir)
+		if err != nil {
+			return err
+		}
+		if err := fst.ClearAll(); err != nil {
+			return err
+		}
+		store = fst
+	}
+	cfg := service.Config{
+		Backend:           backend,
+		Checkpoints:       store,
+		Slots:             o.slots,
+		QueueDepth:        o.queueDepth,
+		TenantRate:        o.tenantRate,
+		TenantBurst:       o.tenantBurst,
+		TenantConcurrency: o.tenantConc,
+		DrainGrace:        30 * time.Second,
+	}
+	if o.logJSON {
+		cfg.OnEvent = cliutil.ServiceEventLogger("gendpr-load")
+	}
+	srv, err := service.NewServer(cfg)
+	if err != nil {
+		return err
+	}
+
+	fmt.Printf("load: %d requests (%d tenants, %d shapes) against %d GDOs, %d slots, queue %d\n",
+		o.requests, o.tenants, o.shapes, o.gdos, o.slots, o.queueDepth)
+
+	// SIGINT/SIGTERM triggers the same graceful drain -drain-after does:
+	// admission stops, the backlog is shed, in-flight runs finish.
+	ctx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stopSignals()
+	var drainOnce sync.Once
+	drained := int64(0)
+	drain := func() {
+		drainOnce.Do(func() {
+			atomic.StoreInt64(&drained, 1)
+			_ = srv.Drain(context.Background())
+		})
+	}
+	go func() {
+		<-ctx.Done()
+		if ctx.Err() != nil && atomic.LoadInt64(&drained) == 0 {
+			drain()
+		}
+	}()
+
+	var (
+		res       outcome
+		submitted int64
+		wg        sync.WaitGroup
+	)
+	start := time.Now()
+	next := make(chan int)
+	go func() {
+		for i := 0; i < o.requests; i++ {
+			next <- i
+		}
+		close(next)
+	}()
+	for w := 0; w < o.workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				n := atomic.AddInt64(&submitted, 1)
+				if o.drainAfter > 0 && n == int64(o.drainAfter) {
+					go drain()
+				}
+				t0 := time.Now()
+				resp, err := srv.Assess(context.Background(), shapeRequest(o, i))
+				res.record(resp, err, time.Since(t0))
+			}
+		}()
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	drain() // idempotent: settle the ledger before reading it
+
+	st := srv.Stats()
+	if st.InFlight != 0 || st.Queued != 0 {
+		return fmt.Errorf("leak: %d runs still in flight, %d requests still queued after drain", st.InFlight, st.Queued)
+	}
+	if unbalanced := st.Admitted - st.Completed - st.Failed - st.ShedAfterAdmission; unbalanced != 0 {
+		return fmt.Errorf("ledger does not balance: %d admitted requests unaccounted for", unbalanced)
+	}
+	art := buildArtifact(o, elapsed, &res, &st)
+	return emitArtifact(o, art)
+}
+
+// runAgainstDaemon drives a running gendpr-leader -serve over HTTP. The
+// client-side tallies come from response status codes; the server block is
+// the daemon's /stats snapshot.
+func runAgainstDaemon(o options) error {
+	base := "http://" + o.daemon
+	client := &http.Client{Timeout: o.deadline + 10*time.Second}
+	fmt.Printf("load: %d requests (%d tenants, %d shapes) against daemon %s\n",
+		o.requests, o.tenants, o.shapes, o.daemon)
+
+	var (
+		res outcome
+		wg  sync.WaitGroup
+	)
+	start := time.Now()
+	next := make(chan int)
+	go func() {
+		for i := 0; i < o.requests; i++ {
+			next <- i
+		}
+		close(next)
+	}()
+	for w := 0; w < o.workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				req := shapeRequest(o, i)
+				body, _ := json.Marshal(map[string]any{
+					"tenant":      req.Tenant,
+					"f":           req.Policy.F,
+					"maf_cutoff":  req.Config.MAFCutoff,
+					"deadline_ms": req.Deadline.Milliseconds(),
+				})
+				t0 := time.Now()
+				resp, err := postAssess(client, base, body)
+				res.record(resp, err, time.Since(t0))
+			}
+		}()
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	var st *service.Stats
+	if wire, err := fetchStats(client, base); err == nil {
+		st = wire
+	}
+	art := buildArtifact(o, elapsed, &res, st)
+	return emitArtifact(o, art)
+}
+
+// postAssess maps one HTTP exchange back onto the service result shape:
+// overload statuses become *service.OverloadError, success carries the reuse
+// markers.
+func postAssess(client *http.Client, base string, body []byte) (*service.Response, error) {
+	httpResp, err := client.Post(base+"/assess", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	defer httpResp.Body.Close()
+	switch httpResp.StatusCode {
+	case http.StatusOK:
+		var wire struct {
+			Resumed   bool `json:"resumed"`
+			Coalesced bool `json:"coalesced"`
+		}
+		if err := json.NewDecoder(httpResp.Body).Decode(&wire); err != nil {
+			return nil, err
+		}
+		return &service.Response{Reused: wire.Resumed, Coalesced: wire.Coalesced}, nil
+	case http.StatusTooManyRequests, http.StatusServiceUnavailable:
+		var wire struct {
+			Reason       string `json:"reason"`
+			RetryAfterMS int64  `json:"retry_after_ms"`
+		}
+		_ = json.NewDecoder(httpResp.Body).Decode(&wire)
+		return nil, &service.OverloadError{
+			Reason:     wire.Reason,
+			RetryAfter: time.Duration(wire.RetryAfterMS) * time.Millisecond,
+		}
+	default:
+		return nil, fmt.Errorf("assess: HTTP %d", httpResp.StatusCode)
+	}
+}
+
+// fetchStats pulls the daemon's ledger into the subset the artifact reports.
+func fetchStats(client *http.Client, base string) (*service.Stats, error) {
+	resp, err := client.Get(base + "/stats")
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	var wire struct {
+		Admitted           int64            `json:"admitted"`
+		Started            int64            `json:"started"`
+		Completed          int64            `json:"completed"`
+		Failed             int64            `json:"failed"`
+		Coalesced          int64            `json:"coalesced"`
+		Reused             int64            `json:"reused"`
+		Shed               map[string]int64 `json:"shed"`
+		ShedAfterAdmission int64            `json:"shed_after_admission"`
+		InFlight           int64            `json:"in_flight"`
+		Queued             int64            `json:"queued"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&wire); err != nil {
+		return nil, err
+	}
+	return &service.Stats{
+		Admitted:           wire.Admitted,
+		Started:            wire.Started,
+		Completed:          wire.Completed,
+		Failed:             wire.Failed,
+		Coalesced:          wire.Coalesced,
+		Reused:             wire.Reused,
+		Shed:               wire.Shed,
+		ShedAfterAdmission: wire.ShedAfterAdmission,
+		InFlight:           wire.InFlight,
+		Queued:             wire.Queued,
+	}, nil
+}
+
+// artifact is the published load snapshot.
+type artifact struct {
+	Requests   int     `json:"requests"`
+	Workers    int     `json:"workers"`
+	Tenants    int     `json:"tenants"`
+	Shapes     int     `json:"shapes"`
+	GDOs       int     `json:"gdos,omitempty"`
+	Slots      int     `json:"slots,omitempty"`
+	QueueDepth int     `json:"queue_depth,omitempty"`
+	DurationMS int64   `json:"duration_ms"`
+	Throughput float64 `json:"throughput_rps"`
+
+	Completed int64            `json:"completed"`
+	Resumed   int64            `json:"resumed"`
+	Coalesced int64            `json:"coalesced"`
+	Failed    int64            `json:"failed"`
+	Shed      map[string]int64 `json:"shed"`
+
+	LatencyMS percentileWire   `json:"latency_ms"`
+	Server    map[string]int64 `json:"server,omitempty"`
+}
+
+type percentileWire struct {
+	Count int     `json:"count"`
+	P50   float64 `json:"p50"`
+	P90   float64 `json:"p90"`
+	P95   float64 `json:"p95"`
+	P99   float64 `json:"p99"`
+	Max   float64 `json:"max"`
+}
+
+func percentiles(sample []time.Duration) percentileWire {
+	if len(sample) == 0 {
+		return percentileWire{}
+	}
+	ds := append([]time.Duration(nil), sample...)
+	sort.Slice(ds, func(i, j int) bool { return ds[i] < ds[j] })
+	at := func(q float64) float64 {
+		return float64(ds[int(q*float64(len(ds)-1))]) / float64(time.Millisecond)
+	}
+	return percentileWire{
+		Count: len(ds),
+		P50:   at(0.50),
+		P90:   at(0.90),
+		P95:   at(0.95),
+		P99:   at(0.99),
+		Max:   float64(ds[len(ds)-1]) / float64(time.Millisecond),
+	}
+}
+
+func buildArtifact(o options, elapsed time.Duration, res *outcome, st *service.Stats) artifact {
+	res.mu.Lock()
+	defer res.mu.Unlock()
+	shed := make(map[string]int64, len(res.shed))
+	for k, v := range res.shed {
+		shed[k] = v
+	}
+	art := artifact{
+		Requests:   o.requests,
+		Workers:    o.workers,
+		Tenants:    o.tenants,
+		Shapes:     o.shapes,
+		DurationMS: elapsed.Milliseconds(),
+		Throughput: float64(o.requests) / elapsed.Seconds(),
+		Completed:  res.completed,
+		Resumed:    res.resumed,
+		Coalesced:  res.coalesced,
+		Failed:     res.failed,
+		Shed:       shed,
+		LatencyMS:  percentiles(res.latencies),
+	}
+	if o.daemon == "" {
+		art.GDOs = o.gdos
+		art.Slots = o.slots
+		art.QueueDepth = o.queueDepth
+	}
+	if st != nil {
+		art.Server = map[string]int64{
+			"admitted":             st.Admitted,
+			"started":              st.Started,
+			"completed":            st.Completed,
+			"failed":               st.Failed,
+			"coalesced":            st.Coalesced,
+			"reused":               st.Reused,
+			"shed_total":           st.TotalShed(),
+			"shed_after_admission": st.ShedAfterAdmission,
+			"in_flight":            st.InFlight,
+			"queued":               st.Queued,
+		}
+	}
+	return art
+}
+
+func emitArtifact(o options, art artifact) error {
+	var totalShed int64
+	for _, v := range art.Shed {
+		totalShed += v
+	}
+	fmt.Printf("load: %d completed (%d resumed, %d coalesced), %d shed, %d failed in %v (%.1f req/s)\n",
+		art.Completed, art.Resumed, art.Coalesced, totalShed, art.Failed,
+		time.Duration(art.DurationMS)*time.Millisecond, art.Throughput)
+	fmt.Printf("load: latency p50 %.1fms, p95 %.1fms, p99 %.1fms, max %.1fms over %d completed\n",
+		art.LatencyMS.P50, art.LatencyMS.P95, art.LatencyMS.P99, art.LatencyMS.Max, art.LatencyMS.Count)
+	if o.out == "" {
+		return nil
+	}
+	encoded, err := json.MarshalIndent(art, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(o.out, append(encoded, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("load: artifact written to %s\n", o.out)
+	return nil
+}

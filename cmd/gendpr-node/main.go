@@ -20,23 +20,20 @@ package main
 
 import (
 	"context"
-	"encoding/hex"
 	"errors"
 	"flag"
 	"fmt"
 	"net"
 	"os"
 	"os/signal"
-	"strings"
+	"sync"
 	"syscall"
 	"time"
 
+	"gendpr/internal/cliutil"
 	"gendpr/internal/enclave"
-	"gendpr/internal/enclave/attest"
 	"gendpr/internal/federation"
-	"gendpr/internal/genome"
 	"gendpr/internal/transport"
-	"gendpr/internal/vcf"
 )
 
 func main() {
@@ -53,7 +50,7 @@ func run(args []string) error {
 		caseFile  = fs.String("case", "", "private case-shard VCF file (required)")
 		authority = fs.String("authority", "", "attestation-authority seed file (required)")
 		id        = fs.String("id", "gdo", "member identifier for logs")
-		serves    = fs.Int("serves", 1, "number of assessments to serve before exiting")
+		serves    = fs.Int("serves", 1, "number of assessments to serve before exiting; 0 serves forever, with concurrent sessions (daemon deployments)")
 		idle      = fs.Duration("idle-timeout", 0, "per-session bound on waiting for the next leader message (0 waits forever)")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -63,11 +60,11 @@ func run(args []string) error {
 		return fmt.Errorf("-case and -authority are required")
 	}
 
-	shard, err := readVCF(*caseFile)
+	shard, err := cliutil.ReadVCF(*caseFile)
 	if err != nil {
 		return err
 	}
-	auth, err := loadAuthority(*authority)
+	auth, err := cliutil.LoadAuthority(*authority)
 	if err != nil {
 		return err
 	}
@@ -122,6 +119,9 @@ const (
 // errors are retried with capped exponential backoff; a closed listener — the
 // shutdown path — ends the loop cleanly, as does context cancellation.
 func serveAssessments(ctx context.Context, member *federation.Member, l acceptor, serves int, opts federation.ServeOptions, logf func(format string, args ...any)) error {
+	if serves <= 0 {
+		return serveConcurrently(ctx, member, l, opts, logf)
+	}
 	backoff := acceptBackoffBase
 	for i := 0; i < serves; {
 		conn, err := l.Accept()
@@ -160,6 +160,53 @@ func serveAssessments(ctx context.Context, member *federation.Member, l acceptor
 	return nil
 }
 
+// serveConcurrently is the -serves 0 loop: accept forever and serve each
+// leader connection in its own goroutine, so a daemon leader with several
+// federation slots can drive overlapping assessments through one node.
+// Member session state is per-connection and mutex-guarded, which makes
+// overlapping sessions safe. Shutdown closes the listener (ending the accept
+// loop) and waits for live sessions to observe the canceled context.
+func serveConcurrently(ctx context.Context, member *federation.Member, l acceptor, opts federation.ServeOptions, logf func(format string, args ...any)) error {
+	var sessions sync.WaitGroup
+	defer sessions.Wait()
+	backoff := acceptBackoffBase
+	for {
+		conn, err := l.Accept()
+		if err != nil {
+			if errors.Is(err, net.ErrClosed) || (ctx != nil && ctx.Err() != nil) {
+				return nil
+			}
+			logf("accept failed (%v), retrying in %v", err, backoff)
+			if err := sleepCtx(ctx, backoff); err != nil {
+				return nil
+			}
+			if backoff *= 2; backoff > acceptBackoffMax {
+				backoff = acceptBackoffMax
+			}
+			continue
+		}
+		backoff = acceptBackoffBase
+		sessions.Add(1)
+		go func(conn transport.Conn) {
+			defer sessions.Done()
+			err := member.ServeContext(ctx, conn, opts)
+			_ = conn.Close()
+			switch {
+			case ctx != nil && ctx.Err() != nil:
+				logf("session ended at shutdown: %v", ctx.Err())
+			case err != nil:
+				logf("session ended early (%v), awaiting reconnect", err)
+			default:
+				if sel := member.LastResult(); sel != nil {
+					logf("assessment complete, broadcast selection %s", sel)
+				} else {
+					logf("assessment complete")
+				}
+			}
+		}(conn)
+	}
+}
+
 // sleepCtx sleeps for d unless the context is canceled first.
 func sleepCtx(ctx context.Context, d time.Duration) error {
 	if ctx == nil {
@@ -174,29 +221,4 @@ func sleepCtx(ctx context.Context, d time.Duration) error {
 	case <-t.C:
 		return nil
 	}
-}
-
-func readVCF(path string) (*genome.Matrix, error) {
-	f, err := os.Open(path)
-	if err != nil {
-		return nil, err
-	}
-	defer f.Close()
-	m, err := vcf.Read(f)
-	if err != nil {
-		return nil, fmt.Errorf("%s: %w", path, err)
-	}
-	return m, nil
-}
-
-func loadAuthority(path string) (*attest.Authority, error) {
-	raw, err := os.ReadFile(path)
-	if err != nil {
-		return nil, err
-	}
-	seed, err := hex.DecodeString(strings.TrimSpace(string(raw)))
-	if err != nil {
-		return nil, fmt.Errorf("%s: undecodable authority seed: %w", path, err)
-	}
-	return attest.NewAuthorityFromSeed(seed)
 }

@@ -12,15 +12,13 @@ package main
 
 import (
 	"encoding/hex"
-	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
-	"sync"
 
 	"gendpr"
+	"gendpr/internal/cliutil"
 	"gendpr/internal/seal"
-	"gendpr/internal/vcf"
 )
 
 func main() {
@@ -44,12 +42,8 @@ func run(args []string) error {
 		refFile      = fs.String("reference", "", "reference-panel VCF file (required with -case)")
 		releaseOut   = fs.String("release", "", "write the signed GWAS statistics release to this JSON file (key written alongside as <file>.pub)")
 		studyID      = fs.String("study", "gendpr-study", "study identifier embedded in the release")
-		retries      = fs.Int("retries", 0, "reconnect-and-retry attempts per failed member exchange")
-		minQuorum    = fs.Int("min-quorum", 0, "minimum surviving GDOs (leader included) to finish without failed members; 0 aborts on any failure")
-		byzantine    = fs.Bool("byzantine", false, "quarantine members whose answers fail plausibility checks or change across deliveries, with blame records")
-		allowRejoin  = fs.Bool("allow-rejoin", false, "let a crash-failed member re-attest and rejoin at the next phase boundary (equivocators stay barred)")
-		logJSON      = fs.Bool("log-json", false, "emit one-line JSON member health-transition events on stderr")
 	)
+	ff := cliutil.RegisterFaultFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -68,16 +62,9 @@ func run(args []string) error {
 	fmt.Printf("federation: %d GDOs, %d case genomes, %d reference genomes, %d SNPs\n",
 		*gdos, cohort.Case.N(), cohort.Reference.N(), cohort.SNPs())
 
-	opts := gendpr.RunOptions{
-		MaxRetries:  *retries,
-		MinQuorum:   *minQuorum,
-		Byzantine:   *byzantine,
-		AllowRejoin: *allowRejoin,
-	}
-	if *logJSON {
-		opts.OnEvent = jsonEventLogger(*studyID)
-	}
-	faultAware := opts.MaxRetries > 0 || opts.MinQuorum > 0 || opts.Byzantine || opts.AllowRejoin || opts.OnEvent != nil
+	opts := ff.Options(*studyID)
+	faultAware := opts.RPCTimeout > 0 || opts.DialTimeout > 0 || opts.MaxRetries > 0 ||
+		opts.MinQuorum > 0 || opts.Byzantine || opts.AllowRejoin || opts.OnEvent != nil
 
 	var res *gendpr.FederationResult
 	switch {
@@ -161,24 +148,6 @@ func writeRelease(path, studyID string, cohort *gendpr.Cohort, rep *gendpr.Repor
 	return nil
 }
 
-// jsonEventLogger returns a RunOptions.OnEvent sink that writes one JSON
-// object per line to stderr, keeping stdout for the result report.
-func jsonEventLogger(run string) func(gendpr.MemberEvent) {
-	var mu sync.Mutex
-	enc := json.NewEncoder(os.Stderr)
-	return func(e gendpr.MemberEvent) {
-		mu.Lock()
-		defer mu.Unlock()
-		_ = enc.Encode(struct {
-			Event      string `json:"event"`
-			Run        string `json:"run"`
-			Member     string `json:"member"`
-			Transition string `json:"transition"`
-			Phase      string `json:"phase,omitempty"`
-		}{"member-health", run, e.Member, e.Event, e.Phase})
-	}
-}
-
 func loadOrGenerate(caseFile, refFile string, snps, genomes int, seed int64) (*gendpr.Cohort, error) {
 	if caseFile == "" && refFile == "" {
 		return gendpr.GenerateCohort(gendpr.DefaultGeneratorConfig(snps, genomes, seed))
@@ -186,11 +155,11 @@ func loadOrGenerate(caseFile, refFile string, snps, genomes int, seed int64) (*g
 	if caseFile == "" || refFile == "" {
 		return nil, fmt.Errorf("-case and -reference must be given together")
 	}
-	caseM, err := readVCF(caseFile)
+	caseM, err := cliutil.ReadVCF(caseFile)
 	if err != nil {
 		return nil, err
 	}
-	refM, err := readVCF(refFile)
+	refM, err := cliutil.ReadVCF(refFile)
 	if err != nil {
 		return nil, err
 	}
@@ -199,17 +168,4 @@ func loadOrGenerate(caseFile, refFile string, snps, genomes int, seed int64) (*g
 		return nil, err
 	}
 	return cohort, nil
-}
-
-func readVCF(path string) (*gendpr.Matrix, error) {
-	f, err := os.Open(path)
-	if err != nil {
-		return nil, err
-	}
-	defer f.Close()
-	m, err := vcf.Read(f)
-	if err != nil {
-		return nil, fmt.Errorf("%s: %w", path, err)
-	}
-	return m, nil
 }

@@ -1,0 +1,244 @@
+package gendpr_test
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// TestCLIServiceDaemon drives the always-on deployment end to end: member
+// nodes serving concurrent sessions, the leader as an HTTP daemon with
+// admission control and a shared checkpoint store, duplicate-fingerprint
+// requests resuming from retained snapshots, per-tenant quota rejections with
+// structured bodies, and a SIGTERM drain that accounts for every request
+// before the process exits.
+func TestCLIServiceDaemon(t *testing.T) {
+	bins := buildCLIs(t)
+	data := t.TempDir()
+
+	runCLI(t, filepath.Join(bins, "genomegen"),
+		"-snps", "200", "-case", "240", "-out", data, "-shards", "3", "-sign=false")
+	seedPath := filepath.Join(data, "authority.seed")
+	runCLI(t, filepath.Join(bins, "gendpr-authority"), "-out", seedPath)
+
+	// Member nodes in daemon mode: -serves 0 keeps them accepting forever and
+	// serving overlapping sessions.
+	var nodes []*exec.Cmd
+	var nodeAddrs []string
+	for i := 0; i < 2; i++ {
+		cmd := exec.Command(filepath.Join(bins, "gendpr-node"),
+			"-listen", "127.0.0.1:0",
+			"-case", filepath.Join(data, fmt.Sprintf("shard-%d.vcf", i+1)),
+			"-authority", seedPath,
+			"-id", fmt.Sprintf("gdo-%d", i+1),
+			"-serves", "0")
+		stdout, err := cmd.StdoutPipe()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := cmd.Start(); err != nil {
+			t.Fatalf("start node %d: %v", i, err)
+		}
+		scanner := bufio.NewScanner(stdout)
+		if !scanner.Scan() {
+			t.Fatalf("node %d produced no output", i)
+		}
+		line := scanner.Text()
+		idx := strings.LastIndex(line, "listening on ")
+		if idx < 0 {
+			t.Fatalf("node %d banner %q missing address", i, line)
+		}
+		nodeAddrs = append(nodeAddrs, strings.TrimSpace(line[idx+len("listening on "):]))
+		go func() {
+			for scanner.Scan() {
+			}
+		}()
+		nodes = append(nodes, cmd)
+	}
+	defer func() {
+		for _, n := range nodes {
+			_ = n.Process.Signal(syscall.SIGTERM)
+		}
+		for _, n := range nodes {
+			_ = n.Wait()
+		}
+	}()
+
+	// The leader daemon: tiny per-tenant burst under a negligible refill rate
+	// makes the second admission from one tenant a deterministic 429.
+	ckptDir := filepath.Join(data, "ckpt")
+	leader := exec.Command(filepath.Join(bins, "gendpr-leader"),
+		"-members", strings.Join(nodeAddrs, ","),
+		"-case", filepath.Join(data, "shard-0.vcf"),
+		"-reference", filepath.Join(data, "reference.vcf"),
+		"-authority", seedPath,
+		"-serve", "127.0.0.1:0",
+		"-slots", "2",
+		"-checkpoint-dir", ckptDir,
+		"-tenant-rate", "0.001", "-tenant-burst", "1",
+		"-log-json")
+	leaderOut, err := leader.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var leaderErr bytes.Buffer
+	leader.Stderr = &leaderErr
+	if err := leader.Start(); err != nil {
+		t.Fatalf("start leader daemon: %v", err)
+	}
+	leaderDone := make(chan error, 1)
+	defer func() {
+		_ = leader.Process.Kill()
+		<-leaderDone
+	}()
+	scanner := bufio.NewScanner(leaderOut)
+	if !scanner.Scan() {
+		t.Fatal("leader daemon produced no output")
+	}
+	banner := scanner.Text()
+	idx := strings.LastIndex(banner, "listening on ")
+	if idx < 0 {
+		t.Fatalf("daemon banner %q missing address", banner)
+	}
+	addr := banner[idx+len("listening on "):]
+	if cut := strings.Index(addr, " ("); cut >= 0 {
+		addr = addr[:cut]
+	}
+	base := "http://" + strings.TrimSpace(addr)
+	var leaderLines []string
+	bannerDrained := make(chan struct{})
+	go func() {
+		defer close(bannerDrained)
+		for scanner.Scan() {
+			leaderLines = append(leaderLines, scanner.Text())
+		}
+	}()
+	go func() { leaderDone <- leader.Wait() }()
+
+	type assessWire struct {
+		SafeCount int  `json:"safe_count"`
+		Resumed   bool `json:"resumed"`
+	}
+	post := func(body string) (*http.Response, error) {
+		return http.Post(base+"/assess", "application/json", strings.NewReader(body))
+	}
+
+	// First assessment: the nodes may still be binding, so retry engine
+	// failures (500) but never structured rejections.
+	var first assessWire
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		resp, err := post(`{"tenant":"alpha","f":1}`)
+		if err != nil {
+			if time.Now().After(deadline) {
+				t.Fatalf("daemon never became reachable: %v", err)
+			}
+			time.Sleep(100 * time.Millisecond)
+			continue
+		}
+		if resp.StatusCode == http.StatusOK {
+			if err := json.NewDecoder(resp.Body).Decode(&first); err != nil {
+				t.Fatal(err)
+			}
+			resp.Body.Close()
+			break
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusInternalServerError || time.Now().After(deadline) {
+			t.Fatalf("first assess: HTTP %d", resp.StatusCode)
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+	if first.SafeCount <= 0 {
+		t.Fatalf("first assessment returned no selection: %+v", first)
+	}
+	if first.Resumed {
+		t.Fatal("first assessment claims resume with a fresh checkpoint dir")
+	}
+
+	// Duplicate fingerprint from another tenant: must resume from the
+	// retained snapshot, skipping the protocol phases.
+	resp, err := post(`{"tenant":"beta","f":1}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("duplicate assess: HTTP %d", resp.StatusCode)
+	}
+	var second assessWire
+	if err := json.NewDecoder(resp.Body).Decode(&second); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if !second.Resumed {
+		t.Fatal("duplicate-fingerprint request did not resume from the shared checkpoint")
+	}
+	if second.SafeCount != first.SafeCount {
+		t.Fatalf("resumed selection %d differs from original %d", second.SafeCount, first.SafeCount)
+	}
+
+	// Over-quota: tenant alpha spent its single token above.
+	resp, err = post(`{"tenant":"alpha","f":1}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("over-quota assess: HTTP %d, want 429", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Error("over-quota rejection missing Retry-After header")
+	}
+	var shed struct {
+		Error  string `json:"error"`
+		Reason string `json:"reason"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&shed); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if shed.Error != "overloaded" || shed.Reason != "tenant-quota" {
+		t.Fatalf("over-quota body = %+v, want overloaded/tenant-quota", shed)
+	}
+
+	// SIGTERM: graceful drain, full accounting, clean exit.
+	if err := leader.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-leaderDone:
+		leaderDone <- err
+		if err != nil {
+			t.Fatalf("daemon exited with %v\nstderr:\n%s", err, leaderErr.String())
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("daemon did not exit after SIGTERM")
+	}
+	<-bannerDrained
+	tail := strings.Join(leaderLines, "\n")
+	if !strings.Contains(tail, "daemon: drained — admitted 2, completed 2, failed 0") {
+		t.Errorf("drain summary missing or wrong:\n%s", tail)
+	}
+
+	// -log-json emitted the service lifecycle: admission, resume, the
+	// structured shed, and the final drain marker.
+	events := leaderErr.String()
+	for _, want := range []string{
+		`"lifecycle":"admitted"`,
+		`"lifecycle":"resumed"`,
+		`"lifecycle":"shed"`,
+		`"reason":"tenant-quota"`,
+		`"lifecycle":"drained"`,
+	} {
+		if !strings.Contains(events, want) {
+			t.Errorf("daemon -log-json stream missing %s:\n%s", want, events)
+		}
+	}
+}

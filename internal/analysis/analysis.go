@@ -337,7 +337,10 @@ func DefaultAnalyzers() []*Analyzer {
 		NewErrDrop(nil),
 		NewWGMisuse(nil),
 		NewNakedRecv([]Scope{{PathPrefix: "gendpr/internal/federation"}}),
-		NewCtxDeadline([]Scope{{PathPrefix: "gendpr/internal/federation"}}),
+		NewCtxDeadline([]Scope{
+			{PathPrefix: "gendpr/internal/federation"},
+			{PathPrefix: "gendpr/internal/service"},
+		}),
 		NewSecretFlow(taint),
 		NewLogLeak(taint),
 		NewCheckpointPlain(taint),

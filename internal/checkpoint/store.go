@@ -6,6 +6,7 @@ import (
 	"io/fs"
 	"os"
 	"path/filepath"
+	"strings"
 	"sync"
 )
 
@@ -30,13 +31,28 @@ type Store interface {
 	Clear() error
 }
 
+// Namespacer is implemented by stores that can carve out independent
+// sub-stores under one shared root. A long-lived assessment service runs many
+// concurrent protocols over one store; namespacing each run by its
+// fingerprint keeps their snapshots from overwriting each other while still
+// sharing the root's placement (one directory, one replication policy).
+// Namespace is stable: the same name always returns the same sub-store, so
+// concurrent runs of one namespace serialize on one instance's lock.
+type Namespacer interface {
+	// Namespace returns the sub-store for name; the empty name is the root
+	// store itself. Names are sanitized by the implementation, so any
+	// caller-chosen key (a hex fingerprint, a tenant id) is acceptable.
+	Namespace(name string) Store
+}
+
 // MemStore is an in-memory Store for tests and the in-process failover
 // runner. It round-trips through the codec on every Save/Load, so states
 // never alias between the saver and the loader and the encoder stays on the
 // hot path of every checkpointing test.
 type MemStore struct {
-	mu   sync.Mutex
-	data []byte
+	mu       sync.Mutex
+	data     []byte
+	children map[string]*MemStore
 }
 
 // NewMemStore returns an empty in-memory store.
@@ -70,6 +86,42 @@ func (s *MemStore) Clear() error {
 	return nil
 }
 
+// Namespace implements Namespacer: sub-stores are independent MemStores,
+// created on first use and stable across calls.
+func (s *MemStore) Namespace(name string) Store {
+	if name == "" {
+		return s
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.children == nil {
+		s.children = make(map[string]*MemStore)
+	}
+	child, ok := s.children[name]
+	if !ok {
+		child = NewMemStore()
+		s.children[name] = child
+	}
+	return child
+}
+
+// ClearAll removes the root snapshot and every namespaced sub-store's state.
+func (s *MemStore) ClearAll() error {
+	s.mu.Lock()
+	children := make([]*MemStore, 0, len(s.children))
+	for _, c := range s.children {
+		children = append(children, c)
+	}
+	s.data = nil
+	s.mu.Unlock()
+	for _, c := range children {
+		if err := c.ClearAll(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
 // Recoverer is implemented by stores that can transparently fall back past a
 // corrupt or missing current snapshot to an older valid boundary. Callers
 // that care (the resume path surfaces a CorruptionRecovered marker in the
@@ -95,6 +147,7 @@ type FileStore struct {
 	mu        sync.Mutex
 	recovered string
 	faultHook func(op string) error
+	children  map[string]*FileStore
 }
 
 // File names used inside the store directory.
@@ -127,17 +180,19 @@ func (s *FileStore) SetFaultHook(hook func(op string) error) {
 }
 
 func (s *FileStore) fault(op string) error {
-	s.mu.Lock()
-	hook := s.faultHook
-	s.mu.Unlock()
-	if hook == nil {
+	if s.faultHook == nil {
 		return nil
 	}
-	return hook(op)
+	return s.faultHook(op)
 }
 
-// Save implements Store with a fsync'd write-rotate-rename sequence.
+// Save implements Store with a fsync'd write-rotate-rename sequence. The
+// whole sequence runs under the instance lock: concurrent savers of one
+// store (the service's coalesced requests, a test's parallel writers) are
+// serialized rather than interleaving their rotate/rename steps.
 func (s *FileStore) Save(st *State) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	tmp := s.path + tmpSuffix
 	if err := s.fault("write"); err != nil {
 		return fmt.Errorf("checkpoint: %w", err)
@@ -211,8 +266,8 @@ func (s *FileStore) syncDir() error {
 // does Load surface the corruption error.
 func (s *FileStore) Load() (*State, error) {
 	s.mu.Lock()
+	defer s.mu.Unlock()
 	s.recovered = ""
-	s.mu.Unlock()
 
 	st, err := loadFile(s.path)
 	switch {
@@ -225,7 +280,7 @@ func (s *FileStore) Load() (*State, error) {
 		if perr != nil {
 			return nil, ErrNotFound
 		}
-		s.setRecovered("current snapshot missing; resumed from previous boundary")
+		s.recovered = "current snapshot missing; resumed from previous boundary"
 		return st, nil
 	case errors.Is(err, ErrCorrupt) || errors.Is(err, ErrVersion):
 		// Keep the bad bytes for post-mortem inspection, out of the way of
@@ -233,7 +288,7 @@ func (s *FileStore) Load() (*State, error) {
 		_ = os.Rename(s.path, s.path+corruptSuffix)
 		st, perr := loadFile(s.path + prevSuffix)
 		if perr == nil {
-			s.setRecovered("quarantined corrupt snapshot; resumed from previous boundary")
+			s.recovered = "quarantined corrupt snapshot; resumed from previous boundary"
 			return st, nil
 		}
 		if !errors.Is(perr, ErrNotFound) {
@@ -256,12 +311,6 @@ func loadFile(path string) (*State, error) {
 	return Decode(b)
 }
 
-func (s *FileStore) setRecovered(desc string) {
-	s.mu.Lock()
-	s.recovered = desc
-	s.mu.Unlock()
-}
-
 // RecoveredCorruption implements Recoverer.
 func (s *FileStore) RecoveredCorruption() (string, bool) {
 	s.mu.Lock()
@@ -272,10 +321,85 @@ func (s *FileStore) RecoveredCorruption() (string, bool) {
 // Clear implements Store, removing every live generation. Quarantined
 // ".corrupt" files are evidence, not state, and are deliberately kept.
 func (s *FileStore) Clear() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	for _, p := range []string{s.path, s.path + prevSuffix, s.path + tmpSuffix} {
 		if err := os.Remove(p); err != nil && !errors.Is(err, fs.ErrNotExist) {
 			return fmt.Errorf("checkpoint: %w", err)
 		}
 	}
 	return nil
+}
+
+// Namespace implements Namespacer: the sub-store lives in the same directory
+// under "assessment-<name>.ckpt" (name sanitized to a filesystem-safe
+// alphabet). Sub-stores are cached, so concurrent users of one namespace
+// share one instance and serialize on its lock; distinct namespaces never
+// touch each other's files and are safe to drive concurrently.
+func (s *FileStore) Namespace(name string) Store {
+	if name == "" {
+		return s
+	}
+	safe := sanitizeNamespace(name)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.children == nil {
+		s.children = make(map[string]*FileStore)
+	}
+	child, ok := s.children[safe]
+	if !ok {
+		child = &FileStore{
+			path: filepath.Join(s.dir, "assessment-"+safe+".ckpt"),
+			dir:  s.dir,
+		}
+		s.children[safe] = child
+	}
+	return child
+}
+
+// ClearAll removes the root's live generations and every namespaced
+// snapshot in the directory — including ones left behind by earlier
+// processes whose sub-stores this instance never opened. Quarantined
+// ".corrupt" files are kept, as in Clear.
+func (s *FileStore) ClearAll() error {
+	entries, err := os.ReadDir(s.dir)
+	if err != nil {
+		return fmt.Errorf("checkpoint: %w", err)
+	}
+	for _, e := range entries {
+		name := e.Name()
+		if !strings.HasPrefix(name, "assessment") || strings.HasSuffix(name, corruptSuffix) {
+			continue
+		}
+		switch {
+		case strings.HasSuffix(name, ".ckpt"),
+			strings.HasSuffix(name, ".ckpt"+prevSuffix),
+			strings.HasSuffix(name, ".ckpt"+tmpSuffix):
+			if err := os.Remove(filepath.Join(s.dir, name)); err != nil && !errors.Is(err, fs.ErrNotExist) {
+				return fmt.Errorf("checkpoint: %w", err)
+			}
+		}
+	}
+	return nil
+}
+
+// sanitizeNamespace maps an arbitrary namespace key onto [A-Za-z0-9._-],
+// truncated to keep file names within portable limits. Distinct keys can in
+// principle collide after sanitization; callers that need injectivity (the
+// assessment service keys namespaces by hex fingerprints) should pass names
+// already inside the safe alphabet.
+func sanitizeNamespace(name string) string {
+	const maxLen = 64
+	b := []byte(name)
+	if len(b) > maxLen {
+		b = b[:maxLen]
+	}
+	for i, c := range b {
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9', c == '.', c == '_', c == '-':
+		default:
+			b[i] = '-'
+		}
+	}
+	return string(b)
 }

@@ -1,0 +1,138 @@
+// Package cliutil holds the flag wiring, event-log plumbing, and input
+// loading shared by the gendpr command-line front ends, so the one-shot
+// runner, the standalone leader, and the always-on daemon stay
+// flag-compatible instead of drifting apart.
+package cliutil
+
+import (
+	"encoding/hex"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"sync"
+	"time"
+
+	"gendpr/internal/enclave/attest"
+	"gendpr/internal/federation"
+	"gendpr/internal/genome"
+	"gendpr/internal/service"
+	"gendpr/internal/vcf"
+)
+
+// FaultFlags is the shared fault-tolerance flag block: every front end that
+// drives the protocol registers exactly this set, with these names and help
+// strings.
+type FaultFlags struct {
+	RPCTimeout  time.Duration
+	DialTimeout time.Duration
+	Retries     int
+	MinQuorum   int
+	Byzantine   bool
+	AllowRejoin bool
+	LogJSON     bool
+}
+
+// RegisterFaultFlags registers the shared block on fs and returns the
+// destination struct.
+func RegisterFaultFlags(fs *flag.FlagSet) *FaultFlags {
+	f := &FaultFlags{}
+	fs.DurationVar(&f.RPCTimeout, "rpc-timeout", 0, "deadline per member exchange (0 waits forever)")
+	fs.DurationVar(&f.DialTimeout, "dial-timeout", 0, "deadline per member (re)connection (0 uses the transport default)")
+	fs.IntVar(&f.Retries, "retries", 0, "reconnect-and-retry attempts per failed member exchange")
+	fs.IntVar(&f.MinQuorum, "min-quorum", 0, "minimum surviving GDOs (leader included) to finish without failed members; 0 aborts on any failure")
+	fs.BoolVar(&f.Byzantine, "byzantine", false, "quarantine members whose answers fail plausibility checks or change across deliveries, with blame records, instead of aborting")
+	fs.BoolVar(&f.AllowRejoin, "allow-rejoin", false, "let a crash-failed member re-attest and rejoin at the next phase boundary (equivocators stay barred)")
+	fs.BoolVar(&f.LogJSON, "log-json", false, "emit one-line JSON run events on stderr (member health, service lifecycle)")
+	return f
+}
+
+// Options assembles the federation run options the flags describe; run names
+// the run in -log-json events.
+func (f *FaultFlags) Options(run string) federation.RunOptions {
+	opts := federation.RunOptions{
+		RPCTimeout:  f.RPCTimeout,
+		DialTimeout: f.DialTimeout,
+		MaxRetries:  f.Retries,
+		MinQuorum:   f.MinQuorum,
+		Byzantine:   f.Byzantine,
+		AllowRejoin: f.AllowRejoin,
+	}
+	if f.LogJSON {
+		opts.OnEvent = JSONEventLogger(run)
+	}
+	return opts
+}
+
+// stderr carries every -log-json event stream; one lock keeps concurrently
+// emitted lines whole.
+var (
+	stderrMu  sync.Mutex
+	stderrEnc = json.NewEncoder(os.Stderr)
+)
+
+func emitJSON(v any) {
+	stderrMu.Lock()
+	defer stderrMu.Unlock()
+	_ = stderrEnc.Encode(v)
+}
+
+// JSONEventLogger returns a RunOptions.OnEvent sink that writes one JSON
+// object per member health transition to stderr, keeping stdout for the
+// result report.
+func JSONEventLogger(run string) func(federation.MemberEvent) {
+	return func(e federation.MemberEvent) {
+		emitJSON(struct {
+			Event      string `json:"event"`
+			Run        string `json:"run"`
+			Member     string `json:"member"`
+			Transition string `json:"transition"`
+			Phase      string `json:"phase,omitempty"`
+		}{"member-health", run, e.Member, e.Event, e.Phase})
+	}
+}
+
+// ServiceEventLogger returns a service.Config.OnEvent sink that writes one
+// JSON object per request lifecycle transition (admitted, queued, shed,
+// started, resumed, coalesced, completed, failed, drained) to stderr.
+func ServiceEventLogger(run string) func(service.Event) {
+	return func(e service.Event) {
+		emitJSON(struct {
+			Event     string `json:"event"`
+			Run       string `json:"run"`
+			Lifecycle string `json:"lifecycle"`
+			Tenant    string `json:"tenant,omitempty"`
+			Key       string `json:"key,omitempty"`
+			Reason    string `json:"reason,omitempty"`
+		}{"service-lifecycle", run, e.Event, e.Tenant, e.Key, e.Reason})
+	}
+}
+
+// ReadVCF loads one genotype matrix from a VCF file.
+func ReadVCF(path string) (*genome.Matrix, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	m, err := vcf.Read(f)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return m, nil
+}
+
+// LoadAuthority reads a hex-encoded attestation-authority seed file (the
+// format cmd/gendpr-authority writes).
+func LoadAuthority(path string) (*attest.Authority, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	seed, err := hex.DecodeString(strings.TrimSpace(string(raw)))
+	if err != nil {
+		return nil, fmt.Errorf("%s: undecodable authority seed: %w", path, err)
+	}
+	return attest.NewAuthorityFromSeed(seed)
+}

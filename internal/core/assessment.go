@@ -106,6 +106,7 @@ func RunAssessmentWithOptions(members []Provider, reference *genome.Matrix, cfg 
 		if err != nil {
 			return nil, err
 		}
+		run.cs.retain = opts.RetainCheckpoints
 		run.cs.adoptBlames(opts.blamed)
 	}
 	run.audit = opts.auditSummaries

@@ -30,6 +30,13 @@ type AssessmentOptions struct {
 	// Checkpoints, when non-nil, persists phase boundaries to the store and
 	// seeds the run from a compatible existing checkpoint.
 	Checkpoints checkpoint.Store
+	// RetainCheckpoints keeps the final snapshot in the store after a
+	// successful run instead of clearing it. A later run with the same
+	// fingerprint then replays every completed phase from the snapshot — the
+	// reuse contract of the long-lived assessment service, where identical
+	// requests should not re-drive the federation. One-shot runs leave this
+	// false so a finished assessment cannot be "resumed".
+	RetainCheckpoints bool
 
 	// blamed carries the resilient runner's accumulated blame records into
 	// the attempt so they persist at every checkpoint boundary and survive a
@@ -93,6 +100,9 @@ type ckState struct {
 	store checkpoint.Store
 	names []string
 	fp    []byte
+	// retain keeps the final snapshot after success (see
+	// AssessmentOptions.RetainCheckpoints).
+	retain bool
 
 	// seed is the remapped prior state; nil when starting fresh.
 	seed *checkpoint.State
@@ -401,8 +411,10 @@ func (cs *ckState) saveLocked() error {
 // finish clears the store after a successful run so a completed assessment
 // cannot be "resumed". Clear errors are ignored: the result is already
 // computed and correct, and a stale checkpoint is fingerprint-guarded anyway.
+// Under RetainCheckpoints the snapshot is deliberately kept instead, so an
+// identical later request replays from it.
 func (cs *ckState) finish() {
-	if cs == nil {
+	if cs == nil || cs.retain {
 		return
 	}
 	_ = cs.store.Clear()

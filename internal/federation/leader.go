@@ -171,7 +171,8 @@ func (l *Leader) RunLinksContext(ctx context.Context, links []MemberLink, refere
 
 	report, err := core.RunAssessmentResilientWithOptions(providers, reference, cfg, policy, l.enclave,
 		resilience,
-		core.AssessmentOptions{Context: ctx, ProviderNames: names, Checkpoints: opts.Checkpoints})
+		core.AssessmentOptions{Context: ctx, ProviderNames: names, Checkpoints: opts.Checkpoints,
+			RetainCheckpoints: opts.RetainCheckpoints})
 	if err != nil {
 		return nil, err
 	}

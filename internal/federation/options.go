@@ -48,6 +48,12 @@ type RunOptions struct {
 	// With a durable store (checkpoint.FileStore) a leader re-elected after
 	// a crash resumes the assessment instead of recomputing it.
 	Checkpoints checkpoint.Store
+	// RetainCheckpoints keeps the final snapshot in Checkpoints after a
+	// successful run instead of clearing it, so a later run with the same
+	// fingerprint replays the completed phases. The assessment service sets
+	// it to share checkpoints between identical requests; one-shot CLI runs
+	// leave it false.
+	RetainCheckpoints bool
 	// Byzantine enables semantic fault containment on top of quorum
 	// degradation: a member whose answers fail cross-member plausibility
 	// checks, or that answers the same query differently across deliveries

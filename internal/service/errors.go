@@ -1,0 +1,61 @@
+// Package service implements the always-on assessment server: a long-lived
+// front end over one attested federation that admits many concurrent
+// assessment requests, applies per-tenant quotas and backpressure, shares
+// checkpointed phase results between identical requests, and drains
+// gracefully on shutdown.
+//
+// The protocol engine underneath is unchanged — every admitted request runs
+// the same three-phase GenDPR assessment the one-shot CLIs drive. What the
+// service adds is the robustness envelope around it: a bounded queue in front
+// of a fixed number of federation slots, token-bucket admission per tenant,
+// request deadlines threaded onto the engine's context plumbing, single-flight
+// deduplication keyed by the assessment fingerprint, and a drain path that
+// leaves every in-flight run either finished or checkpointed.
+package service
+
+import (
+	"errors"
+	"fmt"
+	"time"
+)
+
+// ErrOverloaded is the sentinel every admission rejection wraps: callers
+// match it with errors.Is and read the concrete *OverloadError for the
+// reason and the retry hint. An overloaded service always answers
+// immediately — requests are shed at the door, never parked until they rot.
+var ErrOverloaded = errors.New("service: overloaded")
+
+// Shed reasons carried by OverloadError.Reason.
+const (
+	// ReasonQueueFull: the bounded request queue is at capacity.
+	ReasonQueueFull = "queue-full"
+	// ReasonTenantQuota: the tenant's token bucket is empty.
+	ReasonTenantQuota = "tenant-quota"
+	// ReasonTenantConcurrency: the tenant already has its maximum number of
+	// requests admitted.
+	ReasonTenantConcurrency = "tenant-concurrency"
+	// ReasonDraining: the server is shutting down and admits nothing.
+	ReasonDraining = "draining"
+)
+
+// OverloadError is the structured admission rejection. It unwraps to
+// ErrOverloaded.
+type OverloadError struct {
+	// Reason is one of the Reason* constants.
+	Reason string
+	// RetryAfter, when positive, hints when a retry could succeed: the time
+	// to the next token for a quota rejection, a queue-drain estimate for a
+	// full queue. Zero means the server offers no estimate (or, for
+	// draining, that retrying this instance is pointless).
+	RetryAfter time.Duration
+}
+
+func (e *OverloadError) Error() string {
+	if e.RetryAfter > 0 {
+		return fmt.Sprintf("service: overloaded (%s, retry after %v)", e.Reason, e.RetryAfter)
+	}
+	return fmt.Sprintf("service: overloaded (%s)", e.Reason)
+}
+
+// Unwrap makes errors.Is(err, ErrOverloaded) match.
+func (e *OverloadError) Unwrap() error { return ErrOverloaded }

@@ -1,0 +1,50 @@
+package service
+
+// Lifecycle event names emitted through Config.OnEvent. One admitted request
+// emits admitted (and queued) at the door, started when it claims a
+// federation slot, then exactly one terminal event: completed, failed, or
+// shed. Coalesced and resumed annotate reuse; drained marks the server-level
+// shutdown milestone.
+const (
+	// EventAdmitted: the request passed admission control.
+	EventAdmitted = "admitted"
+	// EventQueued: the request entered the bounded queue (always directly
+	// after admitted; kept separate so queue occupancy is observable).
+	EventQueued = "queued"
+	// EventShed: the request was rejected or dropped without running; Reason
+	// carries one of the Reason* constants.
+	EventShed = "shed"
+	// EventStarted: the request claimed a federation slot and the protocol
+	// run began.
+	EventStarted = "started"
+	// EventResumed: the run replayed completed phases from a shared
+	// checkpoint left by an earlier identical request.
+	EventResumed = "resumed"
+	// EventCoalesced: the request attached to an identical in-flight run
+	// instead of spawning its own (single-flight deduplication).
+	EventCoalesced = "coalesced"
+	// EventCompleted: the run finished and produced a report.
+	EventCompleted = "completed"
+	// EventFailed: the run ended in an error (deadline expiry, cancellation,
+	// protocol failure); Reason carries the error text.
+	EventFailed = "failed"
+	// EventDrained: the server finished draining — every in-flight run is
+	// accounted for and no further requests will be admitted.
+	EventDrained = "drained"
+)
+
+// Event is one request-lifecycle observation. Callbacks may fire from worker
+// goroutines concurrently; sinks must be safe for that and fast.
+type Event struct {
+	// Event is one of the Event* names.
+	Event string
+	// Tenant is the requesting tenant ("" for the server-level drained
+	// event).
+	Tenant string
+	// Key is the request's single-flight key: the hex assessment
+	// fingerprint plus the resilience-mode bits. Empty for server-level
+	// events.
+	Key string
+	// Reason qualifies shed and failed events.
+	Reason string
+}

@@ -1,0 +1,182 @@
+package service
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"time"
+
+	"gendpr/internal/core"
+)
+
+// AssessRequest is the daemon's wire form of one submission (POST /assess).
+// Unset cutoffs inherit the paper defaults; only the knobs that change the
+// assessment outcome or its resilience envelope are exposed.
+type AssessRequest struct {
+	Tenant       string  `json:"tenant,omitempty"`
+	F            int     `json:"f,omitempty"`
+	Conservative bool    `json:"conservative,omitempty"`
+	MAFCutoff    float64 `json:"maf_cutoff,omitempty"`
+	LDCutoff     float64 `json:"ld_cutoff,omitempty"`
+	Byzantine    bool    `json:"byzantine,omitempty"`
+	AllowRejoin  bool    `json:"allow_rejoin,omitempty"`
+	DeadlineMS   int64   `json:"deadline_ms,omitempty"`
+}
+
+// toRequest maps the wire form onto a service Request.
+func (a AssessRequest) toRequest() Request {
+	cfg := core.DefaultConfig()
+	if a.MAFCutoff > 0 {
+		cfg.MAFCutoff = a.MAFCutoff
+	}
+	if a.LDCutoff > 0 {
+		cfg.LDCutoff = a.LDCutoff
+	}
+	return Request{
+		Tenant:      a.Tenant,
+		Config:      cfg,
+		Policy:      core.CollusionPolicy{F: a.F, Conservative: a.Conservative},
+		Byzantine:   a.Byzantine,
+		AllowRejoin: a.AllowRejoin,
+		Deadline:    time.Duration(a.DeadlineMS) * time.Millisecond,
+	}
+}
+
+// AssessResponse is the daemon's wire form of a completed assessment: the
+// released selection sizes and residual power — the public outcome — plus the
+// service-level reuse markers. Raw intermediates never leave the engine.
+type AssessResponse struct {
+	AfterMAF     int     `json:"after_maf"`
+	AfterLD      int     `json:"after_ld"`
+	SafeCount    int     `json:"safe_count"`
+	Power        float64 `json:"power"`
+	Combinations int     `json:"combinations"`
+	Resumed      bool    `json:"resumed"`
+	Coalesced    bool    `json:"coalesced"`
+	WaitMS       int64   `json:"wait_ms"`
+	TotalMS      int64   `json:"total_ms"`
+}
+
+// overloadStatus maps a shed reason to its HTTP status: quota rejections are
+// the caller's pace (429), capacity and shutdown are the server's state (503).
+func overloadStatus(reason string) int {
+	switch reason {
+	case ReasonTenantQuota, ReasonTenantConcurrency:
+		return http.StatusTooManyRequests
+	default:
+		return http.StatusServiceUnavailable
+	}
+}
+
+// Handler serves the daemon API over the server:
+//
+//	POST /assess  — run (or coalesce/resume) one assessment
+//	GET  /stats   — the admission/latency ledger
+//	GET  /healthz — "ok", or "draining" with 503 during shutdown
+//
+// Overload answers are immediate: 429/503 with a Retry-After header (when the
+// server can estimate one) and a structured JSON body.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/assess", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			http.Error(w, "POST only", http.StatusMethodNotAllowed)
+			return
+		}
+		var wire AssessRequest
+		if err := json.NewDecoder(r.Body).Decode(&wire); err != nil {
+			http.Error(w, fmt.Sprintf("bad request: %v", err), http.StatusBadRequest)
+			return
+		}
+		resp, err := s.Assess(r.Context(), wire.toRequest())
+		if err != nil {
+			writeAssessError(w, err)
+			return
+		}
+		maf, ld, lr := resp.Report.Selection.Counts()
+		writeJSON(w, http.StatusOK, AssessResponse{
+			AfterMAF:     maf,
+			AfterLD:      ld,
+			SafeCount:    lr,
+			Power:        resp.Report.Selection.Power,
+			Combinations: resp.Report.Combinations,
+			Resumed:      resp.Reused,
+			Coalesced:    resp.Coalesced,
+			WaitMS:       resp.Wait.Milliseconds(),
+			TotalMS:      resp.Total.Milliseconds(),
+		})
+	})
+	mux.HandleFunc("/stats", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, statsWire(s.Stats()))
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		if s.Stats().Draining {
+			http.Error(w, "draining", http.StatusServiceUnavailable)
+			return
+		}
+		fmt.Fprintln(w, "ok")
+	})
+	return mux
+}
+
+// writeAssessError renders an assessment failure: structured overload
+// rejections keep their reason and retry hint; engine failures surface as
+// 500 with the error text.
+func writeAssessError(w http.ResponseWriter, err error) {
+	var ov *OverloadError
+	if errors.As(err, &ov) {
+		if ov.RetryAfter > 0 {
+			secs := int64(ov.RetryAfter / time.Second)
+			if secs < 1 {
+				secs = 1
+			}
+			w.Header().Set("Retry-After", strconv.FormatInt(secs, 10))
+		}
+		writeJSON(w, overloadStatus(ov.Reason), map[string]any{
+			"error":          "overloaded",
+			"reason":         ov.Reason,
+			"retry_after_ms": ov.RetryAfter.Milliseconds(),
+		})
+		return
+	}
+	writeJSON(w, http.StatusInternalServerError, map[string]any{
+		"error": err.Error(),
+	})
+}
+
+// statsWire is the JSON shape of GET /stats.
+func statsWire(st Stats) map[string]any {
+	pct := func(p Percentiles) map[string]any {
+		return map[string]any{
+			"count":  p.Count,
+			"p50_ms": p.P50.Milliseconds(),
+			"p90_ms": p.P90.Milliseconds(),
+			"p95_ms": p.P95.Milliseconds(),
+			"p99_ms": p.P99.Milliseconds(),
+			"max_ms": p.Max.Milliseconds(),
+		}
+	}
+	return map[string]any{
+		"admitted":             st.Admitted,
+		"started":              st.Started,
+		"completed":            st.Completed,
+		"failed":               st.Failed,
+		"coalesced":            st.Coalesced,
+		"reused":               st.Reused,
+		"shed":                 st.Shed,
+		"shed_after_admission": st.ShedAfterAdmission,
+		"in_flight":            st.InFlight,
+		"queued":               st.Queued,
+		"draining":             st.Draining,
+		"latency":              pct(st.Latency),
+		"wait":                 pct(st.Wait),
+	}
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}

@@ -1,0 +1,235 @@
+package service
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"gendpr/internal/checkpoint"
+	"gendpr/internal/core"
+	"gendpr/internal/federation"
+	"gendpr/internal/genome"
+)
+
+// testBackend builds a small real federation: one leader and two member nodes
+// over in-memory pipes, sharing a generated cohort.
+func testBackend(t testing.TB) *FederationBackend {
+	t.Helper()
+	cohort, err := genome.Generate(genome.DefaultGeneratorConfig(48, 60, 7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	shards, err := cohort.Partition(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	backend, err := NewInProcessBackend(shards, cohort.Reference, federation.RunOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return backend
+}
+
+func TestCheckpointReuseAcrossRequests(t *testing.T) {
+	backend := testBackend(t)
+	store := checkpoint.NewMemStore()
+	log := &eventLog{}
+	s, err := NewServer(Config{Backend: backend, Checkpoints: store, Slots: 1, OnEvent: log.sink})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = s.Drain(context.Background()) }()
+
+	req := Request{Tenant: "t", Config: core.DefaultConfig(), Policy: core.CollusionPolicy{F: 1}}
+	first, err := s.Assess(context.Background(), req)
+	if err != nil {
+		t.Fatalf("first run: %v", err)
+	}
+	if first.Reused {
+		t.Fatal("first run claims checkpoint reuse with an empty store")
+	}
+
+	// The identical request must resume from the retained final snapshot and
+	// skip every protocol phase.
+	second, err := s.Assess(context.Background(), req)
+	if err != nil {
+		t.Fatalf("second run: %v", err)
+	}
+	if !second.Reused || !second.Report.Resumed {
+		t.Error("identical request did not reuse the retained checkpoint")
+	}
+	if got, want := second.Report.Selection, first.Report.Selection; got.Power != want.Power {
+		t.Errorf("resumed selection power = %v, want %v", got.Power, want.Power)
+	}
+
+	// A different configuration is a different fingerprint: no reuse, and the
+	// first run's namespace is untouched.
+	other := req
+	other.Config.MAFCutoff = 0.10
+	third, err := s.Assess(context.Background(), other)
+	if err != nil {
+		t.Fatalf("third run: %v", err)
+	}
+	if third.Reused {
+		t.Error("different config reused another request's checkpoint")
+	}
+
+	st := s.Stats()
+	if st.Reused != 1 {
+		t.Errorf("reused counter = %d, want 1", st.Reused)
+	}
+	if log.count(EventResumed) != 1 {
+		t.Errorf("resumed events = %d, want 1", log.count(EventResumed))
+	}
+	if st.Completed != 3 || st.Failed != 0 {
+		t.Errorf("ledger completed=%d failed=%d, want 3/0", st.Completed, st.Failed)
+	}
+}
+
+func TestHTTPAssessAndOverload(t *testing.T) {
+	fb := &fakeBackend{started: make(chan struct{}, 8), block: make(chan struct{})}
+	frozen := time.Unix(1700000000, 0)
+	s, err := NewServer(Config{
+		Backend:    fb,
+		Slots:      1,
+		QueueDepth: 1,
+		TenantRate: 0.001,
+		now:        func() time.Time { return frozen },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = s.Drain(context.Background()) }()
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	post := func(body string) *http.Response {
+		t.Helper()
+		resp, err := http.Post(ts.URL+"/assess", "application/json", bytes.NewBufferString(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return resp
+	}
+
+	// Occupy the slot, then the queue, from distinct tenants (each has one
+	// token under the frozen clock).
+	go func() { _ = post(`{"tenant":"a","maf_cutoff":0.021}`).Body.Close() }()
+	<-fb.started
+	go func() { _ = post(`{"tenant":"b","maf_cutoff":0.022}`).Body.Close() }()
+	waitFor(t, "queue to fill", func() bool { return s.Stats().Queued == 1 })
+
+	// Capacity exhaustion is the server's state: 503 + structured body.
+	resp := post(`{"tenant":"c","maf_cutoff":0.023}`)
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Errorf("queue-full status = %d, want 503", resp.StatusCode)
+	}
+	var shed struct {
+		Error  string `json:"error"`
+		Reason string `json:"reason"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&shed); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if shed.Error != "overloaded" || shed.Reason != ReasonQueueFull {
+		t.Errorf("queue-full body = %+v, want overloaded/queue-full", shed)
+	}
+
+	// Quota exhaustion is the caller's pace: 429 + Retry-After.
+	resp = post(`{"tenant":"a","maf_cutoff":0.024}`)
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Errorf("quota status = %d, want 429", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Error("quota rejection missing Retry-After header")
+	}
+	resp.Body.Close()
+
+	// Healthy until drained.
+	hz, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	hz.Body.Close()
+	if hz.StatusCode != http.StatusOK {
+		t.Errorf("healthz status = %d, want 200", hz.StatusCode)
+	}
+
+	close(fb.block)
+	waitFor(t, "runs to finish", func() bool { return s.Stats().Completed == 2 })
+
+	// /stats reflects the ledger.
+	st, err := http.Get(ts.URL + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wire map[string]any
+	if err := json.NewDecoder(st.Body).Decode(&wire); err != nil {
+		t.Fatal(err)
+	}
+	st.Body.Close()
+	if got := wire["completed"].(float64); got != 2 {
+		t.Errorf("/stats completed = %v, want 2", got)
+	}
+	if _, ok := wire["latency"].(map[string]any); !ok {
+		t.Errorf("/stats latency block missing: %v", wire["latency"])
+	}
+
+	if err := s.Drain(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	hz, err = http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	hz.Body.Close()
+	if hz.StatusCode != http.StatusServiceUnavailable {
+		t.Errorf("post-drain healthz status = %d, want 503", hz.StatusCode)
+	}
+}
+
+func TestHTTPAssessEndToEnd(t *testing.T) {
+	backend := testBackend(t)
+	s, err := NewServer(Config{Backend: backend, Checkpoints: checkpoint.NewMemStore(), Slots: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = s.Drain(context.Background()) }()
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	run := func() AssessResponse {
+		t.Helper()
+		resp, err := http.Post(ts.URL+"/assess", "application/json",
+			bytes.NewBufferString(`{"tenant":"t","f":1}`))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("assess status = %d, want 200", resp.StatusCode)
+		}
+		var wire AssessResponse
+		if err := json.NewDecoder(resp.Body).Decode(&wire); err != nil {
+			t.Fatal(err)
+		}
+		return wire
+	}
+
+	first := run()
+	if first.SafeCount <= 0 || first.Combinations <= 0 {
+		t.Errorf("first response lacks protocol output: %+v", first)
+	}
+	second := run()
+	if !second.Resumed {
+		t.Error("identical HTTP request did not resume from the shared checkpoint")
+	}
+	if second.SafeCount != first.SafeCount || second.Power != first.Power {
+		t.Errorf("resumed outcome %+v differs from original %+v", second, first)
+	}
+}

@@ -1,0 +1,523 @@
+package service
+
+import (
+	"context"
+	"encoding/hex"
+	"fmt"
+	"sync"
+	"time"
+
+	"gendpr/internal/checkpoint"
+)
+
+// Config parameterizes a Server. Zero values pick conservative defaults; the
+// only required field is Backend.
+type Config struct {
+	// Backend runs admitted assessments. Required.
+	Backend Backend
+	// Checkpoints, when non-nil, is the shared store runs checkpoint into.
+	// When it implements checkpoint.Namespacer (FileStore and MemStore do),
+	// every run gets a namespace keyed by its fingerprint, retained after
+	// success, so identical later requests resume instead of recomputing.
+	Checkpoints checkpoint.Store
+	// Slots is the number of concurrent federation runs (default 1).
+	Slots int
+	// QueueDepth bounds the admission queue (default 16). A full queue
+	// sheds with ReasonQueueFull.
+	QueueDepth int
+	// TenantRate is each tenant's sustained admission rate in requests per
+	// second (token bucket); zero disables rate quotas.
+	TenantRate float64
+	// TenantBurst is the token-bucket capacity (default: max(1, ceil of
+	// TenantRate)). Ignored when TenantRate is zero.
+	TenantBurst int
+	// TenantConcurrency caps one tenant's admitted-but-unfinished requests,
+	// so a greedy tenant cannot occupy the whole queue; zero disables the
+	// cap.
+	TenantConcurrency int
+	// DefaultDeadline bounds requests that do not carry their own deadline;
+	// zero leaves them unbounded.
+	DefaultDeadline time.Duration
+	// DrainGrace is how long Drain lets in-flight runs finish before
+	// canceling them (they stop at the next phase boundary with their
+	// checkpoint saved). Default 10s.
+	DrainGrace time.Duration
+	// OnEvent, when set, observes request lifecycle events. It may fire
+	// from worker goroutines concurrently and must be fast.
+	OnEvent func(Event)
+
+	// now is the test clock; nil uses time.Now.
+	now func() time.Time
+}
+
+func (c Config) slots() int {
+	if c.Slots > 0 {
+		return c.Slots
+	}
+	return 1
+}
+
+func (c Config) queueDepth() int {
+	if c.QueueDepth > 0 {
+		return c.QueueDepth
+	}
+	return 16
+}
+
+func (c Config) tenantBurst() int {
+	if c.TenantBurst > 0 {
+		return c.TenantBurst
+	}
+	if b := int(c.TenantRate + 0.999); b > 1 {
+		return b
+	}
+	return 1
+}
+
+func (c Config) drainGrace() time.Duration {
+	if c.DrainGrace > 0 {
+		return c.DrainGrace
+	}
+	return 10 * time.Second
+}
+
+// Server is the always-on assessment front end. Construct with NewServer,
+// submit with Assess, and shut down with Drain; after Drain returns, every
+// admitted request has resolved (completed, failed, or shed) and further
+// submissions are rejected with ReasonDraining.
+type Server struct {
+	cfg     Config
+	backend Backend
+	queue   chan *job
+	// baseCtx parents every run; cancelRuns is the drain hammer that stops
+	// in-flight runs at their next phase boundary after the grace period.
+	baseCtx    context.Context
+	cancelRuns context.CancelFunc
+	workers    sync.WaitGroup
+	// jobs tracks admitted-but-unresolved requests for the drain barrier.
+	jobs sync.WaitGroup
+
+	mu         sync.Mutex
+	draining   bool
+	buckets    map[string]*bucket
+	tenantLoad map[string]int
+	inflight   map[string]*job
+	stats      statsState
+}
+
+// statsState is the mutable counter block behind Stats (guarded by Server.mu).
+type statsState struct {
+	admitted, started, completed, failed int64
+	coalesced, reused                    int64
+	shedAfterAdmission                   int64
+	shed                                 map[string]int64
+	inFlight                             int64
+	latency                              []time.Duration
+	wait                                 []time.Duration
+}
+
+// bucket is one tenant's token bucket.
+type bucket struct {
+	tokens float64
+	last   time.Time
+}
+
+// job is one admitted request: the single-flight leader that followers
+// attach to.
+type job struct {
+	key      string
+	fpHex    string
+	tenant   string
+	req      Request
+	ctx      context.Context
+	cancel   context.CancelFunc
+	admitted time.Time
+
+	done chan struct{}
+	resp *Response
+	err  error
+}
+
+// NewServer starts the worker pool and returns the running server.
+func NewServer(cfg Config) (*Server, error) {
+	if cfg.Backend == nil {
+		return nil, fmt.Errorf("service: Config.Backend is required")
+	}
+	if cfg.now == nil {
+		cfg.now = time.Now
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	s := &Server{
+		cfg:        cfg,
+		backend:    cfg.Backend,
+		queue:      make(chan *job, cfg.queueDepth()),
+		baseCtx:    ctx,
+		cancelRuns: cancel,
+		buckets:    make(map[string]*bucket),
+		tenantLoad: make(map[string]int),
+		inflight:   make(map[string]*job),
+		stats:      statsState{shed: make(map[string]int64)},
+	}
+	for i := 0; i < cfg.slots(); i++ {
+		s.workers.Add(1)
+		go s.worker()
+	}
+	return s, nil
+}
+
+// Assess admits and executes one request. Admission is immediate: an
+// overloaded server returns a structured *OverloadError (errors.Is
+// ErrOverloaded) without blocking. An admitted request blocks until its run
+// resolves or ctx is done — abandoning the wait does not abort the run, which
+// keeps its deadline and checkpoints its progress for the next identical
+// request.
+func (s *Server) Assess(ctx context.Context, req Request) (*Response, error) {
+	j, coalesced, err := s.admit(req)
+	if err != nil {
+		return nil, err
+	}
+	select {
+	case <-j.done:
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+	if j.err != nil {
+		return nil, j.err
+	}
+	resp := *j.resp
+	resp.Coalesced = coalesced
+	return &resp, nil
+}
+
+// singleFlightKey builds the dedup identity: the assessment fingerprint plus
+// the resilience-mode bits (a Byzantine run may exclude members and produce a
+// degraded report, so it never stands in for a non-Byzantine one).
+func singleFlightKey(fpHex string, req Request) string {
+	return fmt.Sprintf("%s/b%v/r%v", fpHex, req.Byzantine, req.AllowRejoin)
+}
+
+// admit applies admission control under the lock and either returns an
+// existing identical in-flight job (coalesced true), enqueues a fresh one, or
+// rejects.
+func (s *Server) admit(req Request) (*job, bool, error) {
+	tenant := req.Tenant
+	if tenant == "" {
+		tenant = "default"
+	}
+	fpHex := hex.EncodeToString(s.backend.Fingerprint(req))
+	key := singleFlightKey(fpHex, req)
+	now := s.cfg.now()
+
+	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		s.emit(Event{Event: EventShed, Tenant: tenant, Key: key, Reason: ReasonDraining})
+		s.shedAtDoor(ReasonDraining)
+		return nil, false, &OverloadError{Reason: ReasonDraining}
+	}
+	if s.cfg.TenantRate > 0 {
+		if retry, ok := s.takeTokenLocked(tenant, now); !ok {
+			s.mu.Unlock()
+			s.emit(Event{Event: EventShed, Tenant: tenant, Key: key, Reason: ReasonTenantQuota})
+			s.shedAtDoor(ReasonTenantQuota)
+			return nil, false, &OverloadError{Reason: ReasonTenantQuota, RetryAfter: retry}
+		}
+	}
+	if existing, ok := s.inflight[key]; ok {
+		s.stats.coalesced++
+		s.mu.Unlock()
+		s.emit(Event{Event: EventCoalesced, Tenant: tenant, Key: key})
+		return existing, true, nil
+	}
+	if cap := s.cfg.TenantConcurrency; cap > 0 && s.tenantLoad[tenant] >= cap {
+		s.mu.Unlock()
+		s.emit(Event{Event: EventShed, Tenant: tenant, Key: key, Reason: ReasonTenantConcurrency})
+		s.shedAtDoor(ReasonTenantConcurrency)
+		return nil, false, &OverloadError{Reason: ReasonTenantConcurrency, RetryAfter: s.retryAfterEstimate()}
+	}
+
+	deadline := req.Deadline
+	if deadline <= 0 {
+		deadline = s.cfg.DefaultDeadline
+	}
+	j := &job{
+		key:      key,
+		fpHex:    fpHex,
+		tenant:   tenant,
+		req:      req,
+		admitted: now,
+		done:     make(chan struct{}),
+	}
+	if deadline > 0 {
+		// The deadline starts at admission, so queue wait counts against it:
+		// a request the server cannot schedule in time expires in the queue
+		// instead of claiming a slot it can no longer use.
+		j.ctx, j.cancel = context.WithDeadline(s.baseCtx, now.Add(deadline))
+	} else {
+		j.ctx, j.cancel = context.WithCancel(s.baseCtx)
+	}
+
+	select {
+	//gendpr:allow(lockacrosssend): non-blocking send into a buffered queue (default branch sheds); holding the lock keeps queue occupancy and admission bookkeeping atomic
+	case s.queue <- j:
+	default:
+		j.cancel()
+		s.mu.Unlock()
+		s.emit(Event{Event: EventShed, Tenant: tenant, Key: key, Reason: ReasonQueueFull})
+		s.shedAtDoor(ReasonQueueFull)
+		return nil, false, &OverloadError{Reason: ReasonQueueFull, RetryAfter: s.retryAfterEstimate()}
+	}
+	s.inflight[key] = j
+	s.tenantLoad[tenant]++
+	s.stats.admitted++
+	s.jobs.Add(1)
+	s.mu.Unlock()
+	s.emit(Event{Event: EventAdmitted, Tenant: tenant, Key: key})
+	s.emit(Event{Event: EventQueued, Tenant: tenant, Key: key})
+	return j, false, nil
+}
+
+// shedAtDoor counts a rejection that never entered the queue.
+func (s *Server) shedAtDoor(reason string) {
+	s.mu.Lock()
+	s.stats.shed[reason]++
+	s.mu.Unlock()
+}
+
+// takeTokenLocked refills and draws from the tenant's bucket; on failure it
+// returns the wait until the next token. Callers hold s.mu.
+func (s *Server) takeTokenLocked(tenant string, now time.Time) (time.Duration, bool) {
+	b, ok := s.buckets[tenant]
+	if !ok {
+		b = &bucket{tokens: float64(s.cfg.tenantBurst()), last: now}
+		s.buckets[tenant] = b
+	}
+	if dt := now.Sub(b.last).Seconds(); dt > 0 {
+		b.tokens += dt * s.cfg.TenantRate
+		if max := float64(s.cfg.tenantBurst()); b.tokens > max {
+			b.tokens = max
+		}
+	}
+	b.last = now
+	if b.tokens >= 1 {
+		b.tokens--
+		return 0, true
+	}
+	retry := time.Duration((1 - b.tokens) / s.cfg.TenantRate * float64(time.Second))
+	return retry, false
+}
+
+// retryAfterEstimate hints when a shed request could fit: the median recent
+// latency (roughly one slot turnover), or a fixed second without data.
+func (s *Server) retryAfterEstimate() time.Duration {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if p := percentilesOf(s.stats.latency); p.Count > 0 {
+		return p.P50
+	}
+	return time.Second
+}
+
+// worker owns one federation slot.
+func (s *Server) worker() {
+	defer s.workers.Done()
+	for j := range s.queue {
+		s.runJob(j)
+	}
+}
+
+// ckStoreFor resolves the checkpoint store for one run: the fingerprint
+// namespace of the shared store when it supports namespacing, the root store
+// otherwise, nil when checkpointing is off. Single-flight guarantees at most
+// one live run per fingerprint, so a namespace never has two writers.
+func (s *Server) ckStoreFor(fpHex string) checkpoint.Store {
+	if s.cfg.Checkpoints == nil {
+		return nil
+	}
+	if ns, ok := s.cfg.Checkpoints.(checkpoint.Namespacer); ok {
+		return ns.Namespace(fpHex)
+	}
+	return s.cfg.Checkpoints
+}
+
+// runJob executes one queued job inside a worker slot.
+func (s *Server) runJob(j *job) {
+	defer j.cancel()
+	if err := j.ctx.Err(); err != nil {
+		// Expired (or drain-canceled) while queued: resolve without touching
+		// the federation.
+		s.finish(j, nil, fmt.Errorf("service: request expired in queue: %w", err), false)
+		return
+	}
+	s.mu.Lock()
+	s.stats.started++
+	s.stats.inFlight++
+	s.mu.Unlock()
+	s.emit(Event{Event: EventStarted, Tenant: j.tenant, Key: j.key})
+	started := s.cfg.now()
+
+	report, err := s.backend.Run(j.ctx, j.req, s.ckStoreFor(j.fpHex))
+	if err != nil && j.ctx.Err() != nil {
+		// Normalize: the engine surfaces cancellation in several wrappings,
+		// but the caller should see the deadline/cancel cause.
+		err = fmt.Errorf("service: run aborted: %w", j.ctx.Err())
+	}
+	if err != nil {
+		s.finish(j, nil, err, true)
+		return
+	}
+	s.finish(j, &Response{
+		Report: report,
+		Reused: report.Resumed,
+		Wait:   started.Sub(j.admitted),
+	}, nil, true)
+}
+
+// finish resolves a job: it leaves the single-flight table, releases its
+// tenant slot, updates the ledger, and wakes every waiter. started reports
+// whether the job occupied a federation slot.
+func (s *Server) finish(j *job, resp *Response, err error, started bool) {
+	now := s.cfg.now()
+	s.mu.Lock()
+	if s.inflight[j.key] == j {
+		delete(s.inflight, j.key)
+	}
+	s.tenantLoad[j.tenant]--
+	if s.tenantLoad[j.tenant] <= 0 {
+		delete(s.tenantLoad, j.tenant)
+	}
+	if started {
+		s.stats.inFlight--
+	}
+	reused := false
+	switch {
+	case err != nil:
+		s.stats.failed++
+	default:
+		s.stats.completed++
+		total := now.Sub(j.admitted)
+		resp.Total = total
+		s.stats.latency = recordWindow(s.stats.latency, total)
+		s.stats.wait = recordWindow(s.stats.wait, resp.Wait)
+		if resp.Reused {
+			s.stats.reused++
+			reused = true
+		}
+	}
+	s.mu.Unlock()
+
+	j.resp, j.err = resp, err
+	close(j.done)
+	switch {
+	case err != nil:
+		s.emit(Event{Event: EventFailed, Tenant: j.tenant, Key: j.key, Reason: err.Error()})
+	default:
+		if reused {
+			s.emit(Event{Event: EventResumed, Tenant: j.tenant, Key: j.key})
+		}
+		s.emit(Event{Event: EventCompleted, Tenant: j.tenant, Key: j.key})
+	}
+	s.jobs.Done()
+}
+
+// shedQueued resolves a job drained out of the queue before it ran.
+func (s *Server) shedQueued(j *job) {
+	j.cancel()
+	s.mu.Lock()
+	s.stats.shed[ReasonDraining]++
+	s.stats.shedAfterAdmission++
+	if s.inflight[j.key] == j {
+		delete(s.inflight, j.key)
+	}
+	s.tenantLoad[j.tenant]--
+	if s.tenantLoad[j.tenant] <= 0 {
+		delete(s.tenantLoad, j.tenant)
+	}
+	s.mu.Unlock()
+	j.err = &OverloadError{Reason: ReasonDraining}
+	close(j.done)
+	s.emit(Event{Event: EventShed, Tenant: j.tenant, Key: j.key, Reason: ReasonDraining})
+	s.jobs.Done()
+}
+
+// Drain performs the graceful shutdown: stop admitting, shed everything
+// still queued, give in-flight runs the grace period to finish, then cancel
+// them (each stops at its next phase boundary with its checkpoint saved).
+// When Drain returns, every admitted request has resolved and the worker
+// pool has exited. ctx, when it ends first, cuts the grace period short.
+func (s *Server) Drain(ctx context.Context) error {
+	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		return fmt.Errorf("service: already draining")
+	}
+	s.draining = true
+	s.mu.Unlock()
+
+	// Shed the backlog: jobs still in the channel never claimed a slot.
+	// Workers may race us for them — either way each job resolves exactly
+	// once.
+	for {
+		select {
+		case j := <-s.queue:
+			s.shedQueued(j)
+			continue
+		default:
+		}
+		break
+	}
+
+	finished := make(chan struct{})
+	go func() {
+		s.jobs.Wait()
+		close(finished)
+	}()
+	grace := time.NewTimer(s.cfg.drainGrace())
+	defer grace.Stop()
+	select {
+	case <-finished:
+	case <-grace.C:
+		s.cancelRuns()
+		<-finished
+	case <-ctx.Done():
+		s.cancelRuns()
+		<-finished
+	}
+	close(s.queue)
+	s.workers.Wait()
+	s.cancelRuns()
+	s.emit(Event{Event: EventDrained})
+	return nil
+}
+
+// Stats snapshots the ledger.
+func (s *Server) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	shed := make(map[string]int64, len(s.stats.shed))
+	for k, v := range s.stats.shed {
+		shed[k] = v
+	}
+	return Stats{
+		Admitted:           s.stats.admitted,
+		Started:            s.stats.started,
+		Completed:          s.stats.completed,
+		Failed:             s.stats.failed,
+		Coalesced:          s.stats.coalesced,
+		Reused:             s.stats.reused,
+		Shed:               shed,
+		ShedAfterAdmission: s.stats.shedAfterAdmission,
+		InFlight:           s.stats.inFlight,
+		Queued:             int64(len(s.queue)),
+		Draining:           s.draining,
+		Latency:            percentilesOf(s.stats.latency),
+		Wait:               percentilesOf(s.stats.wait),
+	}
+}
+
+// emit forwards one event to the configured sink.
+func (s *Server) emit(e Event) {
+	if s.cfg.OnEvent != nil {
+		s.cfg.OnEvent(e)
+	}
+}

@@ -1,0 +1,417 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"gendpr/internal/checkpoint"
+	"gendpr/internal/core"
+)
+
+// fakeBackend is a controllable Backend: runs can block until released (or
+// until their context ends), and every run is counted.
+type fakeBackend struct {
+	runs int32
+	// started receives one token per run that claims a slot.
+	started chan struct{}
+	// block, when non-nil, parks runs until closed; a parked run still
+	// honors its context, mirroring the engine's phase-boundary checks.
+	block chan struct{}
+}
+
+func (f *fakeBackend) Fingerprint(req Request) []byte {
+	return []byte(fmt.Sprintf("%v|%v|%s", req.Config, req.Policy, req.Tenant))
+}
+
+func (f *fakeBackend) Run(ctx context.Context, req Request, ck checkpoint.Store) (*core.Report, error) {
+	atomic.AddInt32(&f.runs, 1)
+	if f.started != nil {
+		f.started <- struct{}{}
+	}
+	if f.block != nil {
+		select {
+		case <-f.block:
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	}
+	return &core.Report{}, nil
+}
+
+// sharedFingerprint makes every request identical for single-flight tests.
+type sharedFingerprint struct{ *fakeBackend }
+
+func (s sharedFingerprint) Fingerprint(Request) []byte { return []byte{1} }
+
+// distinctRequest returns a request no other call has issued, so
+// single-flight stays out of tests that target other machinery.
+var reqSeq int64
+
+func distinctRequest(tenant string) Request {
+	cfg := core.DefaultConfig()
+	cfg.MAFCutoff = 0.01 + float64(atomic.AddInt64(&reqSeq, 1))/1e6
+	return Request{Tenant: tenant, Config: cfg}
+}
+
+// eventLog collects lifecycle events concurrently.
+type eventLog struct {
+	mu     sync.Mutex
+	events []Event
+}
+
+func (l *eventLog) sink(e Event) {
+	l.mu.Lock()
+	l.events = append(l.events, e)
+	l.mu.Unlock()
+}
+
+func (l *eventLog) count(name string) int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	n := 0
+	for _, e := range l.events {
+		if e.Event == name {
+			n++
+		}
+	}
+	return n
+}
+
+// waitFor polls until cond holds or the deadline hits.
+func waitFor(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Fatalf("timed out waiting for %s", what)
+}
+
+func TestQueueFullShedsStructured(t *testing.T) {
+	fb := &fakeBackend{started: make(chan struct{}, 8), block: make(chan struct{})}
+	log := &eventLog{}
+	s, err := NewServer(Config{Backend: fb, Slots: 1, QueueDepth: 2, OnEvent: log.sink})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = s.Drain(context.Background()) }()
+
+	var wg sync.WaitGroup
+	submit := func() {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			_, _ = s.Assess(context.Background(), distinctRequest("t"))
+		}()
+	}
+	submit()
+	<-fb.started // slot occupied
+	submit()
+	submit()
+	waitFor(t, "queue to fill", func() bool { return s.Stats().Queued == 2 })
+
+	_, err = s.Assess(context.Background(), distinctRequest("t"))
+	var ov *OverloadError
+	if !errors.As(err, &ov) || !errors.Is(err, ErrOverloaded) {
+		t.Fatalf("overflow error = %v, want *OverloadError wrapping ErrOverloaded", err)
+	}
+	if ov.Reason != ReasonQueueFull {
+		t.Errorf("reason = %q, want %q", ov.Reason, ReasonQueueFull)
+	}
+
+	close(fb.block)
+	wg.Wait()
+	st := s.Stats()
+	if st.Admitted != 3 || st.Completed != 3 {
+		t.Errorf("ledger admitted=%d completed=%d, want 3/3", st.Admitted, st.Completed)
+	}
+	if st.Shed[ReasonQueueFull] != 1 {
+		t.Errorf("shed[queue-full] = %d, want 1", st.Shed[ReasonQueueFull])
+	}
+	if got := log.count(EventShed); got != 1 {
+		t.Errorf("shed events = %d, want 1", got)
+	}
+}
+
+func TestTenantQuotaDoesNotStarveOthers(t *testing.T) {
+	fb := &fakeBackend{}
+	frozen := time.Unix(1700000000, 0)
+	s, err := NewServer(Config{
+		Backend:    fb,
+		Slots:      2,
+		TenantRate: 0.001, // effectively no refill under the frozen clock
+		now:        func() time.Time { return frozen },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = s.Drain(context.Background()) }()
+
+	if _, err := s.Assess(context.Background(), distinctRequest("greedy")); err != nil {
+		t.Fatalf("first request: %v", err)
+	}
+	_, err = s.Assess(context.Background(), distinctRequest("greedy"))
+	var ov *OverloadError
+	if !errors.As(err, &ov) || ov.Reason != ReasonTenantQuota {
+		t.Fatalf("greedy second request error = %v, want tenant-quota rejection", err)
+	}
+	if ov.RetryAfter <= 0 {
+		t.Errorf("tenant-quota RetryAfter = %v, want positive hint", ov.RetryAfter)
+	}
+	// Another tenant's bucket is untouched.
+	if _, err := s.Assess(context.Background(), distinctRequest("patient")); err != nil {
+		t.Fatalf("other tenant rejected alongside the greedy one: %v", err)
+	}
+}
+
+func TestTenantConcurrencyCapIsolatesTenants(t *testing.T) {
+	fb := &fakeBackend{started: make(chan struct{}, 8), block: make(chan struct{})}
+	s, err := NewServer(Config{Backend: fb, Slots: 1, QueueDepth: 8, TenantConcurrency: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = s.Drain(context.Background()) }()
+
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		_, _ = s.Assess(context.Background(), distinctRequest("greedy"))
+	}()
+	<-fb.started
+
+	_, err = s.Assess(context.Background(), distinctRequest("greedy"))
+	var ov *OverloadError
+	if !errors.As(err, &ov) || ov.Reason != ReasonTenantConcurrency {
+		t.Fatalf("greedy overflow error = %v, want tenant-concurrency rejection", err)
+	}
+
+	// The other tenant still gets in (queued behind the greedy run).
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		if _, err := s.Assess(context.Background(), distinctRequest("patient")); err != nil {
+			t.Errorf("patient tenant: %v", err)
+		}
+	}()
+	waitFor(t, "patient request to queue", func() bool { return s.Stats().Admitted == 2 })
+	close(fb.block)
+	wg.Wait()
+}
+
+func TestDeadlineReleasesSlot(t *testing.T) {
+	fb := &fakeBackend{started: make(chan struct{}, 8), block: make(chan struct{})}
+	s, err := NewServer(Config{Backend: fb, Slots: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = s.Drain(context.Background()) }()
+
+	req := distinctRequest("t")
+	req.Deadline = 30 * time.Millisecond
+	if _, err := s.Assess(context.Background(), req); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("deadline error = %v, want DeadlineExceeded", err)
+	}
+	// The slot must be free again: an unbounded request completes once
+	// released.
+	done := make(chan error, 1)
+	go func() {
+		_, err := s.Assess(context.Background(), distinctRequest("t"))
+		done <- err
+	}()
+	<-fb.started // second run claimed the slot — the expired one released it
+	close(fb.block)
+	if err := <-done; err != nil {
+		t.Fatalf("follow-up request after expiry: %v", err)
+	}
+	st := s.Stats()
+	if st.Failed != 1 || st.Completed != 1 || st.InFlight != 0 {
+		t.Errorf("ledger failed=%d completed=%d inflight=%d, want 1/1/0", st.Failed, st.Completed, st.InFlight)
+	}
+}
+
+func TestQueuedRequestExpiresWithoutClaimingSlot(t *testing.T) {
+	fb := &fakeBackend{started: make(chan struct{}, 8), block: make(chan struct{})}
+	s, err := NewServer(Config{Backend: fb, Slots: 1, QueueDepth: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = s.Drain(context.Background()) }()
+
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		_, _ = s.Assess(context.Background(), distinctRequest("t"))
+	}()
+	<-fb.started
+
+	req := distinctRequest("t")
+	req.Deadline = 30 * time.Millisecond
+	expired := make(chan error, 1)
+	go func() {
+		_, err := s.Assess(context.Background(), req)
+		expired <- err
+	}()
+	// Let the queued request's deadline lapse while the slot is still held,
+	// then release the slot so the worker reaches the expired job.
+	time.Sleep(60 * time.Millisecond)
+	close(fb.block)
+	if err := <-expired; !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("queued expiry error = %v, want DeadlineExceeded", err)
+	}
+	wg.Wait()
+	waitFor(t, "expired job to drain from queue", func() bool { return s.Stats().Failed == 1 })
+	if st := s.Stats(); st.Started != 1 {
+		t.Errorf("started = %d, want 1 (expired request must not claim the slot)", st.Started)
+	}
+}
+
+func TestSingleFlightCoalescesIdenticalRequests(t *testing.T) {
+	fb := &fakeBackend{started: make(chan struct{}, 8), block: make(chan struct{})}
+	log := &eventLog{}
+	s, err := NewServer(Config{Backend: sharedFingerprint{fb}, Slots: 2, OnEvent: log.sink})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = s.Drain(context.Background()) }()
+
+	req := Request{Tenant: "t", Config: core.DefaultConfig()}
+	type result struct {
+		resp *Response
+		err  error
+	}
+	results := make(chan result, 3)
+	go func() {
+		r, err := s.Assess(context.Background(), req)
+		results <- result{r, err}
+	}()
+	<-fb.started
+	for i := 0; i < 2; i++ {
+		go func() {
+			r, err := s.Assess(context.Background(), req)
+			results <- result{r, err}
+		}()
+	}
+	waitFor(t, "followers to coalesce", func() bool { return s.Stats().Coalesced == 2 })
+	close(fb.block)
+
+	coalesced := 0
+	for i := 0; i < 3; i++ {
+		r := <-results
+		if r.err != nil {
+			t.Fatalf("request %d: %v", i, r.err)
+		}
+		if r.resp.Coalesced {
+			coalesced++
+		}
+	}
+	if got := atomic.LoadInt32(&fb.runs); got != 1 {
+		t.Errorf("backend ran %d times for 3 identical requests, want 1", got)
+	}
+	if coalesced != 2 {
+		t.Errorf("coalesced responses = %d, want 2", coalesced)
+	}
+	if got := log.count(EventCoalesced); got != 2 {
+		t.Errorf("coalesced events = %d, want 2", got)
+	}
+}
+
+func TestDrainAccountsForEveryRequest(t *testing.T) {
+	fb := &fakeBackend{started: make(chan struct{}, 8), block: make(chan struct{})}
+	log := &eventLog{}
+	s, err := NewServer(Config{
+		Backend:    fb,
+		Slots:      1,
+		QueueDepth: 4,
+		DrainGrace: 50 * time.Millisecond,
+		OnEvent:    log.sink,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	errs := make(chan error, 3)
+	submit := func() {
+		go func() {
+			_, err := s.Assess(context.Background(), distinctRequest("t"))
+			errs <- err
+		}()
+	}
+	submit()
+	<-fb.started // one run holds the slot (and never finishes on its own)
+	submit()
+	submit()
+	waitFor(t, "queue to hold the backlog", func() bool { return s.Stats().Queued == 2 })
+
+	if err := s.Drain(context.Background()); err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+	// Every admitted request resolved: the running one was canceled at the
+	// grace boundary, the queued ones were shed.
+	var failed, shed int
+	for i := 0; i < 3; i++ {
+		err := <-errs
+		switch {
+		case errors.Is(err, ErrOverloaded):
+			shed++
+		case err != nil:
+			failed++
+		default:
+			t.Errorf("request %d finished cleanly; the blocked run should have been canceled", i)
+		}
+	}
+	if failed != 1 || shed != 2 {
+		t.Errorf("drain outcome failed=%d shed=%d, want 1/2", failed, shed)
+	}
+	st := s.Stats()
+	if st.InFlight != 0 || st.Queued != 0 {
+		t.Errorf("post-drain in_flight=%d queued=%d, want 0/0", st.InFlight, st.Queued)
+	}
+	if got := st.Admitted - st.Completed - st.Failed - st.ShedAfterAdmission; got != 0 {
+		t.Errorf("ledger does not balance: admitted=%d completed=%d failed=%d shedAfterAdmission=%d",
+			st.Admitted, st.Completed, st.Failed, st.ShedAfterAdmission)
+	}
+	if log.count(EventDrained) != 1 {
+		t.Errorf("drained events = %d, want 1", log.count(EventDrained))
+	}
+
+	// The drained server admits nothing.
+	_, err = s.Assess(context.Background(), distinctRequest("t"))
+	var ov *OverloadError
+	if !errors.As(err, &ov) || ov.Reason != ReasonDraining {
+		t.Errorf("post-drain submission error = %v, want draining rejection", err)
+	}
+}
+
+func TestAbandonedCallerDoesNotAbortRun(t *testing.T) {
+	fb := &fakeBackend{started: make(chan struct{}, 8), block: make(chan struct{})}
+	s, err := NewServer(Config{Backend: fb, Slots: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = s.Drain(context.Background()) }()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		_, err := s.Assess(ctx, distinctRequest("t"))
+		done <- err
+	}()
+	<-fb.started
+	cancel()
+	if err := <-done; !errors.Is(err, context.Canceled) {
+		t.Fatalf("abandoned wait error = %v, want context.Canceled", err)
+	}
+	// The run itself is still alive and completes once released.
+	close(fb.block)
+	waitFor(t, "abandoned run to complete", func() bool { return s.Stats().Completed == 1 })
+}

@@ -1,0 +1,101 @@
+package service
+
+import (
+	"sort"
+	"time"
+)
+
+// Stats is a point-in-time snapshot of the server's counters. The ledger
+// balances: Admitted == Completed + Failed + ShedAfterAdmission + InFlight +
+// Queued — after a finished drain the last two are zero, so every admitted
+// request is accounted as completed, failed, or shed. Rejections at the door
+// (Shed by reason) never count as admitted.
+type Stats struct {
+	// Admitted counts requests that passed admission control (coalesced
+	// followers excluded — they ride an already-admitted run).
+	Admitted int64
+	// Started counts requests that claimed a federation slot.
+	Started int64
+	// Completed counts runs that produced a report.
+	Completed int64
+	// Failed counts runs that ended in an error after admission (deadline
+	// expiry, cancellation, protocol failure).
+	Failed int64
+	// Coalesced counts requests deduplicated onto an identical in-flight
+	// run.
+	Coalesced int64
+	// Reused counts runs that replayed completed phases from a shared
+	// checkpoint (Report.Resumed).
+	Reused int64
+	// Shed counts rejections and drops by reason (the Reason* constants).
+	// Door rejections and post-admission drain sheds both land here;
+	// ShedAfterAdmission separates the latter.
+	Shed map[string]int64
+	// ShedAfterAdmission counts admitted-then-shed requests (drain clearing
+	// the queue), a subset of Shed[ReasonDraining].
+	ShedAfterAdmission int64
+	// InFlight is the number of runs currently holding a federation slot;
+	// Queued is the bounded queue's current occupancy.
+	InFlight int64
+	Queued   int64
+	// Draining reports the server has stopped admitting.
+	Draining bool
+	// Latency summarizes admission-to-completion times of completed
+	// requests (a sliding window of the most recent latencyWindow).
+	Latency Percentiles
+	// Wait summarizes admission-to-start times over the same window: the
+	// queueing delay component of Latency.
+	Wait Percentiles
+}
+
+// TotalShed sums the shed counters.
+func (s Stats) TotalShed() int64 {
+	var n int64
+	for _, v := range s.Shed {
+		n += v
+	}
+	return n
+}
+
+// Percentiles summarizes a duration sample.
+type Percentiles struct {
+	Count              int
+	P50, P90, P95, P99 time.Duration
+	Min, Max           time.Duration
+}
+
+// percentilesOf computes the summary over a copy of the sample.
+func percentilesOf(sample []time.Duration) Percentiles {
+	if len(sample) == 0 {
+		return Percentiles{}
+	}
+	ds := append([]time.Duration(nil), sample...)
+	sort.Slice(ds, func(i, j int) bool { return ds[i] < ds[j] })
+	at := func(q float64) time.Duration {
+		i := int(q * float64(len(ds)-1))
+		return ds[i]
+	}
+	return Percentiles{
+		Count: len(ds),
+		P50:   at(0.50),
+		P90:   at(0.90),
+		P95:   at(0.95),
+		P99:   at(0.99),
+		Min:   ds[0],
+		Max:   ds[len(ds)-1],
+	}
+}
+
+// latencyWindow bounds the retained duration samples so a long-lived daemon
+// does not grow without bound; percentiles describe the most recent window.
+const latencyWindow = 8192
+
+// recordWindow appends d to a sliding window capped at latencyWindow.
+func recordWindow(w []time.Duration, d time.Duration) []time.Duration {
+	if len(w) < latencyWindow {
+		return append(w, d)
+	}
+	copy(w, w[1:])
+	w[len(w)-1] = d
+	return w
+}

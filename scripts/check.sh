@@ -96,6 +96,21 @@ echo "== lattice-vs-legacy smoke =="
 # federation sizes, policies, and scheduling modes.
 go test -short -run '^(TestLatticeMatchesLegacyGolden|TestLatticeResumeConservativeParallel)$' ./internal/core/
 
+echo "== service smoke (daemon + drain) =="
+# The always-on deployment end to end: member nodes serving concurrent
+# sessions, the leader daemon with admission control, a duplicate-fingerprint
+# request resuming from the retained checkpoint, an over-quota request shed
+# with a structured 429, and a SIGTERM drain that accounts for every request.
+go test -count=1 -run '^TestCLIServiceDaemon$' .
+
+echo "== service load smoke (mixed-load harness) =="
+# A small fixed-scale slice of the mixed-load harness (scripts/load.sh runs
+# the full bench-scale version): duplicate shapes exercise coalescing and
+# checkpoint reuse, a mid-run drain exercises shedding, and the harness
+# itself fails on a leaked slot or an unbalanced admission ledger.
+go run ./cmd/gendpr-load -requests 200 -workers 8 -snps 48 -genomes 60 \
+    -short-every 40 -drain-after 150 >/dev/null
+
 echo "== bench smoke (1 iteration, tiny scale) =="
 # One iteration of the Phase-3 suite at a tiny scale: catches benchmarks that
 # no longer compile or crash without paying for a real measurement run.

@@ -1,0 +1,28 @@
+#!/usr/bin/env bash
+# Run the mixed-load service harness at a fixed scale and record the snapshot
+# as BENCH_service_load.json next to the kernel trajectory
+# (BENCH_phase3.json), so service-level throughput, latency percentiles, and
+# shed/reuse counts travel with the repo the same way the kernel numbers do.
+#
+# Usage: scripts/load.sh [requests]
+#
+# The fixed scale (1,000 requests, 16 workers, 4 tenants, 8 shapes, 3 GDOs,
+# 2 slots) keeps snapshots comparable across PRs; override the request count
+# via the argument and the rest via GENDPR_LOAD_* deliberately.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+requests="${1:-1000}"
+workers="${GENDPR_LOAD_WORKERS:-16}"
+snps="${GENDPR_LOAD_SNPS:-96}"
+genomes="${GENDPR_LOAD_GENOMES:-120}"
+slots="${GENDPR_LOAD_SLOTS:-2}"
+
+go run ./cmd/gendpr-load \
+    -requests "$requests" -workers "$workers" \
+    -snps "$snps" -genomes "$genomes" -gdos 3 \
+    -slots "$slots" -queue-depth 32 \
+    -tenants 4 -shapes 8 -short-every 50 \
+    -out BENCH_service_load.json
+
+echo "snapshot recorded in BENCH_service_load.json"
