@@ -254,10 +254,17 @@ func runDaemon(addr string, leader *federation.Leader, addrs []string, reference
 		return err
 	case <-ctx.Done():
 	}
+	// Re-arm before releasing the first registration so there is no window in
+	// which a repeated signal falls back to the default disposition and kills
+	// the process: during drain it instead cuts the grace period short,
+	// canceling in-flight runs at their next phase boundary (checkpoint
+	// saved).
+	drainCtx, stopDrain := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stopDrain()
 	stop()
 
-	fmt.Println("daemon: draining — admission stopped, waiting for in-flight runs")
-	if err := srv.Drain(context.Background()); err != nil {
+	fmt.Println("daemon: draining — admission stopped, waiting for in-flight runs (signal again to cancel them now)")
+	if err := srv.Drain(drainCtx); err != nil {
 		return err
 	}
 	shutdownCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)

@@ -90,7 +90,7 @@ func TestFileStoreNamespaceSanitization(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	ns := root.Namespace("ten/ant: §" + strings.Repeat("x", 100))
+	ns := root.Namespace("ten/ant: §" + strings.Repeat("x", 200))
 	if err := ns.Save(stateFor("n")); err != nil {
 		t.Fatal(err)
 	}
@@ -110,7 +110,7 @@ func TestFileStoreNamespaceSanitization(t *testing.T) {
 				t.Errorf("file name %q contains unsafe byte %q", name, c)
 			}
 		}
-		if len(name) > len("assessment-")+64+len(".ckpt") {
+		if len(name) > len("assessment-")+128+len(".ckpt") {
 			t.Errorf("file name %q not truncated", name)
 		}
 	}

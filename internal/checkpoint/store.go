@@ -386,10 +386,11 @@ func (s *FileStore) ClearAll() error {
 // sanitizeNamespace maps an arbitrary namespace key onto [A-Za-z0-9._-],
 // truncated to keep file names within portable limits. Distinct keys can in
 // principle collide after sanitization; callers that need injectivity (the
-// assessment service keys namespaces by hex fingerprints) should pass names
-// already inside the safe alphabet.
+// assessment service keys namespaces by mode bits plus a hex fingerprint, 70
+// chars — the limit must stay comfortably above that so the high-entropy tail
+// survives) should pass names already inside the safe alphabet.
 func sanitizeNamespace(name string) string {
-	const maxLen = 64
+	const maxLen = 128
 	b := []byte(name)
 	if len(b) > maxLen {
 		b = b[:maxLen]

@@ -41,9 +41,9 @@ type Event struct {
 	// Tenant is the requesting tenant ("" for the server-level drained
 	// event).
 	Tenant string
-	// Key is the request's single-flight key: the hex assessment
-	// fingerprint plus the resilience-mode bits. Empty for server-level
-	// events.
+	// Key is the request's single-flight key: the resilience-mode bits
+	// followed by the hex assessment fingerprint (also the run's checkpoint
+	// namespace). Empty for server-level events.
 	Key string
 	// Reason qualifies shed and failed events.
 	Reason string

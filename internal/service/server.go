@@ -17,8 +17,9 @@ type Config struct {
 	Backend Backend
 	// Checkpoints, when non-nil, is the shared store runs checkpoint into.
 	// When it implements checkpoint.Namespacer (FileStore and MemStore do),
-	// every run gets a namespace keyed by its fingerprint, retained after
-	// success, so identical later requests resume instead of recomputing.
+	// every run gets a namespace keyed by its single-flight key (fingerprint
+	// plus resilience-mode bits), retained after success, so identical later
+	// requests resume instead of recomputing.
 	Checkpoints checkpoint.Store
 	// Slots is the number of concurrent federation runs (default 1).
 	Slots int
@@ -100,6 +101,7 @@ type Server struct {
 	mu         sync.Mutex
 	draining   bool
 	buckets    map[string]*bucket
+	lastSweep  time.Time
 	tenantLoad map[string]int
 	inflight   map[string]*job
 	stats      statsState
@@ -126,7 +128,6 @@ type bucket struct {
 // attach to.
 type job struct {
 	key      string
-	fpHex    string
 	tenant   string
 	req      Request
 	ctx      context.Context
@@ -189,11 +190,23 @@ func (s *Server) Assess(ctx context.Context, req Request) (*Response, error) {
 	return &resp, nil
 }
 
-// singleFlightKey builds the dedup identity: the assessment fingerprint plus
-// the resilience-mode bits (a Byzantine run may exclude members and produce a
-// degraded report, so it never stands in for a non-Byzantine one).
+// singleFlightKey builds the dedup identity: the resilience-mode bits plus
+// the assessment fingerprint (a Byzantine run may exclude members and produce
+// a degraded report, so it never stands in for — and must never share a
+// checkpoint namespace with — a non-Byzantine one; core.Fingerprint does not
+// hash the mode bits). The key doubles as the checkpoint namespace, so it
+// stays inside the filesystem-safe alphabet with the mode bits leading: the
+// sanitizer truncates long names from the tail, and the tail here is the
+// high-entropy fingerprint.
 func singleFlightKey(fpHex string, req Request) string {
-	return fmt.Sprintf("%s/b%v/r%v", fpHex, req.Byzantine, req.AllowRejoin)
+	return fmt.Sprintf("b%d-r%d-%s", boolBit(req.Byzantine), boolBit(req.AllowRejoin), fpHex)
+}
+
+func boolBit(b bool) int {
+	if b {
+		return 1
+	}
+	return 0
 }
 
 // admit applies admission control under the lock and either returns an
@@ -215,6 +228,15 @@ func (s *Server) admit(req Request) (*job, bool, error) {
 		s.shedAtDoor(ReasonDraining)
 		return nil, false, &OverloadError{Reason: ReasonDraining}
 	}
+	// Coalescing comes before the quota draw: a follower rides an already
+	// admitted run and costs the server nothing, so it must not burn a token
+	// (or be quota-rejected) for work that will not happen.
+	if existing, ok := s.inflight[key]; ok {
+		s.stats.coalesced++
+		s.mu.Unlock()
+		s.emit(Event{Event: EventCoalesced, Tenant: tenant, Key: key})
+		return existing, true, nil
+	}
 	if s.cfg.TenantRate > 0 {
 		if retry, ok := s.takeTokenLocked(tenant, now); !ok {
 			s.mu.Unlock()
@@ -222,12 +244,6 @@ func (s *Server) admit(req Request) (*job, bool, error) {
 			s.shedAtDoor(ReasonTenantQuota)
 			return nil, false, &OverloadError{Reason: ReasonTenantQuota, RetryAfter: retry}
 		}
-	}
-	if existing, ok := s.inflight[key]; ok {
-		s.stats.coalesced++
-		s.mu.Unlock()
-		s.emit(Event{Event: EventCoalesced, Tenant: tenant, Key: key})
-		return existing, true, nil
 	}
 	if cap := s.cfg.TenantConcurrency; cap > 0 && s.tenantLoad[tenant] >= cap {
 		s.mu.Unlock()
@@ -242,7 +258,6 @@ func (s *Server) admit(req Request) (*job, bool, error) {
 	}
 	j := &job{
 		key:      key,
-		fpHex:    fpHex,
 		tenant:   tenant,
 		req:      req,
 		admitted: now,
@@ -284,9 +299,31 @@ func (s *Server) shedAtDoor(reason string) {
 	s.mu.Unlock()
 }
 
+// bucketSweepInterval paces evictions of idle-full tenant buckets.
+const bucketSweepInterval = time.Minute
+
+// sweepBucketsLocked evicts buckets that have idled long enough to be full
+// again — a full bucket is indistinguishable from a fresh one, so dropping it
+// cannot change an admission decision. Tenant names arrive verbatim from
+// unauthenticated requests, so without eviction the map grows without bound
+// under varied or adversarial tenant strings. Callers hold s.mu.
+func (s *Server) sweepBucketsLocked(now time.Time) {
+	if now.Sub(s.lastSweep) < bucketSweepInterval {
+		return
+	}
+	s.lastSweep = now
+	full := float64(s.cfg.tenantBurst())
+	for tenant, b := range s.buckets {
+		if b.tokens+now.Sub(b.last).Seconds()*s.cfg.TenantRate >= full {
+			delete(s.buckets, tenant)
+		}
+	}
+}
+
 // takeTokenLocked refills and draws from the tenant's bucket; on failure it
 // returns the wait until the next token. Callers hold s.mu.
 func (s *Server) takeTokenLocked(tenant string, now time.Time) (time.Duration, bool) {
+	s.sweepBucketsLocked(now)
 	b, ok := s.buckets[tenant]
 	if !ok {
 		b = &bucket{tokens: float64(s.cfg.tenantBurst()), last: now}
@@ -326,16 +363,19 @@ func (s *Server) worker() {
 	}
 }
 
-// ckStoreFor resolves the checkpoint store for one run: the fingerprint
+// ckStoreFor resolves the checkpoint store for one run: the single-flight-key
 // namespace of the shared store when it supports namespacing, the root store
-// otherwise, nil when checkpointing is off. Single-flight guarantees at most
-// one live run per fingerprint, so a namespace never has two writers.
-func (s *Server) ckStoreFor(fpHex string) checkpoint.Store {
+// otherwise, nil when checkpointing is off. Namespacing by the full key —
+// mode bits included, not the bare fingerprint — keeps the single-flight
+// guarantee (at most one live run per key) aligned with the namespace, so a
+// namespace never has two writers and a retained Byzantine snapshot is never
+// resumed by a non-Byzantine request.
+func (s *Server) ckStoreFor(key string) checkpoint.Store {
 	if s.cfg.Checkpoints == nil {
 		return nil
 	}
 	if ns, ok := s.cfg.Checkpoints.(checkpoint.Namespacer); ok {
-		return ns.Namespace(fpHex)
+		return ns.Namespace(key)
 	}
 	return s.cfg.Checkpoints
 }
@@ -356,7 +396,7 @@ func (s *Server) runJob(j *job) {
 	s.emit(Event{Event: EventStarted, Tenant: j.tenant, Key: j.key})
 	started := s.cfg.now()
 
-	report, err := s.backend.Run(j.ctx, j.req, s.ckStoreFor(j.fpHex))
+	report, err := s.backend.Run(j.ctx, j.req, s.ckStoreFor(j.key))
 	if err != nil && j.ctx.Err() != nil {
 		// Normalize: the engine surfaces cancellation in several wrappings,
 		// but the caller should see the deadline/cancel cause.

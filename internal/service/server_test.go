@@ -392,6 +392,176 @@ func TestDrainAccountsForEveryRequest(t *testing.T) {
 	}
 }
 
+// ckMarkBackend reports every request as one fingerprint and, per run, saves
+// a marker checkpoint when the run's store is empty — so Report.Resumed (and
+// thus Response.Reused) flags exactly the runs that landed in a namespace an
+// earlier run already wrote.
+type ckMarkBackend struct{}
+
+func (ckMarkBackend) Fingerprint(Request) []byte { return []byte{7} }
+
+func (ckMarkBackend) Run(_ context.Context, _ Request, ck checkpoint.Store) (*core.Report, error) {
+	_, err := ck.Load()
+	switch {
+	case err == nil:
+		return &core.Report{Resumed: true}, nil
+	case !errors.Is(err, checkpoint.ErrNotFound):
+		return nil, err
+	}
+	err = ck.Save(&checkpoint.State{
+		Fingerprint: []byte("m"),
+		Providers:   []string{"m"},
+		Counts:      [][]int64{{1, 2}},
+		CaseNs:      []int64{4},
+	})
+	return &core.Report{}, err
+}
+
+// TestModeBitsIsolateCheckpointNamespaces is the degraded-substitution
+// regression: Byzantine and non-Byzantine runs share a fingerprint
+// (core.Fingerprint does not hash the mode bits) but must not share a
+// checkpoint namespace — a retained Byzantine run's degraded snapshot
+// (excluded members, blame records) must never seed a later full-strength
+// run. It runs over a real FileStore so filename sanitization is part of the
+// regression: a key truncated back to the bare fingerprint would merge the
+// modes.
+func TestModeBitsIsolateCheckpointNamespaces(t *testing.T) {
+	store, err := checkpoint.NewFileStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := NewServer(Config{Backend: ckMarkBackend{}, Checkpoints: store})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = s.Drain(context.Background()) }()
+
+	run := func(byz, rejoin bool) *Response {
+		t.Helper()
+		resp, err := s.Assess(context.Background(), Request{
+			Tenant:      "t",
+			Config:      core.DefaultConfig(),
+			Byzantine:   byz,
+			AllowRejoin: rejoin,
+		})
+		if err != nil {
+			t.Fatalf("assess b=%v r=%v: %v", byz, rejoin, err)
+		}
+		return resp
+	}
+	for _, m := range []struct{ byz, rejoin bool }{
+		{false, false}, {true, false}, {false, true}, {true, true},
+	} {
+		if resp := run(m.byz, m.rejoin); resp.Reused {
+			t.Errorf("mode b=%v r=%v resumed another mode's checkpoint", m.byz, m.rejoin)
+		}
+	}
+	// An identical repeat still resumes its own retained snapshot.
+	if resp := run(false, false); !resp.Reused {
+		t.Error("identical repeat did not resume its own retained checkpoint")
+	}
+}
+
+func TestCoalescedFollowerBypassesRateQuota(t *testing.T) {
+	fb := &fakeBackend{started: make(chan struct{}, 8), block: make(chan struct{})}
+	frozen := time.Unix(1700000000, 0)
+	s, err := NewServer(Config{
+		Backend:    fb,
+		Slots:      2,
+		TenantRate: 0.001, // one-token budget under the frozen clock
+		now:        func() time.Time { return frozen },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = s.Drain(context.Background()) }()
+
+	req := Request{Tenant: "t", Config: core.DefaultConfig()}
+	leader := make(chan error, 1)
+	go func() {
+		_, err := s.Assess(context.Background(), req)
+		leader <- err
+	}()
+	<-fb.started // the leader is admitted and spent the tenant's only token
+
+	// An identical follower coalesces onto the in-flight run and costs the
+	// server nothing, so it must not be quota-rejected.
+	follower := make(chan *Response, 1)
+	go func() {
+		resp, err := s.Assess(context.Background(), req)
+		if err != nil {
+			t.Errorf("coalesced follower rejected: %v", err)
+		}
+		follower <- resp
+	}()
+	waitFor(t, "follower to coalesce", func() bool { return s.Stats().Coalesced == 1 })
+
+	// A non-identical request from the same tenant is still quota-bound.
+	_, err = s.Assess(context.Background(), distinctRequest("t"))
+	var ov *OverloadError
+	if !errors.As(err, &ov) || ov.Reason != ReasonTenantQuota {
+		t.Fatalf("distinct request error = %v, want tenant-quota rejection", err)
+	}
+
+	close(fb.block)
+	if err := <-leader; err != nil {
+		t.Fatalf("leader request: %v", err)
+	}
+	if resp := <-follower; resp != nil && !resp.Coalesced {
+		t.Error("follower response not marked coalesced")
+	}
+}
+
+func TestIdleFullBucketsAreEvicted(t *testing.T) {
+	fb := &fakeBackend{}
+	var mu sync.Mutex
+	cur := time.Unix(1700000000, 0)
+	s, err := NewServer(Config{
+		Backend:     fb,
+		Slots:       2,
+		TenantRate:  1,
+		TenantBurst: 2,
+		now: func() time.Time {
+			mu.Lock()
+			defer mu.Unlock()
+			return cur
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = s.Drain(context.Background()) }()
+
+	// Tenant names come verbatim from unauthenticated requests: 50 distinct
+	// ones leave 50 buckets behind.
+	for i := 0; i < 50; i++ {
+		if _, err := s.Assess(context.Background(), distinctRequest(fmt.Sprintf("tenant-%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s.mu.Lock()
+	n := len(s.buckets)
+	s.mu.Unlock()
+	if n != 50 {
+		t.Fatalf("buckets before idle = %d, want 50", n)
+	}
+
+	// Idle long enough for every bucket to refill to burst and a sweep to be
+	// due; the next draw evicts them all.
+	mu.Lock()
+	cur = cur.Add(2 * bucketSweepInterval)
+	mu.Unlock()
+	if _, err := s.Assess(context.Background(), distinctRequest("fresh")); err != nil {
+		t.Fatal(err)
+	}
+	s.mu.Lock()
+	n = len(s.buckets)
+	s.mu.Unlock()
+	if n != 1 {
+		t.Errorf("buckets after sweep = %d, want 1 (idle-full buckets evicted)", n)
+	}
+}
+
 func TestAbandonedCallerDoesNotAbortRun(t *testing.T) {
 	fb := &fakeBackend{started: make(chan struct{}, 8), block: make(chan struct{})}
 	s, err := NewServer(Config{Backend: fb, Slots: 1})
