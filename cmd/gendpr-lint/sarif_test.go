@@ -1,0 +1,100 @@
+package main
+
+import (
+	"encoding/json"
+	"reflect"
+	"testing"
+
+	"gendpr/internal/analysis"
+)
+
+// TestSARIFRoundTrip encodes a findings list as SARIF, decodes it back, and
+// checks every field of every finding survives — the SARIF artifact must
+// carry exactly the information of the JSON report.
+func TestSARIFRoundTrip(t *testing.T) {
+	analyzers := analysis.DefaultAnalyzers()
+	findings := []jsonFinding{
+		{File: "internal/service/backend.go", Line: 172, Column: 5, Analyzer: "goroleak",
+			Message: "goroutine is not joinable and has no termination signal"},
+		{File: "internal/core/members.go", Line: 279, Column: 12, Analyzer: "lockorder",
+			Message: "lock mu is acquired while a lock of the same identity is already held"},
+		{File: "internal/transport/transport.go", Line: 42, Column: 2, Analyzer: "directive",
+			Message: "gendpr:allow directive needs a justification"},
+	}
+
+	data, err := json.Marshal(sarifFromFindings(analyzers, findings))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var log sarifLog
+	if err := json.Unmarshal(data, &log); err != nil {
+		t.Fatal(err)
+	}
+
+	if log.Version != "2.1.0" {
+		t.Errorf("version = %q, want 2.1.0", log.Version)
+	}
+	if len(log.Runs) != 1 {
+		t.Fatalf("runs = %d, want 1", len(log.Runs))
+	}
+	run := log.Runs[0]
+	if run.Tool.Driver.Name != "gendpr-lint" {
+		t.Errorf("driver name = %q", run.Tool.Driver.Name)
+	}
+
+	// Every finding's ruleId must resolve against the declared rules.
+	ruleIDs := make(map[string]bool)
+	for _, r := range run.Tool.Driver.Rules {
+		ruleIDs[r.ID] = true
+	}
+	for _, a := range analyzers {
+		if !ruleIDs[a.Name] {
+			t.Errorf("analyzer %s missing from SARIF rules", a.Name)
+		}
+	}
+
+	var back []jsonFinding
+	for _, res := range run.Results {
+		if !ruleIDs[res.RuleID] {
+			t.Errorf("result ruleId %q not declared in rules", res.RuleID)
+		}
+		if res.Level != "error" {
+			t.Errorf("result level = %q, want error", res.Level)
+		}
+		if len(res.Locations) != 1 {
+			t.Fatalf("result has %d locations, want 1", len(res.Locations))
+		}
+		loc := res.Locations[0].PhysicalLocation
+		back = append(back, jsonFinding{
+			File:     loc.ArtifactLocation.URI,
+			Line:     loc.Region.StartLine,
+			Column:   loc.Region.StartColumn,
+			Analyzer: res.RuleID,
+			Message:  res.Message.Text,
+		})
+	}
+	if !reflect.DeepEqual(findings, back) {
+		t.Errorf("round trip lost information:\nin:  %+v\nout: %+v", findings, back)
+	}
+}
+
+// TestSARIFEmptyFindings keeps the empty report well-formed: results must be
+// an empty array, not null, so strict SARIF consumers accept it.
+func TestSARIFEmptyFindings(t *testing.T) {
+	data, err := json.Marshal(sarifFromFindings(analysis.DefaultAnalyzers(), nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var raw map[string]any
+	if err := json.Unmarshal(data, &raw); err != nil {
+		t.Fatal(err)
+	}
+	runs := raw["runs"].([]any)
+	results, ok := runs[0].(map[string]any)["results"].([]any)
+	if !ok {
+		t.Fatalf("results is not an array: %v", runs[0].(map[string]any)["results"])
+	}
+	if len(results) != 0 {
+		t.Errorf("empty report has %d results", len(results))
+	}
+}

@@ -77,6 +77,11 @@ type Analyzer struct {
 	// Scopes restricts where the analyzer applies; empty means the whole
 	// module.
 	Scopes []Scope
+	// ModuleGlobal marks analyzers whose findings for one package can change
+	// when any other package changes (the taint suite and lockorder build
+	// module-wide engines). The incremental cache keys their results on the
+	// whole module's content, not just the package's dependency cone.
+	ModuleGlobal bool
 	// Run inspects the files the Pass exposes and reports findings.
 	Run func(*Pass)
 }
@@ -340,7 +345,16 @@ func DefaultAnalyzers() []*Analyzer {
 		NewCtxDeadline([]Scope{
 			{PathPrefix: "gendpr/internal/federation"},
 			{PathPrefix: "gendpr/internal/service"},
+			{PathPrefix: "gendpr/internal/checkpoint"},
+			{PathPrefix: "gendpr/cmd"},
 		}),
+		NewGoroLeak([]Scope{
+			{PathPrefix: "gendpr/internal/service"},
+			{PathPrefix: "gendpr/internal/federation"},
+			{PathPrefix: "gendpr/internal/core"},
+		}),
+		NewMustRelease(nil, DefaultReleasePairs()),
+		NewLockOrder(nil),
 		NewSecretFlow(taint),
 		NewLogLeak(taint),
 		NewCheckpointPlain(taint),

@@ -117,6 +117,24 @@ func TestCtxDeadlineFixture(t *testing.T) {
 	runFixture(t, NewCtxDeadline(nil), "ctxdeadline")
 }
 
+func TestGoroLeakFixture(t *testing.T) {
+	runFixture(t, NewGoroLeak(nil), "goroleak")
+}
+
+func TestLockOrderFixture(t *testing.T) {
+	runFixture(t, NewLockOrder(nil), "lockorder")
+}
+
+func TestMustReleaseFixture(t *testing.T) {
+	// The fixture cannot import the real transport package, so the test
+	// registers the fixture's own acquire function alongside the built-in
+	// pairs.
+	pairs := append(DefaultReleasePairs(), ReleasePair{
+		Fn: "fixture/mustrelease.acquire", Result: 0, Release: "Close", Kind: "fixture resource",
+	})
+	runFixture(t, NewMustRelease(nil, pairs), "mustrelease")
+}
+
 func TestSecretFlowFixture(t *testing.T) {
 	runFixture(t, NewSecretFlow(NewTaintRegistry(DefaultTaintSpec())), "secretflow")
 }

@@ -1,0 +1,528 @@
+package analysis
+
+// The incremental lint cache makes warm gendpr-lint runs proportional to
+// what changed. The dominant cost of a cold run is type-checking the module
+// (go/importer's source importer recompiles the standard library slice the
+// module touches); re-running it when nothing changed buys nothing, so the
+// cache persists each package's post-suppression findings keyed by content
+// hashes and skips LoadModule entirely when every key hits.
+//
+// Keys are built without type-checking: a cheap walk reads every non-test Go
+// file, hashes its bytes, and parses imports only. A package's key covers
+// its own files plus, transitively, the keys of the intra-module packages it
+// imports — editing a dependency invalidates every package in its importer
+// cone, because exported types and summaries flow downstream. Analyzers
+// marked ModuleGlobal (the taint suite, lockorder) see the whole module
+// through one shared engine, so their entries are additionally keyed on the
+// module-wide hash: any edit anywhere re-runs them everywhere. Each package
+// therefore has two cache entries — the local half (per-package analyzers
+// plus directive diagnostics, which are file-local) and the global half.
+//
+// Entries store findings after suppression filtering. That is sound because
+// //gendpr:allow directives live in the same files the key hashes: a
+// directive edit changes the package key and both halves re-run. A warm run
+// with every entry present reproduces the cold run's diagnostics exactly
+// (positions are stored relative to the module root and rebuilt on load),
+// which scripts/check.sh enforces by diffing cold and warm -json reports.
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+)
+
+// cacheSchema versions the entry format and the analyzer semantics baked
+// into cached results. Bump it whenever an analyzer's behavior changes in a
+// way the content hash cannot see (new rules, changed messages).
+const cacheSchema = "gendpr-lint-1"
+
+// CacheStats summarizes one RunWithCache execution.
+type CacheStats struct {
+	// Hits and Misses count cache entries (two per package: the local and
+	// the module-global halves of the suite, when both halves are selected).
+	Hits, Misses int
+	// FullHit reports that every entry was served from the cache and the
+	// module was never parsed or type-checked.
+	FullHit bool
+}
+
+// cachedDiag is one finding at rest. File is relative to the module root so
+// a cache directory survives a checkout move.
+type cachedDiag struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Column   int    `json:"column"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+}
+
+// cacheEntry is one package-half's stored result.
+type cacheEntry struct {
+	Schema   string       `json:"schema"`
+	Package  string       `json:"package"`
+	Findings []cachedDiag `json:"findings"`
+}
+
+// cachePkg is one package as the key walk sees it: path, directory, and the
+// content key covering its files and its intra-module dependency cone.
+type cachePkg struct {
+	path string
+	dir  string
+	key  string
+}
+
+type cacheKeys struct {
+	pkgs      []cachePkg // sorted by path
+	moduleKey string
+}
+
+// computeCacheKeys walks the module exactly like LoadModule (same directory
+// skips, same non-test file selection) but reads only file bytes and import
+// lists. analyzerSig folds the selected analyzer names into every key so a
+// different -run/-skip selection never reuses another selection's entries.
+func computeCacheKeys(root string, analyzers []*Analyzer) (*cacheKeys, error) {
+	abs, err := filepath.Abs(root)
+	if err != nil {
+		return nil, err
+	}
+	modBytes, err := os.ReadFile(filepath.Join(abs, "go.mod"))
+	if err != nil {
+		return nil, fmt.Errorf("%w: %s", ErrNoModule, root)
+	}
+	m := moduleLine.FindSubmatch(modBytes)
+	if m == nil {
+		return nil, fmt.Errorf("analysis: no module line in %s/go.mod", root)
+	}
+	modPath := string(m[1])
+
+	names := make([]string, 0, len(analyzers))
+	for _, a := range analyzers {
+		names = append(names, a.Name)
+	}
+	analyzerSig := cacheSchema + "|" + strings.Join(names, ",")
+
+	type rec struct {
+		dir       string
+		fileHash  string
+		localDeps []string
+	}
+	recs := make(map[string]*rec)
+	err = filepath.WalkDir(abs, func(path string, d os.DirEntry, walkErr error) error {
+		if walkErr != nil {
+			return walkErr
+		}
+		if !d.IsDir() {
+			return nil
+		}
+		if path != abs && skipDir(d.Name()) {
+			return filepath.SkipDir
+		}
+		entries, err := os.ReadDir(path)
+		if err != nil {
+			return err
+		}
+		var goFiles []string
+		for _, e := range entries {
+			name := e.Name()
+			if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+				continue
+			}
+			goFiles = append(goFiles, name)
+		}
+		if len(goFiles) == 0 {
+			return nil
+		}
+		sort.Strings(goFiles)
+		rel, err := filepath.Rel(abs, path)
+		if err != nil {
+			return err
+		}
+		pkgPath := modPath
+		if rel != "." {
+			pkgPath = modPath + "/" + filepath.ToSlash(rel)
+		}
+		h := sha256.New()
+		depSet := make(map[string]bool)
+		fset := token.NewFileSet()
+		for _, name := range goFiles {
+			src, err := os.ReadFile(filepath.Join(path, name))
+			if err != nil {
+				return err
+			}
+			fmt.Fprintf(h, "%s\x00%d\x00", name, len(src))
+			h.Write(src)
+			h.Write([]byte{0})
+			f, err := parser.ParseFile(fset, name, src, parser.ImportsOnly)
+			if err != nil {
+				// Leave the syntax error to LoadModule, which reports it with
+				// full position context; an unparsable file simply forces a
+				// miss by contributing its raw bytes to the hash.
+				continue
+			}
+			for _, imp := range f.Imports {
+				p, err := strconv.Unquote(imp.Path.Value)
+				if err == nil && (p == modPath || strings.HasPrefix(p, modPath+"/")) {
+					depSet[p] = true
+				}
+			}
+		}
+		r := &rec{dir: path, fileHash: hex.EncodeToString(h.Sum(nil))}
+		for dep := range depSet {
+			if dep != pkgPath {
+				r.localDeps = append(r.localDeps, dep)
+			}
+		}
+		sort.Strings(r.localDeps)
+		recs[pkgPath] = r
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	// Transitive keys over the dependency DAG. A cycle cannot occur in a
+	// buildable module; visiting state breaks one anyway (the member of the
+	// cycle reached first omits the back edge, still deterministically).
+	keys := make(map[string]string, len(recs))
+	state := make(map[string]int)
+	var keyOf func(path string) string
+	keyOf = func(path string) string {
+		if k, ok := keys[path]; ok {
+			return k
+		}
+		r := recs[path]
+		if r == nil || state[path] == 1 {
+			return ""
+		}
+		state[path] = 1
+		h := sha256.New()
+		fmt.Fprintf(h, "%s\x00%s\x00%s\x00", analyzerSig, path, r.fileHash)
+		for _, dep := range r.localDeps {
+			fmt.Fprintf(h, "%s=%s\x00", dep, keyOf(dep))
+		}
+		state[path] = 2
+		k := hex.EncodeToString(h.Sum(nil))
+		keys[path] = k
+		return k
+	}
+
+	ck := &cacheKeys{}
+	paths := make([]string, 0, len(recs))
+	for p := range recs {
+		paths = append(paths, p)
+	}
+	sort.Strings(paths)
+	mh := sha256.New()
+	for _, p := range paths {
+		k := keyOf(p)
+		ck.pkgs = append(ck.pkgs, cachePkg{path: p, dir: recs[p].dir, key: k})
+		fmt.Fprintf(mh, "%s=%s\x00", p, k)
+	}
+	ck.moduleKey = hex.EncodeToString(mh.Sum(nil))
+	return ck, nil
+}
+
+// entryFile maps a (half, key) pair to its on-disk name.
+func entryFile(cacheDir, half, key string) string {
+	sum := sha256.Sum256([]byte(half + "\x00" + key))
+	return filepath.Join(cacheDir, hex.EncodeToString(sum[:])[:32]+".json")
+}
+
+func loadEntry(cacheDir, half, key, root, pkgPath string) ([]Diagnostic, bool) {
+	data, err := os.ReadFile(entryFile(cacheDir, half, key))
+	if err != nil {
+		return nil, false
+	}
+	var e cacheEntry
+	if json.Unmarshal(data, &e) != nil || e.Schema != cacheSchema || e.Package != pkgPath {
+		return nil, false
+	}
+	diags := make([]Diagnostic, 0, len(e.Findings))
+	for _, f := range e.Findings {
+		diags = append(diags, Diagnostic{
+			Pos:      token.Position{Filename: filepath.Join(root, filepath.FromSlash(f.File)), Line: f.Line, Column: f.Column},
+			Analyzer: f.Analyzer,
+			Message:  f.Message,
+		})
+	}
+	return diags, true
+}
+
+func storeEntry(cacheDir, half, key, root, pkgPath string, diags []Diagnostic) error {
+	e := cacheEntry{Schema: cacheSchema, Package: pkgPath, Findings: []cachedDiag{}}
+	for _, d := range diags {
+		rel, err := filepath.Rel(root, d.Pos.Filename)
+		if err != nil {
+			rel = d.Pos.Filename
+		}
+		e.Findings = append(e.Findings, cachedDiag{
+			File: filepath.ToSlash(rel), Line: d.Pos.Line, Column: d.Pos.Column,
+			Analyzer: d.Analyzer, Message: d.Message,
+		})
+	}
+	data, err := json.Marshal(e)
+	if err != nil {
+		return err
+	}
+	if err := os.MkdirAll(cacheDir, 0o755); err != nil {
+		return err
+	}
+	tmp, err := os.CreateTemp(cacheDir, "entry-*")
+	if err != nil {
+		return err
+	}
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	return os.Rename(tmp.Name(), entryFile(cacheDir, half, key))
+}
+
+// normalizePos strips the byte offset a live token.FileSet carries but a
+// cache round trip cannot: with it gone, a fresh result and its reload are
+// value-identical, so cold and warm runs return the same diagnostics.
+func normalizePos(diags []Diagnostic) {
+	for i := range diags {
+		diags[i].Pos.Offset = 0
+	}
+}
+
+func sortDiagnostics(diags []Diagnostic) {
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+}
+
+// RunWithCache is RunWithStats with an on-disk incremental cache rooted at
+// cacheDir. It loads the module only when at least one cache entry misses,
+// re-analyzes only the missed (package, suite-half) partitions, and stores
+// their post-suppression findings for the next run. Stats cover only the
+// analyzers that actually executed; Findings counts always cover the full
+// merged result.
+func RunWithCache(root string, analyzers []*Analyzer, cacheDir string) ([]Diagnostic, []AnalyzerStats, CacheStats, error) {
+	keys, err := computeCacheKeys(root, analyzers)
+	if err != nil {
+		return nil, nil, CacheStats{}, err
+	}
+	absRoot, err := filepath.Abs(root)
+	if err != nil {
+		return nil, nil, CacheStats{}, err
+	}
+
+	hasLocal, hasGlobal := false, false
+	for _, a := range analyzers {
+		if a.ModuleGlobal {
+			hasGlobal = true
+		} else {
+			hasLocal = true
+		}
+	}
+
+	var cstats CacheStats
+	var diags []Diagnostic
+	needLocal := make(map[string]bool)
+	needGlobal := make(map[string]bool)
+	for _, pk := range keys.pkgs {
+		if hasLocal {
+			if ds, ok := loadEntry(cacheDir, "local", pk.key, absRoot, pk.path); ok {
+				cstats.Hits++
+				diags = append(diags, ds...)
+			} else {
+				cstats.Misses++
+				needLocal[pk.path] = true
+			}
+		}
+		if hasGlobal {
+			if ds, ok := loadEntry(cacheDir, "global", pk.key+"|"+keys.moduleKey, absRoot, pk.path); ok {
+				cstats.Hits++
+				diags = append(diags, ds...)
+			} else {
+				cstats.Misses++
+				needGlobal[pk.path] = true
+			}
+		}
+	}
+
+	stats := make([]AnalyzerStats, len(analyzers))
+	for i, a := range analyzers {
+		stats[i].Name = a.Name
+	}
+	countFindings := func(all []Diagnostic) {
+		for _, d := range all {
+			for i := range stats {
+				if stats[i].Name == d.Analyzer {
+					stats[i].Findings++
+					break
+				}
+			}
+		}
+	}
+
+	if len(needLocal) == 0 && len(needGlobal) == 0 {
+		cstats.FullHit = true
+		sortDiagnostics(diags)
+		countFindings(diags)
+		return diags, stats, cstats, nil
+	}
+
+	mod, err := LoadModule(absRoot)
+	if err != nil {
+		return nil, nil, CacheStats{}, err
+	}
+	fresh := runPartitioned(mod, analyzers, needLocal, needGlobal, stats)
+	keyByPath := make(map[string]string, len(keys.pkgs))
+	for _, pk := range keys.pkgs {
+		keyByPath[pk.path] = pk.key
+	}
+	for path, buckets := range fresh {
+		key := keyByPath[path]
+		if key == "" {
+			continue
+		}
+		if needLocal[path] {
+			if err := storeEntry(cacheDir, "local", key, absRoot, path, buckets.local); err != nil {
+				return nil, nil, CacheStats{}, err
+			}
+			diags = append(diags, buckets.local...)
+		}
+		if needGlobal[path] {
+			if err := storeEntry(cacheDir, "global", key+"|"+keys.moduleKey, absRoot, path, buckets.global); err != nil {
+				return nil, nil, CacheStats{}, err
+			}
+			diags = append(diags, buckets.global...)
+		}
+	}
+	sortDiagnostics(diags)
+	countFindings(diags)
+	return diags, stats, cstats, nil
+}
+
+// pkgBuckets splits one package's fresh findings by suite half: directive
+// diagnostics travel with the local half (they are file-local, like the
+// per-package analyzers).
+type pkgBuckets struct {
+	local  []Diagnostic
+	global []Diagnostic
+}
+
+// runPartitioned executes, for every module package, exactly the suite
+// halves the cache missed, mirroring RunWithStats's pool, suppression
+// filtering, and per-bucket position sort. Durations accumulate into stats
+// (findings are counted by the caller over the merged result).
+func runPartitioned(mod *Module, analyzers []*Analyzer, needLocal, needGlobal map[string]bool, stats []AnalyzerStats) map[string]*pkgBuckets {
+	out := make(map[string]*pkgBuckets, len(mod.Packages))
+	var todo []*Package
+	for _, pkg := range mod.Packages {
+		if needLocal[pkg.Path] || needGlobal[pkg.Path] {
+			out[pkg.Path] = &pkgBuckets{local: []Diagnostic{}, global: []Diagnostic{}}
+			todo = append(todo, pkg)
+		}
+	}
+
+	workers := poolWorkers(len(todo))
+	durs := make([][]time.Duration, len(todo))
+	idx := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := range idx {
+				pkg := todo[j]
+				buckets := out[pkg.Path]
+				durs[j] = make([]time.Duration, len(analyzers))
+
+				sup := make(suppressions)
+				var directiveDiags []Diagnostic
+				collectSuppressions(pkg.Fset, pkg.Files, sup, &directiveDiags)
+				if needLocal[pkg.Path] {
+					buckets.local = append(buckets.local, directiveDiags...)
+				}
+
+				for i, a := range analyzers {
+					if a.ModuleGlobal && !needGlobal[pkg.Path] {
+						continue
+					}
+					if !a.ModuleGlobal && !needLocal[pkg.Path] {
+						continue
+					}
+					files := scopedFiles(a, pkg)
+					if len(files) == 0 {
+						continue
+					}
+					dst := &buckets.local
+					if a.ModuleGlobal {
+						dst = &buckets.global
+					}
+					pass := &Pass{Analyzer: a, Fset: pkg.Fset, Mod: mod, Pkg: pkg, Files: files, diags: dst}
+					start := time.Now()
+					a.Run(pass)
+					durs[j][i] += time.Since(start)
+				}
+
+				for _, bucket := range []*[]Diagnostic{&buckets.local, &buckets.global} {
+					kept := (*bucket)[:0]
+					for _, d := range *bucket {
+						if !sup.allows(d) {
+							kept = append(kept, d)
+						}
+					}
+					normalizePos(kept)
+					sortDiagnostics(kept)
+					*bucket = kept
+				}
+			}
+		}()
+	}
+	for j := range todo {
+		idx <- j
+	}
+	close(idx)
+	wg.Wait()
+	for j := range durs {
+		for i := range analyzers {
+			if durs[j] != nil {
+				stats[i].Duration += durs[j][i]
+			}
+		}
+	}
+	return out
+}
+
+// poolWorkers bounds the worker pool like RunWithStats does.
+func poolWorkers(n int) int {
+	w := runtime.GOMAXPROCS(0)
+	if w > n {
+		w = n
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}

@@ -1,0 +1,224 @@
+package analysis
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// cacheTestAnalyzers returns one per-package analyzer whose message depends
+// on the package's own content and one module-global analyzer whose message
+// depends on the whole module, so the test can observe exactly which halves
+// re-ran after an edit.
+func cacheTestAnalyzers() []*Analyzer {
+	local := &Analyzer{
+		Name: "countdecls",
+		Doc:  "test analyzer: reports the package's declaration count",
+		Run: func(p *Pass) {
+			n := 0
+			for _, f := range p.Files {
+				n += len(f.Decls)
+			}
+			p.Reportf(p.Files[0].Package, "%s has %d decls", p.Pkg.Path, n)
+		},
+	}
+	global := &Analyzer{
+		Name:         "modwide",
+		Doc:          "test analyzer: reports the module's package count",
+		ModuleGlobal: true,
+		Run: func(p *Pass) {
+			p.Reportf(p.Files[0].Package, "%s sees %d packages", p.Pkg.Path, len(p.Mod.Packages))
+		},
+	}
+	return []*Analyzer{local, global}
+}
+
+func writeCacheTestModule(t *testing.T, root string) {
+	t.Helper()
+	files := map[string]string{
+		"go.mod": "module cachetest\n\ngo 1.22\n",
+		"a/a.go": "package a\n\nfunc A() int { return 1 }\n",
+		"b/b.go": "package b\n\nimport \"cachetest/a\"\n\nfunc B() int { return a.A() }\n",
+		"c/c.go": "//gendpr:allow(countdecls): fixture suppression under test\npackage c\n\nfunc C() int { return 3 }\n",
+	}
+	for rel, content := range files {
+		path := filepath.Join(root, filepath.FromSlash(rel))
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func diagJSON(t *testing.T, diags []Diagnostic) string {
+	t.Helper()
+	data, err := json.Marshal(diags)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(data)
+}
+
+func messagesOf(diags []Diagnostic) []string {
+	var out []string
+	for _, d := range diags {
+		out = append(out, d.Message)
+	}
+	return out
+}
+
+func hasMessage(diags []Diagnostic, substr string) bool {
+	for _, d := range diags {
+		if strings.Contains(d.Message, substr) {
+			return true
+		}
+	}
+	return false
+}
+
+func TestRunWithCacheWarmReproducesCold(t *testing.T) {
+	root := t.TempDir()
+	writeCacheTestModule(t, root)
+	cacheDir := filepath.Join(root, ".lintcache")
+	as := cacheTestAnalyzers()
+
+	cold, _, cs, err := RunWithCache(root, as, cacheDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cs.FullHit || cs.Hits != 0 || cs.Misses != 6 {
+		t.Fatalf("cold run: want 6 misses, 0 hits, no full hit; got %+v", cs)
+	}
+	// Per-package analyzer: a has 1 decl, b has 2 (import + func); c's
+	// finding is suppressed by the directive on the line above the package
+	// clause. Module-global analyzer: every package sees all 3.
+	for _, want := range []string{"cachetest/a has 1 decls", "cachetest/b has 2 decls",
+		"cachetest/a sees 3 packages", "cachetest/b sees 3 packages", "cachetest/c sees 3 packages"} {
+		if !hasMessage(cold, want) {
+			t.Errorf("cold run missing %q; have %v", want, messagesOf(cold))
+		}
+	}
+	if hasMessage(cold, "cachetest/c has") {
+		t.Errorf("suppressed finding for package c leaked: %v", messagesOf(cold))
+	}
+
+	warm, _, cs2, err := RunWithCache(root, as, cacheDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !cs2.FullHit || cs2.Hits != 6 || cs2.Misses != 0 {
+		t.Fatalf("warm run: want full hit with 6 hits; got %+v", cs2)
+	}
+	if diagJSON(t, cold) != diagJSON(t, warm) {
+		t.Fatalf("warm diagnostics differ from cold:\ncold: %s\nwarm: %s", diagJSON(t, cold), diagJSON(t, warm))
+	}
+}
+
+func TestRunWithCacheInvalidation(t *testing.T) {
+	root := t.TempDir()
+	writeCacheTestModule(t, root)
+	cacheDir := filepath.Join(root, ".lintcache")
+	as := cacheTestAnalyzers()
+
+	if _, _, _, err := RunWithCache(root, as, cacheDir); err != nil {
+		t.Fatal(err)
+	}
+
+	// Editing b invalidates b's local half and (via the module key) every
+	// global half; a's and c's local halves stay cached.
+	bPath := filepath.Join(root, "b", "b.go")
+	appendFile(t, bPath, "\nfunc B2() int { return 2 }\n")
+	diags, _, cs, err := RunWithCache(root, as, cacheDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cs.Hits != 2 || cs.Misses != 4 || cs.FullHit {
+		t.Fatalf("after editing b: want 2 hits / 4 misses, got %+v", cs)
+	}
+	if !hasMessage(diags, "cachetest/b has 3 decls") {
+		t.Errorf("edited b not re-analyzed: %v", messagesOf(diags))
+	}
+
+	// Editing a invalidates a itself and, through the dependency cone, b
+	// (which imports a) — only c's local half survives.
+	appendFile(t, filepath.Join(root, "a", "a.go"), "\nfunc A2() int { return 4 }\n")
+	diags, _, cs, err = RunWithCache(root, as, cacheDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cs.Hits != 1 || cs.Misses != 5 {
+		t.Fatalf("after editing a: want 1 hit / 5 misses (only c's local half cached), got %+v", cs)
+	}
+	if !hasMessage(diags, "cachetest/a has 2 decls") {
+		t.Errorf("edited a not re-analyzed: %v", messagesOf(diags))
+	}
+
+	// A second warm run over the new state is again a full hit.
+	_, _, cs, err = RunWithCache(root, as, cacheDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !cs.FullHit {
+		t.Fatalf("expected full hit after re-caching, got %+v", cs)
+	}
+}
+
+func appendFile(t *testing.T, path, content string) {
+	t.Helper()
+	f, err := os.OpenFile(path, os.O_APPEND|os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteString(content); err != nil {
+		f.Close()
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunWithCacheDirectiveDiagsCached(t *testing.T) {
+	root := t.TempDir()
+	writeCacheTestModule(t, root)
+	// A malformed directive must be reported on cold and warm runs alike.
+	dPath := filepath.Join(root, "d", "d.go")
+	if err := os.MkdirAll(filepath.Dir(dPath), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(dPath, []byte("package d\n\n//gendpr:allow(countdecls)\nfunc D() {}\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	cacheDir := filepath.Join(root, ".lintcache")
+	as := cacheTestAnalyzers()
+
+	cold, _, _, err := RunWithCache(root, as, cacheDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	warm, _, cs, err := RunWithCache(root, as, cacheDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !cs.FullHit {
+		t.Fatalf("expected warm full hit, got %+v", cs)
+	}
+	for _, diags := range [][]Diagnostic{cold, warm} {
+		found := false
+		for _, d := range diags {
+			if d.Analyzer == "directive" {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("malformed directive finding missing: %v", messagesOf(diags))
+		}
+	}
+	if diagJSON(t, cold) != diagJSON(t, warm) {
+		t.Fatalf("directive diagnostics not reproduced from cache")
+	}
+}

@@ -915,8 +915,9 @@ func (r *TaintRegistry) engine(mod *Module) *taintEngine {
 
 func taintAnalyzer(name, doc string, reg *TaintRegistry) *Analyzer {
 	return &Analyzer{
-		Name: name,
-		Doc:  doc,
+		Name:         name,
+		Doc:          doc,
+		ModuleGlobal: true,
 		Run: func(p *Pass) {
 			if p.Mod == nil {
 				return

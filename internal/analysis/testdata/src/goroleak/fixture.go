@@ -1,0 +1,207 @@
+// Package fixture exercises the goroleak analyzer: every spawned goroutine
+// needs a provable termination signal — a WaitGroup.Done, a completion
+// channel visible to the spawner, or a loop that terminates via context
+// cancellation or a channel the package closes.
+package fixture
+
+import (
+	"context"
+	"sync"
+)
+
+func serve(conn chan int) {
+	for range conn {
+	}
+}
+
+func work() {}
+
+// BadFireAndForget: straight-line body, nothing joins or signals it; serve
+// may block forever.
+func BadFireAndForget(conn chan int) {
+	go func() { // want "not joinable and has no termination signal"
+		serve(conn)
+	}()
+}
+
+// GoodWaitGroup: joinable via Done.
+func GoodWaitGroup(conn chan int) {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		serve(conn)
+	}()
+	wg.Wait()
+}
+
+// GoodCompletionChannel: the spawner consumes the close.
+func GoodCompletionChannel() {
+	done := make(chan struct{})
+	go func() {
+		work()
+		close(done)
+	}()
+	<-done
+}
+
+// GoodResultSend: a send on a captured channel is a completion signal too.
+func GoodResultSend() int {
+	results := make(chan int, 1)
+	go func() {
+		work()
+		results <- 1
+	}()
+	return <-results
+}
+
+// BadUnboundedLoop: for {} with no cancellation check.
+func BadUnboundedLoop() {
+	go func() {
+		for { // want "unbounded loop in goroutine has no termination signal"
+			work()
+		}
+	}()
+}
+
+// GoodCtxLoop: the ctx.Done case returns out of the loop.
+func GoodCtxLoop(ctx context.Context, tick chan struct{}) {
+	go func() {
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			case <-tick:
+				work()
+			}
+		}
+	}()
+}
+
+// GoodCtxErrLoop: polling ctx.Err with a conditional return also exits.
+func GoodCtxErrLoop(ctx context.Context, tick chan struct{}) {
+	go func() {
+		for {
+			if ctx.Err() != nil {
+				return
+			}
+			<-tick
+		}
+	}()
+}
+
+// BadBareBreakInSelect: break binds to the select, not the loop — the
+// cancellation case never leaves the loop.
+func BadBareBreakInSelect(ctx context.Context, tick chan struct{}) {
+	go func() {
+		for { // want "cannot exit the loop"
+			select {
+			case <-ctx.Done():
+				break
+			case <-tick:
+				work()
+			}
+		}
+	}()
+}
+
+// GoodLabeledBreak: the labeled break escapes the loop, so the same shape
+// with a label is clean.
+func GoodLabeledBreak(ctx context.Context, tick chan struct{}) {
+	go func() {
+	loop:
+		for {
+			select {
+			case <-ctx.Done():
+				break loop
+			case <-tick:
+				work()
+			}
+		}
+		work()
+	}()
+}
+
+// BadRangeUnclosedChannel: nothing in the package ever closes jobs.
+func BadRangeUnclosedChannel(jobs chan int) {
+	go func() {
+		for range jobs { // want "ranges over a channel no function in this package closes"
+			work()
+		}
+	}()
+}
+
+// GoodRangeClosedChannel: the spawner closes the channel it hands out.
+func GoodRangeClosedChannel(n int) {
+	queue := make(chan int, n)
+	go func() {
+		for range queue {
+			work()
+		}
+	}()
+	for i := 0; i < n; i++ {
+		queue <- i
+	}
+	close(queue)
+}
+
+// pooled spawns named workers; run is joinable, leak is not.
+type pooled struct {
+	wg sync.WaitGroup
+}
+
+func (p *pooled) run(queue chan int) {
+	defer p.wg.Done()
+	for range queue {
+		work()
+	}
+}
+
+func (p *pooled) leak() {
+	for { // want "unbounded loop in goroutine has no termination signal"
+		work()
+	}
+}
+
+// GoodNamedWorker / BadNamedWorker: `go p.method()` resolves the method
+// body declared in this package.
+func GoodNamedWorker(p *pooled, queue chan int) {
+	p.wg.Add(1)
+	go p.run(queue)
+}
+
+func BadNamedWorker(p *pooled) {
+	go p.leak()
+}
+
+// BadOpaqueSpawn: a function value cannot be resolved, so termination is
+// unprovable at the spawn site.
+func BadOpaqueSpawn(fn func()) {
+	go fn() // want "cannot be resolved"
+}
+
+// BadLoopVarCapture: each goroutine captures the per-iteration channel, but
+// nobody ever closes any of them.
+func BadLoopVarCapture(chans []chan int) {
+	for _, ch := range chans {
+		go func() {
+			for range ch { // want "ranges over a channel no function in this package closes"
+				work()
+			}
+		}()
+	}
+}
+
+// GoodLoopVarCapture: the spawner closes the captured channel after feeding
+// it, so every worker's range terminates.
+func GoodLoopVarCapture(chans []chan int) {
+	for _, ch := range chans {
+		go func() {
+			for range ch {
+				work()
+			}
+		}()
+		ch <- 1
+		close(ch)
+	}
+}

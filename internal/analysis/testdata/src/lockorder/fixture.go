@@ -1,0 +1,140 @@
+// Package fixture exercises the lockorder analyzer: the module-wide
+// acquisition-order graph must be acyclic; opposite orders, interprocedural
+// chains, and re-acquisition of a held lock are findings.
+package fixture
+
+import "sync"
+
+var (
+	alpha sync.Mutex
+	beta  sync.Mutex
+)
+
+func work() {}
+
+// LockAlphaBeta and LockBetaAlpha take the pair in opposite orders — the
+// classic two-goroutine deadlock.
+func LockAlphaBeta() {
+	alpha.Lock()
+	defer alpha.Unlock()
+	beta.Lock() // want "lock-order cycle"
+	defer beta.Unlock()
+	work()
+}
+
+func LockBetaAlpha() {
+	beta.Lock()
+	defer beta.Unlock()
+	alpha.Lock() // want "lock-order cycle"
+	defer alpha.Unlock()
+	work()
+}
+
+// Consistent order on a second pair of locks: no finding.
+var (
+	gammaMu sync.Mutex
+	deltaMu sync.Mutex
+)
+
+func ConsistentOne() {
+	gammaMu.Lock()
+	defer gammaMu.Unlock()
+	deltaMu.Lock()
+	defer deltaMu.Unlock()
+	work()
+}
+
+func ConsistentTwo() {
+	gammaMu.Lock()
+	deltaMu.Lock()
+	work()
+	deltaMu.Unlock()
+	gammaMu.Unlock()
+}
+
+// Interprocedural cycle: holdEpsilonCallZeta holds epsilon and calls a
+// helper that takes zeta; the reverse path takes zeta then epsilon directly.
+var (
+	epsilon sync.Mutex
+	zeta    sync.Mutex
+)
+
+// takeZeta acquires zeta with nothing held, so its own site is clean; the
+// cycle is attributed to the call site holding epsilon.
+func takeZeta() {
+	zeta.Lock()
+	defer zeta.Unlock()
+	work()
+}
+
+func HoldEpsilonCallZeta() {
+	epsilon.Lock()
+	defer epsilon.Unlock()
+	takeZeta() // want "call may acquire"
+}
+
+func HoldZetaTakeEpsilon() {
+	zeta.Lock()
+	defer zeta.Unlock()
+	epsilon.Lock() // want "lock-order cycle"
+	defer epsilon.Unlock()
+	work()
+}
+
+// Unlock-before-next-acquire breaks the chain: no held set at the second
+// Lock, so no edge and no finding.
+var (
+	eta   sync.Mutex
+	theta sync.Mutex
+)
+
+func SequentialNotNested() {
+	eta.Lock()
+	work()
+	eta.Unlock()
+	theta.Lock()
+	work()
+	theta.Unlock()
+}
+
+func SequentialOpposite() {
+	theta.Lock()
+	work()
+	theta.Unlock()
+	eta.Lock()
+	work()
+	eta.Unlock()
+}
+
+// Self-deadlock: sync.Mutex is not reentrant.
+var iota1 sync.Mutex
+
+func Reacquire() {
+	iota1.Lock()
+	defer iota1.Unlock()
+	iota1.Lock() // want "already held"
+	work()
+}
+
+// Struct-field locks get class-level identity: methods of two different
+// registries still share the field object, so opposite nesting is found.
+type registry struct {
+	mu    sync.Mutex
+	audit sync.Mutex
+}
+
+func (r *registry) LockForward() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.audit.Lock() // want "lock-order cycle"
+	defer r.audit.Unlock()
+	work()
+}
+
+func (r *registry) LockBackward() {
+	r.audit.Lock()
+	defer r.audit.Unlock()
+	r.mu.Lock() // want "lock-order cycle"
+	defer r.mu.Unlock()
+	work()
+}

@@ -1,0 +1,219 @@
+// Package fixture exercises the mustrelease analyzer: spec-table resources
+// must be released on every CFG path; defer at the acquire site is the
+// sanctioned idiom, and defer inside a loop is its own finding.
+package fixture
+
+import (
+	"context"
+	"os"
+	"time"
+)
+
+// res/acquire stand in for a project-local acquire/release pair; the test
+// injects fixture/mustrelease.acquire into the spec table.
+type res struct{}
+
+func (r *res) Close() {}
+func (r *res) Use()   {}
+
+func acquire() (*res, error) { return &res{}, nil }
+
+func use(*res)        {}
+func condition() bool { return false }
+
+// GoodDeferImmediate: the sanctioned idiom.
+func GoodDeferImmediate(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	_, err = f.Stat()
+	return err
+}
+
+// BadEarlyReturn: the condition branch returns without closing.
+func BadEarlyReturn(path string) error {
+	f, err := os.Open(path) // want "not released on every path"
+	if err != nil {
+		return err
+	}
+	if condition() {
+		return nil
+	}
+	return f.Close()
+}
+
+// GoodAllPathsExplicit: no defer, but every path (error and success)
+// releases — the fsync-then-close shape.
+func GoodAllPathsExplicit(path string, data []byte) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	return nil
+}
+
+// BadConditionalRelease: releasing only under a condition is the leak this
+// analyzer exists for.
+func BadConditionalRelease(path string) {
+	f, err := os.Open(path) // want "not released on every path"
+	if err != nil {
+		return
+	}
+	if condition() {
+		f.Close()
+	}
+}
+
+// BadDiscard: binding the resource to _ makes release impossible.
+func BadDiscard(path string) {
+	f, _ := os.Open(path)
+	f.Close()
+	_, _ = os.Open(path) // want "is discarded"
+}
+
+// GoodEscapeReturn: ownership transfers to the caller.
+func GoodEscapeReturn(path string) (*os.File, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+type holder struct{ f *os.File }
+
+// GoodEscapeStore: ownership transfers to the struct.
+func GoodEscapeStore(h *holder, path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	h.f = f
+	return nil
+}
+
+// BadDeferInLoop: the defers pile up until the function returns.
+func BadDeferInLoop(paths []string) {
+	for _, p := range paths {
+		f, err := os.Open(p)
+		if err != nil {
+			continue
+		}
+		defer f.Close() // want "inside a loop"
+	}
+}
+
+// GoodExplicitInLoop: released each iteration.
+func GoodExplicitInLoop(paths []string) {
+	for _, p := range paths {
+		f, err := os.Open(p)
+		if err != nil {
+			continue
+		}
+		f.Close()
+	}
+}
+
+// BadTimer: the timer is never stopped.
+func BadTimer(d time.Duration, ch chan struct{}) {
+	t := time.NewTimer(d) // want "not released on every path"
+	select {
+	case <-t.C:
+	case <-ch:
+	}
+}
+
+// GoodTimer: deferred Stop.
+func GoodTimer(d time.Duration, ch chan struct{}) {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+	case <-ch:
+	}
+}
+
+// BadContextCancel: cancel runs only under a condition; the other path
+// leaks the context until the parent is cancelled.
+func BadContextCancel(parent context.Context, d time.Duration) error {
+	ctx, cancel := context.WithTimeout(parent, d) // want "not released on every path"
+	<-ctx.Done()
+	if condition() {
+		cancel()
+	}
+	return ctx.Err()
+}
+
+// GoodContextCancel: deferred cancel.
+func GoodContextCancel(parent context.Context, d time.Duration) error {
+	ctx, cancel := context.WithTimeout(parent, d)
+	defer cancel()
+	<-ctx.Done()
+	return ctx.Err()
+}
+
+// BadPanicPath: panic unwinds without running a defer that was never
+// registered — the resource leaks into the recovered caller.
+func BadPanicPath(path string) {
+	f, err := os.Open(path) // want "not released on every path"
+	if err != nil {
+		return
+	}
+	if condition() {
+		panic("invariant violated")
+	}
+	f.Close()
+}
+
+// GoodPanicPath: the defer runs during unwinding too.
+func GoodPanicPath(path string) {
+	f, err := os.Open(path)
+	if err != nil {
+		return
+	}
+	defer f.Close()
+	if condition() {
+		panic("invariant violated")
+	}
+}
+
+// BadInjectedPair: the fixture-local pair behaves like the built-ins.
+func BadInjectedPair() {
+	r, err := acquire() // want "not released on every path"
+	if err != nil {
+		return
+	}
+	r.Use()
+}
+
+// GoodInjectedPair: deferred release of the fixture-local pair.
+func GoodInjectedPair() {
+	r, err := acquire()
+	if err != nil {
+		return
+	}
+	defer r.Close()
+	r.Use()
+}
+
+// GoodDeferredCleanupClosure: a deferred closure that releases counts.
+func GoodDeferredCleanupClosure(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		f.Close()
+	}()
+	_, err = f.Stat()
+	return err
+}

@@ -3,6 +3,7 @@ package service
 import (
 	"context"
 	"fmt"
+	"sync"
 	"time"
 
 	"gendpr/internal/checkpoint"
@@ -160,7 +161,14 @@ func NewInProcessBackend(shards []*genome.Matrix, reference *genome.Matrix, opts
 	}
 	dial := func() ([]federation.MemberLink, func(), error) {
 		links := make([]federation.MemberLink, len(members))
-		conns := make([]transport.Conn, 0, len(members))
+		// Every spawned serve goroutine is joined by cleanup: the leader ends
+		// are tracked (redials included) so closing them unblocks Serve, and
+		// the WaitGroup guarantees no session goroutine outlives its run.
+		var (
+			mu    sync.Mutex
+			conns []transport.Conn
+			wg    sync.WaitGroup
+		)
 		for i, m := range members {
 			// spawn wires one attestable channel: a fresh pipe whose far end
 			// a new goroutine serves. The member node itself is long-lived
@@ -169,24 +177,31 @@ func NewInProcessBackend(shards []*genome.Matrix, reference *genome.Matrix, opts
 			member := m
 			spawn := func() transport.Conn {
 				leaderEnd, memberEnd := transport.Pipe()
+				mu.Lock()
+				conns = append(conns, leaderEnd)
+				mu.Unlock()
+				wg.Add(1)
 				go func() {
+					defer wg.Done()
 					_ = member.Serve(memberEnd)
 					_ = memberEnd.Close()
 				}()
 				return leaderEnd
 			}
-			conn := spawn()
-			conns = append(conns, conn)
 			links[i] = federation.MemberLink{
-				Conn:   conn,
+				Conn:   spawn(),
 				Name:   member.ID(),
 				Redial: func() (transport.Conn, error) { return spawn(), nil },
 			}
 		}
 		cleanup := func() {
-			for _, c := range conns {
+			mu.Lock()
+			ends := append([]transport.Conn(nil), conns...)
+			mu.Unlock()
+			for _, c := range ends {
 				_ = c.Close()
 			}
+			wg.Wait()
 		}
 		return links, cleanup, nil
 	}
